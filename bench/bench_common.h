@@ -1,0 +1,84 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/compressor.h"
+#include "core/options.h"
+#include "core/ppq_trajectory.h"
+#include "datagen/generator.h"
+#include "index/rectangle.h"
+
+/// \file bench_common.h
+/// Shared scaffolding for the table/figure reproduction binaries: workload
+/// construction (Porto-like / GeoLife-like / sub-Porto, Section 6.1),
+/// method factory covering the paper's nine compared methods, and common
+/// CLI parsing (--scale grows or shrinks every workload, --queries sets
+/// the query batch size, --seed the RNG seed).
+
+namespace ppq::bench {
+
+/// \brief Common benchmark CLI options.
+struct BenchOptions {
+  /// Multiplies trajectory counts (and the query batch) of every workload.
+  double scale = 1.0;
+  /// Query batch size (the paper uses 10,000; the default here is sized
+  /// for laptop runtimes and can be raised with --queries).
+  size_t queries = 1000;
+  uint64_t seed = 42;
+};
+
+/// Parse --scale=<f> --queries=<n> --seed=<n>; unknown flags are ignored.
+BenchOptions ParseArgs(int argc, char** argv);
+
+/// \brief A benchmark workload plus its dataset-specific thresholds
+/// (Section 6.1 parameter settings, recalibrated to the synthetic
+/// workloads as documented in DESIGN.md).
+struct DatasetBundle {
+  std::string name;
+  TrajectoryDataset data;
+  /// eps_p for the spatial partition strategy.
+  double eps_p_spatial = 0.03;
+  /// eps_p for the autocorrelation (ACF) partition strategy.
+  double eps_p_autocorr = 0.2;
+  /// Index partition threshold eps_s.
+  double eps_s = 0.1;
+  /// TrajStore root region.
+  index::Rect region;
+};
+
+/// Porto-like workload: many short urban taxi trips.
+DatasetBundle MakePortoBundle(const BenchOptions& options);
+/// GeoLife-like workload: fewer, longer, wide-area trajectories.
+DatasetBundle MakeGeoLifeBundle(const BenchOptions& options);
+
+/// \brief Quantization regime shared by every method in a run.
+struct MethodSetup {
+  core::QuantizationMode mode = core::QuantizationMode::kFixedPerTick;
+  /// Bits per point in fixed mode.
+  int fixed_bits = 8;
+  /// eps_1 in degrees (error-bounded mode, and the CQC error space).
+  double epsilon1 = 0.001;
+  /// CQC cell size gs in degrees.
+  double cqc_grid_size = 50.0 / 111320.0;
+  bool enable_index = true;
+};
+
+/// The paper's method roster in table order.
+const std::vector<std::string>& AllMethodNames();
+/// The subset used by Table 4 (TrajStore excluded, see Section 6.2.3).
+const std::vector<std::string>& FilteringMethodNames();
+
+/// Instantiate a method by its table name, configured for \p bundle.
+std::unique_ptr<core::Compressor> MakeCompressor(const std::string& name,
+                                                 const DatasetBundle& bundle,
+                                                 const MethodSetup& setup);
+
+/// Spatial-deviation helper for Tables 5/6 and Figure 9: configure
+/// \p setup so the method family achieves \p deviation_m metres. PPQ-A/S
+/// get gs = sqrt(2) * D and eps_1^M = 2 * gs (the paper's setting); the
+/// other methods get eps_1^M = D directly.
+MethodSetup DeviationSetup(double deviation_m, bool cqc_method);
+
+}  // namespace ppq::bench

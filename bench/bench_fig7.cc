@@ -1,0 +1,66 @@
+/// \file bench_fig7.cc
+/// Reproduces Figure 7: running time of the incremental temporal
+/// partitioning component (Section 3.2.2) against the partition threshold
+/// eps_p, for PPQ-A and PPQ-S on both workloads. Larger eps_p means fewer
+/// partitions and fewer growth rounds, so the time falls.
+///
+/// Threshold values are the recalibrated equivalents of the paper's
+/// sweeps (DESIGN.md section 4): our bounded ACF features replace raw AR
+/// coefficients for PPQ-A.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/ppq_trajectory.h"
+
+namespace ppq::bench {
+namespace {
+
+void RunSweep(const DatasetBundle& bundle, const std::string& method,
+              const std::vector<double>& eps_values) {
+  std::printf("\n--- Figure 7: %s on %s ---\n", method.c_str(),
+              bundle.name.c_str());
+  std::printf("%8s %18s %8s %8s\n", "eps_p", "partition time(s)", "peak q",
+              "avg q");
+  for (double eps : eps_values) {
+    MethodSetup setup;
+    setup.mode = core::QuantizationMode::kErrorBounded;
+    setup.enable_index = false;
+    auto compressor = MakeCompressor(method, bundle, setup);
+    auto* ppq = static_cast<core::PpqTrajectory*>(compressor.get());
+    core::PpqOptions options = ppq->options();
+    options.epsilon_p = eps;
+    core::PpqTrajectory tuned(options);
+    tuned.Compress(bundle.data);
+    int peak = 0;
+    double sum = 0.0;
+    for (const auto& stats : tuned.tick_stats()) {
+      peak = std::max(peak, stats.partitions);
+      sum += stats.partitions;
+    }
+    const double avg = tuned.tick_stats().empty()
+                           ? 0.0
+                           : sum / static_cast<double>(tuned.tick_stats().size());
+    std::printf("%8g %18.3f %8d %8.1f\n", eps, tuned.partition_seconds(),
+                peak, avg);
+  }
+}
+
+}  // namespace
+}  // namespace ppq::bench
+
+int main(int argc, char** argv) {
+  using namespace ppq::bench;
+  const BenchOptions options = ParseArgs(argc, argv);
+  const DatasetBundle porto = MakePortoBundle(options);
+  const DatasetBundle geolife = MakeGeoLifeBundle(options);
+
+  // PPQ-A sweeps (ACF feature space).
+  RunSweep(porto, "PPQ-A", {0.1, 0.2, 0.4});
+  RunSweep(geolife, "PPQ-A", {0.1, 0.2, 0.4});
+  // PPQ-S sweeps (position space; paper uses 0.1-0.5 Porto, 1-5 GeoLife).
+  RunSweep(porto, "PPQ-S", {0.01, 0.03, 0.05});
+  RunSweep(geolife, "PPQ-S", {0.5, 1.0, 2.0});
+  return 0;
+}

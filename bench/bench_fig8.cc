@@ -1,0 +1,66 @@
+/// \file bench_fig8.cc
+/// Reproduces Figure 8: the number of partitions q maintained by the
+/// incremental partitioner over time, for different eps_p values — the
+/// series grow while new motion regimes appear and then stabilise.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/ppq_trajectory.h"
+
+namespace ppq::bench {
+namespace {
+
+void RunSeries(const DatasetBundle& bundle, const std::string& method,
+               const std::vector<double>& eps_values) {
+  std::printf("\n--- Figure 8: q over time, %s on %s ---\n", method.c_str(),
+              bundle.name.c_str());
+  // Collect one q-series per eps value.
+  std::vector<std::vector<int>> series;
+  for (double eps : eps_values) {
+    MethodSetup setup;
+    setup.mode = core::QuantizationMode::kErrorBounded;
+    setup.enable_index = false;
+    auto compressor = MakeCompressor(method, bundle, setup);
+    auto* ppq = static_cast<core::PpqTrajectory*>(compressor.get());
+    core::PpqOptions options = ppq->options();
+    options.epsilon_p = eps;
+    core::PpqTrajectory tuned(options);
+    tuned.Compress(bundle.data);
+    std::vector<int> q;
+    for (const auto& stats : tuned.tick_stats()) q.push_back(stats.partitions);
+    series.push_back(std::move(q));
+  }
+
+  std::printf("%8s", "t");
+  for (double eps : eps_values) std::printf("  q(eps=%-5g)", eps);
+  std::printf("\n");
+  const size_t ticks = series.empty() ? 0 : series[0].size();
+  const size_t step = std::max<size_t>(1, ticks / 20);
+  int peak = 0;
+  for (size_t t = 0; t < ticks; t += step) {
+    std::printf("%8zu", t);
+    for (const auto& q : series) {
+      std::printf("  %11d", t < q.size() ? q[t] : 0);
+      if (t < q.size()) peak = std::max(peak, q[t]);
+    }
+    std::printf("\n");
+  }
+  std::printf("(peak q across sweep: %d)\n", peak);
+}
+
+}  // namespace
+}  // namespace ppq::bench
+
+int main(int argc, char** argv) {
+  using namespace ppq::bench;
+  const BenchOptions options = ParseArgs(argc, argv);
+  const DatasetBundle porto = MakePortoBundle(options);
+  const DatasetBundle geolife = MakeGeoLifeBundle(options);
+
+  RunSeries(porto, "PPQ-A", {0.1, 0.2, 0.4});
+  RunSeries(geolife, "PPQ-A", {0.1, 0.2, 0.4});
+  RunSeries(porto, "PPQ-S", {0.01, 0.03, 0.05});
+  RunSeries(geolife, "PPQ-S", {0.5, 1.0, 2.0});
+  return 0;
+}

@@ -1,0 +1,112 @@
+/// \file bench_fig9.cc
+/// Reproduces Figure 9: compression ratio against spatial deviation
+/// (200-1000 m) on (a) Porto-like, (b) GeoLife-like, and (c) the
+/// sub-Porto dataset where REST is applicable. Same deviation regime as
+/// Tables 5/6. For sub-Porto, the originals are the compression targets
+/// and the derived variants form REST's reference set (Section 6.1).
+
+#include <cstdio>
+
+#include "baselines/rest.h"
+#include "bench/bench_common.h"
+#include "common/geo.h"
+#include "core/metrics.h"
+
+namespace ppq::bench {
+namespace {
+
+const std::vector<double> kDeviations = {200.0, 400.0, 600.0, 800.0, 1000.0};
+
+void RunStandard(const DatasetBundle& bundle) {
+  std::printf("\n=== Figure 9 (%s): compression ratio vs spatial deviation "
+              "(m) ===\n",
+              bundle.name.c_str());
+  std::printf("%-24s %8s %8s %8s %8s %8s\n", "Method", "200", "400", "600",
+              "800", "1000");
+  for (const std::string& name : AllMethodNames()) {
+    const bool cqc = (name == "PPQ-A" || name == "PPQ-S");
+    std::printf("%-24s", name.c_str());
+    for (double deviation : kDeviations) {
+      MethodSetup setup = DeviationSetup(deviation, cqc);
+      setup.enable_index = false;
+      auto method = MakeCompressor(name, bundle, setup);
+      method->Compress(bundle.data);
+      std::printf(" %8.2f", core::CompressionRatio(*method, bundle.data));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+}
+
+void RunSubPorto(const BenchOptions& options) {
+  // Build sub-Porto: originals + 4 noisy variants each; compress the
+  // originals, use everything else as REST's reference set.
+  datagen::GeneratorOptions gen;
+  gen.num_trajectories = std::max(20, static_cast<int>(800 * options.scale));
+  gen.horizon = 400;
+  gen.min_length = 30;
+  gen.max_length = 300;
+  gen.seed = options.seed + 5;
+  const TrajectoryDataset base =
+      datagen::PortoLikeGenerator(gen).Generate();
+  const TrajectoryDataset expanded = datagen::MakeSubPorto(base);
+
+  TrajectoryDataset targets;
+  TrajectoryDataset reference;
+  for (size_t i = 0; i < expanded.size(); ++i) {
+    if (i % 5 == 0) {
+      targets.Add(expanded[i]);
+    } else {
+      reference.Add(expanded[i]);
+    }
+  }
+
+  DatasetBundle bundle = MakePortoBundle(options);
+  bundle.name = "sub-Porto";
+  bundle.data = targets;
+
+  std::printf("\n=== Figure 9c (sub-Porto): compression ratio incl. REST "
+              "===\n");
+  std::printf("(%zu targets, %zu reference trajectories)\n", targets.size(),
+              reference.size());
+  std::printf("%-24s %8s %8s %8s %8s %8s\n", "Method", "200", "400", "600",
+              "800", "1000");
+
+  for (const std::string& name : AllMethodNames()) {
+    if (name == "TrajStore") continue;  // the paper's Fig 9c omits it
+    const bool cqc = (name == "PPQ-A" || name == "PPQ-S");
+    std::printf("%-24s", name.c_str());
+    for (double deviation : kDeviations) {
+      MethodSetup setup = DeviationSetup(deviation, cqc);
+      setup.enable_index = false;
+      auto method = MakeCompressor(name, bundle, setup);
+      method->Compress(bundle.data);
+      std::printf(" %8.2f", core::CompressionRatio(*method, bundle.data));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("%-24s", "REST");
+  for (double deviation : kDeviations) {
+    baselines::Rest::Options rest_options;
+    rest_options.deviation = MetersToDegrees(deviation);
+    baselines::Rest rest(reference, rest_options);
+    rest.Compress(bundle.data);
+    std::printf(" %8.2f", core::CompressionRatio(rest, bundle.data));
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace ppq::bench
+
+int main(int argc, char** argv) {
+  using namespace ppq::bench;
+  const BenchOptions options = ParseArgs(argc, argv);
+  RunStandard(MakePortoBundle(options));
+  RunStandard(MakeGeoLifeBundle(options));
+  RunSubPorto(options);
+  return 0;
+}

@@ -1,0 +1,195 @@
+/// \file bench_micro.cc
+/// google-benchmark micro suite over the substrates: quantizer assignment
+/// and growth, CQC encode/decode, Huffman coding, grid-index queries,
+/// k-means, partitioner updates, and the linear predictor. These are the
+/// per-operation costs behind the table-level build times.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "cqc/cqc_codec.h"
+#include "index/grid_index.h"
+#include "index/huffman.h"
+#include "partition/incremental_partitioner.h"
+#include "predictor/linear_predictor.h"
+#include "quantizer/incremental_quantizer.h"
+#include "quantizer/kmeans.h"
+
+namespace ppq {
+namespace {
+
+std::vector<Point> RandomPoints(size_t n, double span, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    points.push_back({rng.Uniform(0.0, span), rng.Uniform(0.0, span)});
+  }
+  return points;
+}
+
+void BM_KMeans(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  const auto points = RandomPoints(static_cast<size_t>(n), 1.0, 1);
+  const auto flat = quantizer::FlattenPoints(points);
+  for (auto _ : state) {
+    Rng rng(2);
+    auto result = quantizer::RunKMeans(flat, n, 2, k, {}, rng);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KMeans)->Args({1000, 16})->Args({1000, 256})->Args({10000, 64});
+
+void BM_QuantizerAssign(benchmark::State& state) {
+  // Steady-state assignment: codebook already covers the space.
+  quantizer::IncrementalQuantizer::Options options;
+  options.epsilon = 0.01;
+  quantizer::IncrementalQuantizer quantizer(options);
+  quantizer::Codebook codebook;
+  const auto warmup = RandomPoints(20000, 1.0, 3);
+  quantizer.QuantizeBatch(warmup, &codebook);
+  const auto batch = RandomPoints(static_cast<size_t>(state.range(0)), 1.0, 4);
+  for (auto _ : state) {
+    auto codes = quantizer.QuantizeBatch(batch, &codebook);
+    benchmark::DoNotOptimize(codes);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QuantizerAssign)->Arg(1000)->Arg(10000);
+
+void BM_QuantizerGrowth(benchmark::State& state) {
+  // Cold start: every batch lands in fresh space, forcing growth.
+  const auto batch = RandomPoints(static_cast<size_t>(state.range(0)), 1.0, 5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    quantizer::IncrementalQuantizer::Options options;
+    options.epsilon = 0.005;
+    quantizer::IncrementalQuantizer quantizer(options);
+    quantizer::Codebook codebook;
+    state.ResumeTiming();
+    auto codes = quantizer.QuantizeBatch(batch, &codebook);
+    benchmark::DoNotOptimize(codes);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QuantizerGrowth)->Arg(1000)->Arg(10000);
+
+void BM_CqcEncode(benchmark::State& state) {
+  cqc::CqcCodec codec(0.001, 50.0 / 111320.0);
+  Rng rng(6);
+  const Point original{1.0, 1.0};
+  std::vector<Point> recons;
+  for (int i = 0; i < 1024; ++i) {
+    recons.push_back({1.0 + rng.Uniform(-9e-4, 9e-4),
+                      1.0 + rng.Uniform(-9e-4, 9e-4)});
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto code = codec.Encode(original, recons[i++ & 1023]);
+    benchmark::DoNotOptimize(code);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CqcEncode);
+
+void BM_CqcRefine(benchmark::State& state) {
+  cqc::CqcCodec codec(0.001, 50.0 / 111320.0);
+  const Point original{1.0, 1.0};
+  const Point recon{1.0004, 0.9996};
+  const cqc::CqcCode code = codec.Encode(original, recon);
+  for (auto _ : state) {
+    auto refined = codec.Refine(recon, code);
+    benchmark::DoNotOptimize(refined);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CqcRefine);
+
+void BM_HuffmanRoundTrip(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<int32_t> ids;
+  int32_t id = 0;
+  for (int i = 0; i < 1000; ++i) {
+    id += static_cast<int32_t>(rng.UniformInt(1, 8));
+    ids.push_back(id);
+  }
+  std::unordered_map<uint32_t, uint64_t> freq;
+  index::AccumulateDeltaFrequencies(ids, &freq);
+  const auto table = index::HuffmanTable::Build(freq);
+  for (auto _ : state) {
+    auto packed = index::CompressIds(ids, table);
+    auto unpacked = index::DecompressIds(*packed, table);
+    benchmark::DoNotOptimize(unpacked);
+  }
+  state.SetItemsProcessed(state.iterations() * ids.size());
+}
+BENCHMARK(BM_HuffmanRoundTrip);
+
+void BM_GridIndexQuery(benchmark::State& state) {
+  index::GridIndex grid(index::Rect{0.0, 0.0, 1.0, 1.0}, 0.01);
+  const auto points = RandomPoints(50000, 1.0, 8);
+  for (size_t i = 0; i < points.size(); ++i) {
+    grid.Insert(static_cast<Tick>(i % 100), static_cast<TrajId>(i),
+                points[i]);
+  }
+  grid.Finalize();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto ids = grid.Query(points[i % points.size()],
+                          static_cast<Tick>(i % 100));
+    benchmark::DoNotOptimize(ids);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GridIndexQuery);
+
+void BM_PartitionerUpdate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  partition::IncrementalPartitioner::Options options;
+  options.epsilon = 0.1;
+  partition::IncrementalPartitioner partitioner(options);
+  Rng rng(9);
+  std::vector<TrajId> ids;
+  for (int i = 0; i < n; ++i) ids.push_back(static_cast<TrajId>(i));
+  std::vector<double> features;
+  for (int i = 0; i < n; ++i) {
+    features.push_back(rng.Uniform(0.0, 1.0));
+    features.push_back(rng.Uniform(0.0, 1.0));
+  }
+  for (auto _ : state) {
+    // Jitter features slightly to mimic motion between ticks.
+    for (double& f : features) f += rng.Normal(0.0, 1e-3);
+    auto assignment = partitioner.Update(ids, features, 2);
+    benchmark::DoNotOptimize(assignment);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PartitionerUpdate)->Arg(500)->Arg(2000);
+
+void BM_PredictorFit(benchmark::State& state) {
+  Rng rng(10);
+  std::vector<predictor::PredictionSample> samples;
+  for (int i = 0; i < 500; ++i) {
+    predictor::PredictionSample s;
+    s.target = {rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)};
+    for (int j = 0; j < 3; ++j) {
+      s.history.push_back({rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)});
+    }
+    samples.push_back(std::move(s));
+  }
+  predictor::LinearPredictor predictor(3);
+  for (auto _ : state) {
+    auto coeffs = predictor.Fit(samples);
+    benchmark::DoNotOptimize(coeffs);
+  }
+  state.SetItemsProcessed(state.iterations() * samples.size());
+}
+BENCHMARK(BM_PredictorFit);
+
+}  // namespace
+}  // namespace ppq
+
+BENCHMARK_MAIN();

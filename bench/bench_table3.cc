@@ -1,0 +1,68 @@
+/// \file bench_table3.cc
+/// Reproduces Table 3: TPQ mean absolute error against different path
+/// lengths l in {10, 20, 30, 40, 50}. As in the paper, the same
+/// (trajectory, tick) anchors are used for every method so the retrieved
+/// sub-trajectories are comparable, and the summary regime matches
+/// Table 2 (per-tick codebooks).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/random.h"
+#include "core/metrics.h"
+
+namespace ppq::bench {
+namespace {
+
+void RunDataset(const DatasetBundle& bundle, const BenchOptions& options,
+                int bits) {
+  std::printf("\n=== Table 3 (%s): TPQ MAE (m) vs path length ===\n",
+              bundle.name.c_str());
+  std::printf("%-24s %9s %9s %9s %9s %9s\n", "Method", "l=10", "l=20",
+              "l=30", "l=40", "l=50");
+
+  // Shared anchors: (trajectory, tick) pairs with room to extend.
+  Rng rng(options.seed + 13);
+  std::vector<core::QuerySpec> queries;
+  std::vector<TrajId> ids;
+  const size_t count = options.queries;
+  for (size_t i = 0; i < count; ++i) {
+    const auto& traj = bundle.data[static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(bundle.data.size()) - 1))];
+    const size_t offset = static_cast<size_t>(
+        rng.UniformInt(0, std::max<int64_t>(0, static_cast<int64_t>(
+                                                   traj.size()) -
+                                                   1)));
+    queries.push_back({traj.points[offset],
+                       traj.start_tick + static_cast<Tick>(offset)});
+    ids.push_back(traj.id);
+  }
+
+  for (const std::string& name : AllMethodNames()) {
+    MethodSetup setup;
+    setup.mode = core::QuantizationMode::kFixedPerTick;
+    setup.fixed_bits = bits;
+    setup.enable_index = false;  // TPQ cost here is reconstruction only
+    auto method = MakeCompressor(name, bundle, setup);
+    method->Compress(bundle.data);
+
+    std::printf("%-24s", name.c_str());
+    for (int length : {10, 20, 30, 40, 50}) {
+      const double mae = core::EvaluateTpqMaeMeters(*method, bundle.data,
+                                                    queries, ids, length);
+      std::printf(" %9.2f", mae);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace ppq::bench
+
+int main(int argc, char** argv) {
+  using namespace ppq::bench;
+  const BenchOptions options = ParseArgs(argc, argv);
+  RunDataset(MakePortoBundle(options), options, /*bits=*/6);
+  RunDataset(MakeGeoLifeBundle(options), options, /*bits=*/5);
+  return 0;
+}

@@ -1,0 +1,63 @@
+/// \file bench_table4.cc
+/// Reproduces Table 4: average ratio of trajectories visited (the
+/// filtering power of the summary used as an index for exact-match
+/// queries) and MAE, against codebook sizes of 5-9 bits. TrajStore is
+/// excluded, as in the paper, because its per-cell summaries cannot be
+/// fixed to a per-timestamp codeword budget.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/random.h"
+#include "core/metrics.h"
+#include "core/query_engine.h"
+
+namespace ppq::bench {
+namespace {
+
+void RunDataset(const DatasetBundle& bundle, const BenchOptions& options) {
+  std::printf("\n=== Table 4 (%s): visit ratio (x1e-3) and MAE (m) vs "
+              "codebook bits ===\n",
+              bundle.name.c_str());
+  std::printf("%-24s %9s %9s %9s %9s %9s\n", "Method", "5 bits", "6 bits",
+              "7 bits", "8 bits", "9 bits");
+
+  Rng rng(options.seed + 21);
+  const auto queries =
+      core::SampleQueries(bundle.data, options.queries, &rng);
+
+  for (const std::string& name : FilteringMethodNames()) {
+    std::vector<double> ratios;
+    std::vector<double> maes;
+    for (int bits : {5, 6, 7, 8, 9}) {
+      MethodSetup setup;
+      setup.mode = core::QuantizationMode::kFixedPerTick;
+      setup.fixed_bits = bits;
+      auto method = MakeCompressor(name, bundle, setup);
+      method->Compress(bundle.data);
+      core::QueryEngine engine(method.get(), &bundle.data,
+                               100.0 / kMetersPerDegree);
+      const auto eval = core::EvaluateStrq(engine, bundle.data, queries,
+                                           core::StrqMode::kExact);
+      ratios.push_back(eval.visit_ratio * 1e3);
+      maes.push_back(core::SummaryMaeMeters(*method, bundle.data));
+    }
+    std::printf("%-24s", name.c_str());
+    for (double r : ratios) std::printf(" %9.3f", r);
+    std::printf("  (ratio x1e-3)\n");
+    std::printf("%-24s", "");
+    for (double m : maes) std::printf(" %9.2f", m);
+    std::printf("  (MAE m)\n");
+  }
+}
+
+}  // namespace
+}  // namespace ppq::bench
+
+int main(int argc, char** argv) {
+  using namespace ppq::bench;
+  const BenchOptions options = ParseArgs(argc, argv);
+  RunDataset(MakePortoBundle(options), options);
+  RunDataset(MakeGeoLifeBundle(options), options);
+  return 0;
+}

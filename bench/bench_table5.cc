@@ -1,0 +1,49 @@
+/// \file bench_table5.cc
+/// Reproduces Table 5: summary construction time (seconds) against the
+/// target spatial deviation (200-1000 m), in the online error-bounded
+/// regime. PPQ-A and PPQ-S reach the deviation through CQC
+/// (gs = sqrt(2) * D, eps_1^M = 2 gs, the paper's setting); the remaining
+/// methods set eps_1^M = D directly. Index construction is excluded so
+/// the number isolates summary generation, as in the paper.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+
+namespace ppq::bench {
+namespace {
+
+void RunDataset(const DatasetBundle& bundle) {
+  std::printf("\n=== Table 5 (%s): summary build time (s) vs spatial "
+              "deviation (m) ===\n",
+              bundle.name.c_str());
+  std::printf("%-24s %8s %8s %8s %8s %8s\n", "Method", "200", "400", "600",
+              "800", "1000");
+
+  for (const std::string& name : AllMethodNames()) {
+    const bool cqc = (name == "PPQ-A" || name == "PPQ-S");
+    std::printf("%-24s", name.c_str());
+    for (double deviation : {200.0, 400.0, 600.0, 800.0, 1000.0}) {
+      MethodSetup setup = DeviationSetup(deviation, cqc);
+      setup.enable_index = false;
+      auto method = MakeCompressor(name, bundle, setup);
+      WallTimer timer;
+      method->Compress(bundle.data);
+      std::printf(" %8.3f", timer.ElapsedSeconds());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace ppq::bench
+
+int main(int argc, char** argv) {
+  using namespace ppq::bench;
+  const BenchOptions options = ParseArgs(argc, argv);
+  RunDataset(MakePortoBundle(options));
+  RunDataset(MakeGeoLifeBundle(options));
+  return 0;
+}

@@ -1,0 +1,45 @@
+/// \file bench_table6.cc
+/// Reproduces Table 6: number of codewords in the codebook C against the
+/// target spatial deviation (200-1000 m), same regime as Table 5. The
+/// paper's headline: PPQ needs an order of magnitude fewer codewords than
+/// the raw-position quantizers, and TrajStore needs the most.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace ppq::bench {
+namespace {
+
+void RunDataset(const DatasetBundle& bundle) {
+  std::printf("\n=== Table 6 (%s): codewords in C vs spatial deviation "
+              "(m) ===\n",
+              bundle.name.c_str());
+  std::printf("%-24s %9s %9s %9s %9s %9s\n", "Method", "200", "400", "600",
+              "800", "1000");
+
+  for (const std::string& name : AllMethodNames()) {
+    const bool cqc = (name == "PPQ-A" || name == "PPQ-S");
+    std::printf("%-24s", name.c_str());
+    for (double deviation : {200.0, 400.0, 600.0, 800.0, 1000.0}) {
+      MethodSetup setup = DeviationSetup(deviation, cqc);
+      setup.enable_index = false;
+      auto method = MakeCompressor(name, bundle, setup);
+      method->Compress(bundle.data);
+      std::printf(" %9zu", method->NumCodewords());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace ppq::bench
+
+int main(int argc, char** argv) {
+  using namespace ppq::bench;
+  const BenchOptions options = ParseArgs(argc, argv);
+  RunDataset(MakePortoBundle(options));
+  RunDataset(MakeGeoLifeBundle(options));
+  return 0;
+}

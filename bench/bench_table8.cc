@@ -1,0 +1,55 @@
+/// \file bench_table8.cc
+/// Reproduces Table 8: TPI statistics against the ADR threshold eps_d —
+/// index size, build time, number of periods, number of Insertions.
+/// Higher eps_d lets one PI serve more timestamps before a Re-build.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+#include "index/temporal_index.h"
+
+namespace ppq::bench {
+namespace {
+
+void RunDataset(const DatasetBundle& bundle) {
+  std::printf("\n=== Table 8 (%s): TPI statistics vs eps_d (eps_c = 0.5) "
+              "===\n",
+              bundle.name.c_str());
+  std::printf("%6s %12s %10s %10s %12s\n", "eps_d", "Size(MB)", "Time(s)",
+              "Periods", "Insertions");
+
+  for (double eps_d : {0.2, 0.4, 0.6, 0.8}) {
+    index::TemporalPartitionIndex::Options options;
+    options.pi.epsilon_s = bundle.eps_s;
+    options.pi.cell_size = 100.0 / kMetersPerDegree;
+    options.epsilon_c = 0.5;
+    options.epsilon_d = eps_d;
+    index::TemporalPartitionIndex tpi(options);
+
+    WallTimer timer;
+    const Tick lo = bundle.data.MinTick();
+    const Tick hi = bundle.data.MaxTick();
+    for (Tick t = lo; t < hi; ++t) {
+      const TimeSlice slice = bundle.data.SliceAt(t);
+      if (!slice.empty()) tpi.Observe(slice);
+    }
+    tpi.Finalize();
+    const double seconds = timer.ElapsedSeconds();
+
+    std::printf("%6.1f %12.3f %10.2f %10zu %12zu\n", eps_d,
+                static_cast<double>(tpi.SizeBytes()) / (1024.0 * 1024.0),
+                seconds, tpi.stats().num_periods, tpi.stats().num_insertions);
+  }
+}
+
+}  // namespace
+}  // namespace ppq::bench
+
+int main(int argc, char** argv) {
+  using namespace ppq::bench;
+  const BenchOptions options = ParseArgs(argc, argv);
+  RunDataset(MakePortoBundle(options));
+  RunDataset(MakeGeoLifeBundle(options));
+  return 0;
+}

@@ -1,0 +1,74 @@
+/// \file quickstart.cpp
+/// Minimal end-to-end tour of the PPQ-trajectory public API:
+///   1. generate a Porto-like trajectory workload,
+///   2. compress it online with PPQ-A (autocorrelation partitions + CQC),
+///   3. inspect the summary (size breakdown, compression ratio, MAE),
+///   4. run a spatio-temporal range query (STRQ) and a path query (TPQ).
+///
+/// Build & run:
+///   cmake -B build -G Ninja && cmake --build build
+///   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/metrics.h"
+#include "core/ppq_trajectory.h"
+#include "core/query_engine.h"
+#include "datagen/generator.h"
+
+int main() {
+  using namespace ppq;
+
+  // 1. A small Porto-like workload: 300 taxi trips on a shared tick grid.
+  datagen::GeneratorOptions gen_options;
+  gen_options.num_trajectories = 300;
+  gen_options.horizon = 400;
+  gen_options.max_length = 200;
+  datagen::PortoLikeGenerator generator(gen_options);
+  const TrajectoryDataset dataset = generator.Generate();
+  std::printf("dataset: %zu trajectories, %zu points\n", dataset.size(),
+              dataset.TotalPoints());
+
+  // 2. Compress online with PPQ-A. Options follow the paper's defaults:
+  //    eps_1 = 0.001 deg (~111 m), gs = 50 m, gc = 100 m.
+  core::PpqOptions options = core::MakePpqA();
+  core::PpqTrajectory ppq(options);
+  ppq.Compress(dataset);  // streams tick by tick, then finalizes
+
+  // 3. Summary inspection.
+  const core::SummarySize size = ppq.summary().Size();
+  std::printf("summary: %zu codewords, %zu bytes total\n", ppq.NumCodewords(),
+              size.Total());
+  std::printf("  codebook=%zuB codes=%zuB coeffs=%zuB partitions=%zuB "
+              "cqc=%zuB meta=%zuB\n",
+              size.codebook_bytes, size.code_index_bytes,
+              size.coefficient_bytes, size.partition_id_bytes, size.cqc_bytes,
+              size.metadata_bytes);
+  std::printf("compression ratio: %.2fx\n",
+              core::CompressionRatio(ppq, dataset));
+  std::printf("summary MAE: %.2f m (CQC bound %.2f m)\n",
+              core::SummaryMaeMeters(ppq, dataset),
+              ppq.LocalSearchRadius() * kMetersPerDegree);
+
+  // 4. Queries. Pick a location/time we know is populated.
+  const Trajectory& probe = dataset[0];
+  const core::QuerySpec query{probe.points[probe.size() / 2],
+                              probe.start_tick +
+                                  static_cast<Tick>(probe.size() / 2)};
+  core::QueryEngine engine(&ppq, &dataset, options.tpi.pi.cell_size);
+
+  const auto exact = engine.Strq(query, core::StrqMode::kExact);
+  std::printf("STRQ(%.5f, %.5f, t=%d): %zu trajectories (visited %zu "
+              "candidates)\n",
+              query.position.x, query.position.y, query.tick,
+              exact.ids.size(), exact.candidates_visited);
+
+  const auto tpq = engine.Tpq(query, /*length=*/10, core::StrqMode::kExact);
+  std::printf("TPQ: reconstructed %zu paths of up to 10 points\n",
+              tpq.paths.size());
+  if (!tpq.paths.empty() && !tpq.paths[0].empty()) {
+    std::printf("  first path head: (%.5f, %.5f)\n", tpq.paths[0][0].x,
+                tpq.paths[0][0].y);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+/// \file tuning_explorer.cpp
+/// Parameter-tuning companion (Section 3.2.1 discusses how eps_p should
+/// follow the data's spatial span / autocorrelation distribution): sweeps
+/// the partition threshold eps_p for both partition strategies and reports
+/// the resulting partition count q, summary MAE, compression ratio, and
+/// build time — the trade-off a deployment must balance.
+///
+/// Usage: tuning_explorer [num_trajectories] [horizon]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/metrics.h"
+#include "core/ppq_trajectory.h"
+#include "datagen/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace ppq;
+
+  datagen::GeneratorOptions gen_options;
+  gen_options.num_trajectories = argc > 1 ? std::atoi(argv[1]) : 400;
+  gen_options.horizon = argc > 2 ? std::atoi(argv[2]) : 300;
+  gen_options.max_length = 250;
+  const TrajectoryDataset dataset =
+      datagen::PortoLikeGenerator(gen_options).Generate();
+  std::printf("dataset: %zu trajectories, %zu points, ~%.0f active/tick\n\n",
+              dataset.size(), dataset.TotalPoints(),
+              static_cast<double>(dataset.TotalPoints()) /
+                  static_cast<double>(dataset.MaxTick() - dataset.MinTick()));
+
+  std::printf("%-12s %-8s %6s %6s %10s %8s %9s\n", "strategy", "eps_p",
+              "q_avg", "q_max", "MAE(m)", "ratio", "build(s)");
+
+  const std::vector<double> spatial_eps = {0.003, 0.01, 0.03, 0.1, 0.3};
+  const std::vector<double> autocorr_eps = {0.05, 0.1, 0.2, 0.4, 0.8};
+
+  for (const bool autocorr : {false, true}) {
+    const auto& sweep = autocorr ? autocorr_eps : spatial_eps;
+    for (double eps : sweep) {
+      core::PpqOptions options =
+          autocorr ? core::MakePpqA() : core::MakePpqS();
+      options.epsilon_p = eps;
+      options.enable_index = false;  // isolate the quantizer cost
+      core::PpqTrajectory method(options);
+      WallTimer timer;
+      method.Compress(dataset);
+      double q_sum = 0.0;
+      int q_max = 0;
+      for (const auto& s : method.tick_stats()) {
+        q_sum += s.partitions;
+        q_max = std::max(q_max, s.partitions);
+      }
+      const double q_avg =
+          method.tick_stats().empty()
+              ? 0.0
+              : q_sum / static_cast<double>(method.tick_stats().size());
+      std::printf("%-12s %-8g %6.1f %6d %10.2f %8.2f %9.2f\n",
+                  autocorr ? "autocorr" : "spatial", eps, q_avg, q_max,
+                  core::SummaryMaeMeters(method, dataset),
+                  core::CompressionRatio(method, dataset),
+                  timer.ElapsedSeconds());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/options.h"
+#include "index/temporal_index.h"
+
+/// \file baseline_options.h
+/// Shared configuration for the comparison methods of Section 6.1. Every
+/// baseline is extended with the PPQ indexing approach (a TPI over its
+/// reconstructed points), mirroring the paper's fairness setup.
+
+namespace ppq::baselines {
+
+/// \brief Common knobs across Product/Residual Quantization and TrajStore.
+struct BaselineOptions {
+  /// Deviation bound eps_1 in error-bounded mode (degrees).
+  double epsilon1 = 0.001;
+  core::QuantizationMode mode = core::QuantizationMode::kErrorBounded;
+  /// Total bits per point in kFixedPerTick mode.
+  int fixed_bits = 8;
+  bool enable_index = true;
+  index::TemporalPartitionIndex::Options tpi;
+  uint64_t seed = 42;
+
+  BaselineOptions() {
+    tpi.pi.epsilon_s = 0.1;
+    tpi.pi.cell_size = 100.0 / 111320.0;  // gc = 100 m
+  }
+};
+
+}  // namespace ppq::baselines

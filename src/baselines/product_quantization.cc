@@ -1,0 +1,137 @@
+#include "baselines/product_quantization.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quantizer/kmeans.h"
+
+namespace ppq::baselines {
+namespace {
+
+index::TemporalPartitionIndex::Options TpiOptions(
+    const BaselineOptions& options) {
+  auto o = options.tpi;
+  o.seed = options.seed + 3;
+  return o;
+}
+
+/// 1-D k-means returning sorted centroids plus per-value assignments.
+std::vector<double> ScalarKMeans(const std::vector<double>& values, int k,
+                                 Rng* rng, std::vector<int>* assignments) {
+  quantizer::KMeansOptions kmeans_options;
+  kmeans_options.max_iterations = 10;
+  const auto result = quantizer::RunKMeans(
+      values, static_cast<int>(values.size()), /*dim=*/1, k, kmeans_options,
+      *rng);
+  *assignments = result.assignments;
+  return result.centroids;
+}
+
+}  // namespace
+
+ProductQuantization::ProductQuantization(BaselineOptions options)
+    : options_(options),
+      rng_(options.seed),
+      qx_(options.epsilon1 / std::sqrt(2.0)),
+      qy_(options.epsilon1 / std::sqrt(2.0)),
+      tpi_(TpiOptions(options)) {}
+
+void ProductQuantization::ObserveSlice(const TimeSlice& slice) {
+  const size_t n = slice.size();
+  total_points_ += n;
+  std::vector<int> ix(n);
+  std::vector<int> iy(n);
+
+  if (options_.mode == core::QuantizationMode::kErrorBounded) {
+    std::vector<double> xs(n);
+    std::vector<double> ys(n);
+    for (size_t i = 0; i < n; ++i) {
+      xs[i] = slice.positions[i].x;
+      ys[i] = slice.positions[i].y;
+    }
+    ix = qx_.QuantizeBatch(xs);
+    iy = qy_.QuantizeBatch(ys);
+  } else {
+    // Fixed mode: per-tick sub-codebooks with half the bit budget each.
+    const int sub_bits = std::max(1, options_.fixed_bits / 2);
+    const int v = std::min<int>(1 << sub_bits, static_cast<int>(n));
+    std::vector<double> xs(n);
+    std::vector<double> ys(n);
+    for (size_t i = 0; i < n; ++i) {
+      xs[i] = slice.positions[i].x;
+      ys[i] = slice.positions[i].y;
+    }
+    TickCodebooks books;
+    books.x = ScalarKMeans(xs, v, &rng_, &ix);
+    books.y = ScalarKMeans(ys, v, &rng_, &iy);
+    tick_codebooks_[slice.tick] = std::move(books);
+  }
+
+  TimeSlice recon_slice;
+  recon_slice.tick = slice.tick;
+  recon_slice.ids = slice.ids;
+  recon_slice.positions.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    Record& record = records_[slice.ids[i]];
+    if (record.codes.empty()) record.start_tick = slice.tick;
+    const Code code{ix[i], iy[i]};
+    record.codes.push_back(code);
+    recon_slice.positions[i] = Decode(slice.tick, code);
+    max_deviation_ = std::max(
+        max_deviation_, recon_slice.positions[i].DistanceTo(slice.positions[i]));
+  }
+  if (options_.enable_index) tpi_.Observe(recon_slice);
+}
+
+Point ProductQuantization::Decode(Tick t, const Code& code) const {
+  if (options_.mode == core::QuantizationMode::kErrorBounded) {
+    return {qx_.Value(code.x), qy_.Value(code.y)};
+  }
+  const auto it = tick_codebooks_.find(t);
+  if (it == tick_codebooks_.end()) return {0.0, 0.0};
+  return {it->second.x[static_cast<size_t>(code.x)],
+          it->second.y[static_cast<size_t>(code.y)]};
+}
+
+void ProductQuantization::Finish() {
+  if (options_.enable_index) tpi_.Finalize();
+}
+
+Result<Point> ProductQuantization::Reconstruct(TrajId id, Tick t) const {
+  const auto it = records_.find(id);
+  if (it == records_.end()) return Status::NotFound("unknown trajectory id");
+  const Record& record = it->second;
+  const Tick offset = t - record.start_tick;
+  if (offset < 0 || static_cast<size_t>(offset) >= record.codes.size()) {
+    return Status::OutOfRange("trajectory has no sample at requested tick");
+  }
+  return Decode(t, record.codes[static_cast<size_t>(offset)]);
+}
+
+size_t ProductQuantization::SummaryBytes() const {
+  size_t codebook_bytes = NumCodewords() * sizeof(double);
+  size_t index_bits = 0;
+  if (options_.mode == core::QuantizationMode::kErrorBounded) {
+    index_bits = total_points_ *
+                 static_cast<size_t>(qx_.BitsPerIndex() + qy_.BitsPerIndex());
+  } else {
+    index_bits =
+        total_points_ * 2 * static_cast<size_t>(std::max(1, options_.fixed_bits / 2));
+  }
+  const size_t metadata =
+      records_.size() * (sizeof(TrajId) + 2 * sizeof(Tick));
+  return codebook_bytes + (index_bits + 7) / 8 + metadata;
+}
+
+size_t ProductQuantization::NumCodewords() const {
+  if (options_.mode == core::QuantizationMode::kErrorBounded) {
+    return qx_.size() + qy_.size();
+  }
+  size_t total = 0;
+  for (const auto& [tick, books] : tick_codebooks_) {
+    total += books.x.size() + books.y.size();
+  }
+  return total;
+}
+
+}  // namespace ppq::baselines

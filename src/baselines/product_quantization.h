@@ -1,0 +1,72 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "baselines/baseline_options.h"
+#include "baselines/scalar_quantizer.h"
+#include "common/random.h"
+#include "core/compressor.h"
+
+/// \file product_quantization.h
+/// The product-quantization baseline [19]: the 2-D position space is the
+/// Cartesian product of two scalar subspaces (x and y), each with its own
+/// sub-codebook; a point's code is the pair of sub-indices. In
+/// error-bounded mode each scalar quantizer is bounded by eps_1/sqrt(2) so
+/// the combined deviation stays within eps_1; in fixed mode each
+/// sub-codebook gets half the per-point bit budget, trained per tick.
+/// Positions are quantized directly (no prediction), which is why its MAE
+/// explodes on wide-area datasets like GeoLife (Table 2).
+
+namespace ppq::baselines {
+
+/// \brief Online product quantizer with the shared TPI index extension.
+class ProductQuantization : public core::Compressor {
+ public:
+  explicit ProductQuantization(BaselineOptions options);
+
+  std::string name() const override { return "Product Quantization"; }
+  void ObserveSlice(const TimeSlice& slice) override;
+  void Finish() override;
+  Result<Point> Reconstruct(TrajId id, Tick t) const override;
+  size_t SummaryBytes() const override;
+  size_t NumCodewords() const override;
+  const index::TemporalPartitionIndex* index() const override {
+    return options_.enable_index ? &tpi_ : nullptr;
+  }
+  double LocalSearchRadius() const override {
+    return options_.mode == core::QuantizationMode::kErrorBounded
+               ? options_.epsilon1
+               : max_deviation_;
+  }
+
+ private:
+  struct Code {
+    int32_t x = -1;
+    int32_t y = -1;
+  };
+  struct Record {
+    Tick start_tick = 0;
+    std::vector<Code> codes;
+  };
+  /// Per-tick scalar codebooks (fixed mode).
+  struct TickCodebooks {
+    std::vector<double> x;
+    std::vector<double> y;
+  };
+
+  Point Decode(Tick t, const Code& code) const;
+
+  BaselineOptions options_;
+  Rng rng_;
+  ScalarQuantizer qx_;
+  ScalarQuantizer qy_;
+  std::map<Tick, TickCodebooks> tick_codebooks_;
+  std::map<TrajId, Record> records_;
+  index::TemporalPartitionIndex tpi_;
+  size_t total_points_ = 0;
+  /// Largest observed |reconstruction - raw| (fixed mode's search radius).
+  double max_deviation_ = 0.0;
+};
+
+}  // namespace ppq::baselines

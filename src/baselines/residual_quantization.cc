@@ -1,0 +1,147 @@
+#include "baselines/residual_quantization.h"
+
+#include <algorithm>
+
+#include "quantizer/kmeans.h"
+
+namespace ppq::baselines {
+namespace {
+
+index::TemporalPartitionIndex::Options TpiOptions(
+    const BaselineOptions& options) {
+  auto o = options.tpi;
+  o.seed = options.seed + 3;
+  return o;
+}
+
+quantizer::IncrementalQuantizer::Options StageOptions(double epsilon,
+                                                      uint64_t seed) {
+  quantizer::IncrementalQuantizer::Options o;
+  o.epsilon = epsilon;
+  o.seed = seed;
+  return o;
+}
+
+}  // namespace
+
+ResidualQuantization::ResidualQuantization(Options options)
+    : options_(options),
+      rng_(options.seed),
+      coarse_quantizer_(StageOptions(options.epsilon1 * options.coarse_factor,
+                                     options.seed + 1)),
+      fine_quantizer_(StageOptions(options.epsilon1, options.seed + 2)),
+      tpi_(TpiOptions(options)) {}
+
+void ResidualQuantization::ObserveSlice(const TimeSlice& slice) {
+  const size_t n = slice.size();
+  total_points_ += n;
+  std::vector<quantizer::CodewordIndex> coarse_codes;
+  std::vector<quantizer::CodewordIndex> fine_codes;
+  const quantizer::Codebook* coarse = nullptr;
+  const quantizer::Codebook* fine = nullptr;
+
+  if (options_.mode == core::QuantizationMode::kErrorBounded) {
+    coarse_codes = coarse_quantizer_.QuantizeBatch(slice.positions,
+                                                   &coarse_codebook_);
+    std::vector<Point> residuals(n);
+    for (size_t i = 0; i < n; ++i) {
+      residuals[i] = slice.positions[i] - coarse_codebook_[coarse_codes[i]];
+    }
+    fine_codes = fine_quantizer_.QuantizeBatch(residuals, &fine_codebook_);
+    coarse = &coarse_codebook_;
+    fine = &fine_codebook_;
+  } else {
+    const int sub_bits = std::max(1, options_.fixed_bits / 2);
+    const int v = std::min<int>(1 << sub_bits, static_cast<int>(n));
+    quantizer::KMeansOptions kmeans_options;
+    kmeans_options.max_iterations = 10;
+
+    TickCodebooks books;
+    const auto stage1 = quantizer::RunKMeans(
+        quantizer::FlattenPoints(slice.positions), static_cast<int>(n),
+        /*dim=*/2, v, kmeans_options, rng_);
+    for (int c = 0; c < stage1.k; ++c) books.coarse.Add(stage1.CentroidPoint(c));
+    coarse_codes.assign(stage1.assignments.begin(), stage1.assignments.end());
+
+    std::vector<Point> residuals(n);
+    for (size_t i = 0; i < n; ++i) {
+      residuals[i] =
+          slice.positions[i] - books.coarse[coarse_codes[i]];
+    }
+    const auto stage2 = quantizer::RunKMeans(
+        quantizer::FlattenPoints(residuals), static_cast<int>(n), /*dim=*/2, v,
+        kmeans_options, rng_);
+    for (int c = 0; c < stage2.k; ++c) books.fine.Add(stage2.CentroidPoint(c));
+    fine_codes.assign(stage2.assignments.begin(), stage2.assignments.end());
+
+    auto [it, inserted] = tick_codebooks_.emplace(slice.tick, std::move(books));
+    coarse = &it->second.coarse;
+    fine = &it->second.fine;
+  }
+
+  TimeSlice recon_slice;
+  recon_slice.tick = slice.tick;
+  recon_slice.ids = slice.ids;
+  recon_slice.positions.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    Record& record = records_[slice.ids[i]];
+    if (record.codes.empty()) record.start_tick = slice.tick;
+    record.codes.push_back(Code{coarse_codes[i], fine_codes[i]});
+    recon_slice.positions[i] =
+        (*coarse)[coarse_codes[i]] + (*fine)[fine_codes[i]];
+    max_deviation_ = std::max(
+        max_deviation_, recon_slice.positions[i].DistanceTo(slice.positions[i]));
+  }
+  if (options_.enable_index) tpi_.Observe(recon_slice);
+}
+
+Point ResidualQuantization::Decode(Tick t, const Code& code) const {
+  if (options_.mode == core::QuantizationMode::kErrorBounded) {
+    return coarse_codebook_[code.coarse] + fine_codebook_[code.fine];
+  }
+  const auto it = tick_codebooks_.find(t);
+  if (it == tick_codebooks_.end()) return {0.0, 0.0};
+  return it->second.coarse[code.coarse] + it->second.fine[code.fine];
+}
+
+void ResidualQuantization::Finish() {
+  if (options_.enable_index) tpi_.Finalize();
+}
+
+Result<Point> ResidualQuantization::Reconstruct(TrajId id, Tick t) const {
+  const auto it = records_.find(id);
+  if (it == records_.end()) return Status::NotFound("unknown trajectory id");
+  const Record& record = it->second;
+  const Tick offset = t - record.start_tick;
+  if (offset < 0 || static_cast<size_t>(offset) >= record.codes.size()) {
+    return Status::OutOfRange("trajectory has no sample at requested tick");
+  }
+  return Decode(t, record.codes[static_cast<size_t>(offset)]);
+}
+
+size_t ResidualQuantization::SummaryBytes() const {
+  const size_t codebook_bytes = NumCodewords() * 2 * sizeof(double);
+  size_t bits_per_point = 0;
+  if (options_.mode == core::QuantizationMode::kErrorBounded) {
+    bits_per_point = static_cast<size_t>(coarse_codebook_.BitsPerIndex() +
+                                         fine_codebook_.BitsPerIndex());
+  } else {
+    bits_per_point = 2 * static_cast<size_t>(std::max(1, options_.fixed_bits / 2));
+  }
+  const size_t metadata =
+      records_.size() * (sizeof(TrajId) + 2 * sizeof(Tick));
+  return codebook_bytes + (total_points_ * bits_per_point + 7) / 8 + metadata;
+}
+
+size_t ResidualQuantization::NumCodewords() const {
+  if (options_.mode == core::QuantizationMode::kErrorBounded) {
+    return coarse_codebook_.size() + fine_codebook_.size();
+  }
+  size_t total = 0;
+  for (const auto& [tick, books] : tick_codebooks_) {
+    total += books.coarse.size() + books.fine.size();
+  }
+  return total;
+}
+
+}  // namespace ppq::baselines

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "baselines/baseline_options.h"
+#include "common/random.h"
+#include "core/compressor.h"
+#include "quantizer/codebook.h"
+#include "quantizer/incremental_quantizer.h"
+
+/// \file residual_quantization.h
+/// The residual-quantization baseline [8]: a point is quantized in stages —
+/// a coarse codebook approximates the position, then a fine codebook
+/// quantizes the residual; the reconstruction is the sum of the selected
+/// codewords. In error-bounded mode the coarse stage uses a widened bound
+/// (coarse_factor * eps_1) and the fine stage enforces eps_1, both growing
+/// online; in fixed mode each stage gets half the per-point bit budget,
+/// trained per tick. Like PQ it quantizes raw positions without
+/// prediction.
+
+namespace ppq::baselines {
+
+/// \brief Two-stage online residual quantizer with the TPI extension.
+class ResidualQuantization : public core::Compressor {
+ public:
+  struct Options : BaselineOptions {
+    /// Coarse-stage bound multiplier.
+    double coarse_factor = 16.0;
+  };
+
+  explicit ResidualQuantization(Options options);
+
+  std::string name() const override { return "Residual Quantization"; }
+  void ObserveSlice(const TimeSlice& slice) override;
+  void Finish() override;
+  Result<Point> Reconstruct(TrajId id, Tick t) const override;
+  size_t SummaryBytes() const override;
+  size_t NumCodewords() const override;
+  const index::TemporalPartitionIndex* index() const override {
+    return options_.enable_index ? &tpi_ : nullptr;
+  }
+  double LocalSearchRadius() const override {
+    return options_.mode == core::QuantizationMode::kErrorBounded
+               ? options_.epsilon1
+               : max_deviation_;
+  }
+
+ private:
+  struct Code {
+    int32_t coarse = -1;
+    int32_t fine = -1;
+  };
+  struct Record {
+    Tick start_tick = 0;
+    std::vector<Code> codes;
+  };
+  struct TickCodebooks {
+    quantizer::Codebook coarse;
+    quantizer::Codebook fine;
+  };
+
+  Point Decode(Tick t, const Code& code) const;
+
+  Options options_;
+  Rng rng_;
+  quantizer::Codebook coarse_codebook_;
+  quantizer::Codebook fine_codebook_;
+  quantizer::IncrementalQuantizer coarse_quantizer_;
+  quantizer::IncrementalQuantizer fine_quantizer_;
+  std::map<Tick, TickCodebooks> tick_codebooks_;
+  std::map<TrajId, Record> records_;
+  index::TemporalPartitionIndex tpi_;
+  size_t total_points_ = 0;
+  /// Largest observed |reconstruction - raw| (fixed mode's search radius).
+  double max_deviation_ = 0.0;
+};
+
+}  // namespace ppq::baselines

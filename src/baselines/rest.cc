@@ -1,0 +1,172 @@
+#include "baselines/rest.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ppq::baselines {
+
+Rest::Rest(TrajectoryDataset reference, Options options)
+    : options_(options), reference_(std::move(reference)) {
+  // Index every reference point on a fine fixed-resolution grid; match
+  // candidates are gathered by scanning grid rings outward from the
+  // target position up to the deviation radius.
+  for (const Trajectory& traj : reference_.trajectories()) {
+    for (size_t i = 0; i < traj.points.size(); ++i) {
+      grid_[GridKey(traj.points[i])].push_back(
+          {traj.id, static_cast<int32_t>(i)});
+    }
+  }
+}
+
+int64_t Rest::GridKey(const Point& p) const {
+  const int64_t cx =
+      static_cast<int64_t>(std::floor(p.x / options_.index_cell));
+  const int64_t cy =
+      static_cast<int64_t>(std::floor(p.y / options_.index_cell));
+  return (cx << 32) ^ (cy & 0xffffffffLL);
+}
+
+void Rest::ObserveSlice(const TimeSlice& slice) {
+  for (size_t i = 0; i < slice.size(); ++i) {
+    auto& [start, points] = buffer_[slice.ids[i]];
+    if (points.empty()) start = slice.tick;
+    points.push_back(slice.positions[i]);
+  }
+}
+
+void Rest::CompressTrajectory(TrajId id, Tick start_tick,
+                              const std::vector<Point>& points) {
+  Record record;
+  record.start_tick = start_tick;
+  record.total_points = points.size();
+
+  const int64_t ring_max = static_cast<int64_t>(
+      std::ceil(options_.deviation / options_.index_cell));
+
+  size_t i = 0;
+  while (i < points.size()) {
+    // Candidate reference positions near points[i], scanned ring by ring
+    // outward so the candidate cap keeps the closest starts.
+    size_t examined = 0;
+    int32_t best_ref = -1;
+    int32_t best_offset = 0;
+    int32_t best_length = 0;
+    const int64_t base_cx =
+        static_cast<int64_t>(std::floor(points[i].x / options_.index_cell));
+    const int64_t base_cy =
+        static_cast<int64_t>(std::floor(points[i].y / options_.index_cell));
+
+    const auto try_candidates = [&](int64_t cx, int64_t cy) {
+      const auto it = grid_.find((cx << 32) ^ (cy & 0xffffffffLL));
+      if (it == grid_.end()) return;
+      for (const auto& [ref_id, offset] : it->second) {
+        if (examined >= options_.max_candidates) return;
+        ++examined;
+        const Trajectory& ref = reference_[static_cast<size_t>(ref_id)];
+        if (ref.points[static_cast<size_t>(offset)].DistanceTo(points[i]) >
+            options_.deviation) {
+          continue;
+        }
+        // Extend the match while within the deviation bound.
+        int32_t length = 0;
+        while (length < options_.max_match_length &&
+               i + static_cast<size_t>(length) < points.size() &&
+               static_cast<size_t>(offset + length) < ref.points.size()) {
+          const Point& target = points[i + static_cast<size_t>(length)];
+          const Point& candidate =
+              ref.points[static_cast<size_t>(offset + length)];
+          if (target.DistanceTo(candidate) > options_.deviation) break;
+          ++length;
+        }
+        if (length > best_length) {
+          best_length = length;
+          best_ref = ref_id;
+          best_offset = offset;
+        }
+      }
+    };
+
+    for (int64_t ring = 0;
+         ring <= ring_max && examined < options_.max_candidates; ++ring) {
+      if (ring == 0) {
+        try_candidates(base_cx, base_cy);
+        continue;
+      }
+      for (int64_t d = -ring; d <= ring; ++d) {
+        try_candidates(base_cx + d, base_cy - ring);
+        try_candidates(base_cx + d, base_cy + ring);
+        if (d != -ring && d != ring) {
+          try_candidates(base_cx - ring, base_cy + d);
+          try_candidates(base_cx + ring, base_cy + d);
+        }
+      }
+    }
+
+    if (best_length >= options_.min_match_length) {
+      Segment segment;
+      segment.is_match = true;
+      segment.ref_id = best_ref;
+      segment.ref_offset = best_offset;
+      segment.length = best_length;
+      record.segments.push_back(segment);
+      matched_points_ += static_cast<size_t>(best_length);
+      i += static_cast<size_t>(best_length);
+    } else {
+      Segment segment;
+      segment.is_match = false;
+      segment.length = 1;
+      segment.raw = points[i];
+      record.segments.push_back(segment);
+      ++i;
+    }
+  }
+  records_[id] = std::move(record);
+}
+
+void Rest::Finish() {
+  for (const auto& [id, buffered] : buffer_) {
+    total_points_ += buffered.second.size();
+    CompressTrajectory(id, buffered.first, buffered.second);
+  }
+  buffer_.clear();
+}
+
+Result<Point> Rest::Reconstruct(TrajId id, Tick t) const {
+  const auto it = records_.find(id);
+  if (it == records_.end()) return Status::NotFound("unknown trajectory id");
+  const Record& record = it->second;
+  Tick offset = t - record.start_tick;
+  if (offset < 0 || static_cast<size_t>(offset) >= record.total_points) {
+    return Status::OutOfRange("trajectory has no sample at requested tick");
+  }
+  for (const Segment& segment : record.segments) {
+    if (offset < segment.length) {
+      if (!segment.is_match) return segment.raw;
+      const Trajectory& ref = reference_[static_cast<size_t>(segment.ref_id)];
+      return ref.points[static_cast<size_t>(segment.ref_offset + offset)];
+    }
+    offset -= segment.length;
+  }
+  return Status::Internal("segment table inconsistent");
+}
+
+size_t Rest::SummaryBytes() const {
+  size_t total = 0;
+  for (const auto& [id, record] : records_) {
+    total += sizeof(TrajId) + 2 * sizeof(Tick);  // header
+    for (const Segment& segment : record.segments) {
+      // Match: ref id (4) + offset (4) + length (2). Raw: 2 float64.
+      total += segment.is_match ? 10 : 2 * sizeof(double);
+    }
+  }
+  return total;
+}
+
+double Rest::MatchCoverage() const {
+  return total_points_ == 0
+             ? 0.0
+             : static_cast<double>(matched_points_) /
+                   static_cast<double>(total_points_);
+}
+
+}  // namespace ppq::baselines

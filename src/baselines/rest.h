@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "core/compressor.h"
+
+/// \file rest.h
+/// The REST baseline [44]: reference-based spatio-temporal trajectory
+/// compression. An offline reference set of trajectories is indexed; each
+/// target trajectory is encoded as a sequence of segments, where a segment
+/// is either a match — (reference id, offset, length), meaning `length`
+/// consecutive points follow the reference within the deviation bound — or
+/// a verbatim raw point when no sufficiently long match exists. Compression
+/// quality therefore depends on how well the reference set covers the
+/// data, which is the weakness the paper demonstrates on non-repetitive
+/// data (Section 6.4, Figure 9c).
+///
+/// Following the paper's setup, only the sub-Porto experiment uses REST,
+/// and the (offline, shared) reference set is not charged to the summary.
+
+namespace ppq::baselines {
+
+/// \brief Reference-based compressor.
+class Rest : public core::Compressor {
+ public:
+  struct Options {
+    /// Per-point matching deviation bound (degrees). The benchmark sweeps
+    /// this as the "spatial deviation".
+    double deviation = 0.001;
+    /// Minimum run length for a match segment to pay off.
+    int min_match_length = 4;
+    /// Cap on candidate reference positions examined per start point.
+    /// Candidates are scanned outward from the target position, so the
+    /// cap prefers nearby (better) match starts.
+    size_t max_candidates = 128;
+    /// Resolution of the reference-point index (degrees); independent of
+    /// the deviation so large deviations do not degrade candidate
+    /// selection. Default ~100 m.
+    double index_cell = 100.0 / 111320.0;
+    /// Length of the sub-trajectories forming the reference set. REST
+    /// matches against reference *sub-trajectories*, so one match segment
+    /// never exceeds this many points.
+    int max_match_length = 16;
+  };
+
+  /// \param reference the reference trajectory set (kept by value; REST is
+  ///        an offline method and owns its reference data).
+  Rest(TrajectoryDataset reference, Options options);
+
+  std::string name() const override { return "REST"; }
+  /// Buffers points; compression happens in Finish() (offline method).
+  void ObserveSlice(const TimeSlice& slice) override;
+  void Finish() override;
+  Result<Point> Reconstruct(TrajId id, Tick t) const override;
+  size_t SummaryBytes() const override;
+  size_t NumCodewords() const override { return 0; }
+  double LocalSearchRadius() const override { return options_.deviation; }
+
+  /// Fraction of points covered by reference matches (observability).
+  double MatchCoverage() const;
+
+ private:
+  struct Segment {
+    bool is_match = false;
+    // Match segments:
+    int32_t ref_id = -1;
+    int32_t ref_offset = 0;
+    int32_t length = 0;
+    // Verbatim segment:
+    Point raw;
+  };
+  struct Record {
+    Tick start_tick = 0;
+    std::vector<Segment> segments;
+    size_t total_points = 0;
+  };
+
+  int64_t GridKey(const Point& p) const;
+  void CompressTrajectory(TrajId id, Tick start_tick,
+                          const std::vector<Point>& points);
+
+  Options options_;
+  TrajectoryDataset reference_;
+  /// grid cell -> (reference trajectory, offset) of every reference point.
+  std::unordered_map<int64_t, std::vector<std::pair<int32_t, int32_t>>> grid_;
+  /// Buffered target points, per trajectory, gathered from slices.
+  std::map<TrajId, std::pair<Tick, std::vector<Point>>> buffer_;
+  std::map<TrajId, Record> records_;
+  size_t matched_points_ = 0;
+  size_t total_points_ = 0;
+};
+
+}  // namespace ppq::baselines

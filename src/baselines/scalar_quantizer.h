@@ -1,0 +1,116 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+/// \file scalar_quantizer.h
+/// One-dimensional error-bounded quantizer used by the product-quantization
+/// baseline: each coordinate is quantized against a centroid list; values
+/// that no centroid covers within the bound are covered greedily with new
+/// centroids (optimal interval covering in 1-D). Centroid indices are
+/// stable across growth (insertion order), so previously stored codes stay
+/// valid.
+
+namespace ppq::baselines {
+
+/// \brief Scalar quantizer with online growth and stable indices.
+class ScalarQuantizer {
+ public:
+  explicit ScalarQuantizer(double epsilon) : epsilon_(epsilon) {}
+
+  size_t size() const { return centroids_.size(); }
+  const std::vector<double>& centroids() const { return centroids_; }
+  double epsilon() const { return epsilon_; }
+
+  /// Nearest centroid index (stable id), or -1 when empty.
+  int Nearest(double v) const {
+    if (sorted_.empty()) return -1;
+    const auto it = std::lower_bound(
+        sorted_.begin(), sorted_.end(), std::make_pair(v, -1));
+    int best = -1;
+    double best_dist = std::numeric_limits<double>::infinity();
+    if (it != sorted_.end()) {
+      best = it->second;
+      best_dist = std::fabs(it->first - v);
+    }
+    if (it != sorted_.begin()) {
+      const auto prev = it - 1;
+      if (std::fabs(prev->first - v) < best_dist) best = prev->second;
+    }
+    return best;
+  }
+
+  double Value(int index) const {
+    return centroids_[static_cast<size_t>(index)];
+  }
+
+  /// Quantize a batch; values outside every centroid's bound trigger a
+  /// greedy 1-D covering pass that appends new centroids. Returns one
+  /// centroid index per value.
+  std::vector<int> QuantizeBatch(const std::vector<double>& values) {
+    std::vector<int> result(values.size(), -1);
+    std::vector<size_t> violators;
+    for (size_t i = 0; i < values.size(); ++i) {
+      const int idx = Nearest(values[i]);
+      if (idx >= 0 && std::fabs(Value(idx) - values[i]) <= epsilon_) {
+        result[i] = idx;
+      } else {
+        violators.push_back(i);
+      }
+    }
+    if (violators.empty()) return result;
+
+    // Greedy interval cover of the violating values.
+    std::vector<double> pending;
+    pending.reserve(violators.size());
+    for (size_t i : violators) pending.push_back(values[i]);
+    std::sort(pending.begin(), pending.end());
+    size_t cursor = 0;
+    while (cursor < pending.size()) {
+      // One centroid covers [v, v + 2 eps]; place it at v + eps.
+      const double start = pending[cursor];
+      Add(start + epsilon_);
+      while (cursor < pending.size() &&
+             pending[cursor] <= start + 2 * epsilon_) {
+        ++cursor;
+      }
+    }
+    for (size_t i : violators) {
+      result[i] = Nearest(values[i]);
+    }
+    return result;
+  }
+
+  /// Append a centroid with a stable index.
+  int Add(double value) {
+    const int index = static_cast<int>(centroids_.size());
+    centroids_.push_back(value);
+    sorted_.insert(std::lower_bound(sorted_.begin(), sorted_.end(),
+                                    std::make_pair(value, index)),
+                   {value, index});
+    return index;
+  }
+
+  /// Bits per index: ceil(log2 size), minimum 1.
+  int BitsPerIndex() const {
+    if (centroids_.size() <= 1) return 1;
+    int bits = 0;
+    size_t v = centroids_.size() - 1;
+    while (v > 0) {
+      ++bits;
+      v >>= 1;
+    }
+    return bits;
+  }
+
+ private:
+  double epsilon_;
+  std::vector<double> centroids_;
+  /// (value, stable index), sorted by value.
+  std::vector<std::pair<double, int>> sorted_;
+};
+
+}  // namespace ppq::baselines

@@ -1,0 +1,374 @@
+#include "baselines/trajstore.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quantizer/grid_nearest.h"
+#include "quantizer/kmeans.h"
+#include "storage/disk_index.h"
+
+namespace ppq::baselines {
+namespace {
+
+index::TemporalPartitionIndex::Options TpiOptions(
+    const BaselineOptions& options) {
+  auto o = options.tpi;
+  o.seed = options.seed + 3;
+  return o;
+}
+
+/// Quadrant rectangles of a node: 0 SW, 1 SE, 2 NW, 3 NE.
+index::Rect QuadrantRect(const index::Rect& r, int quadrant) {
+  const double mx = (r.min_x + r.max_x) / 2.0;
+  const double my = (r.min_y + r.max_y) / 2.0;
+  switch (quadrant) {
+    case 0: return {r.min_x, r.min_y, mx, my};
+    case 1: return {mx, r.min_y, r.max_x, my};
+    case 2: return {r.min_x, my, mx, r.max_y};
+    default: return {mx, my, r.max_x, r.max_y};
+  }
+}
+
+int QuadrantOf(const index::Rect& r, const Point& p) {
+  const double mx = (r.min_x + r.max_x) / 2.0;
+  const double my = (r.min_y + r.max_y) / 2.0;
+  const bool east = p.x >= mx;
+  const bool north = p.y >= my;
+  return (north ? 2 : 0) + (east ? 1 : 0);
+}
+
+}  // namespace
+
+TrajStore::TrajStore(Options options)
+    : options_(options), rng_(options.seed), tpi_(TpiOptions(options)) {
+  Node root;
+  root.rect = options.region;
+  nodes_.push_back(std::move(root));
+}
+
+void TrajStore::ExpandRoot(const Point& p) {
+  // Double the root toward the point until it is covered; the old root
+  // becomes one quadrant of the new root.
+  while (!nodes_[0].rect.Contains(p)) {
+    const index::Rect old = nodes_[0].rect;
+    const bool east = p.x > old.max_x;
+    const bool north = p.y > old.max_y;
+    index::Rect grown;
+    grown.min_x = east ? old.min_x : old.min_x - old.width();
+    grown.max_x = east ? old.max_x + old.width() : old.max_x;
+    grown.min_y = north ? old.min_y : old.min_y - old.height();
+    grown.max_y = north ? old.max_y + old.height() : old.max_y;
+
+    Node new_root;
+    new_root.rect = grown;
+    new_root.is_leaf = false;
+    // Move the current tree one level down.
+    Node old_root = std::move(nodes_[0]);
+    nodes_[0] = std::move(new_root);
+    nodes_.push_back(std::move(old_root));
+    const int moved = static_cast<int>(nodes_.size()) - 1;
+    for (int q = 0; q < 4; ++q) {
+      if (QuadrantRect(grown, q).Contains(
+              Point{(old.min_x + old.max_x) / 2.0,
+                    (old.min_y + old.max_y) / 2.0})) {
+        nodes_[0].children[static_cast<size_t>(q)] = moved;
+      } else {
+        Node leaf;
+        leaf.rect = QuadrantRect(grown, q);
+        nodes_.push_back(std::move(leaf));
+        nodes_[0].children[static_cast<size_t>(q)] =
+            static_cast<int>(nodes_.size()) - 1;
+      }
+    }
+  }
+}
+
+int TrajStore::LeafFor(const Point& p) {
+  if (!nodes_[0].rect.Contains(p)) ExpandRoot(p);
+  int node = 0;
+  while (!nodes_[static_cast<size_t>(node)].is_leaf) {
+    const int q = QuadrantOf(nodes_[static_cast<size_t>(node)].rect, p);
+    node = nodes_[static_cast<size_t>(node)].children[static_cast<size_t>(q)];
+  }
+  return node;
+}
+
+int TrajStore::LeafForConst(const Point& p) const {
+  if (!nodes_[0].rect.Contains(p)) return -1;
+  int node = 0;
+  while (!nodes_[static_cast<size_t>(node)].is_leaf) {
+    const int q = QuadrantOf(nodes_[static_cast<size_t>(node)].rect, p);
+    node = nodes_[static_cast<size_t>(node)].children[static_cast<size_t>(q)];
+  }
+  return node;
+}
+
+void TrajStore::Split(int node_index) {
+  // Degenerate guard: do not split microscopic cells.
+  if (nodes_[static_cast<size_t>(node_index)].rect.width() < 1e-7) return;
+  std::vector<Entry> entries =
+      std::move(nodes_[static_cast<size_t>(node_index)].entries);
+  nodes_[static_cast<size_t>(node_index)].entries.clear();
+  nodes_[static_cast<size_t>(node_index)].is_leaf = false;
+  for (int q = 0; q < 4; ++q) {
+    Node child;
+    child.rect = QuadrantRect(nodes_[static_cast<size_t>(node_index)].rect, q);
+    nodes_.push_back(std::move(child));
+    nodes_[static_cast<size_t>(node_index)].children[static_cast<size_t>(q)] =
+        static_cast<int>(nodes_.size()) - 1;
+  }
+  for (Entry& e : entries) {
+    const int q = QuadrantOf(nodes_[static_cast<size_t>(node_index)].rect, e.pos);
+    const int child =
+        nodes_[static_cast<size_t>(node_index)].children[static_cast<size_t>(q)];
+    nodes_[static_cast<size_t>(child)].entries.push_back(std::move(e));
+  }
+  ++splits_;
+}
+
+void TrajStore::ObserveSlice(const TimeSlice& slice) {
+  total_points_ += slice.size();
+  tick_counts_[slice.tick] += slice.size();
+  for (size_t i = 0; i < slice.size(); ++i) {
+    Entry entry;
+    entry.id = slice.ids[i];
+    entry.tick = slice.tick;
+    entry.pos = slice.positions[i];
+    if (options_.pager != nullptr) {
+      entry.page =
+          options_.pager->AppendRecord(storage::kBytesPerStoredPoint);
+    }
+    const int leaf = LeafFor(entry.pos);
+    Node& node = nodes_[static_cast<size_t>(leaf)];
+    node.entries.push_back(std::move(entry));
+    if (node.entries.size() > options_.leaf_capacity) Split(leaf);
+  }
+}
+
+void TrajStore::MergePass(int node_index) {
+  Node& node = nodes_[static_cast<size_t>(node_index)];
+  if (node.is_leaf) return;
+  size_t total = 0;
+  bool all_leaves = true;
+  for (int child : node.children) {
+    MergePass(child);
+    const Node& c = nodes_[static_cast<size_t>(child)];
+    if (!c.is_leaf) all_leaves = false;
+    total += c.entries.size();
+  }
+  if (all_leaves &&
+      static_cast<double>(total) <
+          options_.merge_fill * static_cast<double>(options_.leaf_capacity)) {
+    for (int child : node.children) {
+      Node& c = nodes_[static_cast<size_t>(child)];
+      node.entries.insert(node.entries.end(),
+                          std::make_move_iterator(c.entries.begin()),
+                          std::make_move_iterator(c.entries.end()));
+      c.entries.clear();
+    }
+    node.is_leaf = true;
+    node.children = {-1, -1, -1, -1};
+    ++merges_;
+  }
+}
+
+void TrajStore::BuildLeafCodebooks() {
+  // Global budget for the fixed mode: the same per-tick codeword count the
+  // other methods received, distributed over cells in proportion to their
+  // point populations.
+  size_t budget = 0;
+  for (const auto& [tick, count] : tick_counts_) {
+    budget += std::min<size_t>(size_t{1} << options_.fixed_bits, count);
+  }
+
+  for (Node& node : nodes_) {
+    if (!node.is_leaf || node.entries.empty()) continue;
+    std::vector<Point> points;
+    points.reserve(node.entries.size());
+    for (const Entry& e : node.entries) points.push_back(e.pos);
+
+    std::vector<int> assignments;
+    if (options_.mode == core::QuantizationMode::kErrorBounded) {
+      // Leader-style covering with a bucket grid: the first point of each
+      // eps-ball becomes the ball's codeword. O(n) per cell, and the
+      // inflated codeword count reproduces the paper's Table 6 observation
+      // that TrajStore needs the largest codebooks.
+      quantizer::GridNearest grid(options_.epsilon1);
+      assignments.resize(points.size());
+      for (size_t i = 0; i < points.size(); ++i) {
+        auto [index, dist] = grid.NearestWithin(points[i], options_.epsilon1);
+        if (index < 0) {
+          index = node.codebook.Add(points[i]);
+          grid.Add(points[i], index);
+        }
+        assignments[i] = index;
+      }
+    } else {
+      const double share = static_cast<double>(node.entries.size()) /
+                           static_cast<double>(total_points_);
+      const int v = std::max<int>(
+          1, std::min<int>(static_cast<int>(points.size()),
+                           static_cast<int>(std::llround(
+                               share * static_cast<double>(budget)))));
+      quantizer::KMeansOptions kmeans_options;
+      kmeans_options.max_iterations = 10;
+      const auto kmeans = quantizer::RunKMeans(
+          quantizer::FlattenPoints(points), static_cast<int>(points.size()),
+          /*dim=*/2, v, kmeans_options, rng_);
+      for (int c = 0; c < kmeans.k; ++c) {
+        node.codebook.Add(kmeans.CentroidPoint(c));
+      }
+      assignments = kmeans.assignments;
+    }
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      node.entries[i].code = assignments[i];
+      max_deviation_ = std::max(
+          max_deviation_,
+          node.codebook[assignments[i]].DistanceTo(node.entries[i].pos));
+    }
+  }
+}
+
+void TrajStore::BuildReconstructionIndex() {
+  // Gather (id, tick) -> (leaf, code) from all leaves.
+  std::map<TrajId, std::vector<std::pair<Tick, std::pair<int32_t, int32_t>>>>
+      scattered;
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    const Node& node = nodes_[n];
+    if (!node.is_leaf) continue;
+    for (const Entry& e : node.entries) {
+      scattered[e.id].push_back(
+          {e.tick, {static_cast<int32_t>(n), e.code}});
+    }
+  }
+  for (auto& [id, samples] : scattered) {
+    std::sort(samples.begin(), samples.end());
+    Record record;
+    record.start_tick = samples.front().first;
+    record.leaf_and_code.reserve(samples.size());
+    for (const auto& [tick, lc] : samples) record.leaf_and_code.push_back(lc);
+    records_[id] = std::move(record);
+  }
+
+  if (!options_.enable_index) return;
+  // Index the reconstructed points tick by tick.
+  std::map<Tick, TimeSlice> slices;
+  for (const auto& [id, record] : records_) {
+    for (size_t i = 0; i < record.leaf_and_code.size(); ++i) {
+      const Tick t = record.start_tick + static_cast<Tick>(i);
+      const auto [leaf, code] = record.leaf_and_code[i];
+      TimeSlice& slice = slices[t];
+      slice.tick = t;
+      slice.ids.push_back(id);
+      slice.positions.push_back(
+          nodes_[static_cast<size_t>(leaf)].codebook[code]);
+    }
+  }
+  for (auto& [tick, slice] : slices) tpi_.Observe(slice);
+  tpi_.Finalize();
+}
+
+void TrajStore::EvictOlderThan(Tick cutoff) {
+  size_t evicted = 0;
+  for (Node& node : nodes_) {
+    if (!node.is_leaf) continue;
+    const size_t before = node.entries.size();
+    std::erase_if(node.entries,
+                  [cutoff](const Entry& e) { return e.tick < cutoff; });
+    evicted += before - node.entries.size();
+  }
+  if (evicted > 0) {
+    total_points_ -= evicted;
+    tick_counts_.erase(tick_counts_.begin(),
+                       tick_counts_.lower_bound(cutoff));
+    MergePass(0);
+  }
+}
+
+void TrajStore::Finish() {
+  if (finished_) return;
+  MergePass(0);
+  BuildLeafCodebooks();
+  BuildReconstructionIndex();
+  finished_ = true;
+}
+
+Result<Point> TrajStore::Reconstruct(TrajId id, Tick t) const {
+  const auto it = records_.find(id);
+  if (it == records_.end()) return Status::NotFound("unknown trajectory id");
+  const Record& record = it->second;
+  const Tick offset = t - record.start_tick;
+  if (offset < 0 ||
+      static_cast<size_t>(offset) >= record.leaf_and_code.size()) {
+    return Status::OutOfRange("trajectory has no sample at requested tick");
+  }
+  const auto [leaf, code] = record.leaf_and_code[static_cast<size_t>(offset)];
+  return nodes_[static_cast<size_t>(leaf)].codebook[code];
+}
+
+std::vector<TrajId> TrajStore::DiskQuery(const Point& p, Tick t) {
+  const int leaf = LeafForConst(p);
+  if (leaf < 0) return {};
+  const Node& node = nodes_[static_cast<size_t>(leaf)];
+  if (options_.pager != nullptr) {
+    // Fetch every distinct page this cell's entries live on — the cell
+    // mixes the full time range, which is what makes TrajStore expensive.
+    std::vector<storage::PageId> pages;
+    for (const Entry& e : node.entries) {
+      if (e.page >= 0) pages.push_back(e.page);
+    }
+    std::sort(pages.begin(), pages.end());
+    pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+    for (storage::PageId page : pages) (void)options_.pager->ReadPage(page);
+  }
+  std::vector<TrajId> ids;
+  for (const Entry& e : node.entries) {
+    if (e.tick == t) ids.push_back(e.id);
+  }
+  return ids;
+}
+
+size_t TrajStore::SummaryBytes() const {
+  // Node metadata: rect + child pointers.
+  size_t total = nodes_.size() * (sizeof(index::Rect) + 4 * sizeof(int));
+  for (const Node& node : nodes_) {
+    if (!node.is_leaf) continue;
+    total += node.codebook.SizeBytes();
+    // Per entry: the codeword index plus an amortised 6 bits for the
+    // delta+Huffman compressed (id, tick) membership lists.
+    const size_t bits =
+        node.entries.size() * (static_cast<size_t>(node.codebook.BitsPerIndex()) + 6);
+    total += (bits + 7) / 8;
+  }
+  return total;
+}
+
+size_t TrajStore::NumCodewords() const {
+  size_t total = 0;
+  for (const Node& node : nodes_) {
+    if (node.is_leaf) total += node.codebook.size();
+  }
+  return total;
+}
+
+TrajStore::Stats TrajStore::stats() const {
+  Stats s;
+  s.splits = splits_;
+  s.merges = merges_;
+  // Count leaves reachable from the root: merged-away children linger in
+  // the node arena but are no longer part of the tree.
+  std::vector<int> stack{0};
+  while (!stack.empty()) {
+    const int n = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[static_cast<size_t>(n)];
+    if (node.is_leaf) {
+      ++s.leaves;
+    } else {
+      for (int child : node.children) stack.push_back(child);
+    }
+  }
+  return s;
+}
+
+}  // namespace ppq::baselines

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <array>
+#include <map>
+#include <vector>
+
+#include "baselines/baseline_options.h"
+#include "common/random.h"
+#include "core/compressor.h"
+#include "index/rectangle.h"
+#include "quantizer/codebook.h"
+#include "storage/page_manager.h"
+
+/// \file trajstore.h
+/// The TrajStore baseline [10]: an adaptive quadtree spatial index whose
+/// leaf cells cluster co-located (sub-)trajectory points. Leaves split when
+/// they exceed their capacity and sibling groups merge back when they
+/// empty out; the summary is produced per cell *after* ingestion finishes
+/// ("the summary process of TrajStore cannot start until the spatial index
+/// has been updated with trajectory points of all the timestamps"), by
+/// clustering each cell's points into codewords — error-bounded in
+/// kErrorBounded mode, or proportional to the cell's point count under a
+/// global budget in kFixedPerTick mode (the paper's fairness rule).
+///
+/// When a storage::PageManager is attached, every inserted point is
+/// appended to the paged store in arrival order and each leaf remembers the
+/// pages its entries landed on; a disk query fetches all pages of the leaf
+/// containing the query point, reproducing the paper's observation that a
+/// TrajStore cell spans a large time range scattered across pages
+/// (Table 9's large I/O counts).
+
+namespace ppq::baselines {
+
+/// \brief Adaptive-quadtree trajectory store with per-cell quantization.
+class TrajStore : public core::Compressor {
+ public:
+  struct Options : BaselineOptions {
+    /// Root region; expanded automatically when points fall outside.
+    index::Rect region{-180.0, -90.0, 180.0, 90.0};
+    /// Leaf capacity before splitting.
+    size_t leaf_capacity = 2048;
+    /// Merge sibling leaves whose combined size is below
+    /// leaf_capacity * merge_fill at Finish().
+    double merge_fill = 0.4;
+    /// Optional paged store for the disk-resident experiment.
+    storage::PageManager* pager = nullptr;
+  };
+
+  explicit TrajStore(Options options);
+
+  std::string name() const override { return "TrajStore"; }
+  void ObserveSlice(const TimeSlice& slice) override;
+  void Finish() override;
+  Result<Point> Reconstruct(TrajId id, Tick t) const override;
+  size_t SummaryBytes() const override;
+  size_t NumCodewords() const override;
+  const index::TemporalPartitionIndex* index() const override {
+    return options_.enable_index && finished_ ? &tpi_ : nullptr;
+  }
+  double LocalSearchRadius() const override {
+    return options_.mode == core::QuantizationMode::kErrorBounded
+               ? options_.epsilon1
+               : max_deviation_;
+  }
+
+  /// Disk query: candidates at tick \p t in the leaf containing \p p,
+  /// charging one read per distinct page the leaf's entries occupy.
+  std::vector<TrajId> DiskQuery(const Point& p, Tick t);
+
+  /// Age out history: drop every entry with tick < \p cutoff, then merge
+  /// sibling leaves that fell under the merge_fill threshold ("aging
+  /// history data" is what drives TrajStore's merge operation; splits
+  /// alone preserve totals and never make a subtree underfull). Only
+  /// meaningful before Finish().
+  void EvictOlderThan(Tick cutoff);
+
+  /// Construction statistics.
+  struct Stats {
+    size_t splits = 0;
+    size_t merges = 0;
+    size_t leaves = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    TrajId id;
+    Tick tick;
+    Point pos;
+    storage::PageId page = -1;
+    int32_t code = -1;
+  };
+  struct Node {
+    index::Rect rect;
+    std::array<int, 4> children{-1, -1, -1, -1};
+    bool is_leaf = true;
+    std::vector<Entry> entries;       // leaf only
+    quantizer::Codebook codebook;     // leaf only, after Finish
+  };
+
+  int LeafFor(const Point& p);
+  int LeafForConst(const Point& p) const;
+  void Split(int node_index);
+  void ExpandRoot(const Point& p);
+  void MergePass(int node_index);
+  void BuildLeafCodebooks();
+  void BuildReconstructionIndex();
+
+  Options options_;
+  Rng rng_;
+  std::vector<Node> nodes_;
+  size_t total_points_ = 0;
+  std::map<Tick, size_t> tick_counts_;
+  bool finished_ = false;
+  size_t splits_ = 0;
+  size_t merges_ = 0;
+
+  /// Per-trajectory decode records built at Finish: (leaf, code) per tick.
+  struct Record {
+    Tick start_tick = 0;
+    std::vector<std::pair<int32_t, int32_t>> leaf_and_code;
+  };
+  std::map<TrajId, Record> records_;
+  index::TemporalPartitionIndex tpi_;
+  /// Largest observed |reconstruction - raw| (fixed mode's search radius).
+  double max_deviation_ = 0.0;
+};
+
+}  // namespace ppq::baselines

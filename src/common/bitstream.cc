@@ -1,0 +1,30 @@
+#include "common/bitstream.h"
+
+namespace ppq {
+
+void BitWriter::WriteBits(uint64_t value, int nbits) {
+  for (int i = nbits - 1; i >= 0; --i) {
+    const bool bit = (value >> i) & 1;
+    const size_t byte_index = bit_count_ / 8;
+    const int bit_index = 7 - static_cast<int>(bit_count_ % 8);
+    if (byte_index >= buffer_.size()) buffer_.push_back(0);
+    if (bit) buffer_[byte_index] |= static_cast<uint8_t>(1u << bit_index);
+    ++bit_count_;
+  }
+}
+
+Result<uint64_t> BitReader::ReadBits(int nbits) {
+  if (position_ + static_cast<size_t>(nbits) > bit_count_) {
+    return Status::OutOfRange("BitReader: read past end of stream");
+  }
+  uint64_t value = 0;
+  for (int i = 0; i < nbits; ++i) {
+    const size_t byte_index = position_ / 8;
+    const int bit_index = 7 - static_cast<int>(position_ % 8);
+    value = (value << 1) | ((data_[byte_index] >> bit_index) & 1);
+    ++position_;
+  }
+  return value;
+}
+
+}  // namespace ppq

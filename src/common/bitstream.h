@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file bitstream.h
+/// MSB-first bit streams used for CQC codes and Huffman-coded ID lists.
+/// Sizes are tracked in bits so summary-size accounting is exact.
+
+namespace ppq {
+
+/// \brief Append-only bit sink.
+class BitWriter {
+ public:
+  /// Append the low \p nbits bits of \p value, most significant bit first.
+  /// nbits must be in [0, 64].
+  void WriteBits(uint64_t value, int nbits);
+
+  /// Append a single bit.
+  void WriteBit(bool bit) { WriteBits(bit ? 1 : 0, 1); }
+
+  /// Number of bits written so far.
+  size_t BitCount() const { return bit_count_; }
+  /// Number of bytes needed to hold the stream (rounded up).
+  size_t ByteSize() const { return (bit_count_ + 7) / 8; }
+
+  /// The backing buffer; trailing padding bits of the last byte are zero.
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+
+  void Clear() {
+    buffer_.clear();
+    bit_count_ = 0;
+  }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  size_t bit_count_ = 0;
+};
+
+/// \brief Sequential reader over a bit stream produced by BitWriter.
+class BitReader {
+ public:
+  BitReader(const uint8_t* data, size_t bit_count)
+      : data_(data), bit_count_(bit_count) {}
+  explicit BitReader(const BitWriter& writer)
+      : BitReader(writer.buffer().data(), writer.BitCount()) {}
+
+  /// Read \p nbits (<= 64) MSB-first. Returns OutOfRange past the end.
+  Result<uint64_t> ReadBits(int nbits);
+
+  /// Read a single bit.
+  Result<bool> ReadBit() {
+    auto r = ReadBits(1);
+    if (!r.ok()) return r.status();
+    return *r != 0;
+  }
+
+  /// Bits remaining.
+  size_t Remaining() const { return bit_count_ - position_; }
+  size_t position() const { return position_; }
+
+ private:
+  const uint8_t* data_;
+  size_t bit_count_;
+  size_t position_ = 0;
+};
+
+}  // namespace ppq

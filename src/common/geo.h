@@ -1,0 +1,41 @@
+#pragma once
+
+#include "common/types.h"
+
+/// \file geo.h
+/// Conversions between geographic degrees and metres.
+///
+/// The paper quotes thresholds both in degrees (eps_1 = 0.001) and in metres
+/// (eps_1^M ~ 111 m), using the standard ~111.32 km/degree equivalence of the
+/// geographic coordinate system [6]. We follow that convention: distances in
+/// metres are degree-space Euclidean distances scaled by kMetersPerDegree.
+/// An equirectangular variant that corrects longitude by cos(latitude) is
+/// also provided for callers that want physically accurate distances.
+
+namespace ppq {
+
+/// Metres per degree of latitude (and, in the paper's uniform convention,
+/// per degree of longitude as well).
+constexpr double kMetersPerDegree = 111320.0;
+
+/// Degree-space Euclidean distance scaled to metres (paper convention).
+inline double DegreeDistanceMeters(const Point& a, const Point& b) {
+  return a.DistanceTo(b) * kMetersPerDegree;
+}
+
+/// Convert a metre threshold to the equivalent degree threshold.
+inline double MetersToDegrees(double meters) {
+  return meters / kMetersPerDegree;
+}
+
+/// Convert a degree threshold to metres.
+inline double DegreesToMeters(double degrees) {
+  return degrees * kMetersPerDegree;
+}
+
+/// Equirectangular-projection distance in metres; \p mean_lat_deg is the
+/// reference latitude used to shrink longitude degrees.
+double EquirectangularDistanceMeters(const Point& a, const Point& b,
+                                     double mean_lat_deg);
+
+}  // namespace ppq

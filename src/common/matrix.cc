@@ -1,0 +1,77 @@
+#include "common/matrix.h"
+
+#include <cmath>
+
+namespace ppq {
+
+Matrix Matrix::Gram() const {
+  Matrix g(cols_, cols_);
+  for (size_t i = 0; i < cols_; ++i) {
+    for (size_t j = i; j < cols_; ++j) {
+      double sum = 0.0;
+      for (size_t r = 0; r < rows_; ++r) sum += (*this)(r, i) * (*this)(r, j);
+      g(i, j) = sum;
+      g(j, i) = sum;
+    }
+  }
+  return g;
+}
+
+std::vector<double> Matrix::TransposeTimes(const std::vector<double>& v) const {
+  std::vector<double> out(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r)
+    for (size_t c = 0; c < cols_; ++c) out[c] += (*this)(r, c) * v[r];
+  return out;
+}
+
+Result<std::vector<double>> SolveLinearSystem(Matrix a, std::vector<double> b) {
+  const size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    return Status::Invalid("SolveLinearSystem: dimension mismatch");
+  }
+  // Forward elimination with partial pivoting.
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    double best = std::fabs(a(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a(r, col)) > best) {
+        best = std::fabs(a(r, col));
+        pivot = r;
+      }
+    }
+    if (best < 1e-14) {
+      return Status::Invalid("SolveLinearSystem: singular matrix");
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) / a(col, col);
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (size_t ri = n; ri-- > 0;) {
+    double sum = b[ri];
+    for (size_t c = ri + 1; c < n; ++c) sum -= a(ri, c) * x[c];
+    x[ri] = sum / a(ri, ri);
+  }
+  return x;
+}
+
+Result<std::vector<double>> SolveLeastSquares(const Matrix& a,
+                                              const std::vector<double>& b,
+                                              double ridge) {
+  if (a.rows() != b.size()) {
+    return Status::Invalid("SolveLeastSquares: dimension mismatch");
+  }
+  Matrix gram = a.Gram();
+  for (size_t i = 0; i < gram.rows(); ++i) gram(i, i) += ridge;
+  return SolveLinearSystem(std::move(gram), a.TransposeTimes(b));
+}
+
+}  // namespace ppq

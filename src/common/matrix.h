@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file matrix.h
+/// Small dense linear algebra used by the predictors: row-major matrices,
+/// linear solves with partial pivoting, and ridge-regularised least squares.
+/// Systems here are k x k with k = prediction order (typically 2..5), so a
+/// straightforward O(k^3) elimination is the right tool.
+
+namespace ppq {
+
+/// \brief Minimal row-major dense matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// this^T * this (Gram matrix), cols x cols.
+  Matrix Gram() const;
+  /// this^T * v, where v has rows() entries.
+  std::vector<double> TransposeTimes(const std::vector<double>& v) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b with Gaussian elimination and partial pivoting. A must be
+/// square with A.rows() == b.size(). Returns Invalid on singular systems.
+Result<std::vector<double>> SolveLinearSystem(Matrix a, std::vector<double> b);
+
+/// Least squares: minimise ||A x - b||^2 via ridge-regularised normal
+/// equations (A^T A + ridge I) x = A^T b. The small ridge keeps nearly
+/// collinear histories (e.g., a stationary vehicle) solvable; with
+/// ridge = 0 a singular system is reported as Invalid.
+Result<std::vector<double>> SolveLeastSquares(const Matrix& a,
+                                              const std::vector<double>& b,
+                                              double ridge = 1e-9);
+
+}  // namespace ppq

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+/// \file random.h
+/// Deterministic pseudo-random source. All stochastic components (data
+/// generation, k-means seeding, query sampling) draw from an explicitly
+/// seeded Rng so that tests and benchmarks are reproducible.
+
+namespace ppq {
+
+/// \brief Seedable random number generator facade over std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli trial with success probability \p p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Exponentially distributed value with the given rate.
+  double Exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Index drawn proportionally to the given non-negative weights.
+  /// Returns 0 when all weights are zero.
+  size_t WeightedIndex(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (total <= 0.0) return 0;
+    double r = Uniform(0.0, total);
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (r < acc) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Underlying engine, for std::shuffle and distribution reuse.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ppq

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+/// \file stats.h
+/// Lightweight metric accumulators used across benchmarks and tests:
+/// running mean/min/max, percentiles, and precision/recall for query
+/// result evaluation.
+
+namespace ppq {
+
+/// \brief Streaming mean / min / max / variance accumulator (Welford).
+class RunningStat {
+ public:
+  void Add(double v) {
+    ++count_;
+    const double delta = v - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (v - mean_);
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// \brief Precision / recall accumulator over a batch of queries.
+///
+/// For each query, feed the sizes of the intersection, the returned
+/// candidate set, and the ground-truth set; precision and recall are the
+/// ratios of the summed counts, matching the paper's definition over the
+/// 10,000-query batches.
+class PrecisionRecall {
+ public:
+  void AddQuery(size_t intersection, size_t returned, size_t relevant) {
+    intersection_ += intersection;
+    returned_ += returned;
+    relevant_ += relevant;
+  }
+
+  double precision() const {
+    return returned_ == 0 ? 1.0
+                          : static_cast<double>(intersection_) /
+                                static_cast<double>(returned_);
+  }
+  double recall() const {
+    return relevant_ == 0 ? 1.0
+                          : static_cast<double>(intersection_) /
+                                static_cast<double>(relevant_);
+  }
+
+ private:
+  size_t intersection_ = 0;
+  size_t returned_ = 0;
+  size_t relevant_ = 0;
+};
+
+/// The p-th percentile (p in [0,100]) of \p values; 0 for empty input.
+inline double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace ppq

@@ -1,0 +1,145 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+/// \file status.h
+/// Arrow-style Status / Result<T> error handling. Fallible library paths
+/// return Status or Result<T> instead of throwing; exceptions are reserved
+/// for programmer errors (via assertions) only.
+
+namespace ppq {
+
+/// Machine-readable category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kInternal,
+};
+
+/// \brief Outcome of a fallible operation: a code plus a human-readable
+/// message. A default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Successful status.
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<category>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + message_;
+  }
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  static std::string CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "Invalid argument";
+      case StatusCode::kOutOfRange: return "Out of range";
+      case StatusCode::kNotFound: return "Not found";
+      case StatusCode::kAlreadyExists: return "Already exists";
+      case StatusCode::kIOError: return "I/O error";
+      case StatusCode::kInternal: return "Internal error";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Usage:
+/// \code
+///   Result<Codebook> r = BuildCodebook(...);
+///   if (!r.ok()) return r.status();
+///   Codebook cb = std::move(r).ValueOrDie();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Construct from a value (implicit, like arrow::Result).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Construct from an error status. Must not be OK.
+  Result(Status status) : payload_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Error status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// Access the value. Aborts when holding an error (programmer error).
+  const T& ValueOrDie() const& { return std::get<T>(payload_); }
+  T& ValueOrDie() & { return std::get<T>(payload_); }
+  T&& ValueOrDie() && { return std::get<T>(std::move(payload_)); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// The held value, or \p alternative when holding an error.
+  T ValueOr(T alternative) const {
+    if (ok()) return std::get<T>(payload_);
+    return alternative;
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagate a non-OK Status from an expression, RocksDB/Arrow style.
+#define PPQ_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::ppq::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+/// Assign the value of a Result expression or propagate its error.
+#define PPQ_ASSIGN_OR_RETURN(lhs, rexpr)        \
+  auto PPQ_CONCAT_(res_, __LINE__) = (rexpr);   \
+  if (!PPQ_CONCAT_(res_, __LINE__).ok())        \
+    return PPQ_CONCAT_(res_, __LINE__).status(); \
+  lhs = std::move(PPQ_CONCAT_(res_, __LINE__)).ValueOrDie()
+
+#define PPQ_CONCAT_IMPL_(a, b) a##b
+#define PPQ_CONCAT_(a, b) PPQ_CONCAT_IMPL_(a, b)
+
+}  // namespace ppq

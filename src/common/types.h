@@ -1,0 +1,197 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+/// \file types.h
+/// Core value types shared by every subsystem: 2-D points, tick-aligned
+/// trajectories, and the trajectory dataset container (Definition 3.1).
+
+namespace ppq {
+
+/// Trajectory identifier. Dense, assigned by the dataset.
+using TrajId = int32_t;
+/// Discrete timestamp ("tick"). All trajectories are aligned on the same
+/// tick grid, matching the paper's treatment of {T^t} as the set of
+/// trajectory points at time t.
+using Tick = int32_t;
+
+constexpr TrajId kInvalidTrajId = -1;
+
+/// \brief A 2-D position. Coordinates are in degrees (longitude, latitude)
+/// for geographic data, but the algorithms are unit-agnostic.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point() = default;
+  Point(double px, double py) : x(px), y(py) {}
+
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  Point operator*(double s) const { return {x * s, y * s}; }
+  Point operator/(double s) const { return {x / s, y / s}; }
+  Point& operator+=(const Point& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Point& operator-=(const Point& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  Point& operator/=(double s) {
+    x /= s;
+    y /= s;
+    return *this;
+  }
+  bool operator==(const Point& o) const { return x == o.x && y == o.y; }
+
+  /// Euclidean norm.
+  double Norm() const { return std::sqrt(x * x + y * y); }
+  /// Squared Euclidean norm (avoids the sqrt when comparing).
+  double SquaredNorm() const { return x * x + y * y; }
+  /// Euclidean distance to \p o.
+  double DistanceTo(const Point& o) const { return (*this - o).Norm(); }
+};
+
+/// \brief A trajectory point tagged with its trajectory and tick, i.e.,
+/// T_i^t in the paper's notation.
+struct TrajectoryPoint {
+  TrajId traj_id = kInvalidTrajId;
+  Tick tick = 0;
+  Point pos;
+};
+
+/// \brief A finite sequence of tick-aligned positions (Definition 3.1).
+///
+/// The i-th element of \ref points is the position at tick
+/// `start_tick + i`. Tick alignment lets the online quantizer process the
+/// dataset one timestamp at a time, exactly as Algorithm 1 iterates.
+struct Trajectory {
+  TrajId id = kInvalidTrajId;
+  Tick start_tick = 0;
+  std::vector<Point> points;
+
+  Tick end_tick() const {
+    return start_tick + static_cast<Tick>(points.size());
+  }
+  /// Number of samples.
+  size_t size() const { return points.size(); }
+  bool empty() const { return points.empty(); }
+
+  /// Whether the trajectory has a sample at \p t.
+  bool ActiveAt(Tick t) const { return t >= start_tick && t < end_tick(); }
+  /// Position at tick \p t. Caller must check ActiveAt first.
+  const Point& At(Tick t) const { return points[t - start_tick]; }
+  Point& At(Tick t) { return points[t - start_tick]; }
+};
+
+/// \brief One timestamp's worth of active trajectory points ({T^t}).
+struct TimeSlice {
+  Tick tick = 0;
+  std::vector<TrajId> ids;
+  std::vector<Point> positions;
+
+  size_t size() const { return ids.size(); }
+  bool empty() const { return ids.empty(); }
+};
+
+/// \brief Axis-aligned bounding box of a point set.
+struct BoundingBox {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+
+  void Extend(const Point& p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+  double width() const { return max_x - min_x; }
+  double height() const { return max_y - min_y; }
+  bool valid() const { return min_x <= max_x && min_y <= max_y; }
+};
+
+/// \brief A collection of tick-aligned trajectories plus time-slicing
+/// utilities used by the online pipeline.
+class TrajectoryDataset {
+ public:
+  TrajectoryDataset() = default;
+  explicit TrajectoryDataset(std::vector<Trajectory> trajectories)
+      : trajectories_(std::move(trajectories)) {
+    ReassignIds();
+  }
+
+  /// Append a trajectory; its id is overwritten with its dense index.
+  void Add(Trajectory traj) {
+    traj.id = static_cast<TrajId>(trajectories_.size());
+    trajectories_.push_back(std::move(traj));
+  }
+
+  size_t size() const { return trajectories_.size(); }
+  bool empty() const { return trajectories_.empty(); }
+  const Trajectory& operator[](size_t i) const { return trajectories_[i]; }
+  Trajectory& operator[](size_t i) { return trajectories_[i]; }
+  const std::vector<Trajectory>& trajectories() const { return trajectories_; }
+
+  /// Total number of trajectory points across all trajectories.
+  size_t TotalPoints() const {
+    size_t n = 0;
+    for (const auto& t : trajectories_) n += t.size();
+    return n;
+  }
+
+  /// First tick at which any trajectory is active.
+  Tick MinTick() const {
+    Tick m = std::numeric_limits<Tick>::max();
+    for (const auto& t : trajectories_) m = std::min(m, t.start_tick);
+    return trajectories_.empty() ? 0 : m;
+  }
+
+  /// One past the last tick at which any trajectory is active.
+  Tick MaxTick() const {
+    Tick m = 0;
+    for (const auto& t : trajectories_) m = std::max(m, t.end_tick());
+    return m;
+  }
+
+  /// All points active at tick \p t (the {T^t} of the paper).
+  TimeSlice SliceAt(Tick t) const {
+    TimeSlice slice;
+    slice.tick = t;
+    for (const auto& traj : trajectories_) {
+      if (traj.ActiveAt(t)) {
+        slice.ids.push_back(traj.id);
+        slice.positions.push_back(traj.At(t));
+      }
+    }
+    return slice;
+  }
+
+  /// Bounding box over every point in the dataset.
+  BoundingBox Bounds() const {
+    BoundingBox box;
+    for (const auto& traj : trajectories_)
+      for (const auto& p : traj.points) box.Extend(p);
+    return box;
+  }
+
+ private:
+  void ReassignIds() {
+    for (size_t i = 0; i < trajectories_.size(); ++i)
+      trajectories_[i].id = static_cast<TrajId>(i);
+  }
+
+  std::vector<Trajectory> trajectories_;
+};
+
+}  // namespace ppq

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "index/temporal_index.h"
+
+/// \file compressor.h
+/// The interface every evaluated method implements (PPQ variants, E-PQ,
+/// Q-trajectory, product/residual quantization, TrajStore, REST). Keeping
+/// one interface lets the benchmark harness sweep methods exactly like the
+/// paper's tables do, and gives every method the same indexing extension
+/// ("for fairness, we extended these methods with our indexing approach").
+
+namespace ppq::core {
+
+/// \brief An online trajectory compressor with reconstruction and
+/// (optionally) an index over its reconstructed points.
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  /// Method name as printed in the paper's tables.
+  virtual std::string name() const = 0;
+
+  /// Consume the next time slice (ticks must be non-decreasing).
+  virtual void ObserveSlice(const TimeSlice& slice) = 0;
+
+  /// Flush/finalize after the last slice.
+  virtual void Finish() = 0;
+
+  /// Best reconstruction of T_i^t the method can produce.
+  virtual Result<Point> Reconstruct(TrajId id, Tick t) const = 0;
+
+  /// Total summary footprint in bytes (codebooks + codes + side data).
+  virtual size_t SummaryBytes() const = 0;
+
+  /// Number of codewords in the method's codebook(s) (Table 6).
+  virtual size_t NumCodewords() const = 0;
+
+  /// Index over the reconstructed points, when the method maintains one.
+  virtual const index::TemporalPartitionIndex* index() const {
+    return nullptr;
+  }
+
+  /// Radius of the local-search scan this method supports: the bound on
+  /// |reconstructed - original|. Methods without CQC return their
+  /// quantizer deviation bound; 0 disables local search.
+  virtual double LocalSearchRadius() const { return 0.0; }
+
+  /// Convenience: stream a whole dataset tick by tick, then Finish().
+  void Compress(const TrajectoryDataset& dataset) {
+    const Tick lo = dataset.MinTick();
+    const Tick hi = dataset.MaxTick();
+    for (Tick t = lo; t < hi; ++t) {
+      const TimeSlice slice = dataset.SliceAt(t);
+      if (!slice.empty()) ObserveSlice(slice);
+    }
+    Finish();
+  }
+};
+
+}  // namespace ppq::core

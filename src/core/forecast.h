@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/summary.h"
+
+/// \file forecast.h
+/// Future-position prediction over a compressed summary — the "more
+/// complex analytic task, such as predicting future positions of entities"
+/// that the paper's introduction motivates (Section 1). The summary
+/// already stores, per timestamp and partition, the fitted autoregressive
+/// prediction function f_j; extrapolation simply keeps applying the
+/// trajectory's most recent f_j to its own rolling reconstruction history,
+/// so no raw data is touched.
+
+namespace ppq::core {
+
+/// \brief Result of a forecast: the extrapolated positions and the
+/// coefficients that produced them (for introspection).
+struct Forecast {
+  std::vector<Point> positions;
+  predictor::PredictionCoefficients coefficients;
+};
+
+/// \brief Forecasting engine over a decodable summary.
+class Forecaster {
+ public:
+  explicit Forecaster(const TrajectorySummary* summary)
+      : summary_(summary) {}
+
+  /// Extrapolate \p steps positions past the trajectory's last sample
+  /// (or past tick \p from when it lies inside the trajectory). Uses the
+  /// latest prediction coefficients recorded for the trajectory's
+  /// partition; trajectories that never left warm-up (no fitted f_j)
+  /// fall back to a persistence forecast (repeat the last position).
+  Result<Forecast> Predict(TrajId id, Tick from, int steps) const;
+
+  /// Convenience: forecast from the trajectory's final sample.
+  Result<Forecast> PredictBeyondEnd(TrajId id, int steps) const;
+
+ private:
+  const TrajectorySummary* summary_;
+};
+
+}  // namespace ppq::core

@@ -1,0 +1,101 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+
+#include "common/geo.h"
+
+namespace ppq::core {
+
+double SummaryMaeMeters(const Compressor& method,
+                        const TrajectoryDataset& raw) {
+  RunningStat stat;
+  for (const Trajectory& traj : raw.trajectories()) {
+    for (size_t i = 0; i < traj.points.size(); ++i) {
+      const Tick t = traj.start_tick + static_cast<Tick>(i);
+      const auto recon = method.Reconstruct(traj.id, t);
+      if (!recon.ok()) continue;
+      stat.Add(DegreeDistanceMeters(traj.points[i], *recon));
+    }
+  }
+  return stat.mean();
+}
+
+std::vector<QuerySpec> SampleQueries(const TrajectoryDataset& raw,
+                                     size_t count, Rng* rng) {
+  std::vector<QuerySpec> queries;
+  queries.reserve(count);
+  if (raw.empty()) return queries;
+  for (size_t i = 0; i < count; ++i) {
+    const auto& traj = raw[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(raw.size()) - 1))];
+    if (traj.empty()) continue;
+    const size_t offset = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(traj.size()) - 1));
+    queries.push_back(QuerySpec{
+        traj.points[offset], traj.start_tick + static_cast<Tick>(offset)});
+  }
+  return queries;
+}
+
+StrqEvaluation EvaluateStrq(const QueryEngine& engine,
+                            const TrajectoryDataset& raw,
+                            const std::vector<QuerySpec>& queries,
+                            StrqMode mode) {
+  PrecisionRecall pr;
+  RunningStat visited;
+  RunningStat active;
+  for (const QuerySpec& q : queries) {
+    const StrqResult result = engine.Strq(q, mode);
+    std::vector<TrajId> truth =
+        QueryEngine::GroundTruth(raw, q, engine.cell_size());
+    std::vector<TrajId> returned = result.ids;
+    std::sort(truth.begin(), truth.end());
+    std::sort(returned.begin(), returned.end());
+    std::vector<TrajId> both;
+    std::set_intersection(truth.begin(), truth.end(), returned.begin(),
+                          returned.end(), std::back_inserter(both));
+    pr.AddQuery(both.size(), returned.size(), truth.size());
+    visited.Add(static_cast<double>(result.candidates_visited));
+    size_t active_now = 0;
+    for (const Trajectory& traj : raw.trajectories()) {
+      if (traj.ActiveAt(q.tick)) ++active_now;
+    }
+    active.Add(static_cast<double>(active_now));
+  }
+  StrqEvaluation eval;
+  eval.precision = pr.precision();
+  eval.recall = pr.recall();
+  eval.mean_candidates_visited = visited.mean();
+  eval.visit_ratio =
+      active.mean() > 0.0 ? visited.mean() / active.mean() : 0.0;
+  return eval;
+}
+
+double EvaluateTpqMaeMeters(const Compressor& method,
+                            const TrajectoryDataset& raw,
+                            const std::vector<QuerySpec>& queries,
+                            const std::vector<TrajId>& ids, int length) {
+  RunningStat stat;
+  for (size_t qi = 0; qi < queries.size() && qi < ids.size(); ++qi) {
+    const TrajId id = ids[qi];
+    const Trajectory& traj = raw[static_cast<size_t>(id)];
+    for (int i = 0; i < length; ++i) {
+      const Tick t = queries[qi].tick + static_cast<Tick>(i);
+      if (!traj.ActiveAt(t)) break;
+      const auto recon = method.Reconstruct(id, t);
+      if (!recon.ok()) break;
+      stat.Add(DegreeDistanceMeters(traj.At(t), *recon));
+    }
+  }
+  return stat.mean();
+}
+
+double CompressionRatio(const Compressor& method,
+                        const TrajectoryDataset& raw) {
+  const double raw_bytes =
+      static_cast<double>(raw.TotalPoints()) * 2.0 * sizeof(double);
+  const double summary_bytes = static_cast<double>(method.SummaryBytes());
+  return summary_bytes > 0.0 ? raw_bytes / summary_bytes : 0.0;
+}
+
+}  // namespace ppq::core

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "core/compressor.h"
+#include "core/query_engine.h"
+
+/// \file metrics.h
+/// The evaluation metrics of Section 6: summary MAE (metres), STRQ
+/// precision/recall, TPQ MAE per path length, the average ratio of
+/// trajectories visited for exact queries, and the compression ratio.
+
+namespace ppq::core {
+
+/// \brief Mean absolute error (metres) between the method's reconstruction
+/// and the raw data, over every trajectory point.
+double SummaryMaeMeters(const Compressor& method,
+                        const TrajectoryDataset& raw);
+
+/// \brief Draw \p count queries whose locations are raw trajectory points
+/// (so ground truth is never empty), uniformly over trajectories and ticks.
+std::vector<QuerySpec> SampleQueries(const TrajectoryDataset& raw,
+                                     size_t count, Rng* rng);
+
+/// \brief Aggregated STRQ quality over a query batch.
+struct StrqEvaluation {
+  double precision = 0.0;
+  double recall = 0.0;
+  /// Mean candidates visited per query in kExact mode (Table 4 numerator).
+  double mean_candidates_visited = 0.0;
+  /// mean_candidates_visited / mean active trajectories (Table 4 ratio).
+  double visit_ratio = 0.0;
+};
+
+StrqEvaluation EvaluateStrq(const QueryEngine& engine,
+                            const TrajectoryDataset& raw,
+                            const std::vector<QuerySpec>& queries,
+                            StrqMode mode);
+
+/// \brief TPQ MAE (metres): reconstruct \p length points ahead for each
+/// (trajectory, tick) in \p queries and compare with the raw path.
+double EvaluateTpqMaeMeters(const Compressor& method,
+                            const TrajectoryDataset& raw,
+                            const std::vector<QuerySpec>& queries,
+                            const std::vector<TrajId>& ids, int length);
+
+/// \brief Raw bytes / summary bytes; raw charges 2 float64 per point.
+double CompressionRatio(const Compressor& method,
+                        const TrajectoryDataset& raw);
+
+}  // namespace ppq::core

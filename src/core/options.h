@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/geo.h"
+#include "index/temporal_index.h"
+#include "predictor/autocorrelation.h"
+#include "quantizer/incremental_quantizer.h"
+
+/// \file options.h
+/// Configuration for the PPQ-trajectory pipeline. One option struct covers
+/// the whole method family evaluated in the paper:
+///
+///   PPQ-A        : partition = kAutocorrelation, prediction on, CQC on
+///   PPQ-A-basic  : partition = kAutocorrelation, prediction on, CQC off
+///   PPQ-S        : partition = kSpatial,          prediction on, CQC on
+///   PPQ-S-basic  : partition = kSpatial,          prediction on, CQC off
+///   E-PQ         : partition = kNone (one f for all), prediction on, CQC off
+///   Q-trajectory : prediction off (raw positions quantized), CQC off
+///
+/// Defaults follow Section 6.1: eps_1 = 0.001 deg (~111 m), gs = 50 m,
+/// gc = 100 m, eps_c = eps_d = 0.5, eps_s = 0.1.
+
+namespace ppq::core {
+
+/// \brief How trajectory points are grouped for per-partition prediction.
+enum class PartitionStrategy {
+  /// No partitioning: a single prediction function (E-PQ, Section 3.1).
+  kNone,
+  /// Spatial proximity partitions (PPQ-S, Equation 7).
+  kSpatial,
+  /// AR(k) autocorrelation partitions (PPQ-A, Equation 8).
+  kAutocorrelation,
+};
+
+/// \brief Codebook training regime.
+enum class QuantizationMode {
+  /// Online error-bounded codebook shared across time (Equation 3).
+  kErrorBounded,
+  /// A fixed-size codebook trained independently per timestamp; used by
+  /// the Table 2/4 experiments ("we learn C independently for every
+  /// timestamp guaranteeing the same number of codewords ... across all
+  /// methods").
+  kFixedPerTick,
+};
+
+/// \brief Full pipeline configuration.
+struct PpqOptions {
+  // --- quantizer -----------------------------------------------------------
+  /// Deviation threshold eps_1 (degrees). 0.001 deg ~ 111 m.
+  double epsilon1 = 0.001;
+  QuantizationMode mode = QuantizationMode::kErrorBounded;
+  /// Codebook size (bits per codeword index) in kFixedPerTick mode.
+  int fixed_bits = 8;
+  quantizer::GrowthPolicy growth = quantizer::GrowthPolicy::kCluster;
+
+  // --- prediction ----------------------------------------------------------
+  bool enable_prediction = true;
+  /// Prediction order k.
+  int prediction_order = 3;
+
+  // --- partitioning --------------------------------------------------------
+  PartitionStrategy strategy = PartitionStrategy::kSpatial;
+  /// Partition threshold eps_p (Eq. 7/8). The paper defaults 0.1 (Porto
+  /// spatial), 5 (GeoLife spatial) and 0.01 (autocorrelation).
+  double epsilon_p = 0.1;
+  /// Sliding-window length for the AR(k) features.
+  int autocorr_window = 12;
+  /// Autocorrelation feature flavour. ACF values are bounded in [-1, 1],
+  /// which keeps the eps_p = 0.01 threshold meaningful; raw AR
+  /// coefficients are available as an ablation.
+  predictor::AutocorrFeature autocorr_feature =
+      predictor::AutocorrFeature::kAcf;
+  /// Enable the merge step of incremental partitioning (Section 3.2.2,
+  /// step 3); off is an ablation.
+  bool partition_merge = true;
+
+  // --- CQC -----------------------------------------------------------------
+  bool enable_cqc = true;
+  /// CQC cell size gs (degrees); default 50 m.
+  double cqc_grid_size = 50.0 / kMetersPerDegree;
+
+  // --- temporal index ------------------------------------------------------
+  bool enable_index = true;
+  index::TemporalPartitionIndex::Options tpi;
+
+  uint64_t seed = 42;
+
+  PpqOptions() {
+    tpi.pi.epsilon_s = 0.1;
+    tpi.pi.cell_size = 100.0 / kMetersPerDegree;  // gc = 100 m
+    tpi.epsilon_c = 0.5;
+    tpi.epsilon_d = 0.5;
+  }
+};
+
+/// Named preset configurations for the paper's method family.
+PpqOptions MakePpqA();
+PpqOptions MakePpqABasic();
+PpqOptions MakePpqS();
+PpqOptions MakePpqSBasic();
+PpqOptions MakeEPq();
+PpqOptions MakeQTrajectory();
+
+}  // namespace ppq::core

@@ -1,0 +1,194 @@
+#include "core/serialization.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace ppq::core {
+namespace {
+
+constexpr char kMagic[8] = {'P', 'P', 'Q', 'S', 'U', 'M', '0', '1'};
+
+// Little-endian POD writers/readers (all supported targets are LE; the
+// header magic would catch a mismatched reader).
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+void WritePoint(std::ofstream& out, const Point& p) {
+  WritePod(out, p.x);
+  WritePod(out, p.y);
+}
+
+bool ReadPoint(std::ifstream& in, Point* p) {
+  return ReadPod(in, &p->x) && ReadPod(in, &p->y);
+}
+
+void WriteCodebook(std::ofstream& out, const quantizer::Codebook& codebook) {
+  WritePod<uint64_t>(out, codebook.size());
+  for (const Point& c : codebook.codewords()) WritePoint(out, c);
+}
+
+bool ReadCodebook(std::ifstream& in, quantizer::Codebook* codebook) {
+  uint64_t count = 0;
+  if (!ReadPod(in, &count)) return false;
+  for (uint64_t i = 0; i < count; ++i) {
+    Point p;
+    if (!ReadPoint(in, &p)) return false;
+    codebook->Add(p);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status SaveSummary(const TrajectorySummary& summary,
+                   const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+
+  out.write(kMagic, sizeof(kMagic));
+  WritePod<uint32_t>(out, kSummaryFormatVersion);
+  WritePod<int32_t>(out, summary.prediction_order());
+  WritePod<uint8_t>(out, summary.has_cqc() ? 1 : 0);
+  if (summary.has_cqc()) {
+    WritePod<double>(out, summary.codec()->epsilon());
+    WritePod<double>(out, summary.codec()->grid_size());
+  }
+
+  WriteCodebook(out, summary.codebook());
+
+  WritePod<uint64_t>(out, summary.tick_codebooks().size());
+  for (const auto& [tick, codebook] : summary.tick_codebooks()) {
+    WritePod<int32_t>(out, tick);
+    WriteCodebook(out, codebook);
+  }
+
+  WritePod<uint64_t>(out, summary.coefficients().size());
+  for (const auto& [tick, partitions] : summary.coefficients()) {
+    WritePod<int32_t>(out, tick);
+    WritePod<uint64_t>(out, partitions.size());
+    for (const auto& coeffs : partitions) {
+      WritePod<uint64_t>(out, coeffs.coefficients.size());
+      for (double c : coeffs.coefficients) WritePod(out, c);
+    }
+  }
+
+  WritePod<uint64_t>(out, summary.NumTrajectories());
+  // Records are stored through the public find path; iterate ids by
+  // walking the map via coefficients of the record API.
+  // TrajectorySummary exposes records only one-by-one; serialise through
+  // a snapshot of known ids.
+  for (const auto& [id, record] : summary.records()) {
+    WritePod<int32_t>(out, id);
+    WritePod<int32_t>(out, record.start_tick);
+    WritePod<uint64_t>(out, record.points.size());
+    for (const PointRecord& pr : record.points) {
+      WritePod<int32_t>(out, pr.partition);
+      WritePod<int32_t>(out, pr.codeword);
+      WritePod<uint64_t>(out, pr.cqc.bits);
+      WritePod<int32_t>(out, pr.cqc.length);
+    }
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<TrajectorySummary> LoadSummary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Invalid("not a PPQ summary file: " + path);
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kSummaryFormatVersion) {
+    return Status::Invalid("unsupported summary format version");
+  }
+
+  int32_t order = 0;
+  uint8_t has_cqc = 0;
+  if (!ReadPod(in, &order) || !ReadPod(in, &has_cqc)) {
+    return Status::IOError("truncated header");
+  }
+  std::optional<cqc::CqcCodec> codec;
+  if (has_cqc != 0) {
+    double epsilon = 0.0;
+    double grid_size = 0.0;
+    if (!ReadPod(in, &epsilon) || !ReadPod(in, &grid_size)) {
+      return Status::IOError("truncated codec parameters");
+    }
+    codec.emplace(epsilon, grid_size);
+  }
+
+  TrajectorySummary summary(order, has_cqc != 0, std::move(codec));
+  if (!ReadCodebook(in, summary.mutable_codebook())) {
+    return Status::IOError("truncated codebook");
+  }
+
+  uint64_t tick_codebook_count = 0;
+  if (!ReadPod(in, &tick_codebook_count)) return Status::IOError("truncated");
+  for (uint64_t i = 0; i < tick_codebook_count; ++i) {
+    int32_t tick = 0;
+    if (!ReadPod(in, &tick)) return Status::IOError("truncated");
+    if (!ReadCodebook(in, summary.mutable_tick_codebook(tick))) {
+      return Status::IOError("truncated tick codebook");
+    }
+  }
+
+  uint64_t coeff_ticks = 0;
+  if (!ReadPod(in, &coeff_ticks)) return Status::IOError("truncated");
+  for (uint64_t i = 0; i < coeff_ticks; ++i) {
+    int32_t tick = 0;
+    uint64_t partitions = 0;
+    if (!ReadPod(in, &tick) || !ReadPod(in, &partitions)) {
+      return Status::IOError("truncated coefficients");
+    }
+    std::vector<predictor::PredictionCoefficients> coeffs(partitions);
+    for (uint64_t p = 0; p < partitions; ++p) {
+      uint64_t n = 0;
+      if (!ReadPod(in, &n)) return Status::IOError("truncated coefficients");
+      coeffs[p].coefficients.resize(n);
+      for (uint64_t c = 0; c < n; ++c) {
+        if (!ReadPod(in, &coeffs[p].coefficients[c])) {
+          return Status::IOError("truncated coefficients");
+        }
+      }
+    }
+    summary.SetCoefficients(tick, std::move(coeffs));
+  }
+
+  uint64_t record_count = 0;
+  if (!ReadPod(in, &record_count)) return Status::IOError("truncated");
+  for (uint64_t i = 0; i < record_count; ++i) {
+    int32_t id = 0;
+    int32_t start = 0;
+    uint64_t points = 0;
+    if (!ReadPod(in, &id) || !ReadPod(in, &start) || !ReadPod(in, &points)) {
+      return Status::IOError("truncated record header");
+    }
+    TrajectoryRecord& record = summary.GetOrCreate(id, start);
+    record.points.reserve(points);
+    for (uint64_t p = 0; p < points; ++p) {
+      PointRecord pr;
+      int32_t cqc_length = 0;
+      if (!ReadPod(in, &pr.partition) || !ReadPod(in, &pr.codeword) ||
+          !ReadPod(in, &pr.cqc.bits) || !ReadPod(in, &cqc_length)) {
+        return Status::IOError("truncated point record");
+      }
+      pr.cqc.length = cqc_length;
+      record.points.push_back(pr);
+    }
+  }
+  return summary;
+}
+
+}  // namespace ppq::core

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "core/summary.h"
+
+/// \file serialization.h
+/// Binary persistence for trajectory summaries, so a repository can be
+/// compressed once and queried later (or shipped to another process)
+/// without recompression. The format is a little-endian tagged binary
+/// layout with a magic/version header; everything a decoder needs —
+/// codebooks, per-tick coefficients, per-trajectory code streams, CQC
+/// codes and the codec parameters — round-trips exactly.
+
+namespace ppq::core {
+
+/// Current on-disk format version.
+constexpr uint32_t kSummaryFormatVersion = 1;
+
+/// Write \p summary to \p path (overwrites).
+Status SaveSummary(const TrajectorySummary& summary, const std::string& path);
+
+/// Load a summary previously written by SaveSummary.
+Result<TrajectorySummary> LoadSummary(const std::string& path);
+
+}  // namespace ppq::core

@@ -1,0 +1,170 @@
+#include "core/summary.h"
+
+#include <cmath>
+
+namespace ppq::core {
+
+TrajectoryRecord& TrajectorySummary::GetOrCreate(TrajId id, Tick start) {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    TrajectoryRecord record;
+    record.start_tick = start;
+    it = records_.emplace(id, std::move(record)).first;
+  }
+  return it->second;
+}
+
+const TrajectoryRecord* TrajectorySummary::Find(TrajId id) const {
+  const auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+size_t TrajectorySummary::TotalPoints() const {
+  size_t total = 0;
+  for (const auto& [id, record] : records_) total += record.points.size();
+  return total;
+}
+
+size_t TrajectorySummary::NumCodewords() const {
+  if (!tick_codebooks_.empty()) {
+    size_t total = 0;
+    for (const auto& [tick, codebook] : tick_codebooks_) {
+      total += codebook.size();
+    }
+    return total;
+  }
+  return codebook_.size();
+}
+
+const quantizer::Codebook& TrajectorySummary::CodebookAt(Tick t) const {
+  if (!tick_codebooks_.empty()) {
+    const auto it = tick_codebooks_.find(t);
+    if (it != tick_codebooks_.end()) return it->second;
+  }
+  return codebook_;
+}
+
+Result<Point> TrajectorySummary::ReconstructInternal(TrajId id, Tick t,
+                                                     bool refined) const {
+  const auto rit = records_.find(id);
+  if (rit == records_.end()) {
+    return Status::NotFound("unknown trajectory id");
+  }
+  const TrajectoryRecord& record = rit->second;
+  if (!record.ActiveAt(t)) {
+    return Status::OutOfRange("trajectory has no sample at requested tick");
+  }
+
+  // Extend the memoised reconstruction prefix up to t.
+  std::vector<Point>& memo = memo_[id];
+  const size_t needed = static_cast<size_t>(t - record.start_tick) + 1;
+  while (memo.size() < needed) {
+    const Tick tick = record.start_tick + static_cast<Tick>(memo.size());
+    const PointRecord& pr = record.points[memo.size()];
+
+    // Prediction (Equation 2) from the reconstructed history.
+    Point prediction{0.0, 0.0};
+    if (pr.partition >= 0) {
+      const auto cit = coefficients_.find(tick);
+      if (cit == coefficients_.end() ||
+          static_cast<size_t>(pr.partition) >= cit->second.size()) {
+        return Status::Internal("missing coefficients for tick/partition");
+      }
+      const auto& coeffs = cit->second[static_cast<size_t>(pr.partition)];
+      std::vector<Point> history;
+      history.reserve(static_cast<size_t>(prediction_order_));
+      for (int j = 1;
+           j <= prediction_order_ && static_cast<size_t>(j) <= memo.size();
+           ++j) {
+        history.push_back(memo[memo.size() - static_cast<size_t>(j)]);
+      }
+      prediction = predictor::LinearPredictor::Predict(coeffs, history);
+    }
+
+    // Codeword (Equation 4).
+    const quantizer::Codebook& codebook = CodebookAt(tick);
+    if (pr.codeword < 0 ||
+        static_cast<size_t>(pr.codeword) >= codebook.size()) {
+      return Status::Internal("codeword index out of range");
+    }
+    memo.push_back(prediction + codebook[pr.codeword]);
+  }
+
+  const Point base = memo[needed - 1];
+  if (!refined || !has_cqc_ || !codec_.has_value()) return base;
+  return codec_->Refine(base, record.At(t).cqc);
+}
+
+Result<Point> TrajectorySummary::Reconstruct(TrajId id, Tick t) const {
+  return ReconstructInternal(id, t, /*refined=*/false);
+}
+
+Result<Point> TrajectorySummary::ReconstructRefined(TrajId id, Tick t) const {
+  return ReconstructInternal(id, t, /*refined=*/true);
+}
+
+Result<std::vector<Point>> TrajectorySummary::ReconstructRange(
+    TrajId id, Tick from, int count) const {
+  const TrajectoryRecord* record = Find(id);
+  if (record == nullptr) return Status::NotFound("unknown trajectory id");
+  std::vector<Point> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const Tick t = from + static_cast<Tick>(i);
+    if (!record->ActiveAt(t)) break;  // clamp at trajectory end
+    auto point = ReconstructInternal(id, t, /*refined=*/true);
+    if (!point.ok()) return point.status();
+    out.push_back(*point);
+  }
+  return out;
+}
+
+SummarySize TrajectorySummary::Size() const {
+  SummarySize size;
+  // Codebook(s): two float64 per codeword.
+  size.codebook_bytes = NumCodewords() * 2 * sizeof(double);
+
+  // Codeword indices: ceil(log2 V) bits per point (per-tick V in fixed
+  // mode; final V in error-bounded mode).
+  size_t index_bits = 0;
+  size_t partition_bits = 0;
+  size_t cqc_bits = 0;
+  // Widest partition id seen, per tick.
+  std::map<Tick, int> partition_widths;
+  for (const auto& [tick, coeffs] : coefficients_) {
+    size_t q = coeffs.size();
+    int bits = 1;
+    while ((size_t{1} << bits) < q) ++bits;
+    partition_widths[tick] = bits;
+  }
+  for (const auto& [id, record] : records_) {
+    for (size_t i = 0; i < record.points.size(); ++i) {
+      const Tick tick = record.start_tick + static_cast<Tick>(i);
+      index_bits += static_cast<size_t>(CodebookAt(tick).BitsPerIndex());
+      const auto wit = partition_widths.find(tick);
+      if (wit != partition_widths.end()) {
+        partition_bits += static_cast<size_t>(wit->second);
+      }
+      if (has_cqc_) {
+        cqc_bits += static_cast<size_t>(record.points[i].cqc.length);
+      }
+    }
+  }
+  size.code_index_bytes = (index_bits + 7) / 8;
+  size.partition_id_bytes = (partition_bits + 7) / 8;
+  size.cqc_bytes = (cqc_bits + 7) / 8;
+
+  // Coefficients: 8 bytes each, q_t * k per tick.
+  size_t coeff_count = 0;
+  for (const auto& [tick, coeffs] : coefficients_) {
+    for (const auto& c : coeffs) coeff_count += c.coefficients.size();
+  }
+  size.coefficient_bytes = coeff_count * sizeof(double);
+
+  // Per-trajectory header (id, start tick, length) + CQC template.
+  size.metadata_bytes = records_.size() * (sizeof(TrajId) + 2 * sizeof(Tick));
+  if (codec_.has_value()) size.metadata_bytes += codec_->TemplateSizeBytes();
+  return size;
+}
+
+}  // namespace ppq::core

@@ -1,0 +1,149 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "cqc/cqc_codec.h"
+#include "predictor/linear_predictor.h"
+#include "quantizer/codebook.h"
+
+/// \file summary.h
+/// The summary produced by PPQ-trajectory (Figure 1): the prediction
+/// coefficients {P_j[t]} per (tick, partition), the codebook C, the
+/// codeword indices {b_i^t}, and the CQC codes. Together these reproduce
+/// any trajectory point, and the size accounting below is what the
+/// compression-ratio experiments charge.
+
+namespace ppq::core {
+
+/// \brief Per-point record: everything needed to decode T_i^t.
+struct PointRecord {
+  /// Which partition's coefficients predicted this point (-1 for the
+  /// warm-up points quantized with zero prediction).
+  int32_t partition = -1;
+  quantizer::CodewordIndex codeword = -1;
+  cqc::CqcCode cqc;  ///< valid only when the summary stores CQC codes
+};
+
+/// \brief Per-trajectory encoded stream, tick-aligned like the input.
+struct TrajectoryRecord {
+  Tick start_tick = 0;
+  std::vector<PointRecord> points;
+
+  bool ActiveAt(Tick t) const {
+    return t >= start_tick &&
+           t < start_tick + static_cast<Tick>(points.size());
+  }
+  const PointRecord& At(Tick t) const {
+    return points[static_cast<size_t>(t - start_tick)];
+  }
+};
+
+/// \brief Byte-level breakdown of the summary (what the compression ratio
+/// divides by).
+struct SummarySize {
+  size_t codebook_bytes = 0;
+  size_t code_index_bytes = 0;     ///< ceil(log2 V) bits per point
+  size_t coefficient_bytes = 0;    ///< {P_j[t]}: 8 bytes per coefficient
+  size_t partition_id_bytes = 0;   ///< per-point partition tags
+  size_t cqc_bytes = 0;            ///< fixed-width CQC codes
+  size_t metadata_bytes = 0;       ///< per-trajectory headers, CQC template
+
+  size_t Total() const {
+    return codebook_bytes + code_index_bytes + coefficient_bytes +
+           partition_id_bytes + cqc_bytes + metadata_bytes;
+  }
+};
+
+/// \brief The complete decodable summary.
+class TrajectorySummary {
+ public:
+  TrajectorySummary(int prediction_order, bool has_cqc,
+                    std::optional<cqc::CqcCodec> codec)
+      : prediction_order_(prediction_order),
+        has_cqc_(has_cqc),
+        codec_(std::move(codec)) {}
+
+  // --- encoder-side population --------------------------------------------
+
+  /// Ensure a record exists for trajectory \p id starting at \p start.
+  TrajectoryRecord& GetOrCreate(TrajId id, Tick start);
+
+  /// Store the fitted coefficients for (tick, partition).
+  void SetCoefficients(Tick t,
+                       std::vector<predictor::PredictionCoefficients> coeffs) {
+    coefficients_[t] = std::move(coeffs);
+  }
+
+  quantizer::Codebook* mutable_codebook() { return &codebook_; }
+  /// Per-tick codebook for QuantizationMode::kFixedPerTick.
+  quantizer::Codebook* mutable_tick_codebook(Tick t) {
+    return &tick_codebooks_[t];
+  }
+
+  // --- decoder -------------------------------------------------------------
+
+  /// Reconstruct T^_i^t (prediction + codeword, Equation 4). Runs the
+  /// closed-loop recursion from the trajectory start; O(t - start) per
+  /// cold call, O(1) amortised via the per-trajectory memo.
+  Result<Point> Reconstruct(TrajId id, Tick t) const;
+
+  /// Reconstruct with CQC refinement (Equation 11) when available.
+  Result<Point> ReconstructRefined(TrajId id, Tick t) const;
+
+  /// Reconstruct the sub-trajectory [from, from + count) (TPQ payload).
+  Result<std::vector<Point>> ReconstructRange(TrajId id, Tick from,
+                                              int count) const;
+
+  // --- introspection -------------------------------------------------------
+
+  const quantizer::Codebook& codebook() const { return codebook_; }
+  const std::map<Tick, quantizer::Codebook>& tick_codebooks() const {
+    return tick_codebooks_;
+  }
+  bool has_cqc() const { return has_cqc_; }
+  const std::optional<cqc::CqcCodec>& codec() const { return codec_; }
+  int prediction_order() const { return prediction_order_; }
+  size_t NumTrajectories() const { return records_.size(); }
+  size_t TotalPoints() const;
+  const TrajectoryRecord* Find(TrajId id) const;
+  /// All per-trajectory records (serialisation, analytics sweeps).
+  const std::map<TrajId, TrajectoryRecord>& records() const {
+    return records_;
+  }
+  /// Number of codewords (the paper's |C|): global codebook size, or the
+  /// summed per-tick codebook sizes in fixed mode.
+  size_t NumCodewords() const;
+
+  /// The stored prediction coefficients, keyed by tick (one entry per
+  /// partition). Exposed for forecasting and introspection.
+  const std::map<Tick, std::vector<predictor::PredictionCoefficients>>&
+  coefficients() const {
+    return coefficients_;
+  }
+
+  /// Size accounting; see SummarySize.
+  SummarySize Size() const;
+
+ private:
+  const quantizer::Codebook& CodebookAt(Tick t) const;
+  Result<Point> ReconstructInternal(TrajId id, Tick t, bool refined) const;
+
+  int prediction_order_;
+  bool has_cqc_;
+  std::optional<cqc::CqcCodec> codec_;
+  quantizer::Codebook codebook_;
+  std::map<Tick, quantizer::Codebook> tick_codebooks_;
+  std::map<Tick, std::vector<predictor::PredictionCoefficients>> coefficients_;
+  std::map<TrajId, TrajectoryRecord> records_;
+
+  /// Reconstruction memo: per trajectory, the prefix of reconstructed
+  /// points computed so far (decode is sequential by nature).
+  mutable std::map<TrajId, std::vector<Point>> memo_;
+};
+
+}  // namespace ppq::core

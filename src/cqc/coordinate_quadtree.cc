@@ -1,0 +1,189 @@
+#include "cqc/coordinate_quadtree.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace ppq::cqc {
+namespace {
+
+/// Quadrant bit layout: high bit 0 = top half, 1 = bottom half; low bit
+/// 0 = left half, 1 = right half. This yields the paper's labels:
+/// 00 upper-left, 01 upper-right, 10 lower-left, 11 lower-right.
+constexpr int kTopLeft = 0b00;
+
+int QuadrantBits(bool top, bool right) {
+  return (top ? 0 : 2) | (right ? 1 : 0);
+}
+
+}  // namespace
+
+CoordinateQuadtree::Region CoordinateQuadtree::RootRegion(int width,
+                                                          int height) {
+  // Root pads toward the upper-left (Figure 3a/3b).
+  return Region{0, width, 0, height, /*pad_dx=*/-1, /*pad_dy=*/+1};
+}
+
+void CoordinateQuadtree::Pad(Region* r) {
+  if (r->width() > 1 && (r->width() & 1)) {
+    if (r->pad_dx < 0) {
+      --r->x0;
+    } else {
+      ++r->x1;
+    }
+  }
+  if (r->height() > 1 && (r->height() & 1)) {
+    if (r->pad_dy < 0) {
+      --r->y0;
+    } else {
+      ++r->y1;
+    }
+  }
+}
+
+CoordinateQuadtree::Region CoordinateQuadtree::Child(const Region& padded,
+                                                     int quadrant) {
+  const bool right = (quadrant & 1) != 0;
+  const bool top = (quadrant & 2) == 0;
+  Region child = padded;
+  if (padded.width() > 1) {
+    const int mx = (padded.x0 + padded.x1) / 2;
+    if (right) {
+      child.x0 = mx;
+    } else {
+      child.x1 = mx;
+    }
+  }
+  if (padded.height() > 1) {
+    const int my = (padded.y0 + padded.y1) / 2;
+    if (top) {
+      child.y0 = my;
+    } else {
+      child.y1 = my;
+    }
+  }
+  // Children pad outward: away from the parent centre.
+  child.pad_dx = right ? +1 : -1;
+  child.pad_dy = top ? +1 : -1;
+  return child;
+}
+
+int CoordinateQuadtree::ComputeDepth(int width, int height) {
+  int depth = 0;
+  int w = width;
+  int h = height;
+  while (w > 1 || h > 1) {
+    if (w > 1) w = (w + (w & 1)) / 2;
+    if (h > 1) h = (h + (h & 1)) / 2;
+    ++depth;
+  }
+  return depth;
+}
+
+CoordinateQuadtree::CoordinateQuadtree(int width, int height)
+    : width_(width < 1 ? 1 : width),
+      height_(height < 1 ? 1 : height),
+      depth_(ComputeDepth(width_, height_)) {}
+
+CqcCode CoordinateQuadtree::Encode(int cx, int cy) const {
+  CqcCode code;
+  Region region = RootRegion(width_, height_);
+  for (int level = 0; level < depth_; ++level) {
+    Pad(&region);
+    bool right = false;
+    bool top = true;
+    if (region.width() > 1) {
+      const int mx = (region.x0 + region.x1) / 2;
+      right = cx >= mx;
+    }
+    if (region.height() > 1) {
+      const int my = (region.y0 + region.y1) / 2;
+      top = cy >= my;
+    }
+    const int quadrant = QuadrantBits(top, right);
+    code.bits = (code.bits << 2) | static_cast<uint64_t>(quadrant);
+    code.length += 2;
+    region = Child(region, quadrant);
+  }
+  (void)kTopLeft;
+  return code;
+}
+
+Result<std::pair<int, int>> CoordinateQuadtree::Decode(
+    const CqcCode& code) const {
+  if (code.length != 2 * depth_) {
+    return Status::Invalid("CqcCode length does not match tree depth");
+  }
+  Region region = RootRegion(width_, height_);
+  for (int level = 0; level < depth_; ++level) {
+    Pad(&region);
+    const int shift = 2 * (depth_ - 1 - level);
+    const int quadrant = static_cast<int>((code.bits >> shift) & 0b11);
+    region = Child(region, quadrant);
+  }
+  const int cx = region.x0;
+  const int cy = region.y0;
+  if (cx < 0 || cx >= width_ || cy < 0 || cy >= height_) {
+    return Status::OutOfRange("CqcCode decodes to a padding cell");
+  }
+  return std::make_pair(cx, cy);
+}
+
+SubspaceCoordinate CoordinateQuadtree::PadSubspaceCoordinate(
+    SubspaceCoordinate sc) {
+  // Equation 10.
+  if (std::abs(sc.x) == 1 && std::abs(sc.y) == 1) return sc;
+  const int m = std::max(std::abs(sc.x), std::abs(sc.y));
+  const int magnitude = 2 * ((m + 1) / 2);  // 2 * ceil(m / 2)
+  const int sx = (sc.x > 0) - (sc.x < 0);
+  const int sy = (sc.y > 0) - (sc.y < 0);
+  return {magnitude * sx, magnitude * sy};
+}
+
+Result<std::pair<double, double>>
+CoordinateQuadtree::DecodeOffsetViaSubspaceCoordinates(
+    const CqcCode& code) const {
+  if (code.length != 2 * depth_) {
+    return Status::Invalid("CqcCode length does not match tree depth");
+  }
+  // Equation 9 telescopes over the padded subspace centres: each level
+  // contributes (padded child centre - padded parent centre), i.e. half of
+  // SC' where SC' = 2 * (padded child centre - parent centre). Equation 10
+  // computes SC' from the corner coordinate SC for the square, even-sized
+  // subspaces of the paper's figures (see PadSubspaceCoordinate and its
+  // unit tests); this walk uses the general rule so it is exact for every
+  // grid shape.
+  Region region = RootRegion(width_, height_);
+  double off_x = 0.0;
+  double off_y = 0.0;
+  for (int level = 0; level < depth_; ++level) {
+    Pad(&region);
+    const double parent_cx = (region.x0 + region.x1) / 2.0;
+    const double parent_cy = (region.y0 + region.y1) / 2.0;
+    const int shift = 2 * (depth_ - 1 - level);
+    const int quadrant = static_cast<int>((code.bits >> shift) & 0b11);
+    Region child = Child(region, quadrant);
+    // Centre the child will have once its own padding is applied (the next
+    // level's parent centre), so the sum telescopes down to the leaf cell.
+    Region padded_child = child;
+    Pad(&padded_child);
+    const double child_cx = (padded_child.x0 + padded_child.x1) / 2.0;
+    const double child_cy = (padded_child.y0 + padded_child.y1) / 2.0;
+    // SC' / 2 per Equation 9.
+    off_x += child_cx - parent_cx;
+    off_y += child_cy - parent_cy;
+    region = child;
+  }
+  return std::make_pair(off_x, off_y);
+}
+
+size_t CoordinateQuadtree::NodeCount() const {
+  size_t total = 1;
+  size_t level_nodes = 1;
+  for (int level = 0; level < depth_; ++level) {
+    level_nodes *= 4;
+    total += level_nodes;
+  }
+  return total;
+}
+
+}  // namespace ppq::cqc

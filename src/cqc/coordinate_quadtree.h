@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file coordinate_quadtree.h
+/// The coordinate quadtree of Section 4 (Definition 4.1, Algorithm 2).
+///
+/// A rectangular grid of cells is recursively split into four quadrants.
+/// Odd-sized subspaces are first padded by one virtual row/column so each
+/// split yields four equally sized children; the padding direction is
+/// quadrant-specific and always points *outward* (away from the parent
+/// centre), which keeps the relative displacement of real cells consistent
+/// across rounds — the property the paper's per-quadrant padding rules
+/// exist for. The root pads toward the upper-left, which reproduces the
+/// worked example of Figures 3-4 (CQC 001110 decodes to (-3/2, 1/2)).
+///
+/// Quadrant labels match the paper: 00 upper-left, 01 upper-right,
+/// 10 lower-left, 11 lower-right. A cell's CQC is the concatenation of the
+/// 2-bit quadrant labels on the root-to-leaf path; every leaf lies at the
+/// same depth, so codes have fixed length 2 * depth bits.
+
+namespace ppq::cqc {
+
+/// \brief A CQC code: fixed-width bit string stored in a uint64.
+struct CqcCode {
+  uint64_t bits = 0;
+  int length = 0;  ///< in bits (always 2 * tree depth)
+
+  bool operator==(const CqcCode& o) const {
+    return bits == o.bits && length == o.length;
+  }
+};
+
+/// \brief The paper's subspace coordinate (Definition 4.1): the min-corner
+/// of a quadrant's outermost cell, relative to the parent subspace centre.
+struct SubspaceCoordinate {
+  int x = 0;
+  int y = 0;
+};
+
+/// \brief Coordinate quadtree over a `width x height` cell grid.
+///
+/// The tree shape depends only on (width, height), so one instance is the
+/// reusable "template" the paper stores once per (eps_1, gs) pair.
+class CoordinateQuadtree {
+ public:
+  CoordinateQuadtree(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  /// Number of split levels (codes are 2 * depth() bits).
+  int depth() const { return depth_; }
+  int code_bits() const { return 2 * depth_; }
+
+  /// Encode the cell at column \p cx in [0,width), row \p cy in [0,height).
+  CqcCode Encode(int cx, int cy) const;
+
+  /// Exact inverse of Encode.
+  Result<std::pair<int, int>> Decode(const CqcCode& code) const;
+
+  /// Decode via the paper's Equations 9-10: walk the path, summing half the
+  /// padded subspace coordinates SC'. Returns the cell-centre offset from
+  /// the *padded root* centre, in cell units. Provided for fidelity and
+  /// cross-checked against Decode in tests.
+  Result<std::pair<double, double>> DecodeOffsetViaSubspaceCoordinates(
+      const CqcCode& code) const;
+
+  /// Equation 10: SC' from SC.
+  static SubspaceCoordinate PadSubspaceCoordinate(SubspaceCoordinate sc);
+
+  /// Total quadtree nodes when materialised (for size accounting of the
+  /// stored template).
+  size_t NodeCount() const;
+
+ private:
+  /// A subspace: half-open cell ranges plus outward padding directions.
+  struct Region {
+    int x0, x1, y0, y1;
+    /// -1: pad toward smaller coordinates (left/bottom); +1: larger.
+    int pad_dx, pad_dy;
+
+    int width() const { return x1 - x0; }
+    int height() const { return y1 - y0; }
+  };
+
+  static Region RootRegion(int width, int height);
+  /// Apply the padding rule in place so both dimensions become splittable.
+  static void Pad(Region* r);
+  /// The child subspace for the given quadrant bits of a padded region.
+  static Region Child(const Region& padded, int quadrant);
+  static int ComputeDepth(int width, int height);
+
+  int width_;
+  int height_;
+  int depth_;
+};
+
+}  // namespace ppq::cqc

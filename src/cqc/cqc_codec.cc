@@ -1,0 +1,44 @@
+#include "cqc/cqc_codec.h"
+
+#include <algorithm>
+
+namespace ppq::cqc {
+
+int CqcCodec::CellsPerSide(double epsilon, double grid_size) {
+  int cells = static_cast<int>(std::ceil(2.0 * epsilon / grid_size));
+  cells = std::max(cells, 1);
+  if (cells % 2 == 0) ++cells;  // odd: original point at the centre cell
+  return cells;
+}
+
+CqcCodec::CqcCodec(double epsilon, double grid_size)
+    : epsilon_(epsilon),
+      grid_size_(grid_size),
+      cells_(CellsPerSide(epsilon, grid_size)),
+      half_span_(cells_ * grid_size / 2.0),
+      tree_(cells_, cells_) {}
+
+CqcCode CqcCodec::Encode(const Point& original,
+                         const Point& reconstructed) const {
+  const Point deviation = reconstructed - original;
+  const auto cell_of = [this](double v) {
+    int cell = static_cast<int>(std::floor((v + half_span_) / grid_size_));
+    return std::clamp(cell, 0, cells_ - 1);
+  };
+  return tree_.Encode(cell_of(deviation.x), cell_of(deviation.y));
+}
+
+Point CqcCodec::Refine(const Point& reconstructed, const CqcCode& code) const {
+  const auto cell = tree_.Decode(code);
+  // Encode never emits padding-cell codes, so decoding its output cannot
+  // fail; fall back to the unrefined point on malformed external input.
+  if (!cell.ok()) return reconstructed;
+  const auto [cx, cy] = *cell;
+  // Centre of the decoded cell, relative to the grid centre (which is the
+  // original point). Equation 11 with c_cqc1 = 0 (odd grid).
+  const double off_x = (cx + 0.5) * grid_size_ - half_span_;
+  const double off_y = (cy + 0.5) * grid_size_ - half_span_;
+  return {reconstructed.x - off_x, reconstructed.y - off_y};
+}
+
+}  // namespace ppq::cqc

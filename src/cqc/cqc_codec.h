@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cmath>
+
+#include "common/types.h"
+#include "cqc/coordinate_quadtree.h"
+
+/// \file cqc_codec.h
+/// The trajectory-level CQC interface (Section 4.2): given the quantizer's
+/// deviation bound eps_1 and the CQC cell size gs, the error space (a
+/// square of side 2*eps_1 centred on the original point) is gridded into an
+/// odd number of gs-sized cells — odd so that the original point sits
+/// exactly at the centre of the centre cell, making its own code cqc_1 a
+/// constant that never needs storing. Per point, only the code cqc_2 of the
+/// cell containing the reconstructed point is kept; applying it at query
+/// time refines the reconstruction to within sqrt(2)/2 * gs of the original
+/// position (Lemma 3).
+
+namespace ppq::cqc {
+
+/// \brief Encoder/decoder for per-point CQC codes. One instance (the
+/// "template") serves every point compressed with the same (eps_1, gs).
+class CqcCodec {
+ public:
+  /// \param epsilon    the quantizer deviation bound eps_1 (same units as
+  ///                    the point coordinates, i.e. degrees).
+  /// \param grid_size  the CQC cell size gs (same units).
+  CqcCodec(double epsilon, double grid_size);
+
+  /// Cells per side of the error-space grid (odd).
+  int cells_per_side() const { return cells_; }
+  /// Fixed length of every code emitted by this codec, in bits.
+  int code_bits() const { return tree_.code_bits(); }
+  /// Lemma 3 bound on the refined reconstruction error: sqrt(2)/2 * gs.
+  double max_refined_error() const {
+    return std::sqrt(2.0) / 2.0 * grid_size_;
+  }
+  double grid_size() const { return grid_size_; }
+  double epsilon() const { return epsilon_; }
+
+  /// Encode the deviation of \p reconstructed from \p original. Deviations
+  /// beyond eps_1 (which the quantizer bound excludes) are clamped to the
+  /// outermost cell.
+  CqcCode Encode(const Point& original, const Point& reconstructed) const;
+
+  /// Apply \p code to \p reconstructed, producing the refined point
+  /// (x^', y^') of Equation 11.
+  Point Refine(const Point& reconstructed, const CqcCode& code) const;
+
+  /// The underlying quadtree template.
+  const CoordinateQuadtree& tree() const { return tree_; }
+
+  /// Bytes charged for storing the template once per summary.
+  size_t TemplateSizeBytes() const {
+    return 2 * sizeof(double) + sizeof(int);
+  }
+
+ private:
+  static int CellsPerSide(double epsilon, double grid_size);
+
+  double epsilon_;
+  double grid_size_;
+  int cells_;
+  double half_span_;  ///< half the gridded square's side: cells * gs / 2
+  CoordinateQuadtree tree_;
+};
+
+}  // namespace ppq::cqc

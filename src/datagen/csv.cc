@@ -1,0 +1,64 @@
+#include "datagen/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+namespace ppq::datagen {
+
+Status SaveCsv(const TrajectoryDataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << std::setprecision(17);  // lossless float64 round trip
+  out << "traj_id,tick,x,y\n";
+  for (const Trajectory& traj : dataset.trajectories()) {
+    for (size_t i = 0; i < traj.points.size(); ++i) {
+      out << traj.id << ',' << (traj.start_tick + static_cast<Tick>(i)) << ','
+          << traj.points[i].x << ',' << traj.points[i].y << '\n';
+    }
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<TrajectoryDataset> LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+
+  std::map<TrajId, Trajectory> by_id;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line_no == 1 && line.rfind("traj_id", 0) == 0) continue;  // header
+    long id;
+    long tick;
+    double x;
+    double y;
+    if (std::sscanf(line.c_str(), "%ld,%ld,%lf,%lf", &id, &tick, &x, &y) != 4) {
+      std::ostringstream msg;
+      msg << path << ":" << line_no << ": malformed line";
+      return Status::Invalid(msg.str());
+    }
+    Trajectory& traj = by_id[static_cast<TrajId>(id)];
+    if (traj.points.empty()) {
+      traj.start_tick = static_cast<Tick>(tick);
+    } else if (static_cast<Tick>(tick) != traj.end_tick()) {
+      std::ostringstream msg;
+      msg << path << ":" << line_no << ": non-consecutive tick for trajectory "
+          << id;
+      return Status::Invalid(msg.str());
+    }
+    traj.points.push_back({x, y});
+  }
+
+  std::vector<Trajectory> trajectories;
+  trajectories.reserve(by_id.size());
+  for (auto& [id, traj] : by_id) trajectories.push_back(std::move(traj));
+  return TrajectoryDataset(std::move(trajectories));
+}
+
+}  // namespace ppq::datagen

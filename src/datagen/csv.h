@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+
+/// \file csv.h
+/// Plain-text persistence for trajectory datasets, so real GPS data (e.g.
+/// the actual Porto/GeoLife exports) can be dropped in as a replacement for
+/// the synthetic generators without recompiling.
+///
+/// Format: one point per line, `traj_id,tick,x,y`, sorted by (traj_id,
+/// tick); ticks within a trajectory must be consecutive.
+
+namespace ppq::datagen {
+
+/// Write \p dataset to \p path. Overwrites existing content.
+Status SaveCsv(const TrajectoryDataset& dataset, const std::string& path);
+
+/// Load a dataset previously written by SaveCsv (or an external export in
+/// the same format).
+Result<TrajectoryDataset> LoadCsv(const std::string& path);
+
+}  // namespace ppq::datagen

@@ -1,0 +1,241 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/geo.h"
+
+namespace ppq::datagen {
+namespace {
+
+/// Rotate a 2-D vector by \p angle radians.
+Point Rotate(const Point& v, double angle) {
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  return {v.x * c - v.y * s, v.x * s + v.y * c};
+}
+
+/// Steer a velocity vector back toward \p target when \p pos drifts out of
+/// \p box, so trajectories stay inside their region without hard clipping
+/// artifacts.
+Point SteerInside(const Point& pos, const Point& velocity,
+                  const BoundingBox& box, const Point& target) {
+  if (box.Contains(pos)) return velocity;
+  Point to_center = target - pos;
+  const double n = to_center.Norm();
+  if (n == 0.0) return velocity;
+  const double speed = velocity.Norm();
+  return to_center * (speed / n);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PortoLikeGenerator
+// ---------------------------------------------------------------------------
+
+BoundingBox PortoLikeGenerator::Region() {
+  BoundingBox box;
+  box.Extend({-8.70, 41.10});
+  box.Extend({-8.55, 41.25});
+  return box;
+}
+
+PortoLikeGenerator::PortoLikeGenerator(GeneratorOptions options)
+    : options_(options), rng_(options.seed) {
+  // Taxi stands / traffic attractors. Trips start near one of these, which
+  // creates the spatial clustering that partitioning exploits.
+  const BoundingBox box = Region();
+  const int kHotspots = 8;
+  for (int i = 0; i < kHotspots; ++i) {
+    hotspots_.push_back({rng_.Uniform(box.min_x + 0.02, box.max_x - 0.02),
+                         rng_.Uniform(box.min_y + 0.02, box.max_y - 0.02)});
+  }
+}
+
+Trajectory PortoLikeGenerator::GenerateTrip(TrajId id) {
+  const BoundingBox box = Region();
+  Trajectory traj;
+  traj.id = id;
+
+  const int length = static_cast<int>(
+      rng_.UniformInt(options_.min_length, options_.max_length));
+  const int latest_start = std::max(0, options_.horizon - length);
+  traj.start_tick = static_cast<Tick>(rng_.UniformInt(0, latest_start));
+
+  // Start near a hotspot.
+  const Point& hub = hotspots_[static_cast<size_t>(
+      rng_.UniformInt(0, static_cast<int64_t>(hotspots_.size()) - 1))];
+  Point pos{hub.x + rng_.Normal(0.0, 0.004), hub.y + rng_.Normal(0.0, 0.004)};
+
+  // Urban taxi: ~30 km/h at a 15 s sampling period -> ~125 m/tick.
+  const double mean_step = MetersToDegrees(125.0);
+  double heading = rng_.Uniform(0.0, 2.0 * std::numbers::pi);
+  Point velocity{mean_step * std::cos(heading), mean_step * std::sin(heading)};
+
+  traj.points.reserve(static_cast<size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    traj.points.push_back(pos);
+    // Smooth steering: small heading perturbation plus speed jitter gives
+    // the AR-like velocity autocorrelation the predictor relies on.
+    velocity = Rotate(velocity, rng_.Normal(0.0, 0.18));
+    const double speed_scale = std::clamp(rng_.Normal(1.0, 0.15), 0.3, 1.8);
+    velocity = velocity * speed_scale;
+    // Traffic stop: hold position for this step with small GPS jitter.
+    if (rng_.Bernoulli(0.05)) {
+      velocity = velocity * 0.05;
+    }
+    // Re-normalise speed softly toward the mean so trips neither stall nor
+    // run away.
+    const double speed = velocity.Norm();
+    if (speed > 0.0) {
+      const double blended = 0.8 * speed + 0.2 * mean_step;
+      velocity = velocity * (blended / speed);
+    }
+    velocity = SteerInside(pos + velocity, velocity, box, hub);
+    pos += velocity;
+  }
+  return traj;
+}
+
+TrajectoryDataset PortoLikeGenerator::Generate() {
+  TrajectoryDataset dataset;
+  for (int i = 0; i < options_.num_trajectories; ++i) {
+    dataset.Add(GenerateTrip(static_cast<TrajId>(i)));
+  }
+  return dataset;
+}
+
+// ---------------------------------------------------------------------------
+// GeoLifeLikeGenerator
+// ---------------------------------------------------------------------------
+
+BoundingBox GeoLifeLikeGenerator::Region() {
+  BoundingBox box;
+  box.Extend({115.5, 39.0});
+  box.Extend({118.5, 41.5});
+  return box;
+}
+
+GeoLifeLikeGenerator::GeoLifeLikeGenerator(GeneratorOptions options)
+    : options_(options), rng_(options.seed) {}
+
+double GeoLifeLikeGenerator::ModeSpeedDegrees(Mode mode) {
+  // Metres per 5 s tick for each transport mode.
+  switch (mode) {
+    case Mode::kWalk: return MetersToDegrees(7.0);
+    case Mode::kBike: return MetersToDegrees(25.0);
+    case Mode::kCar: return MetersToDegrees(75.0);
+    case Mode::kTrain: return MetersToDegrees(400.0);
+  }
+  return MetersToDegrees(7.0);
+}
+
+Trajectory GeoLifeLikeGenerator::GenerateTrajectory(TrajId id) {
+  const BoundingBox box = Region();
+  Trajectory traj;
+  traj.id = id;
+
+  const int length = static_cast<int>(
+      rng_.UniformInt(options_.min_length, options_.max_length));
+  const int latest_start = std::max(0, options_.horizon - length);
+  traj.start_tick = static_cast<Tick>(rng_.UniformInt(0, latest_start));
+
+  // Most GeoLife activity is near central Beijing.
+  const Point beijing{116.35, 39.95};
+  Point pos{beijing.x + rng_.Normal(0.0, 0.15),
+            beijing.y + rng_.Normal(0.0, 0.15)};
+
+  Mode mode = Mode::kWalk;
+  double heading = rng_.Uniform(0.0, 2.0 * std::numbers::pi);
+  Point velocity{std::cos(heading), std::sin(heading)};
+  velocity = velocity * ModeSpeedDegrees(mode);
+
+  traj.points.reserve(static_cast<size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    traj.points.push_back(pos);
+    // Occasional mode switch; trains produce the long straight inter-city
+    // legs that blow up the dataset's spatial span.
+    if (rng_.Bernoulli(0.01)) {
+      const int pick = static_cast<int>(rng_.UniformInt(0, 99));
+      if (pick < 45) {
+        mode = Mode::kWalk;
+      } else if (pick < 70) {
+        mode = Mode::kBike;
+      } else if (pick < 95) {
+        mode = Mode::kCar;
+      } else {
+        mode = Mode::kTrain;
+      }
+    }
+    const double turn_sigma = (mode == Mode::kTrain) ? 0.01 : 0.15;
+    velocity = Rotate(velocity, rng_.Normal(0.0, turn_sigma));
+    const double target_speed = ModeSpeedDegrees(mode);
+    const double speed = velocity.Norm();
+    if (speed > 0.0) {
+      const double blended = 0.85 * speed + 0.15 * target_speed;
+      velocity = velocity * (blended / speed);
+    }
+    velocity = SteerInside(pos + velocity, velocity, box, beijing);
+    pos += velocity;
+  }
+  return traj;
+}
+
+TrajectoryDataset GeoLifeLikeGenerator::Generate() {
+  TrajectoryDataset dataset;
+  for (int i = 0; i < options_.num_trajectories; ++i) {
+    dataset.Add(GenerateTrajectory(static_cast<TrajId>(i)));
+  }
+  return dataset;
+}
+
+// ---------------------------------------------------------------------------
+// MakeSubPorto
+// ---------------------------------------------------------------------------
+
+TrajectoryDataset MakeSubPorto(const TrajectoryDataset& source,
+                               SubPortoOptions options) {
+  Rng rng(options.seed);
+  TrajectoryDataset out;
+  for (const Trajectory& base : source.trajectories()) {
+    out.Add(base);
+    for (int v = 0; v < options.variants_per_trajectory; ++v) {
+      Trajectory variant;
+      variant.start_tick = base.start_tick;
+      const size_t n = base.points.size();
+      // Down-sample: keep a random subset of samples (always keeping the
+      // endpoints), then linearly re-interpolate back onto the tick grid.
+      std::vector<size_t> kept;
+      kept.push_back(0);
+      for (size_t i = 1; i + 1 < n; ++i) {
+        if (!rng.Bernoulli(options.drop_probability)) kept.push_back(i);
+      }
+      if (n > 1) kept.push_back(n - 1);
+
+      variant.points.resize(n);
+      size_t seg = 0;
+      for (size_t i = 0; i < n; ++i) {
+        while (seg + 1 < kept.size() && kept[seg + 1] < i) ++seg;
+        const size_t lo = kept[seg];
+        const size_t hi = (seg + 1 < kept.size()) ? kept[seg + 1] : lo;
+        Point p;
+        if (hi == lo) {
+          p = base.points[lo];
+        } else {
+          const double t = static_cast<double>(i - lo) /
+                           static_cast<double>(hi - lo);
+          p = base.points[lo] * (1.0 - t) + base.points[hi] * t;
+        }
+        p.x += rng.Normal(0.0, options.noise_stddev_degrees);
+        p.y += rng.Normal(0.0, options.noise_stddev_degrees);
+        variant.points[i] = p;
+      }
+      out.Add(std::move(variant));
+    }
+  }
+  return out;
+}
+
+}  // namespace ppq::datagen

@@ -1,0 +1,122 @@
+#include "index/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ppq::index {
+
+GridIndex::GridIndex(Rect region, double cell_size)
+    : region_(region), cell_size_(cell_size) {
+  cells_x_ = std::max(1, static_cast<int>(std::ceil(region.width() / cell_size)));
+  cells_y_ = std::max(1, static_cast<int>(std::ceil(region.height() / cell_size)));
+}
+
+int64_t GridIndex::CellKey(const Point& p) const {
+  int cx = static_cast<int>(std::floor((p.x - region_.min_x) / cell_size_));
+  int cy = static_cast<int>(std::floor((p.y - region_.min_y) / cell_size_));
+  cx = std::clamp(cx, 0, cells_x_ - 1);
+  cy = std::clamp(cy, 0, cells_y_ - 1);
+  return static_cast<int64_t>(cy) * cells_x_ + cx;
+}
+
+void GridIndex::Insert(Tick t, TrajId id, const Point& p) {
+  CellData& cell = cells_[CellKey(p)];
+  std::vector<TrajId>& ids = cell.raw[t];
+  // Keep lists sorted for delta encoding; ids usually arrive ascending.
+  if (!ids.empty() && id < ids.back()) {
+    ids.insert(std::upper_bound(ids.begin(), ids.end(), id), id);
+  } else {
+    ids.push_back(id);
+  }
+  ++counts_[t];
+}
+
+std::vector<TrajId> GridIndex::CellIdsAt(const CellData& cell, Tick t) const {
+  if (finalized_) {
+    const auto it = cell.packed.find(t);
+    if (it == cell.packed.end()) return {};
+    auto decoded = DecompressIds(it->second, table_);
+    // The table was built from exactly these lists, so decoding cannot
+    // fail; return empty defensively on corruption.
+    return decoded.ok() ? *decoded : std::vector<TrajId>{};
+  }
+  const auto it = cell.raw.find(t);
+  return it == cell.raw.end() ? std::vector<TrajId>{} : it->second;
+}
+
+std::vector<TrajId> GridIndex::Query(const Point& p, Tick t) const {
+  const auto it = cells_.find(CellKey(p));
+  if (it == cells_.end()) return {};
+  return CellIdsAt(it->second, t);
+}
+
+void GridIndex::QueryCircle(const Point& center, double radius, Tick t,
+                            std::vector<TrajId>* out) const {
+  const int cx_lo = std::clamp(
+      static_cast<int>(std::floor((center.x - radius - region_.min_x) / cell_size_)),
+      0, cells_x_ - 1);
+  const int cx_hi = std::clamp(
+      static_cast<int>(std::floor((center.x + radius - region_.min_x) / cell_size_)),
+      0, cells_x_ - 1);
+  const int cy_lo = std::clamp(
+      static_cast<int>(std::floor((center.y - radius - region_.min_y) / cell_size_)),
+      0, cells_y_ - 1);
+  const int cy_hi = std::clamp(
+      static_cast<int>(std::floor((center.y + radius - region_.min_y) / cell_size_)),
+      0, cells_y_ - 1);
+  for (int cy = cy_lo; cy <= cy_hi; ++cy) {
+    for (int cx = cx_lo; cx <= cx_hi; ++cx) {
+      // Reject cells whose closest point to the centre is outside the disc.
+      const double cell_min_x = region_.min_x + cx * cell_size_;
+      const double cell_min_y = region_.min_y + cy * cell_size_;
+      const double nearest_x =
+          std::clamp(center.x, cell_min_x, cell_min_x + cell_size_);
+      const double nearest_y =
+          std::clamp(center.y, cell_min_y, cell_min_y + cell_size_);
+      const double dx = center.x - nearest_x;
+      const double dy = center.y - nearest_y;
+      if (dx * dx + dy * dy > radius * radius) continue;
+      const auto it = cells_.find(static_cast<int64_t>(cy) * cells_x_ + cx);
+      if (it == cells_.end()) continue;
+      const std::vector<TrajId> ids = CellIdsAt(it->second, t);
+      out->insert(out->end(), ids.begin(), ids.end());
+    }
+  }
+}
+
+void GridIndex::Finalize() {
+  if (finalized_) return;
+  std::unordered_map<uint32_t, uint64_t> frequencies;
+  for (const auto& [key, cell] : cells_) {
+    for (const auto& [tick, ids] : cell.raw) {
+      AccumulateDeltaFrequencies(ids, &frequencies);
+    }
+  }
+  table_ = HuffmanTable::Build(frequencies);
+  for (auto& [key, cell] : cells_) {
+    for (const auto& [tick, ids] : cell.raw) {
+      auto packed = CompressIds(ids, table_);
+      // Cannot fail: the table covers every delta by construction.
+      if (packed.ok()) cell.packed[tick] = std::move(*packed);
+    }
+    cell.raw.clear();
+  }
+  finalized_ = true;
+}
+
+size_t GridIndex::SizeBytes() const {
+  size_t total = sizeof(Rect) + sizeof(double) + 2 * sizeof(int);
+  total += table_.SizeBytes();
+  for (const auto& [key, cell] : cells_) {
+    total += sizeof(int64_t);  // cell key
+    for (const auto& [tick, ids] : cell.raw) {
+      total += sizeof(Tick) + ids.size() * sizeof(TrajId);
+    }
+    for (const auto& [tick, packed] : cell.packed) {
+      total += sizeof(Tick) + packed.SizeBytes();
+    }
+  }
+  return total;
+}
+
+}  // namespace ppq::index

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "index/huffman.h"
+#include "index/rectangle.h"
+
+/// \file grid_index.h
+/// The per-subregion grid index of Algorithm 3 (after [41, 42]): a
+/// rectangle partitioned into gc-sized cells, each cell holding the ids of
+/// the trajectories located there, keyed by tick. Finalize() compresses
+/// every id list with delta encoding plus a Huffman table shared across
+/// the grid (Section 5.1).
+
+namespace ppq::index {
+
+/// \brief Grid over one rectangle; maps (cell, tick) -> trajectory ids.
+class GridIndex {
+ public:
+  /// \param region     the rectangle covered by this grid.
+  /// \param cell_size  gc, in coordinate units.
+  GridIndex(Rect region, double cell_size);
+
+  const Rect& region() const { return region_; }
+  double cell_size() const { return cell_size_; }
+  int cells_x() const { return cells_x_; }
+  int cells_y() const { return cells_y_; }
+
+  bool Contains(const Point& p) const { return region_.Contains(p); }
+
+  /// Index trajectory \p id at position \p p for tick \p t. The caller
+  /// guarantees Contains(p).
+  void Insert(Tick t, TrajId id, const Point& p);
+
+  /// Number of ids indexed at tick \p t (the N_{R_i,t} of Definition 5.1).
+  size_t CountAt(Tick t) const {
+    const auto it = counts_.find(t);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  /// Ids in the cell containing \p p at tick \p t (STRQ primitive).
+  std::vector<TrajId> Query(const Point& p, Tick t) const;
+
+  /// Append ids at tick \p t from every cell intersecting the disc around
+  /// \p center (the local-search scan of Section 5.2).
+  void QueryCircle(const Point& center, double radius, Tick t,
+                   std::vector<TrajId>* out) const;
+
+  /// Compress all id lists (delta + shared Huffman). Inserts after
+  /// Finalize are rejected with a failed Status from InsertChecked; the
+  /// unchecked Insert must not be called after finalizing.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  /// Exact storage footprint: region + per-cell maps + id lists (compressed
+  /// when finalized, 4 bytes/id otherwise) + the shared Huffman table.
+  size_t SizeBytes() const;
+
+ private:
+  struct CellData {
+    /// tick -> ascending id list (pre-finalize).
+    std::map<Tick, std::vector<TrajId>> raw;
+    /// tick -> compressed list (post-finalize).
+    std::map<Tick, CompressedIdList> packed;
+  };
+
+  int64_t CellKey(const Point& p) const;
+  std::vector<TrajId> CellIdsAt(const CellData& cell, Tick t) const;
+
+  Rect region_;
+  double cell_size_;
+  int cells_x_;
+  int cells_y_;
+  bool finalized_ = false;
+  std::unordered_map<int64_t, CellData> cells_;
+  std::map<Tick, size_t> counts_;
+  HuffmanTable table_;
+};
+
+}  // namespace ppq::index

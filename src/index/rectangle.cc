@@ -1,0 +1,102 @@
+#include "index/rectangle.h"
+
+#include <algorithm>
+
+namespace ppq::index {
+
+Rect BoundingRect(const std::vector<Point>& points) {
+  if (points.empty()) return Rect{};
+  Rect r{points[0].x, points[0].y, points[0].x, points[0].y};
+  for (const Point& p : points) {
+    r.min_x = std::min(r.min_x, p.x);
+    r.min_y = std::min(r.min_y, p.y);
+    r.max_x = std::max(r.max_x, p.x);
+    r.max_y = std::max(r.max_y, p.y);
+  }
+  return r;
+}
+
+namespace {
+
+/// Free y-intervals of the slab: rect's y-range minus the holes' y-ranges.
+std::vector<std::pair<double, double>> FreeIntervals(
+    double y_min, double y_max,
+    const std::vector<std::pair<double, double>>& holes) {
+  std::vector<std::pair<double, double>> sorted = holes;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::pair<double, double>> free;
+  double cursor = y_min;
+  for (const auto& [lo, hi] : sorted) {
+    if (hi <= cursor) continue;
+    if (lo > cursor) free.push_back({cursor, std::min(lo, y_max)});
+    cursor = std::max(cursor, hi);
+    if (cursor >= y_max) break;
+  }
+  if (cursor < y_max) free.push_back({cursor, y_max});
+  return free;
+}
+
+}  // namespace
+
+std::vector<Rect> RemoveOverlap(const Rect& rect,
+                                const std::vector<Rect>& existing) {
+  if (rect.Empty()) return {};
+
+  // Clip the holes to the rectangle; collect x breakpoints.
+  std::vector<Rect> holes;
+  std::vector<double> xs{rect.min_x, rect.max_x};
+  for (const Rect& e : existing) {
+    if (!rect.Intersects(e)) continue;
+    const Rect clipped = rect.Intersection(e);
+    if (clipped.Empty()) continue;
+    holes.push_back(clipped);
+    xs.push_back(clipped.min_x);
+    xs.push_back(clipped.max_x);
+  }
+  if (holes.empty()) return {rect};
+
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+
+  // Per slab: free y-intervals.
+  struct Slab {
+    double x0, x1;
+    std::vector<std::pair<double, double>> free;
+  };
+  std::vector<Slab> slabs;
+  for (size_t i = 0; i + 1 < xs.size(); ++i) {
+    Slab slab{xs[i], xs[i + 1], {}};
+    if (slab.x1 <= slab.x0) continue;
+    std::vector<std::pair<double, double>> hole_intervals;
+    const double mid = (slab.x0 + slab.x1) / 2.0;
+    for (const Rect& h : holes) {
+      if (h.min_x <= mid && mid <= h.max_x && h.min_x < slab.x1 &&
+          h.max_x > slab.x0) {
+        hole_intervals.push_back({h.min_y, h.max_y});
+      }
+    }
+    slab.free = FreeIntervals(rect.min_y, rect.max_y, hole_intervals);
+    slabs.push_back(std::move(slab));
+  }
+
+  // Coalesce x-adjacent slabs with identical free interval sets, then emit
+  // one rectangle per (merged slab, free interval).
+  std::vector<Rect> result;
+  size_t i = 0;
+  while (i < slabs.size()) {
+    size_t j = i + 1;
+    while (j < slabs.size() && slabs[j].x0 == slabs[j - 1].x1 &&
+           slabs[j].free == slabs[i].free) {
+      ++j;
+    }
+    for (const auto& [lo, hi] : slabs[i].free) {
+      if (hi > lo) {
+        result.push_back(Rect{slabs[i].x0, lo, slabs[j - 1].x1, hi});
+      }
+    }
+    i = j;
+  }
+  return result;
+}
+
+}  // namespace ppq::index

@@ -1,0 +1,104 @@
+#include "index/temporal_index.h"
+
+namespace ppq::index {
+
+void TemporalPartitionIndex::Observe(const TimeSlice& slice) {
+  stats_.points_indexed += slice.size();
+
+  if (!has_open_period_) {
+    // Lines 1-2: initial PI.
+    Period period;
+    period.start = slice.tick;
+    period.end = slice.tick;
+    period.pi = PartitionIndex::Build(slice, options_.pi, &rng_);
+    periods_.push_back(std::move(period));
+    has_open_period_ = true;
+    ++stats_.num_periods;
+    return;
+  }
+
+  Period& current = periods_.back();
+
+  // Line 6: compare the slice's subregion occupancy against the period's
+  // baselines before touching the index.
+  const double adr = current.pi.AverageDropRate(slice, options_.epsilon_c);
+  if (adr > options_.epsilon_d) {
+    // Lines 7-9: close the period, rebuild from scratch.
+    Period period;
+    period.start = slice.tick;
+    period.end = slice.tick;
+    period.pi = PartitionIndex::Build(slice, options_.pi, &rng_);
+    periods_.push_back(std::move(period));
+    ++stats_.num_periods;
+    ++stats_.num_rebuilds;
+    return;
+  }
+
+  // Lines 10-11: reuse the current PI; only uncovered points need a fresh
+  // sub-decomposition.
+  const std::vector<size_t> uncovered = current.pi.InsertCovered(slice);
+  if (!uncovered.empty()) {
+    TimeSlice uncovered_slice;
+    uncovered_slice.tick = slice.tick;
+    uncovered_slice.ids.reserve(uncovered.size());
+    uncovered_slice.positions.reserve(uncovered.size());
+    for (size_t row : uncovered) {
+      uncovered_slice.ids.push_back(slice.ids[row]);
+      uncovered_slice.positions.push_back(slice.positions[row]);
+    }
+    current.pi.Append(
+        PartitionIndex::Build(uncovered_slice, options_.pi, &rng_));
+    ++stats_.num_insertions;
+  }
+  current.end = slice.tick;
+}
+
+const Period* TemporalPartitionIndex::FindPeriod(Tick t) const {
+  // Periods are ordered by start tick; binary search the last period whose
+  // start <= t, then confirm coverage.
+  if (periods_.empty()) return nullptr;
+  size_t lo = 0;
+  size_t hi = periods_.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (periods_[mid].start <= t) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == 0) return nullptr;
+  const Period& candidate = periods_[lo - 1];
+  return candidate.ContainsTick(t) ? &candidate : nullptr;
+}
+
+std::vector<TrajId> TemporalPartitionIndex::Query(const Point& p,
+                                                  Tick t) const {
+  const Period* period = FindPeriod(t);
+  if (period == nullptr) return {};
+  return period->pi.Query(p, t);
+}
+
+std::vector<TrajId> TemporalPartitionIndex::QueryCircle(const Point& center,
+                                                        double radius,
+                                                        Tick t) const {
+  const Period* period = FindPeriod(t);
+  if (period == nullptr) return {};
+  std::vector<TrajId> ids;
+  period->pi.QueryCircle(center, radius, t, &ids);
+  return ids;
+}
+
+void TemporalPartitionIndex::Finalize() {
+  for (Period& period : periods_) period.pi.Finalize();
+}
+
+size_t TemporalPartitionIndex::SizeBytes() const {
+  size_t total = sizeof(Options) + sizeof(TpiStats);
+  for (const Period& period : periods_) {
+    total += 2 * sizeof(Tick) + period.pi.SizeBytes();
+  }
+  return total;
+}
+
+}  // namespace ppq::index

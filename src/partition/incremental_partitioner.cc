@@ -1,0 +1,194 @@
+#include "partition/incremental_partitioner.h"
+
+#include <cmath>
+#include <limits>
+
+namespace ppq::partition {
+
+double IncrementalPartitioner::RowDistance(const std::vector<double>& features,
+                                           int row,
+                                           const std::vector<double>& centroid,
+                                           int dim) const {
+  double sum = 0.0;
+  for (int d = 0; d < dim; ++d) {
+    const double diff =
+        features[static_cast<size_t>(row) * dim + d] - centroid[d];
+    sum += diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+void IncrementalPartitioner::RecomputeCentroid(
+    PartitionState* partition, const std::vector<double>& features,
+    int dim) const {
+  if (partition->rows.empty()) return;
+  partition->centroid.assign(static_cast<size_t>(dim), 0.0);
+  for (int row : partition->rows) {
+    for (int d = 0; d < dim; ++d) {
+      partition->centroid[static_cast<size_t>(d)] +=
+          features[static_cast<size_t>(row) * dim + d];
+    }
+  }
+  for (int d = 0; d < dim; ++d) {
+    partition->centroid[static_cast<size_t>(d)] /=
+        static_cast<double>(partition->rows.size());
+  }
+}
+
+int IncrementalPartitioner::ClusterRows(const std::vector<int>& rows,
+                                        const std::vector<double>& features,
+                                        int dim, UpdateStats* stats) {
+  if (rows.empty()) return 0;
+  // Gather the subset into a dense matrix for the clustering loop.
+  std::vector<double> subset;
+  subset.reserve(rows.size() * static_cast<size_t>(dim));
+  for (int row : rows) {
+    for (int d = 0; d < dim; ++d) {
+      subset.push_back(features[static_cast<size_t>(row) * dim + d]);
+    }
+  }
+  quantizer::ThresholdClusterOptions cluster_options;
+  cluster_options.initial_clusters = 1;
+  cluster_options.step = options_.growth_step;
+  cluster_options.kmeans.max_iterations = options_.kmeans_iterations;
+  const auto clustered = quantizer::ThresholdCluster(
+      subset, static_cast<int>(rows.size()), dim, options_.epsilon,
+      cluster_options, rng_);
+  if (stats != nullptr) {
+    stats->cluster_rounds += clustered.rounds;
+    stats->repartitioned_points += rows.size();
+  }
+
+  const int base = static_cast<int>(partitions_.size());
+  for (int c = 0; c < clustered.kmeans.k; ++c) {
+    PartitionState state;
+    state.centroid.assign(
+        clustered.kmeans.centroids.begin() + static_cast<size_t>(c) * dim,
+        clustered.kmeans.centroids.begin() + static_cast<size_t>(c + 1) * dim);
+    state.is_new = true;
+    partitions_.push_back(std::move(state));
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    partitions_[static_cast<size_t>(base + clustered.kmeans.assignments[i])]
+        .rows.push_back(rows[i]);
+  }
+  return clustered.kmeans.k;
+}
+
+std::vector<int> IncrementalPartitioner::Update(
+    const std::vector<TrajId>& ids, const std::vector<double>& features,
+    int dim, UpdateStats* stats) {
+  const int n = static_cast<int>(ids.size());
+  if (stats != nullptr) *stats = UpdateStats{};
+
+  // Reset transient state.
+  for (auto& p : partitions_) {
+    p.rows.clear();
+    p.is_new = false;
+    p.merged = false;
+  }
+
+  // Step 1: inherit the previous partition per trajectory; route brand-new
+  // trajectories to the nearest centroid when it is close enough.
+  std::vector<int> newcomers;
+  for (int i = 0; i < n; ++i) {
+    const auto it = member_partition_.find(ids[static_cast<size_t>(i)]);
+    if (it != member_partition_.end() &&
+        it->second < static_cast<int>(partitions_.size())) {
+      partitions_[static_cast<size_t>(it->second)].rows.push_back(i);
+      continue;
+    }
+    int best = -1;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (size_t p = 0; p < partitions_.size(); ++p) {
+      const double d = RowDistance(features, i, partitions_[p].centroid, dim);
+      if (d < best_dist) {
+        best_dist = d;
+        best = static_cast<int>(p);
+      }
+    }
+    if (best >= 0 && best_dist <= options_.epsilon) {
+      partitions_[static_cast<size_t>(best)].rows.push_back(i);
+    } else {
+      newcomers.push_back(i);
+    }
+  }
+
+  // Drop partitions whose trajectories all ended.
+  std::erase_if(partitions_, [](const PartitionState& p) {
+    return p.rows.empty();
+  });
+
+  // Step 2: recompute centroids, re-split partitions violating eps_p.
+  std::vector<int> pending_rows;
+  const size_t stable_count = partitions_.size();
+  std::vector<PartitionState> kept;
+  kept.reserve(stable_count);
+  for (size_t p = 0; p < stable_count; ++p) {
+    RecomputeCentroid(&partitions_[p], features, dim);
+    double worst = 0.0;
+    for (int row : partitions_[p].rows) {
+      worst = std::max(worst,
+                       RowDistance(features, row, partitions_[p].centroid, dim));
+    }
+    if (worst <= options_.epsilon) {
+      kept.push_back(std::move(partitions_[p]));
+    } else {
+      pending_rows.insert(pending_rows.end(), partitions_[p].rows.begin(),
+                          partitions_[p].rows.end());
+    }
+  }
+  partitions_ = std::move(kept);
+
+  int created = 0;
+  created += ClusterRows(pending_rows, features, dim, stats);
+  created += ClusterRows(newcomers, features, dim, stats);
+  if (stats != nullptr) stats->new_partitions = created;
+
+  // Step 3: merge close partitions; each participates at most once. Only
+  // pairs involving a new partition can have become mergeable this tick,
+  // which is what bounds the cost to O(q' * q) (Lemma 2).
+  if (options_.enable_merge) {
+    for (size_t j = 0; j < partitions_.size(); ++j) {
+      if (!partitions_[j].is_new || partitions_[j].merged) continue;
+      for (size_t i = 0; i < partitions_.size(); ++i) {
+        if (i == j || partitions_[i].merged || partitions_[i].rows.empty()) {
+          continue;
+        }
+        double dist = 0.0;
+        for (int d = 0; d < dim; ++d) {
+          const double diff = partitions_[i].centroid[static_cast<size_t>(d)] -
+                              partitions_[j].centroid[static_cast<size_t>(d)];
+          dist += diff * diff;
+        }
+        if (std::sqrt(dist) <= options_.epsilon) {
+          partitions_[i].rows.insert(partitions_[i].rows.end(),
+                                     partitions_[j].rows.begin(),
+                                     partitions_[j].rows.end());
+          partitions_[j].rows.clear();
+          RecomputeCentroid(&partitions_[i], features, dim);
+          partitions_[i].merged = true;
+          partitions_[j].merged = true;
+          if (stats != nullptr) ++stats->merges;
+          break;
+        }
+      }
+    }
+    std::erase_if(partitions_, [](const PartitionState& p) {
+      return p.rows.empty();
+    });
+  }
+
+  // Publish assignments and refresh the trajectory->partition map.
+  std::vector<int> assignment(static_cast<size_t>(n), -1);
+  member_partition_.clear();
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    for (int row : partitions_[p].rows) {
+      assignment[static_cast<size_t>(row)] = static_cast<int>(p);
+      member_partition_[ids[static_cast<size_t>(row)]] = static_cast<int>(p);
+    }
+  }
+  return assignment;
+}
+
+}  // namespace ppq::partition

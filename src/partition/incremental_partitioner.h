@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "quantizer/kmeans.h"
+
+/// \file incremental_partitioner.h
+/// The partitioning machinery of Section 3.2: trajectory points (or their
+/// autocorrelation feature vectors) are grouped so that every member lies
+/// within eps_p of its partition centroid (Equations 7/8), and partitions
+/// are maintained incrementally across timestamps (Section 3.2.2):
+///
+///   1. each point at t+1 inherits the partition of its trajectory at t;
+///   2. partitions that now violate eps_p are re-split in place;
+///   3. partitions whose centroids moved within eps_p of each other are
+///      merged, each partition participating in at most one merge.
+///
+/// The same class drives PPQ-S (features = positions, dim 2) and PPQ-A
+/// (features = AR(k) coefficient vectors, dim 2k).
+
+namespace ppq::partition {
+
+/// \brief Statistics from one Update call, used by the Lemma 1/2 complexity
+/// experiments (Figures 7/8).
+struct UpdateStats {
+  /// Points whose inherited partition no longer satisfied eps_p, plus
+  /// brand-new trajectories that no existing centroid could absorb (the
+  /// paper's N').
+  size_t repartitioned_points = 0;
+  /// Total growth rounds spent in threshold clustering (the paper's m').
+  int cluster_rounds = 0;
+  /// Partitions created this tick (the paper's q').
+  int new_partitions = 0;
+  /// Merges performed.
+  int merges = 0;
+};
+
+/// \brief Incremental eps_p-bounded partitioner.
+class IncrementalPartitioner {
+ public:
+  struct Options {
+    /// Partition threshold eps_p (Eq. 7/8).
+    double epsilon = 0.1;
+    /// Growth step of the threshold clustering (the paper's a).
+    int growth_step = 1;
+    int kmeans_iterations = 15;
+    /// Enable the merge step (Section 3.2.2, step 3).
+    bool enable_merge = true;
+    uint64_t seed = 42;
+  };
+
+  explicit IncrementalPartitioner(Options options)
+      : options_(options), rng_(options.seed) {}
+
+  /// Advance to the next timestamp. \p ids are the active trajectory ids;
+  /// \p features holds one row of \p dim values per id (row-major). The
+  /// feature dimension must stay constant across calls. Returns the
+  /// partition index (0..NumPartitions()-1) per input row.
+  std::vector<int> Update(const std::vector<TrajId>& ids,
+                          const std::vector<double>& features, int dim,
+                          UpdateStats* stats = nullptr);
+
+  /// Number of live partitions after the last Update (the paper's q).
+  int NumPartitions() const { return static_cast<int>(partitions_.size()); }
+
+  /// Centroid of partition \p p in feature space.
+  const std::vector<double>& Centroid(int p) const {
+    return partitions_[static_cast<size_t>(p)].centroid;
+  }
+
+  /// Drop all state (used when a dataset restarts).
+  void Reset() {
+    partitions_.clear();
+    member_partition_.clear();
+  }
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct PartitionState {
+    std::vector<double> centroid;
+    /// Row indices of the current Update call (transient scratch).
+    std::vector<int> rows;
+    /// Set when this partition was created during the current Update.
+    bool is_new = false;
+    /// Set when this partition already took part in a merge this round.
+    bool merged = false;
+  };
+
+  /// Cluster the given rows with growing q until eps_p holds, appending
+  /// the resulting partitions. Returns the number of partitions created.
+  int ClusterRows(const std::vector<int>& rows,
+                  const std::vector<double>& features, int dim,
+                  UpdateStats* stats);
+
+  void RecomputeCentroid(PartitionState* partition,
+                         const std::vector<double>& features, int dim) const;
+
+  double RowDistance(const std::vector<double>& features, int row,
+                     const std::vector<double>& centroid, int dim) const;
+
+  Options options_;
+  Rng rng_;
+  std::vector<PartitionState> partitions_;
+  std::unordered_map<TrajId, int> member_partition_;
+};
+
+}  // namespace ppq::partition

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+/// \file codebook.h
+/// The error-bounded codebook (Definition 3.2): a flat list of 2-D
+/// codewords. Assignment indices are stored with ceil(log2(V)) bits, which
+/// is what the compression-ratio accounting charges per point.
+
+namespace ppq::quantizer {
+
+/// Index of a codeword inside a Codebook (the paper's b_i^t).
+using CodewordIndex = int32_t;
+
+/// \brief A list of 2-D codewords with nearest-neighbour lookup.
+class Codebook {
+ public:
+  Codebook() = default;
+  explicit Codebook(std::vector<Point> codewords)
+      : codewords_(std::move(codewords)) {}
+
+  size_t size() const { return codewords_.size(); }
+  bool empty() const { return codewords_.empty(); }
+  const Point& operator[](CodewordIndex i) const {
+    return codewords_[static_cast<size_t>(i)];
+  }
+  const std::vector<Point>& codewords() const { return codewords_; }
+
+  /// Append a codeword, returning its index.
+  CodewordIndex Add(const Point& codeword) {
+    codewords_.push_back(codeword);
+    return static_cast<CodewordIndex>(codewords_.size() - 1);
+  }
+
+  /// Nearest codeword to \p p by Euclidean distance, with the distance.
+  /// Returns {-1, inf} on an empty codebook.
+  std::pair<CodewordIndex, double> Nearest(const Point& p) const {
+    CodewordIndex best = -1;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < codewords_.size(); ++i) {
+      const double d2 = (codewords_[i] - p).SquaredNorm();
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = static_cast<CodewordIndex>(i);
+      }
+    }
+    return {best, std::sqrt(best_d2)};
+  }
+
+  /// Bits needed to store one codeword index: ceil(log2(V)), minimum 1.
+  int BitsPerIndex() const {
+    if (codewords_.size() <= 1) return 1;
+    int bits = 0;
+    size_t v = codewords_.size() - 1;
+    while (v > 0) {
+      ++bits;
+      v >>= 1;
+    }
+    return bits;
+  }
+
+  /// Storage charged for the codewords themselves (two float64 each).
+  size_t SizeBytes() const { return codewords_.size() * 2 * sizeof(double); }
+
+ private:
+  std::vector<Point> codewords_;
+};
+
+}  // namespace ppq::quantizer

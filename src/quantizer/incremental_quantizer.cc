@@ -1,0 +1,108 @@
+#include "quantizer/incremental_quantizer.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace ppq::quantizer {
+
+void IncrementalQuantizer::SyncGrid(const Codebook& codebook) {
+  if (synced_codebook_ != &codebook) {
+    grid_.Clear();
+    synced_codebook_ = &codebook;
+    synced_count_ = 0;
+  }
+  for (size_t i = synced_count_; i < codebook.size(); ++i) {
+    grid_.Add(codebook[static_cast<CodewordIndex>(i)],
+              static_cast<int32_t>(i));
+  }
+  synced_count_ = codebook.size();
+}
+
+std::vector<CodewordIndex> IncrementalQuantizer::QuantizeBatch(
+    const std::vector<Point>& errors, Codebook* codebook,
+    QuantizeStats* stats) {
+  SyncGrid(*codebook);
+
+  std::vector<CodewordIndex> assignments(errors.size(), -1);
+  std::vector<size_t> violators;
+
+  for (size_t i = 0; i < errors.size(); ++i) {
+    const auto [index, dist] =
+        grid_.NearestWithin(errors[i], options_.epsilon);
+    if (index >= 0) {
+      assignments[i] = index;
+    } else {
+      violators.push_back(i);
+    }
+  }
+  if (stats != nullptr) {
+    stats->violators = violators.size();
+    stats->added_codewords = 0;
+  }
+  if (violators.empty()) return assignments;
+  const size_t size_before = codebook->size();
+
+  if (options_.growth == GrowthPolicy::kVerbatim) {
+    for (size_t i : violators) {
+      const CodewordIndex index = codebook->Add(errors[i]);
+      grid_.Add(errors[i], index);
+      assignments[i] = index;
+    }
+  } else if (violators.size() <= options_.cluster_batch_limit) {
+    // Small batch: pursue minimality with threshold k-means, then assign
+    // each violator to the nearest appended centroid.
+    std::vector<Point> violating_points;
+    violating_points.reserve(violators.size());
+    for (size_t i : violators) violating_points.push_back(errors[i]);
+
+    ThresholdClusterOptions cluster_options;
+    cluster_options.initial_clusters = 1;
+    cluster_options.step = options_.cluster_step;
+    cluster_options.kmeans.max_iterations = options_.kmeans_iterations;
+    const ThresholdClusterResult clusters = ThresholdCluster(
+        FlattenPoints(violating_points),
+        static_cast<int>(violating_points.size()), /*dim=*/2,
+        options_.epsilon, cluster_options, rng_);
+
+    const CodewordIndex base = static_cast<CodewordIndex>(codebook->size());
+    for (int c = 0; c < clusters.kmeans.k; ++c) {
+      const Point centroid = clusters.kmeans.CentroidPoint(c);
+      grid_.Add(centroid, codebook->Add(centroid));
+    }
+    for (size_t vi = 0; vi < violators.size(); ++vi) {
+      assignments[violators[vi]] = base + clusters.kmeans.assignments[vi];
+    }
+  } else {
+    // Large batch: grid cover. A cell of side sqrt(2) * eps has half
+    // diagonal exactly eps, so every violator is within eps of its cell
+    // centre.
+    const double side = std::sqrt(2.0) * options_.epsilon;
+    std::unordered_map<int64_t, CodewordIndex> cell_codeword;
+    const auto key_of = [side](const Point& p) {
+      const int64_t cx = static_cast<int64_t>(std::floor(p.x / side));
+      const int64_t cy = static_cast<int64_t>(std::floor(p.y / side));
+      return (cx << 32) ^ (cy & 0xffffffffLL);
+    };
+    for (size_t i : violators) {
+      const int64_t key = key_of(errors[i]);
+      auto it = cell_codeword.find(key);
+      if (it == cell_codeword.end()) {
+        const Point centre{
+            (std::floor(errors[i].x / side) + 0.5) * side,
+            (std::floor(errors[i].y / side) + 0.5) * side};
+        const CodewordIndex index = codebook->Add(centre);
+        grid_.Add(centre, index);
+        it = cell_codeword.emplace(key, index).first;
+      }
+      assignments[i] = it->second;
+    }
+  }
+
+  synced_count_ = codebook->size();
+  if (stats != nullptr) {
+    stats->added_codewords = codebook->size() - size_before;
+  }
+  return assignments;
+}
+
+}  // namespace ppq::quantizer

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "quantizer/codebook.h"
+#include "quantizer/grid_nearest.h"
+#include "quantizer/kmeans.h"
+
+/// \file incremental_quantizer.h
+/// The Incremental_Quantizer of Algorithm 1, line 6: assign every
+/// prediction error to its nearest codeword; whenever an error cannot be
+/// represented within the deviation threshold eps_1, grow the codebook so
+/// the bound (Equation 3) keeps holding as t evolves.
+
+namespace ppq::quantizer {
+
+/// \brief How new codewords are created for bound-violating errors.
+enum class GrowthPolicy {
+  /// Cluster the violating errors with threshold k-means and append the
+  /// centroids (pursues Eq. 3's minimal-codebook objective). Batches
+  /// larger than Options::cluster_batch_limit fall back to a grid cover
+  /// (cells of side sqrt(2) * eps, centres appended) whose codeword count
+  /// is within a constant factor of optimal at O(n) cost. Default.
+  kCluster,
+  /// Append each violating error verbatim as its own codeword (ablation
+  /// baseline; larger codebooks, zero clustering cost).
+  kVerbatim,
+};
+
+/// \brief Per-batch counters for observability and tests.
+struct QuantizeStats {
+  /// Errors that were not within eps_1 of any existing codeword.
+  size_t violators = 0;
+  /// Codewords appended while handling this batch.
+  size_t added_codewords = 0;
+};
+
+/// \brief Error-bounded online quantizer (Eq. 3).
+///
+/// Thread-compatibility: const-safe for concurrent reads; QuantizeBatch
+/// mutates the supplied codebook and must be externally serialised.
+class IncrementalQuantizer {
+ public:
+  struct Options {
+    double epsilon = 1e-3;
+    GrowthPolicy growth = GrowthPolicy::kCluster;
+    /// Growth step for the violator clustering.
+    int cluster_step = 2;
+    int kmeans_iterations = 15;
+    /// Violator batches above this size use the grid cover instead of
+    /// threshold k-means (see GrowthPolicy::kCluster).
+    size_t cluster_batch_limit = 256;
+    uint64_t seed = 42;
+  };
+
+  explicit IncrementalQuantizer(Options options)
+      : options_(options), rng_(options.seed), grid_(options.epsilon) {}
+
+  /// Assign every point of \p errors to a codeword of \p codebook within
+  /// epsilon, growing the codebook when necessary. Returns one codeword
+  /// index per input point.
+  std::vector<CodewordIndex> QuantizeBatch(const std::vector<Point>& errors,
+                                           Codebook* codebook,
+                                           QuantizeStats* stats = nullptr);
+
+  double epsilon() const { return options_.epsilon; }
+  const Options& options() const { return options_; }
+
+ private:
+  /// Keep the lookup grid in sync with the (append-only) codebook.
+  void SyncGrid(const Codebook& codebook);
+
+  Options options_;
+  Rng rng_;
+  GridNearest grid_;
+  /// Identity of the codebook the grid mirrors.
+  const Codebook* synced_codebook_ = nullptr;
+  size_t synced_count_ = 0;
+};
+
+}  // namespace ppq::quantizer

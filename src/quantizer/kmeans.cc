@@ -1,0 +1,164 @@
+#include "quantizer/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ppq::quantizer {
+namespace {
+
+double SquaredDistance(const double* a, const double* b, int dim) {
+  double sum = 0.0;
+  for (int d = 0; d < dim; ++d) {
+    const double diff = a[d] - b[d];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+/// k-means++ seeding: first centre uniform, subsequent centres drawn
+/// proportionally to squared distance from the nearest chosen centre.
+std::vector<double> SeedPlusPlus(const std::vector<double>& data, int n,
+                                 int dim, int k, Rng& rng) {
+  std::vector<double> centroids(static_cast<size_t>(k) * dim);
+  const int first = static_cast<int>(rng.UniformInt(0, n - 1));
+  std::copy_n(&data[static_cast<size_t>(first) * dim], dim, centroids.begin());
+
+  std::vector<double> best_d2(static_cast<size_t>(n),
+                              std::numeric_limits<double>::infinity());
+  for (int c = 1; c < k; ++c) {
+    // Refresh distances with the centre added last round.
+    const double* last = &centroids[static_cast<size_t>(c - 1) * dim];
+    for (int i = 0; i < n; ++i) {
+      const double d2 =
+          SquaredDistance(&data[static_cast<size_t>(i) * dim], last, dim);
+      best_d2[static_cast<size_t>(i)] =
+          std::min(best_d2[static_cast<size_t>(i)], d2);
+    }
+    const size_t pick = rng.WeightedIndex(best_d2);
+    std::copy_n(&data[pick * dim], dim,
+                centroids.begin() + static_cast<size_t>(c) * dim);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+std::vector<double> FlattenPoints(const std::vector<Point>& points) {
+  std::vector<double> flat;
+  flat.reserve(points.size() * 2);
+  for (const Point& p : points) {
+    flat.push_back(p.x);
+    flat.push_back(p.y);
+  }
+  return flat;
+}
+
+KMeansResult RunKMeans(const std::vector<double>& data, int n, int dim, int k,
+                       const KMeansOptions& options, Rng& rng) {
+  KMeansResult result;
+  result.dim = dim;
+  if (n <= 0) {
+    result.k = 0;
+    return result;
+  }
+  k = std::clamp(k, 1, n);
+  result.k = k;
+  result.centroids = SeedPlusPlus(data, n, dim, k, rng);
+  result.assignments.assign(static_cast<size_t>(n), 0);
+
+  std::vector<double> sums(static_cast<size_t>(k) * dim);
+  std::vector<int> counts(static_cast<size_t>(k));
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    bool changed = false;
+    // Assignment step.
+    for (int i = 0; i < n; ++i) {
+      const double* row = &data[static_cast<size_t>(i) * dim];
+      int best = 0;
+      double best_d2 = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < k; ++c) {
+        const double d2 = SquaredDistance(
+            row, &result.centroids[static_cast<size_t>(c) * dim], dim);
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best = c;
+        }
+      }
+      if (result.assignments[static_cast<size_t>(i)] != best) {
+        result.assignments[static_cast<size_t>(i)] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0 && options.early_stop) break;
+
+    // Update step.
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (int i = 0; i < n; ++i) {
+      const int c = result.assignments[static_cast<size_t>(i)];
+      ++counts[static_cast<size_t>(c)];
+      for (int d = 0; d < dim; ++d) {
+        sums[static_cast<size_t>(c) * dim + d] +=
+            data[static_cast<size_t>(i) * dim + d];
+      }
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) {
+        // Re-seed an empty cluster at a random row.
+        const int pick = static_cast<int>(rng.UniformInt(0, n - 1));
+        std::copy_n(&data[static_cast<size_t>(pick) * dim], dim,
+                    result.centroids.begin() + static_cast<size_t>(c) * dim);
+        continue;
+      }
+      for (int d = 0; d < dim; ++d) {
+        result.centroids[static_cast<size_t>(c) * dim + d] =
+            sums[static_cast<size_t>(c) * dim + d] /
+            counts[static_cast<size_t>(c)];
+      }
+    }
+  }
+
+  // Final assignment pass + per-cluster radius.
+  result.max_radius.assign(static_cast<size_t>(k), 0.0);
+  for (int i = 0; i < n; ++i) {
+    const double* row = &data[static_cast<size_t>(i) * dim];
+    int best = 0;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for (int c = 0; c < k; ++c) {
+      const double d2 = SquaredDistance(
+          row, &result.centroids[static_cast<size_t>(c) * dim], dim);
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = c;
+      }
+    }
+    result.assignments[static_cast<size_t>(i)] = best;
+    result.max_radius[static_cast<size_t>(best)] =
+        std::max(result.max_radius[static_cast<size_t>(best)],
+                 std::sqrt(best_d2));
+  }
+  return result;
+}
+
+ThresholdClusterResult ThresholdCluster(const std::vector<double>& data, int n,
+                                        int dim, double epsilon,
+                                        const ThresholdClusterOptions& options,
+                                        Rng& rng) {
+  ThresholdClusterResult result;
+  if (n <= 0) return result;
+  int q = std::max(1, options.initial_clusters);
+  while (true) {
+    ++result.rounds;
+    result.kmeans = RunKMeans(data, n, dim, q, options.kmeans, rng);
+    const double worst =
+        result.kmeans.max_radius.empty()
+            ? 0.0
+            : *std::max_element(result.kmeans.max_radius.begin(),
+                                result.kmeans.max_radius.end());
+    if (worst <= epsilon || q >= n || q >= options.max_clusters) break;
+    q = std::min({q + options.step, n, options.max_clusters});
+  }
+  return result;
+}
+
+}  // namespace ppq::quantizer

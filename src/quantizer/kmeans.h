@@ -1,0 +1,77 @@
+#pragma once
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+
+/// \file kmeans.h
+/// Lloyd's k-means [28] with k-means++ seeding, over flat row-major data of
+/// arbitrary dimension (2-D positions for spatial partitioning and
+/// quantization; k-D coefficient vectors for autocorrelation partitioning).
+/// Also provides the threshold-driven clustering loop of Section 3.2.1: the
+/// cluster count grows until every member lies within a radius bound of its
+/// centroid (Equations 7/8), which Lemma 1 analyses as O(q·m·N·l).
+
+namespace ppq::quantizer {
+
+/// \brief Output of a k-means run.
+struct KMeansResult {
+  /// Row-major centroid matrix, k x dim.
+  std::vector<double> centroids;
+  /// Cluster id per input row, n entries.
+  std::vector<int> assignments;
+  /// Largest member-to-centroid distance per cluster.
+  std::vector<double> max_radius;
+  int k = 0;
+  int dim = 0;
+
+  /// Centroid \p c as a 2-D point (valid when dim == 2).
+  Point CentroidPoint(int c) const {
+    return {centroids[static_cast<size_t>(c) * 2],
+            centroids[static_cast<size_t>(c) * 2 + 1]};
+  }
+};
+
+/// \brief Parameters for the Lloyd iterations.
+struct KMeansOptions {
+  /// Lloyd iteration cap (the paper's l).
+  int max_iterations = 25;
+  /// Stop early when no assignment changes.
+  bool early_stop = true;
+};
+
+/// Run k-means on \p n rows of dimension \p dim stored row-major in
+/// \p data. k is clamped to n. Deterministic given \p rng state.
+KMeansResult RunKMeans(const std::vector<double>& data, int n, int dim, int k,
+                       const KMeansOptions& options, Rng& rng);
+
+/// \brief Output of the threshold-driven clustering loop.
+struct ThresholdClusterResult {
+  KMeansResult kmeans;
+  /// Number of growth rounds executed (the paper's m).
+  int rounds = 0;
+};
+
+/// \brief Growth schedule for threshold clustering: q starts at
+/// `initial_clusters` and increases by `step` each round (the paper's a).
+struct ThresholdClusterOptions {
+  int initial_clusters = 1;
+  int step = 1;
+  /// Safety cap; the loop always terminates at q == n anyway because a
+  /// singleton cluster has radius zero.
+  int max_clusters = 1 << 20;
+  KMeansOptions kmeans;
+};
+
+/// Repeat k-means with growing cluster count until every member is within
+/// \p epsilon of its centroid (Eq. 7/8), or the cluster count reaches n.
+ThresholdClusterResult ThresholdCluster(const std::vector<double>& data, int n,
+                                        int dim, double epsilon,
+                                        const ThresholdClusterOptions& options,
+                                        Rng& rng);
+
+/// Flatten 2-D points into the row-major layout RunKMeans expects.
+std::vector<double> FlattenPoints(const std::vector<Point>& points);
+
+}  // namespace ppq::quantizer

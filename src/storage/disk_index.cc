@@ -1,0 +1,158 @@
+#include "storage/disk_index.h"
+
+namespace ppq::storage {
+
+// ---------------------------------------------------------------------------
+// DiskResidentTpi
+// ---------------------------------------------------------------------------
+
+void DiskResidentTpi::Ingest(const TimeSlice& slice) {
+  const size_t periods_before = tpi_.periods().size();
+  tpi_.Observe(slice);
+  if (tpi_.periods().size() > periods_before && periods_before > 0) {
+    // A rebuild closed the previous period: flush its buffered points.
+    FlushPeriod(periods_before - 1);
+    buffer_.clear();
+  }
+  buffer_.push_back(slice);
+}
+
+void DiskResidentTpi::Seal() {
+  if (!buffer_.empty() && !tpi_.periods().empty()) {
+    FlushPeriod(tpi_.periods().size() - 1);
+    buffer_.clear();
+  }
+}
+
+void DiskResidentTpi::FlushPeriod(size_t period_index) {
+  const index::Period& period = tpi_.periods()[period_index];
+  const auto& regions = period.pi.regions();
+
+  // One ownership pass (first-match routing, mirroring PartitionIndex
+  // insertion), then a region-major write: all buffered points of one
+  // subregion are contiguous on disk, ticks interleaved inside the range.
+  std::vector<size_t> region_counts(regions.size(), 0);
+  for (const TimeSlice& slice : buffer_) {
+    for (size_t i = 0; i < slice.positions.size(); ++i) {
+      for (size_t rr = 0; rr < regions.size(); ++rr) {
+        if (regions[rr].grid.Contains(slice.positions[i])) {
+          ++region_counts[rr];
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<PageRange> ranges(regions.size());
+  for (size_t r = 0; r < regions.size(); ++r) {
+    PageRange range;
+    bool any = false;
+    for (size_t count = 0; count < region_counts[r]; ++count) {
+      const PageId page = pager_.AppendRecord(kBytesPerStoredPoint);
+      if (!any) {
+        range.first = page;
+        any = true;
+      }
+      range.last = page;
+    }
+    ranges[r] = range;
+  }
+  pager_.SealCurrentPage();
+  page_table_.resize(tpi_.periods().size());
+  page_table_[period_index] = std::move(ranges);
+  flushed_periods_ = std::max(flushed_periods_, period_index + 1);
+}
+
+std::vector<TrajId> DiskResidentTpi::Query(const Point& p, Tick t) {
+  const index::Period* period = tpi_.FindPeriod(t);
+  if (period == nullptr) return {};
+  const size_t period_index =
+      static_cast<size_t>(period - tpi_.periods().data());
+  if (period_index >= page_table_.size()) return {};
+
+  const auto& regions = period->pi.regions();
+  const auto& ranges = page_table_[period_index];
+  for (size_t r = 0; r < regions.size() && r < ranges.size(); ++r) {
+    if (regions[r].grid.Contains(p)) {
+      if (ranges[r].valid()) {
+        (void)pager_.ReadRange(ranges[r].first, ranges[r].last);
+      }
+      return period->pi.Query(p, t);
+    }
+  }
+  return {};
+}
+
+size_t DiskResidentTpi::IndexSizeBytes() const {
+  size_t total = tpi_.SizeBytes();
+  for (const auto& ranges : page_table_) {
+    total += ranges.size() * sizeof(PageRange) + sizeof(size_t);
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// DiskResidentPi
+// ---------------------------------------------------------------------------
+
+void DiskResidentPi::Ingest(const TimeSlice& slice) {
+  TickEntry entry;
+  entry.pi = index::PartitionIndex::Build(slice, options_.pi, &rng_);
+
+  const auto& regions = entry.pi.regions();
+  std::vector<size_t> region_counts(regions.size(), 0);
+  for (size_t i = 0; i < slice.positions.size(); ++i) {
+    for (size_t rr = 0; rr < regions.size(); ++rr) {
+      if (regions[rr].grid.Contains(slice.positions[i])) {
+        ++region_counts[rr];
+        break;
+      }
+    }
+  }
+  entry.region_pages.resize(regions.size());
+  for (size_t r = 0; r < regions.size(); ++r) {
+    PageRange range;
+    bool any = false;
+    for (size_t count = 0; count < region_counts[r]; ++count) {
+      const PageId page = pager_.AppendRecord(kBytesPerStoredPoint);
+      if (!any) {
+        range.first = page;
+        any = true;
+      }
+      range.last = page;
+    }
+    entry.region_pages[r] = range;
+  }
+  ticks_.emplace(slice.tick, std::move(entry));
+}
+
+std::vector<TrajId> DiskResidentPi::Query(const Point& p, Tick t) {
+  const auto it = ticks_.find(t);
+  if (it == ticks_.end()) return {};
+  const auto& regions = it->second.pi.regions();
+  for (size_t r = 0; r < regions.size(); ++r) {
+    if (regions[r].grid.Contains(p)) {
+      const PageRange& range = it->second.region_pages[r];
+      if (range.valid()) {
+        (void)pager_.ReadRange(range.first, range.last);
+      }
+      return it->second.pi.Query(p, t);
+    }
+  }
+  return {};
+}
+
+size_t DiskResidentPi::IndexSizeBytes() const {
+  size_t total = 0;
+  for (const auto& [tick, entry] : ticks_) {
+    total += sizeof(Tick) + entry.pi.SizeBytes() +
+             entry.region_pages.size() * sizeof(PageRange);
+  }
+  return total;
+}
+
+void DiskResidentPi::Finalize() {
+  for (auto& [tick, entry] : ticks_) entry.pi.Finalize();
+}
+
+}  // namespace ppq::storage

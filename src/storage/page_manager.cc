@@ -1,0 +1,47 @@
+#include "storage/page_manager.h"
+
+namespace ppq::storage {
+
+PageId PageManager::AppendRecord(size_t record_bytes) {
+  if (page_fill_.empty()) OpenNewPage();
+  PageId first = static_cast<PageId>(page_fill_.size()) - 1;
+  if (page_fill_.back() + record_bytes > page_size_ &&
+      page_fill_.back() > 0) {
+    OpenNewPage();
+    first = static_cast<PageId>(page_fill_.size()) - 1;
+  }
+  size_t remaining = record_bytes;
+  while (remaining > 0) {
+    const size_t space = page_size_ - page_fill_.back();
+    const size_t take = remaining < space ? remaining : space;
+    page_fill_.back() += take;
+    remaining -= take;
+    if (remaining > 0) OpenNewPage();
+  }
+  total_bytes_ += record_bytes;
+  return first;
+}
+
+void PageManager::SealCurrentPage() {
+  if (!page_fill_.empty() && page_fill_.back() > 0) OpenNewPage();
+}
+
+Status PageManager::ReadPage(PageId page) {
+  if (page < 0 || page >= NumPages()) {
+    return Status::OutOfRange("PageManager: page out of range");
+  }
+  if (page != cached_page_) {
+    ++io_stats_.pages_read;
+    cached_page_ = page;
+  }
+  return Status::OK();
+}
+
+Status PageManager::ReadRange(PageId first, PageId last) {
+  for (PageId p = first; p <= last; ++p) {
+    PPQ_RETURN_NOT_OK(ReadPage(p));
+  }
+  return Status::OK();
+}
+
+}  // namespace ppq::storage

@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include "baselines/product_quantization.h"
+#include "baselines/residual_quantization.h"
+#include "baselines/rest.h"
+#include "baselines/scalar_quantizer.h"
+#include "baselines/trajstore.h"
+#include "core/metrics.h"
+#include "datagen/generator.h"
+
+namespace ppq::baselines {
+namespace {
+
+TrajectoryDataset SmallDataset(uint64_t seed = 321) {
+  datagen::GeneratorOptions options;
+  options.num_trajectories = 40;
+  options.horizon = 60;
+  options.min_length = 20;
+  options.max_length = 60;
+  options.seed = seed;
+  return datagen::PortoLikeGenerator(options).Generate();
+}
+
+// ---------------------------------------------------------------------------
+// ScalarQuantizer
+// ---------------------------------------------------------------------------
+
+TEST(ScalarQuantizerTest, EmptyNearest) {
+  ScalarQuantizer q(0.1);
+  EXPECT_EQ(q.Nearest(1.0), -1);
+}
+
+TEST(ScalarQuantizerTest, BatchBoundHolds) {
+  ScalarQuantizer q(0.05);
+  Rng rng(1);
+  for (int batch = 0; batch < 5; ++batch) {
+    std::vector<double> values;
+    for (int i = 0; i < 200; ++i) values.push_back(rng.Uniform(-2.0, 2.0));
+    const auto codes = q.QuantizeBatch(values);
+    for (size_t i = 0; i < values.size(); ++i) {
+      ASSERT_GE(codes[i], 0);
+      EXPECT_LE(std::fabs(q.Value(codes[i]) - values[i]), 0.05 + 1e-12);
+    }
+  }
+}
+
+TEST(ScalarQuantizerTest, IndicesStableAcrossGrowth) {
+  ScalarQuantizer q(0.1);
+  const auto first = q.QuantizeBatch({0.0});
+  const double v0 = q.Value(first[0]);
+  q.QuantizeBatch({5.0, -3.0, 9.0});
+  EXPECT_DOUBLE_EQ(q.Value(first[0]), v0);
+}
+
+TEST(ScalarQuantizerTest, GreedyCoverIsEconomical) {
+  // 100 values in [0, 1] with bound 0.5 need exactly 1 centroid.
+  ScalarQuantizer q(0.5);
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(i / 100.0);
+  q.QuantizeBatch(values);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// ProductQuantization
+// ---------------------------------------------------------------------------
+
+TEST(ProductQuantizationTest, ErrorBoundedReconstruction) {
+  const TrajectoryDataset dataset = SmallDataset();
+  BaselineOptions options;
+  options.epsilon1 = 0.001;
+  ProductQuantization pq(options);
+  pq.Compress(dataset);
+  for (const Trajectory& traj : dataset.trajectories()) {
+    for (size_t i = 0; i < traj.points.size(); ++i) {
+      const auto recon =
+          pq.Reconstruct(traj.id, traj.start_tick + static_cast<Tick>(i));
+      ASSERT_TRUE(recon.ok());
+      EXPECT_LE(recon->DistanceTo(traj.points[i]), options.epsilon1 + 1e-9);
+    }
+  }
+  EXPECT_GT(pq.NumCodewords(), 0u);
+  EXPECT_GT(pq.SummaryBytes(), 0u);
+  EXPECT_NE(pq.index(), nullptr);
+}
+
+TEST(ProductQuantizationTest, FixedModeUsesPerTickCodebooks) {
+  const TrajectoryDataset dataset = SmallDataset();
+  BaselineOptions options;
+  options.mode = core::QuantizationMode::kFixedPerTick;
+  options.fixed_bits = 6;
+  ProductQuantization pq(options);
+  pq.Compress(dataset);
+  // 2^(6/2) = 8 codewords per sub-codebook per tick maximum.
+  EXPECT_GT(pq.NumCodewords(), 0u);
+  // Fixed mode has no a-priori bound; the local-search radius is the
+  // observed maximum deviation, which must cover the measured errors.
+  EXPECT_GT(pq.LocalSearchRadius(), 0.0);
+  const auto recon = pq.Reconstruct(0, dataset[0].start_tick);
+  ASSERT_TRUE(recon.ok());
+}
+
+TEST(ProductQuantizationTest, UnknownIdAndTick) {
+  ProductQuantization pq(BaselineOptions{});
+  EXPECT_FALSE(pq.Reconstruct(5, 0).ok());
+}
+
+// ---------------------------------------------------------------------------
+// ResidualQuantization
+// ---------------------------------------------------------------------------
+
+TEST(ResidualQuantizationTest, ErrorBoundedReconstruction) {
+  const TrajectoryDataset dataset = SmallDataset();
+  ResidualQuantization::Options options;
+  options.epsilon1 = 0.001;
+  ResidualQuantization rq(options);
+  rq.Compress(dataset);
+  for (const Trajectory& traj : dataset.trajectories()) {
+    for (size_t i = 0; i < traj.points.size(); ++i) {
+      const auto recon =
+          rq.Reconstruct(traj.id, traj.start_tick + static_cast<Tick>(i));
+      ASSERT_TRUE(recon.ok());
+      EXPECT_LE(recon->DistanceTo(traj.points[i]), options.epsilon1 + 1e-9);
+    }
+  }
+}
+
+TEST(ResidualQuantizationTest, CoarseStageIsSmallerThanFine) {
+  const TrajectoryDataset dataset = SmallDataset();
+  ResidualQuantization::Options options;
+  options.epsilon1 = 0.0005;
+  options.coarse_factor = 32.0;
+  ResidualQuantization rq(options);
+  rq.Compress(dataset);
+  // Total codewords split across two stages; the coarse stage (bound
+  // 32 eps) needs far fewer centroids than covering at eps would.
+  EXPECT_GT(rq.NumCodewords(), 1u);
+}
+
+TEST(ResidualQuantizationTest, FixedMode) {
+  const TrajectoryDataset dataset = SmallDataset();
+  ResidualQuantization::Options options;
+  options.mode = core::QuantizationMode::kFixedPerTick;
+  options.fixed_bits = 8;
+  ResidualQuantization rq(options);
+  rq.Compress(dataset);
+  const auto recon = rq.Reconstruct(0, dataset[0].start_tick);
+  ASSERT_TRUE(recon.ok());
+  EXPECT_GT(rq.NumCodewords(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// TrajStore
+// ---------------------------------------------------------------------------
+
+TrajStore::Options TrajStoreOptions() {
+  TrajStore::Options options;
+  options.region = [] {
+    index::Rect r;
+    const BoundingBox box = datagen::PortoLikeGenerator::Region();
+    r.min_x = box.min_x;
+    r.min_y = box.min_y;
+    r.max_x = box.max_x;
+    r.max_y = box.max_y;
+    return r;
+  }();
+  options.leaf_capacity = 256;
+  return options;
+}
+
+TEST(TrajStoreTest, ErrorBoundedReconstruction) {
+  const TrajectoryDataset dataset = SmallDataset();
+  TrajStore store(TrajStoreOptions());
+  store.Compress(dataset);
+  for (const Trajectory& traj : dataset.trajectories()) {
+    for (size_t i = 0; i < traj.points.size(); ++i) {
+      const auto recon =
+          store.Reconstruct(traj.id, traj.start_tick + static_cast<Tick>(i));
+      ASSERT_TRUE(recon.ok());
+      EXPECT_LE(recon->DistanceTo(traj.points[i]), 0.001 + 1e-9);
+    }
+  }
+}
+
+TEST(TrajStoreTest, SplitsUnderLoad) {
+  const TrajectoryDataset dataset = SmallDataset();
+  TrajStore::Options options = TrajStoreOptions();
+  options.leaf_capacity = 64;
+  TrajStore store(options);
+  store.Compress(dataset);
+  const auto stats = store.stats();
+  EXPECT_GT(stats.splits, 0u);
+  EXPECT_GT(stats.leaves, 1u);
+}
+
+TEST(TrajStoreTest, RootExpansionCoversOutsidePoints) {
+  TrajStore::Options options = TrajStoreOptions();
+  options.enable_index = false;
+  TrajStore store(options);
+  TimeSlice slice;
+  slice.tick = 0;
+  slice.ids = {0};
+  slice.positions = {{200.0, 200.0}};  // far outside the Porto region
+  store.ObserveSlice(slice);
+  store.Finish();
+  const auto recon = store.Reconstruct(0, 0);
+  ASSERT_TRUE(recon.ok());
+  EXPECT_LE(recon->DistanceTo({200.0, 200.0}), 0.001 + 1e-9);
+}
+
+TEST(TrajStoreTest, IndexOnlyAfterFinish) {
+  TrajStore store(TrajStoreOptions());
+  EXPECT_EQ(store.index(), nullptr);
+  const TrajectoryDataset dataset = SmallDataset();
+  store.Compress(dataset);
+  EXPECT_NE(store.index(), nullptr);
+}
+
+TEST(TrajStoreTest, DiskQueryCountsPages) {
+  const TrajectoryDataset dataset = SmallDataset();
+  storage::PageManager pager(1024);
+  TrajStore::Options options = TrajStoreOptions();
+  options.pager = &pager;
+  options.enable_index = false;
+  TrajStore store(options);
+  store.Compress(dataset);
+  pager.ResetIoStats();
+  const Trajectory& traj = dataset[0];
+  const auto ids = store.DiskQuery(traj.points[0], traj.start_tick);
+  EXPECT_FALSE(ids.empty());
+  EXPECT_GT(pager.io_stats().pages_read, 0u);
+}
+
+TEST(TrajStoreTest, FixedModeBudgetProportionalToDensity) {
+  const TrajectoryDataset dataset = SmallDataset();
+  TrajStore::Options options = TrajStoreOptions();
+  options.mode = core::QuantizationMode::kFixedPerTick;
+  options.fixed_bits = 6;
+  options.enable_index = false;
+  TrajStore store(options);
+  store.Compress(dataset);
+  EXPECT_GT(store.NumCodewords(), 0u);
+  const auto recon = store.Reconstruct(0, dataset[0].start_tick);
+  ASSERT_TRUE(recon.ok());
+}
+
+// ---------------------------------------------------------------------------
+// REST
+// ---------------------------------------------------------------------------
+
+TEST(RestTest, PerfectReferenceGivesFullCoverage) {
+  // Compressing the reference set against itself: every trajectory should
+  // match a reference run exactly.
+  const TrajectoryDataset dataset = SmallDataset();
+  Rest rest(dataset, Rest::Options{});
+  rest.Compress(dataset);
+  EXPECT_GT(rest.MatchCoverage(), 0.95);
+  // Reconstruction within the deviation bound everywhere.
+  for (const Trajectory& traj : dataset.trajectories()) {
+    for (size_t i = 0; i < traj.points.size(); ++i) {
+      const auto recon =
+          rest.Reconstruct(traj.id, traj.start_tick + static_cast<Tick>(i));
+      ASSERT_TRUE(recon.ok());
+      EXPECT_LE(recon->DistanceTo(traj.points[i]), 0.001 + 1e-9);
+    }
+  }
+}
+
+TEST(RestTest, UnrelatedReferenceFallsBackToRaw) {
+  // References far from the data: nothing matches, every point stored
+  // verbatim, reconstruction exact.
+  TrajectoryDataset reference;
+  Trajectory far;
+  far.start_tick = 0;
+  for (int i = 0; i < 50; ++i) far.points.push_back({100.0 + i, 100.0});
+  reference.Add(far);
+
+  const TrajectoryDataset dataset = SmallDataset();
+  Rest rest(std::move(reference), Rest::Options{});
+  rest.Compress(dataset);
+  EXPECT_DOUBLE_EQ(rest.MatchCoverage(), 0.0);
+  for (const Trajectory& traj : dataset.trajectories()) {
+    const auto recon = rest.Reconstruct(traj.id, traj.start_tick);
+    ASSERT_TRUE(recon.ok());
+    EXPECT_DOUBLE_EQ(recon->x, traj.points[0].x);
+  }
+}
+
+TEST(RestTest, MatchedCompressionIsSmallerThanRaw) {
+  const TrajectoryDataset base = SmallDataset();
+  const TrajectoryDataset expanded = datagen::MakeSubPorto(base);
+  // Reference = the expanded set; targets = the originals: high overlap.
+  Rest rest(expanded, Rest::Options{});
+  rest.Compress(base);
+  const double raw_bytes =
+      static_cast<double>(base.TotalPoints()) * 2 * sizeof(double);
+  EXPECT_LT(static_cast<double>(rest.SummaryBytes()), raw_bytes);
+}
+
+TEST(RestTest, ReconstructErrors) {
+  Rest rest(TrajectoryDataset{}, Rest::Options{});
+  rest.Finish();
+  EXPECT_FALSE(rest.Reconstruct(0, 0).ok());
+}
+
+}  // namespace
+}  // namespace ppq::baselines

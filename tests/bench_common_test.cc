@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "common/geo.h"
+
+namespace ppq::bench {
+namespace {
+
+TEST(ParseArgsTest, Defaults) {
+  const char* argv[] = {"bench"};
+  const BenchOptions options = ParseArgs(1, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(options.scale, 1.0);
+  EXPECT_EQ(options.queries, 1000u);
+  EXPECT_EQ(options.seed, 42u);
+}
+
+TEST(ParseArgsTest, ParsesAllFlags) {
+  const char* argv[] = {"bench", "--scale=0.25", "--queries=500",
+                        "--seed=7"};
+  const BenchOptions options = ParseArgs(4, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(options.scale, 0.25);
+  EXPECT_EQ(options.queries, 500u);
+  EXPECT_EQ(options.seed, 7u);
+}
+
+TEST(ParseArgsTest, IgnoresUnknownFlags) {
+  const char* argv[] = {"bench", "--bogus=1", "--scale=2"};
+  const BenchOptions options = ParseArgs(3, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(options.scale, 2.0);
+}
+
+TEST(BundleTest, ScaleControlsTrajectoryCount) {
+  BenchOptions small;
+  small.scale = 0.1;
+  BenchOptions large;
+  large.scale = 0.5;
+  EXPECT_LT(MakePortoBundle(small).data.size(),
+            MakePortoBundle(large).data.size());
+  EXPECT_LT(MakeGeoLifeBundle(small).data.size(),
+            MakeGeoLifeBundle(large).data.size());
+}
+
+TEST(BundleTest, GeoLifeSpansMoreThanPorto) {
+  BenchOptions options;
+  options.scale = 0.05;
+  const auto porto = MakePortoBundle(options).data.Bounds();
+  const auto geolife = MakeGeoLifeBundle(options).data.Bounds();
+  EXPECT_GT(geolife.width(), porto.width());
+}
+
+TEST(DeviationSetupTest, NonCqcUsesEpsilonDirectly) {
+  const MethodSetup setup = DeviationSetup(400.0, /*cqc_method=*/false);
+  EXPECT_EQ(setup.mode, core::QuantizationMode::kErrorBounded);
+  EXPECT_NEAR(DegreesToMeters(setup.epsilon1), 400.0, 1e-6);
+}
+
+TEST(DeviationSetupTest, CqcMethodFollowsPaperScaling) {
+  // sqrt(2)/2 * gs = D and eps_1 = 2 gs (Section 6.3.1).
+  const MethodSetup setup = DeviationSetup(400.0, /*cqc_method=*/true);
+  const double gs_m = DegreesToMeters(setup.cqc_grid_size);
+  EXPECT_NEAR(std::sqrt(2.0) / 2.0 * gs_m, 400.0, 1e-6);
+  EXPECT_NEAR(setup.epsilon1, 2.0 * setup.cqc_grid_size, 1e-12);
+}
+
+TEST(MethodFactoryTest, CoversAllNineMethods) {
+  BenchOptions options;
+  options.scale = 0.02;
+  const DatasetBundle bundle = MakePortoBundle(options);
+  EXPECT_EQ(AllMethodNames().size(), 9u);
+  for (const std::string& name : AllMethodNames()) {
+    MethodSetup setup;
+    auto method = MakeCompressor(name, bundle, setup);
+    ASSERT_NE(method, nullptr) << name;
+    EXPECT_EQ(method->name(), name);
+  }
+}
+
+TEST(MethodFactoryTest, FilteringListExcludesTrajStore) {
+  for (const std::string& name : FilteringMethodNames()) {
+    EXPECT_NE(name, "TrajStore");
+  }
+  EXPECT_EQ(FilteringMethodNames().size(), 8u);
+}
+
+TEST(MethodFactoryTest, PartitionThresholdsFollowBundle) {
+  BenchOptions options;
+  options.scale = 0.02;
+  DatasetBundle bundle = MakePortoBundle(options);
+  bundle.eps_p_spatial = 0.123;
+  bundle.eps_p_autocorr = 0.456;
+  MethodSetup setup;
+  auto spatial = MakeCompressor("PPQ-S", bundle, setup);
+  auto autocorr = MakeCompressor("PPQ-A", bundle, setup);
+  EXPECT_DOUBLE_EQ(
+      static_cast<core::PpqTrajectory*>(spatial.get())->options().epsilon_p,
+      0.123);
+  EXPECT_DOUBLE_EQ(
+      static_cast<core::PpqTrajectory*>(autocorr.get())->options().epsilon_p,
+      0.456);
+}
+
+TEST(MethodFactoryTest, EndToEndSmokeAllMethods) {
+  // Every factory-produced method must survive a tiny compress + query
+  // cycle (this is the loop every table bench runs).
+  BenchOptions options;
+  options.scale = 0.02;
+  const DatasetBundle bundle = MakePortoBundle(options);
+  for (const std::string& name : AllMethodNames()) {
+    MethodSetup setup;
+    setup.mode = core::QuantizationMode::kFixedPerTick;
+    setup.fixed_bits = 4;
+    auto method = MakeCompressor(name, bundle, setup);
+    method->Compress(bundle.data);
+    EXPECT_GT(method->SummaryBytes(), 0u) << name;
+    const Trajectory& traj = bundle.data[0];
+    EXPECT_TRUE(method->Reconstruct(traj.id, traj.start_tick).ok()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ppq::bench

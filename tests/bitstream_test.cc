@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "common/bitstream.h"
+#include "common/random.h"
+
+namespace ppq {
+namespace {
+
+TEST(BitStreamTest, EmptyStream) {
+  BitWriter w;
+  EXPECT_EQ(w.BitCount(), 0u);
+  EXPECT_EQ(w.ByteSize(), 0u);
+  BitReader r(w);
+  EXPECT_EQ(r.Remaining(), 0u);
+  EXPECT_FALSE(r.ReadBits(1).ok());
+}
+
+TEST(BitStreamTest, SingleBitRoundTrip) {
+  BitWriter w;
+  w.WriteBit(true);
+  w.WriteBit(false);
+  w.WriteBit(true);
+  BitReader r(w);
+  EXPECT_TRUE(*r.ReadBit());
+  EXPECT_FALSE(*r.ReadBit());
+  EXPECT_TRUE(*r.ReadBit());
+  EXPECT_EQ(r.Remaining(), 0u);
+}
+
+TEST(BitStreamTest, MsbFirstLayout) {
+  BitWriter w;
+  w.WriteBits(0b101, 3);
+  // First written bit occupies the MSB of byte 0.
+  EXPECT_EQ(w.buffer()[0], 0b10100000);
+}
+
+TEST(BitStreamTest, CrossByteValues) {
+  BitWriter w;
+  w.WriteBits(0xABC, 12);
+  w.WriteBits(0x5, 3);
+  BitReader r(w);
+  EXPECT_EQ(*r.ReadBits(12), 0xABCu);
+  EXPECT_EQ(*r.ReadBits(3), 0x5u);
+}
+
+TEST(BitStreamTest, SixtyFourBitValue) {
+  BitWriter w;
+  const uint64_t value = 0xDEADBEEFCAFEBABEull;
+  w.WriteBits(value, 64);
+  BitReader r(w);
+  EXPECT_EQ(*r.ReadBits(64), value);
+}
+
+TEST(BitStreamTest, ReadPastEndFails) {
+  BitWriter w;
+  w.WriteBits(0x3, 2);
+  BitReader r(w);
+  EXPECT_TRUE(r.ReadBits(2).ok());
+  const auto fail = r.ReadBits(1);
+  EXPECT_FALSE(fail.ok());
+  EXPECT_EQ(fail.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BitStreamTest, ZeroWidthWriteIsNoop) {
+  BitWriter w;
+  w.WriteBits(0xFF, 0);
+  EXPECT_EQ(w.BitCount(), 0u);
+}
+
+TEST(BitStreamTest, ClearResets) {
+  BitWriter w;
+  w.WriteBits(0xFF, 8);
+  w.Clear();
+  EXPECT_EQ(w.BitCount(), 0u);
+  EXPECT_TRUE(w.buffer().empty());
+}
+
+/// Property: any sequence of (value, width) writes reads back identically.
+class BitStreamRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BitStreamRoundTrip, RandomSequences) {
+  Rng rng(GetParam());
+  std::vector<std::pair<uint64_t, int>> writes;
+  BitWriter w;
+  for (int i = 0; i < 500; ++i) {
+    const int width = static_cast<int>(rng.UniformInt(1, 64));
+    uint64_t value = static_cast<uint64_t>(rng.UniformInt(0, (1LL << 62)));
+    if (width < 64) value &= (1ull << width) - 1;
+    writes.push_back({value, width});
+    w.WriteBits(value, width);
+  }
+  BitReader r(w);
+  for (const auto& [value, width] : writes) {
+    const auto read = r.ReadBits(width);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(*read, value);
+  }
+  EXPECT_EQ(r.Remaining(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitStreamRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace ppq

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "common/geo.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace ppq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status s = Status::Invalid("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_NE(s.ToString().find("bad input"), std::string::npos);
+}
+
+TEST(StatusTest, DistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  const std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "payload");
+}
+
+// ---------------------------------------------------------------------------
+// Point / BoundingBox
+// ---------------------------------------------------------------------------
+
+TEST(PointTest, Arithmetic) {
+  const Point a{1.0, 2.0};
+  const Point b{0.5, -1.0};
+  EXPECT_EQ((a + b), (Point{1.5, 1.0}));
+  EXPECT_EQ((a - b), (Point{0.5, 3.0}));
+  EXPECT_EQ((a * 2.0), (Point{2.0, 4.0}));
+  EXPECT_DOUBLE_EQ(a.DistanceTo(a), 0.0);
+  EXPECT_DOUBLE_EQ((Point{3.0, 4.0}).Norm(), 5.0);
+  EXPECT_DOUBLE_EQ((Point{3.0, 4.0}).SquaredNorm(), 25.0);
+}
+
+TEST(BoundingBoxTest, ExtendAndContains) {
+  BoundingBox box;
+  EXPECT_FALSE(box.valid());
+  box.Extend({1.0, 1.0});
+  box.Extend({-1.0, 2.0});
+  EXPECT_TRUE(box.valid());
+  EXPECT_TRUE(box.Contains({0.0, 1.5}));
+  EXPECT_FALSE(box.Contains({0.0, 3.0}));
+  EXPECT_DOUBLE_EQ(box.width(), 2.0);
+  EXPECT_DOUBLE_EQ(box.height(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Trajectory / TrajectoryDataset
+// ---------------------------------------------------------------------------
+
+Trajectory MakeTrajectory(Tick start, int n, double base) {
+  Trajectory t;
+  t.start_tick = start;
+  for (int i = 0; i < n; ++i) {
+    t.points.push_back({base + i, base - i});
+  }
+  return t;
+}
+
+TEST(TrajectoryTest, ActiveWindow) {
+  const Trajectory t = MakeTrajectory(10, 5, 0.0);
+  EXPECT_FALSE(t.ActiveAt(9));
+  EXPECT_TRUE(t.ActiveAt(10));
+  EXPECT_TRUE(t.ActiveAt(14));
+  EXPECT_FALSE(t.ActiveAt(15));
+  EXPECT_EQ(t.end_tick(), 15);
+  EXPECT_EQ(t.At(12).x, 2.0);
+}
+
+TEST(TrajectoryDatasetTest, AddAssignsDenseIds) {
+  TrajectoryDataset ds;
+  ds.Add(MakeTrajectory(0, 3, 0.0));
+  ds.Add(MakeTrajectory(1, 3, 5.0));
+  EXPECT_EQ(ds[0].id, 0);
+  EXPECT_EQ(ds[1].id, 1);
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds.TotalPoints(), 6u);
+}
+
+TEST(TrajectoryDatasetTest, SliceAtReturnsActivePoints) {
+  TrajectoryDataset ds;
+  ds.Add(MakeTrajectory(0, 3, 0.0));   // active ticks 0..2
+  ds.Add(MakeTrajectory(2, 3, 5.0));   // active ticks 2..4
+  const TimeSlice s0 = ds.SliceAt(0);
+  EXPECT_EQ(s0.size(), 1u);
+  const TimeSlice s2 = ds.SliceAt(2);
+  EXPECT_EQ(s2.size(), 2u);
+  EXPECT_EQ(s2.ids[0], 0);
+  EXPECT_EQ(s2.ids[1], 1);
+  const TimeSlice s4 = ds.SliceAt(4);
+  EXPECT_EQ(s4.size(), 1u);
+  EXPECT_EQ(s4.ids[0], 1);
+}
+
+TEST(TrajectoryDatasetTest, TickBounds) {
+  TrajectoryDataset ds;
+  ds.Add(MakeTrajectory(3, 4, 0.0));
+  ds.Add(MakeTrajectory(1, 2, 0.0));
+  EXPECT_EQ(ds.MinTick(), 1);
+  EXPECT_EQ(ds.MaxTick(), 7);
+}
+
+TEST(TrajectoryDatasetTest, BoundsCoverAllPoints) {
+  TrajectoryDataset ds;
+  ds.Add(MakeTrajectory(0, 4, 0.0));
+  const BoundingBox box = ds.Bounds();
+  for (const auto& p : ds[0].points) EXPECT_TRUE(box.Contains(p));
+}
+
+// ---------------------------------------------------------------------------
+// Geo
+// ---------------------------------------------------------------------------
+
+TEST(GeoTest, DegreeMeterRoundTrip) {
+  EXPECT_NEAR(DegreesToMeters(MetersToDegrees(123.0)), 123.0, 1e-9);
+  // The paper's equivalence: 0.001 deg ~ 111 m.
+  EXPECT_NEAR(DegreesToMeters(0.001), 111.32, 0.01);
+}
+
+TEST(GeoTest, DegreeDistance) {
+  const Point a{0.0, 0.0};
+  const Point b{0.001, 0.0};
+  EXPECT_NEAR(DegreeDistanceMeters(a, b), 111.32, 0.01);
+}
+
+TEST(GeoTest, EquirectangularShrinksLongitude) {
+  const Point a{0.0, 60.0};
+  const Point b{1.0, 60.0};
+  // cos(60 deg) = 0.5.
+  EXPECT_NEAR(EquirectangularDistanceMeters(a, b, 60.0),
+              0.5 * kMetersPerDegree, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+TEST(RunningStatTest, MeanMinMax) {
+  RunningStat s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(PrecisionRecallTest, PerfectQueries) {
+  PrecisionRecall pr;
+  pr.AddQuery(5, 5, 5);
+  EXPECT_DOUBLE_EQ(pr.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall(), 1.0);
+}
+
+TEST(PrecisionRecallTest, PartialOverlap) {
+  PrecisionRecall pr;
+  pr.AddQuery(2, 4, 8);
+  EXPECT_DOUBLE_EQ(pr.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(pr.recall(), 0.25);
+}
+
+TEST(PercentileTest, InterpolatesBetweenRanks) {
+  std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50.0), 0.0);
+}
+
+}  // namespace
+}  // namespace ppq

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/geo.h"
+#include "common/random.h"
+#include "cqc/coordinate_quadtree.h"
+#include "cqc/cqc_codec.h"
+
+namespace ppq::cqc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CoordinateQuadtree
+// ---------------------------------------------------------------------------
+
+TEST(CoordinateQuadtreeTest, TrivialGrid) {
+  CoordinateQuadtree tree(1, 1);
+  EXPECT_EQ(tree.depth(), 0);
+  EXPECT_EQ(tree.code_bits(), 0);
+  const CqcCode code = tree.Encode(0, 0);
+  EXPECT_EQ(code.length, 0);
+  const auto cell = tree.Decode(code);
+  ASSERT_TRUE(cell.ok());
+  EXPECT_EQ(cell->first, 0);
+}
+
+TEST(CoordinateQuadtreeTest, DepthMatchesLog2) {
+  // Depth d covers grids of side in (2^(d-1), 2^d].
+  EXPECT_EQ(CoordinateQuadtree(2, 2).depth(), 1);
+  EXPECT_EQ(CoordinateQuadtree(3, 3).depth(), 2);
+  EXPECT_EQ(CoordinateQuadtree(4, 4).depth(), 2);
+  EXPECT_EQ(CoordinateQuadtree(5, 5).depth(), 3);
+  EXPECT_EQ(CoordinateQuadtree(8, 8).depth(), 3);
+  EXPECT_EQ(CoordinateQuadtree(9, 9).depth(), 4);
+  EXPECT_EQ(CoordinateQuadtree(33, 33).depth(), 6);
+}
+
+TEST(CoordinateQuadtreeTest, PaperExampleFiveByFive) {
+  // Figure 4: a 5x5 grid; all codes are 6 bits (3 levels).
+  CoordinateQuadtree tree(5, 5);
+  EXPECT_EQ(tree.code_bits(), 6);
+
+  // The paper's n1 has CQC 001110 and decodes (via Eq. 9-10) to
+  // (-3/2, 1/2) measured from the padded root centre.
+  CqcCode code;
+  code.bits = 0b001110;
+  code.length = 6;
+  const auto offset = tree.DecodeOffsetViaSubspaceCoordinates(code);
+  ASSERT_TRUE(offset.ok());
+  EXPECT_DOUBLE_EQ(offset->first, -1.5);
+  EXPECT_DOUBLE_EQ(offset->second, 0.5);
+
+  // And the direct decode agrees: cell centre relative to the padded root
+  // centre. Root [0,5)^2 pads up-left to [-1,5)x[0,6) with centre (2, 3).
+  const auto cell = tree.Decode(code);
+  ASSERT_TRUE(cell.ok());
+  EXPECT_DOUBLE_EQ(cell->first + 0.5 - 2.0, -1.5);
+  EXPECT_DOUBLE_EQ(cell->second + 0.5 - 3.0, 0.5);
+}
+
+TEST(CoordinateQuadtreeTest, PaperEquationTenExamples) {
+  // SC (-3, 2) pads to (-4, 4) per the worked example.
+  const auto padded = CoordinateQuadtree::PadSubspaceCoordinate({-3, 2});
+  EXPECT_EQ(padded.x, -4);
+  EXPECT_EQ(padded.y, 4);
+  // |x| = |y| = 1 passes through unchanged.
+  const auto unit = CoordinateQuadtree::PadSubspaceCoordinate({-1, 1});
+  EXPECT_EQ(unit.x, -1);
+  EXPECT_EQ(unit.y, 1);
+}
+
+TEST(CoordinateQuadtreeTest, WrongLengthCodeRejected) {
+  CoordinateQuadtree tree(5, 5);
+  CqcCode code;
+  code.bits = 0;
+  code.length = 4;  // tree expects 6
+  EXPECT_FALSE(tree.Decode(code).ok());
+  EXPECT_FALSE(tree.DecodeOffsetViaSubspaceCoordinates(code).ok());
+}
+
+TEST(CoordinateQuadtreeTest, PaddingCellCodeRejected) {
+  // For a 3x3 grid (depth 2), some 4-bit codes land on padding cells.
+  CoordinateQuadtree tree(3, 3);
+  int rejected = 0;
+  for (uint64_t bits = 0; bits < 16; ++bits) {
+    CqcCode code{bits, 4};
+    if (!tree.Decode(code).ok()) ++rejected;
+  }
+  // 16 codes, 9 real cells: exactly 7 must be rejected.
+  EXPECT_EQ(rejected, 7);
+}
+
+/// Property: Encode/Decode roundtrips exactly for every cell, and the
+/// Eq. 9-10 decoding agrees with the direct geometry, for every grid size.
+class QuadtreeRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuadtreeRoundTrip, EveryCellRoundTripsExactly) {
+  const int n = GetParam();
+  CoordinateQuadtree tree(n, n);
+  for (int cy = 0; cy < n; ++cy) {
+    for (int cx = 0; cx < n; ++cx) {
+      const CqcCode code = tree.Encode(cx, cy);
+      EXPECT_EQ(code.length, tree.code_bits());
+      const auto cell = tree.Decode(code);
+      ASSERT_TRUE(cell.ok()) << "cell (" << cx << "," << cy << ")";
+      EXPECT_EQ(cell->first, cx);
+      EXPECT_EQ(cell->second, cy);
+    }
+  }
+}
+
+TEST_P(QuadtreeRoundTrip, EquationNineMatchesDirectGeometry) {
+  const int n = GetParam();
+  CoordinateQuadtree tree(n, n);
+  // Padded root centre: root pads up-left when n is odd.
+  const bool odd = (n % 2 == 1) && n > 1;
+  const double center_x = odd ? (n - 1.0) / 2.0 : n / 2.0;
+  const double center_y = odd ? (n + 1.0) / 2.0 : n / 2.0;
+  for (int cy = 0; cy < n; ++cy) {
+    for (int cx = 0; cx < n; ++cx) {
+      const CqcCode code = tree.Encode(cx, cy);
+      const auto offset = tree.DecodeOffsetViaSubspaceCoordinates(code);
+      ASSERT_TRUE(offset.ok());
+      EXPECT_NEAR(offset->first, cx + 0.5 - center_x, 1e-9)
+          << "cell (" << cx << "," << cy << ") n=" << n;
+      EXPECT_NEAR(offset->second, cy + 0.5 - center_y, 1e-9)
+          << "cell (" << cx << "," << cy << ") n=" << n;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GridSizes, QuadtreeRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 13,
+                                           16, 17, 25, 32, 33));
+
+TEST(CoordinateQuadtreeTest, RectangularGridsRoundTrip) {
+  for (const auto [w, h] : {std::pair{1, 5}, {5, 1}, {3, 7}, {8, 2}}) {
+    CoordinateQuadtree tree(w, h);
+    for (int cy = 0; cy < h; ++cy) {
+      for (int cx = 0; cx < w; ++cx) {
+        const auto cell = tree.Decode(tree.Encode(cx, cy));
+        ASSERT_TRUE(cell.ok()) << w << "x" << h;
+        EXPECT_EQ(cell->first, cx);
+        EXPECT_EQ(cell->second, cy);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CqcCodec (Lemma 3)
+// ---------------------------------------------------------------------------
+
+TEST(CqcCodecTest, OddCellCount) {
+  // 2 eps / gs = 4.45 -> 5 cells; already odd stays odd.
+  CqcCodec codec(0.001, 0.00045);
+  EXPECT_EQ(codec.cells_per_side() % 2, 1);
+  // 2 eps / gs = 4 -> bumped to 5.
+  CqcCodec even(0.001, 0.0005);
+  EXPECT_EQ(even.cells_per_side(), 5);
+}
+
+TEST(CqcCodecTest, MaxRefinedErrorIsHalfDiagonal) {
+  CqcCodec codec(0.001, 0.0005);
+  EXPECT_NEAR(codec.max_refined_error(), std::sqrt(2.0) / 2.0 * 0.0005,
+              1e-15);
+}
+
+TEST(CqcCodecTest, ZeroDeviationRefinesToOriginal) {
+  CqcCodec codec(0.001, 0.0005);
+  const Point original{10.0, 20.0};
+  const CqcCode code = codec.Encode(original, original);
+  const Point refined = codec.Refine(original, code);
+  EXPECT_NEAR(refined.DistanceTo(original), 0.0, 1e-12);
+}
+
+/// Property (Lemma 3): for any reconstructed point within eps_1 of the
+/// original, the refined point is within sqrt(2)/2 * gs of the original.
+class Lemma3Bound
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(Lemma3Bound, RefinedErrorWithinBound) {
+  const auto [epsilon, grid_size] = GetParam();
+  CqcCodec codec(epsilon, grid_size);
+  Rng rng(99);
+  const double bound = codec.max_refined_error();
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Point original{rng.Uniform(-50.0, 50.0), rng.Uniform(-30.0, 30.0)};
+    // Deviation uniform in the eps_1 disc (the quantizer bound).
+    const double angle = rng.Uniform(0.0, 2.0 * M_PI);
+    const double radius = epsilon * std::sqrt(rng.Uniform(0.0, 1.0));
+    const Point reconstructed{original.x + radius * std::cos(angle),
+                              original.y + radius * std::sin(angle)};
+    const CqcCode code = codec.Encode(original, reconstructed);
+    const Point refined = codec.Refine(reconstructed, code);
+    EXPECT_LE(refined.DistanceTo(original), bound + 1e-12)
+        << "eps=" << epsilon << " gs=" << grid_size;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EpsilonGrid, Lemma3Bound,
+    ::testing::Combine(::testing::Values(0.001, 0.005, 0.01),
+                       ::testing::Values(0.0001, 0.00045, 0.001, 0.002)));
+
+TEST(CqcCodecTest, RefinementNeverWorsensBeyondQuantizerBound) {
+  // Even when gs is coarse (one cell), refinement must not move the point
+  // beyond the quantizer deviation.
+  CqcCodec codec(0.001, 0.01);  // single cell
+  EXPECT_EQ(codec.cells_per_side(), 1);
+  const Point original{1.0, 1.0};
+  const Point reconstructed{1.0005, 0.9995};
+  const CqcCode code = codec.Encode(original, reconstructed);
+  EXPECT_EQ(code.length, 0);
+  const Point refined = codec.Refine(reconstructed, code);
+  EXPECT_EQ(refined.x, reconstructed.x);  // no refinement possible
+}
+
+TEST(CqcCodecTest, OutOfRangeDeviationClampsToEdgeCell) {
+  CqcCodec codec(0.001, 0.0005);
+  const Point original{0.0, 0.0};
+  const Point reconstructed{0.01, 0.01};  // 10x the bound
+  const CqcCode code = codec.Encode(original, reconstructed);
+  // Refinement moves toward the original by the edge-cell offset; the
+  // result stays finite and decodable.
+  const Point refined = codec.Refine(reconstructed, code);
+  EXPECT_TRUE(std::isfinite(refined.x));
+  EXPECT_LT(refined.DistanceTo(original), reconstructed.DistanceTo(original));
+}
+
+TEST(CqcCodecTest, CodeBitsMatchPaperScale) {
+  // Paper defaults: eps_1 ~ 111 m, gs = 50 m -> 5 cells -> 6 bits/point.
+  CqcCodec codec(0.001, MetersToDegrees(50.0));
+  EXPECT_EQ(codec.cells_per_side(), 5);
+  EXPECT_EQ(codec.code_bits(), 6);
+}
+
+TEST(CqcCodecTest, TemplateIsSharedAcrossPoints) {
+  CqcCodec codec(0.001, 0.0005);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const Point original{rng.Uniform(-10.0, 10.0), rng.Uniform(-10.0, 10.0)};
+    const Point recon{original.x + rng.Uniform(-0.0009, 0.0009),
+                      original.y + rng.Uniform(-0.0009, 0.0009)};
+    EXPECT_EQ(codec.Encode(original, recon).length, codec.code_bits());
+  }
+}
+
+}  // namespace
+}  // namespace ppq::cqc

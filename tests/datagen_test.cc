@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/geo.h"
+#include "datagen/csv.h"
+#include "datagen/generator.h"
+
+namespace ppq::datagen {
+namespace {
+
+TEST(PortoGeneratorTest, RespectsCounts) {
+  GeneratorOptions options;
+  options.num_trajectories = 25;
+  options.horizon = 100;
+  options.min_length = 30;
+  options.max_length = 80;
+  const TrajectoryDataset ds = PortoLikeGenerator(options).Generate();
+  EXPECT_EQ(ds.size(), 25u);
+  for (const Trajectory& t : ds.trajectories()) {
+    EXPECT_GE(t.size(), 30u);
+    EXPECT_LE(t.size(), 80u);
+    EXPECT_GE(t.start_tick, 0);
+    EXPECT_LE(t.end_tick(), 100);
+  }
+}
+
+TEST(PortoGeneratorTest, DeterministicBySeed) {
+  GeneratorOptions options;
+  options.num_trajectories = 5;
+  options.seed = 99;
+  const TrajectoryDataset a = PortoLikeGenerator(options).Generate();
+  const TrajectoryDataset b = PortoLikeGenerator(options).Generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size());
+    for (size_t j = 0; j < a[i].size(); ++j) {
+      EXPECT_EQ(a[i].points[j], b[i].points[j]);
+    }
+  }
+  options.seed = 100;
+  const TrajectoryDataset c = PortoLikeGenerator(options).Generate();
+  EXPECT_NE(a[0].points[5], c[0].points[5]);
+}
+
+TEST(PortoGeneratorTest, PointsNearRegion) {
+  GeneratorOptions options;
+  options.num_trajectories = 20;
+  const TrajectoryDataset ds = PortoLikeGenerator(options).Generate();
+  const BoundingBox region = PortoLikeGenerator::Region();
+  // Soft steering keeps points within a small margin of the region.
+  const double margin = 0.02;
+  for (const Trajectory& t : ds.trajectories()) {
+    for (const Point& p : t.points) {
+      EXPECT_GE(p.x, region.min_x - margin);
+      EXPECT_LE(p.x, region.max_x + margin);
+      EXPECT_GE(p.y, region.min_y - margin);
+      EXPECT_LE(p.y, region.max_y + margin);
+    }
+  }
+}
+
+TEST(PortoGeneratorTest, StepsAreVehicleScale) {
+  GeneratorOptions options;
+  options.num_trajectories = 10;
+  const TrajectoryDataset ds = PortoLikeGenerator(options).Generate();
+  // Urban taxi at 15 s ticks: steps should be below ~500 m.
+  for (const Trajectory& t : ds.trajectories()) {
+    for (size_t i = 1; i < t.points.size(); ++i) {
+      const double step_m =
+          DegreeDistanceMeters(t.points[i], t.points[i - 1]);
+      EXPECT_LT(step_m, 500.0);
+    }
+  }
+}
+
+TEST(GeoLifeGeneratorTest, LongTrajectoriesLargeSpan) {
+  GeneratorOptions options = GeoLifeLikeGenerator::DefaultOptions();
+  options.num_trajectories = 10;
+  const TrajectoryDataset ds = GeoLifeLikeGenerator(options).Generate();
+  EXPECT_EQ(ds.size(), 10u);
+  // GeoLife-like span must dwarf the Porto-like span (the property the
+  // paper's GeoLife observations rest on).
+  const BoundingBox bounds = ds.Bounds();
+  EXPECT_GT(bounds.width() + bounds.height(),
+            PortoLikeGenerator::Region().width() +
+                PortoLikeGenerator::Region().height());
+  size_t longest = 0;
+  for (const Trajectory& t : ds.trajectories()) {
+    longest = std::max(longest, t.size());
+  }
+  EXPECT_GT(longest, 500u);
+}
+
+TEST(SubPortoTest, ExpandsByVariantsPlusOne) {
+  GeneratorOptions options;
+  options.num_trajectories = 8;
+  const TrajectoryDataset base = PortoLikeGenerator(options).Generate();
+  SubPortoOptions sub_options;
+  sub_options.variants_per_trajectory = 4;
+  const TrajectoryDataset sub = MakeSubPorto(base, sub_options);
+  EXPECT_EQ(sub.size(), base.size() * 5);
+}
+
+TEST(SubPortoTest, VariantsAreSimilarButNotIdentical) {
+  GeneratorOptions options;
+  options.num_trajectories = 3;
+  const TrajectoryDataset base = PortoLikeGenerator(options).Generate();
+  SubPortoOptions sub_options;
+  sub_options.variants_per_trajectory = 1;
+  sub_options.noise_stddev_degrees = 1e-4;
+  const TrajectoryDataset sub = MakeSubPorto(base, sub_options);
+  // Layout: original, variant, original, variant, ...
+  for (size_t i = 0; i < base.size(); ++i) {
+    const Trajectory& original = sub[i * 2];
+    const Trajectory& variant = sub[i * 2 + 1];
+    ASSERT_EQ(original.size(), variant.size());
+    EXPECT_EQ(original.start_tick, variant.start_tick);
+    double max_dev = 0.0;
+    double total_dev = 0.0;
+    for (size_t j = 0; j < original.size(); ++j) {
+      const double d = original.points[j].DistanceTo(variant.points[j]);
+      max_dev = std::max(max_dev, d);
+      total_dev += d;
+    }
+    EXPECT_GT(total_dev, 0.0);       // noise was added
+    EXPECT_LT(max_dev, 5e-3);        // but trajectories stay similar
+  }
+}
+
+TEST(CsvTest, RoundTrip) {
+  GeneratorOptions options;
+  options.num_trajectories = 6;
+  options.horizon = 40;
+  options.min_length = 10;
+  options.max_length = 30;
+  const TrajectoryDataset ds = PortoLikeGenerator(options).Generate();
+  const std::string path = ::testing::TempDir() + "/ppq_csv_test.csv";
+  ASSERT_TRUE(SaveCsv(ds, path).ok());
+  const auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), ds.size());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    ASSERT_EQ((*loaded)[i].size(), ds[i].size());
+    EXPECT_EQ((*loaded)[i].start_tick, ds[i].start_tick);
+    for (size_t j = 0; j < ds[i].size(); ++j) {
+      EXPECT_NEAR((*loaded)[i].points[j].x, ds[i].points[j].x, 1e-9);
+      EXPECT_NEAR((*loaded)[i].points[j].y, ds[i].points[j].y, 1e-9);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFile) {
+  EXPECT_FALSE(LoadCsv("/nonexistent/definitely/missing.csv").ok());
+}
+
+TEST(CsvTest, MalformedLineRejected) {
+  const std::string path = ::testing::TempDir() + "/ppq_csv_bad.csv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("traj_id,tick,x,y\n0,0,1.0,2.0\nnot-a-line\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, NonConsecutiveTicksRejected) {
+  const std::string path = ::testing::TempDir() + "/ppq_csv_gap.csv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("traj_id,tick,x,y\n0,0,1.0,2.0\n0,2,1.0,2.0\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ppq::datagen

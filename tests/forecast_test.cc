@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "common/geo.h"
+#include "core/forecast.h"
+#include "core/ppq_trajectory.h"
+#include "datagen/generator.h"
+
+namespace ppq::core {
+namespace {
+
+PpqTrajectory CompressLinearFleet(TrajectoryDataset* out_dataset) {
+  // Constant-velocity trajectories: a fitted AR model should extrapolate
+  // them almost perfectly.
+  TrajectoryDataset dataset;
+  for (int i = 0; i < 12; ++i) {
+    Trajectory traj;
+    traj.start_tick = 0;
+    const double vx = 1e-4 * (i + 1);
+    const double vy = 5e-5 * (i + 1);
+    for (int t = 0; t < 40; ++t) {
+      traj.points.push_back({i * 0.01 + vx * t, i * 0.01 + vy * t});
+    }
+    dataset.Add(traj);
+  }
+  *out_dataset = dataset;
+  PpqOptions options = MakePpqS();
+  options.enable_index = false;
+  PpqTrajectory method(options);
+  method.Compress(dataset);
+  return method;
+}
+
+TEST(ForecastTest, ExtrapolatesLinearMotion) {
+  TrajectoryDataset dataset;
+  const PpqTrajectory method = CompressLinearFleet(&dataset);
+  Forecaster forecaster(&method.summary());
+  const auto forecast = forecaster.Predict(3, 30, 5);
+  ASSERT_TRUE(forecast.ok());
+  ASSERT_EQ(forecast->positions.size(), 5u);
+  // Ground truth continuation of trajectory 3.
+  const double vx = 1e-4 * 4;
+  const double vy = 5e-5 * 4;
+  for (int s = 0; s < 5; ++s) {
+    const Point truth{3 * 0.01 + vx * (31 + s), 3 * 0.01 + vy * (31 + s)};
+    EXPECT_LT(DegreeDistanceMeters(forecast->positions[static_cast<size_t>(s)],
+                                   truth),
+              200.0)
+        << "step " << s;
+  }
+}
+
+TEST(ForecastTest, PredictBeyondEndAnchorsAtLastSample) {
+  TrajectoryDataset dataset;
+  const PpqTrajectory method = CompressLinearFleet(&dataset);
+  Forecaster forecaster(&method.summary());
+  const auto forecast = forecaster.PredictBeyondEnd(0, 3);
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_EQ(forecast->positions.size(), 3u);
+}
+
+TEST(ForecastTest, UnknownTrajectory) {
+  TrajectoryDataset dataset;
+  const PpqTrajectory method = CompressLinearFleet(&dataset);
+  Forecaster forecaster(&method.summary());
+  EXPECT_EQ(forecaster.Predict(99, 0, 3).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ForecastTest, AnchorOutsideTrajectory) {
+  TrajectoryDataset dataset;
+  const PpqTrajectory method = CompressLinearFleet(&dataset);
+  Forecaster forecaster(&method.summary());
+  EXPECT_EQ(forecaster.Predict(0, 1000, 3).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ForecastTest, NegativeStepsRejected) {
+  TrajectoryDataset dataset;
+  const PpqTrajectory method = CompressLinearFleet(&dataset);
+  Forecaster forecaster(&method.summary());
+  EXPECT_FALSE(forecaster.Predict(0, 10, -1).ok());
+}
+
+TEST(ForecastTest, ZeroStepsYieldEmptyForecast) {
+  TrajectoryDataset dataset;
+  const PpqTrajectory method = CompressLinearFleet(&dataset);
+  Forecaster forecaster(&method.summary());
+  const auto forecast = forecaster.Predict(0, 10, 0);
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_TRUE(forecast->positions.empty());
+}
+
+TEST(ForecastTest, WarmupOnlyTrajectoryFallsBackToPersistence) {
+  // Trajectories shorter than the prediction order never get a fitted
+  // partition; the forecast must still work via persistence.
+  TrajectoryDataset dataset;
+  Trajectory tiny;
+  tiny.start_tick = 0;
+  tiny.points = {{1.0, 2.0}, {1.0, 2.0}};
+  dataset.Add(tiny);
+  PpqOptions options = MakePpqS();
+  options.enable_index = false;
+  PpqTrajectory method(options);
+  method.Compress(dataset);
+  Forecaster forecaster(&method.summary());
+  const auto forecast = forecaster.PredictBeyondEnd(0, 3);
+  ASSERT_TRUE(forecast.ok());
+  for (const Point& p : forecast->positions) {
+    EXPECT_NEAR(p.x, 1.0, 0.01);
+    EXPECT_NEAR(p.y, 2.0, 0.01);
+  }
+}
+
+TEST(ForecastTest, RealisticWorkloadShortHorizonBeatsLongHorizon) {
+  datagen::GeneratorOptions gen;
+  gen.num_trajectories = 30;
+  gen.horizon = 80;
+  gen.min_length = 60;
+  gen.max_length = 80;
+  gen.seed = 5;
+  const TrajectoryDataset dataset =
+      datagen::PortoLikeGenerator(gen).Generate();
+  PpqOptions options = MakePpqS();
+  options.enable_index = false;
+  PpqTrajectory method(options);
+  method.Compress(dataset);
+  Forecaster forecaster(&method.summary());
+
+  double err_short = 0.0;
+  double err_long = 0.0;
+  int counted = 0;
+  for (const Trajectory& traj : dataset.trajectories()) {
+    const Tick anchor = traj.start_tick + 30;
+    if (!traj.ActiveAt(anchor + 20)) continue;
+    const auto forecast = forecaster.Predict(traj.id, anchor, 20);
+    if (!forecast.ok()) continue;
+    err_short +=
+        DegreeDistanceMeters(forecast->positions[2], traj.At(anchor + 3));
+    err_long +=
+        DegreeDistanceMeters(forecast->positions[19], traj.At(anchor + 20));
+    ++counted;
+  }
+  ASSERT_GT(counted, 5);
+  EXPECT_LT(err_short, err_long);
+}
+
+}  // namespace
+}  // namespace ppq::core

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "index/grid_index.h"
+
+namespace ppq::index {
+namespace {
+
+GridIndex MakeUnitGrid(double cell = 0.1) {
+  return GridIndex(Rect{0.0, 0.0, 1.0, 1.0}, cell);
+}
+
+TEST(GridIndexTest, CellCounts) {
+  const GridIndex g = MakeUnitGrid(0.1);
+  EXPECT_EQ(g.cells_x(), 10);
+  EXPECT_EQ(g.cells_y(), 10);
+  // A cell size wider than the region collapses to a single cell.
+  const GridIndex one(Rect{0.0, 0.0, 0.5, 0.5}, 2.0);
+  EXPECT_EQ(one.cells_x(), 1);
+  EXPECT_EQ(one.cells_y(), 1);
+}
+
+TEST(GridIndexTest, InsertAndQuerySameCell) {
+  GridIndex g = MakeUnitGrid();
+  g.Insert(5, 1, {0.15, 0.15});
+  g.Insert(5, 2, {0.16, 0.14});
+  g.Insert(5, 3, {0.85, 0.85});
+  const auto ids = g.Query({0.12, 0.18}, 5);
+  EXPECT_EQ(ids, (std::vector<TrajId>{1, 2}));
+  EXPECT_TRUE(g.Query({0.12, 0.18}, 6).empty());  // different tick
+  EXPECT_TRUE(g.Query({0.5, 0.5}, 5).empty());    // empty cell
+}
+
+TEST(GridIndexTest, CountAtTracksInserts) {
+  GridIndex g = MakeUnitGrid();
+  g.Insert(1, 1, {0.1, 0.1});
+  g.Insert(1, 2, {0.9, 0.9});
+  g.Insert(2, 3, {0.5, 0.5});
+  EXPECT_EQ(g.CountAt(1), 2u);
+  EXPECT_EQ(g.CountAt(2), 1u);
+  EXPECT_EQ(g.CountAt(3), 0u);
+}
+
+TEST(GridIndexTest, BoundaryPointsClampIntoGrid) {
+  GridIndex g = MakeUnitGrid();
+  g.Insert(0, 7, {1.0, 1.0});  // exactly on the max corner
+  EXPECT_EQ(g.Query({0.999, 0.999}, 0), (std::vector<TrajId>{7}));
+}
+
+TEST(GridIndexTest, UnsortedInsertsKeptSorted) {
+  GridIndex g = MakeUnitGrid();
+  g.Insert(0, 9, {0.05, 0.05});
+  g.Insert(0, 3, {0.05, 0.05});
+  g.Insert(0, 5, {0.05, 0.05});
+  EXPECT_EQ(g.Query({0.05, 0.05}, 0), (std::vector<TrajId>{3, 5, 9}));
+}
+
+TEST(GridIndexTest, FinalizePreservesQueries) {
+  GridIndex g = MakeUnitGrid();
+  Rng rng(3);
+  std::vector<std::tuple<Tick, TrajId, Point>> inserted;
+  for (int i = 0; i < 500; ++i) {
+    const Tick t = static_cast<Tick>(rng.UniformInt(0, 5));
+    const Point p{rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)};
+    g.Insert(t, static_cast<TrajId>(i), p);
+    inserted.push_back({t, static_cast<TrajId>(i), p});
+  }
+  // Snapshot queries before finalizing.
+  std::vector<std::vector<TrajId>> before;
+  for (const auto& [t, id, p] : inserted) before.push_back(g.Query(p, t));
+  g.Finalize();
+  EXPECT_TRUE(g.finalized());
+  for (size_t i = 0; i < inserted.size(); ++i) {
+    const auto& [t, id, p] = inserted[i];
+    EXPECT_EQ(g.Query(p, t), before[i]);
+  }
+}
+
+TEST(GridIndexTest, FinalizeShrinksDenseIndex) {
+  GridIndex g = MakeUnitGrid(1.0);  // single cell: maximal list sharing
+  for (int t = 0; t < 10; ++t) {
+    for (TrajId id = 0; id < 200; ++id) {
+      g.Insert(t, id, {0.5, 0.5});
+    }
+  }
+  const size_t before = g.SizeBytes();
+  g.Finalize();
+  EXPECT_LT(g.SizeBytes(), before);
+}
+
+TEST(GridIndexTest, QueryCircleMatchesBruteForce) {
+  GridIndex g = MakeUnitGrid(0.07);
+  Rng rng(9);
+  std::vector<std::pair<TrajId, Point>> points;
+  for (int i = 0; i < 300; ++i) {
+    const Point p{rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)};
+    g.Insert(0, static_cast<TrajId>(i), p);
+    points.push_back({static_cast<TrajId>(i), p});
+  }
+  for (int trial = 0; trial < 30; ++trial) {
+    const Point center{rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)};
+    const double radius = rng.Uniform(0.01, 0.3);
+    std::vector<TrajId> got;
+    g.QueryCircle(center, radius, 0, &got);
+    std::sort(got.begin(), got.end());
+    // Everything within the radius must be returned (cells are a
+    // superset of the disc).
+    for (const auto& [id, p] : points) {
+      if (p.DistanceTo(center) <= radius) {
+        EXPECT_TRUE(std::binary_search(got.begin(), got.end(), id))
+            << "missing id " << id;
+      }
+    }
+    // And nothing farther than the disc's cell cover can reach.
+    const double slack = radius + 0.07 * std::sqrt(2.0);
+    for (TrajId id : got) {
+      EXPECT_LE(points[static_cast<size_t>(id)].second.DistanceTo(center),
+                slack);
+    }
+  }
+}
+
+TEST(GridIndexTest, SizeBytesGrowsWithContent) {
+  GridIndex g = MakeUnitGrid();
+  const size_t empty = g.SizeBytes();
+  g.Insert(0, 1, {0.5, 0.5});
+  EXPECT_GT(g.SizeBytes(), empty);
+}
+
+}  // namespace
+}  // namespace ppq::index

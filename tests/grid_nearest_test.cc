@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/random.h"
+#include "quantizer/grid_nearest.h"
+
+namespace ppq::quantizer {
+namespace {
+
+TEST(GridNearestTest, EmptyGrid) {
+  GridNearest grid(0.1);
+  const auto [index, dist] = grid.NearestWithin({0.0, 0.0}, 0.1);
+  EXPECT_EQ(index, -1);
+  EXPECT_TRUE(std::isinf(dist));
+}
+
+TEST(GridNearestTest, FindsPointInSameBucket) {
+  GridNearest grid(0.1);
+  grid.Add({0.05, 0.05}, 7);
+  const auto [index, dist] = grid.NearestWithin({0.06, 0.05}, 0.1);
+  EXPECT_EQ(index, 7);
+  EXPECT_NEAR(dist, 0.01, 1e-12);
+}
+
+TEST(GridNearestTest, FindsPointAcrossBucketBoundary) {
+  GridNearest grid(0.1);
+  grid.Add({0.099, 0.05}, 1);           // bucket (0, 0)
+  const auto [index, dist] = grid.NearestWithin({0.101, 0.05}, 0.1);
+  EXPECT_EQ(index, 1);                  // query in bucket (1, 0)
+  EXPECT_NEAR(dist, 0.002, 1e-12);
+}
+
+TEST(GridNearestTest, RejectsBeyondRadius) {
+  GridNearest grid(0.1);
+  grid.Add({0.0, 0.0}, 1);
+  const auto [index, dist] = grid.NearestWithin({0.09, 0.05}, 0.05);
+  EXPECT_EQ(index, -1);
+}
+
+TEST(GridNearestTest, NegativeCoordinates) {
+  GridNearest grid(0.1);
+  grid.Add({-0.35, -0.72}, 3);
+  const auto [index, dist] = grid.NearestWithin({-0.36, -0.71}, 0.1);
+  EXPECT_EQ(index, 3);
+}
+
+TEST(GridNearestTest, ClearEmpties) {
+  GridNearest grid(0.1);
+  grid.Add({0.0, 0.0}, 1);
+  EXPECT_EQ(grid.size(), 1u);
+  grid.Clear();
+  EXPECT_EQ(grid.size(), 0u);
+  EXPECT_EQ(grid.NearestWithin({0.0, 0.0}, 0.1).first, -1);
+}
+
+/// Property: NearestWithin(radius <= cell) returns exactly the brute-force
+/// nearest among points within the radius.
+class GridNearestExactness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GridNearestExactness, MatchesBruteForce) {
+  Rng rng(GetParam());
+  const double cell = 0.07;
+  GridNearest grid(cell);
+  std::vector<Point> points;
+  for (int i = 0; i < 400; ++i) {
+    const Point p{rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)};
+    grid.Add(p, i);
+    points.push_back(p);
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    const Point q{rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)};
+    const double radius = rng.Uniform(0.0, cell);
+    const auto [index, dist] = grid.NearestWithin(q, radius);
+
+    int best = -1;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < 400; ++i) {
+      const double d = points[static_cast<size_t>(i)].DistanceTo(q);
+      if (d < best_dist) {
+        best_dist = d;
+        best = i;
+      }
+    }
+    if (best_dist <= radius) {
+      EXPECT_EQ(index, best);
+      EXPECT_NEAR(dist, best_dist, 1e-12);
+    } else {
+      EXPECT_EQ(index, -1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridNearestExactness,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(GridNearestTest, ManyPointsPerBucket) {
+  GridNearest grid(1.0);
+  for (int i = 0; i < 100; ++i) {
+    grid.Add({0.5 + i * 1e-4, 0.5}, i);
+  }
+  const auto [index, dist] = grid.NearestWithin({0.5 + 55 * 1e-4, 0.5}, 0.5);
+  EXPECT_EQ(index, 55);
+}
+
+}  // namespace
+}  // namespace ppq::quantizer

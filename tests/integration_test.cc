@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "baselines/product_quantization.h"
+#include "baselines/residual_quantization.h"
+#include "baselines/trajstore.h"
+#include "core/metrics.h"
+#include "core/ppq_trajectory.h"
+#include "core/query_engine.h"
+#include "datagen/generator.h"
+
+/// \file integration_test.cc
+/// Cross-module behaviour checks that mirror the paper's headline claims
+/// on laptop-scale data: the method ordering of Table 2 (PPQ more accurate
+/// than raw-position quantizers), Table 3's monotone TPQ error growth,
+/// Table 6's codebook-size ordering, and the recall-1 guarantee of the
+/// local search.
+
+namespace ppq {
+namespace {
+
+TrajectoryDataset PortoSmall(uint64_t seed = 5150) {
+  datagen::GeneratorOptions options;
+  options.num_trajectories = 80;
+  options.horizon = 80;
+  options.min_length = 30;
+  options.max_length = 80;
+  options.seed = seed;
+  return datagen::PortoLikeGenerator(options).Generate();
+}
+
+TrajectoryDataset GeoLifeSmall(uint64_t seed = 6021) {
+  datagen::GeneratorOptions options;
+  options.num_trajectories = 15;
+  options.horizon = 200;
+  options.min_length = 80;
+  options.max_length = 200;
+  options.seed = seed;
+  return datagen::GeoLifeLikeGenerator(options).Generate();
+}
+
+TrajectoryDataset GeoLifeDense(uint64_t seed = 6021) {
+  datagen::GeneratorOptions options;
+  options.num_trajectories = 60;
+  options.horizon = 120;
+  options.min_length = 60;
+  options.max_length = 120;
+  options.seed = seed;
+  return datagen::GeoLifeLikeGenerator(options).Generate();
+}
+
+TEST(IntegrationTest, PredictiveBeatsRawQuantizationOnCodebookSize) {
+  // Table 6's central ordering: PPQ needs far fewer codewords than
+  // Q-trajectory / PQ / RQ at the same deviation bound.
+  const TrajectoryDataset dataset = PortoSmall();
+  core::PpqOptions base;
+  auto ppq = core::MakeMethod("PPQ-S", base);
+  auto qtraj = core::MakeMethod("Q-trajectory", base);
+  ppq->Compress(dataset);
+  qtraj->Compress(dataset);
+  EXPECT_LT(ppq->NumCodewords(), qtraj->NumCodewords());
+
+  baselines::BaselineOptions bo;
+  baselines::ProductQuantization pq(bo);
+  pq.Compress(dataset);
+  EXPECT_LT(ppq->NumCodewords(), pq.NumCodewords());
+}
+
+TEST(IntegrationTest, GeoLifeBlowsUpNonPredictiveMae) {
+  // Table 2: on the wide-area dataset, fixed-budget raw-position
+  // quantizers produce MAEs orders of magnitude above PPQ. The bit budget
+  // must be scarce relative to the slice population for quantization error
+  // to exist at all.
+  const TrajectoryDataset dataset = GeoLifeDense();
+  core::PpqOptions options = core::MakePpqS();
+  options.epsilon_p = 1.0;  // GeoLife-scale spatial threshold
+  options.mode = core::QuantizationMode::kFixedPerTick;
+  options.fixed_bits = 4;
+  core::PpqTrajectory ppq(options);
+  ppq.Compress(dataset);
+
+  baselines::BaselineOptions bo;
+  bo.mode = core::QuantizationMode::kFixedPerTick;
+  bo.fixed_bits = 4;
+  baselines::ProductQuantization pq(bo);
+  pq.Compress(dataset);
+
+  const double ppq_mae = core::SummaryMaeMeters(ppq, dataset);
+  const double pq_mae = core::SummaryMaeMeters(pq, dataset);
+  EXPECT_LT(ppq_mae * 10.0, pq_mae)
+      << "PPQ " << ppq_mae << " m vs PQ " << pq_mae << " m";
+}
+
+TEST(IntegrationTest, TpqErrorGrowsWithPathLength) {
+  // Table 3: accumulated deviation rises with the queried path length.
+  const TrajectoryDataset dataset = PortoSmall();
+  core::PpqOptions options = core::MakePpqSBasic();
+  core::PpqTrajectory method(options);
+  method.Compress(dataset);
+
+  Rng rng(3);
+  std::vector<core::QuerySpec> queries;
+  std::vector<TrajId> ids;
+  for (int i = 0; i < 40; ++i) {
+    const auto& traj = dataset[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(dataset.size()) - 1))];
+    queries.push_back({traj.points[0], traj.start_tick});
+    ids.push_back(traj.id);
+  }
+  double previous = 0.0;
+  for (int length : {10, 30, 50}) {
+    const double mae =
+        core::EvaluateTpqMaeMeters(method, dataset, queries, ids, length);
+    EXPECT_GE(mae + 1e-9, previous) << "length " << length;
+    previous = mae;
+  }
+}
+
+TEST(IntegrationTest, RecallOneAcrossDatasets) {
+  for (const TrajectoryDataset& dataset : {PortoSmall(), GeoLifeSmall()}) {
+    core::PpqOptions options = core::MakePpqA();
+    core::PpqTrajectory method(options);
+    method.Compress(dataset);
+    core::QueryEngine engine(&method, &dataset, options.tpi.pi.cell_size);
+    Rng rng(11);
+    const auto queries = core::SampleQueries(dataset, 80, &rng);
+    const auto eval = core::EvaluateStrq(engine, dataset, queries,
+                                         core::StrqMode::kLocalSearch);
+    EXPECT_DOUBLE_EQ(eval.recall, 1.0);
+  }
+}
+
+TEST(IntegrationTest, SummaryAloneReproducesEveryTrajectory) {
+  // "The parameters in the system ({P_j[t]}, C, {b_i^t}, CQC) are enough
+  // to reproduce any trajectory" (Section 5): decode every point of every
+  // trajectory from the summary and check the bound.
+  const TrajectoryDataset dataset = PortoSmall();
+  core::PpqOptions options = core::MakePpqA();
+  core::PpqTrajectory method(options);
+  method.Compress(dataset);
+  const double bound = method.LocalSearchRadius();
+  size_t checked = 0;
+  for (const Trajectory& traj : dataset.trajectories()) {
+    const auto path = method.summary().ReconstructRange(
+        traj.id, traj.start_tick, static_cast<int>(traj.size()));
+    ASSERT_TRUE(path.ok());
+    ASSERT_EQ(path->size(), traj.size());
+    for (size_t i = 0; i < traj.size(); ++i) {
+      ASSERT_LE((*path)[i].DistanceTo(traj.points[i]), bound + 1e-9);
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, dataset.TotalPoints());
+}
+
+TEST(IntegrationTest, CqcImprovesMaeOverBasic) {
+  // Table 2: PPQ-S beats PPQ-S-basic on MAE (the CQC refinement).
+  const TrajectoryDataset dataset = PortoSmall();
+  core::PpqTrajectory with_cqc(core::MakePpqS());
+  core::PpqTrajectory basic(core::MakePpqSBasic());
+  with_cqc.Compress(dataset);
+  basic.Compress(dataset);
+  EXPECT_LT(core::SummaryMaeMeters(with_cqc, dataset),
+            core::SummaryMaeMeters(basic, dataset));
+}
+
+TEST(IntegrationTest, BasicVariantCompressesBetter) {
+  // Figure 9: the -basic variants trade accuracy for ratio (no CQC codes
+  // to store).
+  const TrajectoryDataset dataset = PortoSmall();
+  core::PpqTrajectory with_cqc(core::MakePpqS());
+  core::PpqTrajectory basic(core::MakePpqSBasic());
+  with_cqc.Compress(dataset);
+  basic.Compress(dataset);
+  EXPECT_GT(core::CompressionRatio(basic, dataset),
+            core::CompressionRatio(with_cqc, dataset));
+}
+
+TEST(IntegrationTest, OnlineAndBatchAgree) {
+  // Streaming slices one by one must equal Compress()'s behaviour
+  // (determinism of the full pipeline).
+  const TrajectoryDataset dataset = PortoSmall();
+  core::PpqOptions options = core::MakePpqS();
+  core::PpqTrajectory batch(options);
+  batch.Compress(dataset);
+  core::PpqTrajectory streaming(options);
+  for (Tick t = dataset.MinTick(); t < dataset.MaxTick(); ++t) {
+    const TimeSlice slice = dataset.SliceAt(t);
+    if (!slice.empty()) streaming.ObserveSlice(slice);
+  }
+  streaming.Finish();
+  EXPECT_EQ(batch.NumCodewords(), streaming.NumCodewords());
+  EXPECT_EQ(batch.SummaryBytes(), streaming.SummaryBytes());
+  for (const Trajectory& traj : {dataset[0], dataset[5]}) {
+    for (size_t i = 0; i < traj.size(); ++i) {
+      const Tick t = traj.start_tick + static_cast<Tick>(i);
+      EXPECT_EQ(batch.Reconstruct(traj.id, t)->x,
+                streaming.Reconstruct(traj.id, t)->x);
+    }
+  }
+}
+
+TEST(IntegrationTest, TrajStoreSummaryWaitsForFinish) {
+  const TrajectoryDataset dataset = PortoSmall();
+  baselines::TrajStore::Options options;
+  options.leaf_capacity = 256;
+  baselines::TrajStore store(options);
+  for (Tick t = dataset.MinTick(); t < dataset.MaxTick(); ++t) {
+    const TimeSlice slice = dataset.SliceAt(t);
+    if (!slice.empty()) store.ObserveSlice(slice);
+  }
+  // Before Finish there is no summary (paper: TrajStore cannot summarise
+  // until the index has seen all timestamps).
+  EXPECT_EQ(store.NumCodewords(), 0u);
+  store.Finish();
+  EXPECT_GT(store.NumCodewords(), 0u);
+}
+
+}  // namespace
+}  // namespace ppq

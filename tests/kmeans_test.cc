@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "quantizer/kmeans.h"
+
+namespace ppq::quantizer {
+namespace {
+
+std::vector<double> TwoClusters(int per_cluster, Rng* rng) {
+  std::vector<double> data;
+  for (int i = 0; i < per_cluster; ++i) {
+    data.push_back(rng->Normal(0.0, 0.05));
+    data.push_back(rng->Normal(0.0, 0.05));
+  }
+  for (int i = 0; i < per_cluster; ++i) {
+    data.push_back(rng->Normal(10.0, 0.05));
+    data.push_back(rng->Normal(10.0, 0.05));
+  }
+  return data;
+}
+
+TEST(KMeansTest, EmptyInput) {
+  Rng rng(1);
+  const auto result = RunKMeans({}, 0, 2, 3, {}, rng);
+  EXPECT_EQ(result.k, 0);
+  EXPECT_TRUE(result.assignments.empty());
+}
+
+TEST(KMeansTest, KClampedToN) {
+  Rng rng(1);
+  const std::vector<double> data{0.0, 0.0, 1.0, 1.0};
+  const auto result = RunKMeans(data, 2, 2, 10, {}, rng);
+  EXPECT_EQ(result.k, 2);
+}
+
+TEST(KMeansTest, SeparatesTwoObviousClusters) {
+  Rng rng(7);
+  const auto data = TwoClusters(50, &rng);
+  const auto result = RunKMeans(data, 100, 2, 2, {}, rng);
+  // All points of each half share an assignment, and the two halves
+  // differ.
+  for (int i = 1; i < 50; ++i) {
+    EXPECT_EQ(result.assignments[static_cast<size_t>(i)],
+              result.assignments[0]);
+    EXPECT_EQ(result.assignments[static_cast<size_t>(50 + i)],
+              result.assignments[50]);
+  }
+  EXPECT_NE(result.assignments[0], result.assignments[50]);
+}
+
+TEST(KMeansTest, AssignmentsAreNearest) {
+  Rng rng(11);
+  const auto data = TwoClusters(30, &rng);
+  const auto result = RunKMeans(data, 60, 2, 4, {}, rng);
+  for (int i = 0; i < 60; ++i) {
+    const Point p{data[static_cast<size_t>(i) * 2],
+                  data[static_cast<size_t>(i) * 2 + 1]};
+    double best = std::numeric_limits<double>::infinity();
+    int best_c = -1;
+    for (int c = 0; c < result.k; ++c) {
+      const double d = p.DistanceTo(result.CentroidPoint(c));
+      if (d < best) {
+        best = d;
+        best_c = c;
+      }
+    }
+    EXPECT_EQ(result.assignments[static_cast<size_t>(i)], best_c);
+  }
+}
+
+TEST(KMeansTest, MaxRadiusIsConsistent) {
+  Rng rng(13);
+  const auto data = TwoClusters(30, &rng);
+  const auto result = RunKMeans(data, 60, 2, 3, {}, rng);
+  std::vector<double> radius(static_cast<size_t>(result.k), 0.0);
+  for (int i = 0; i < 60; ++i) {
+    const Point p{data[static_cast<size_t>(i) * 2],
+                  data[static_cast<size_t>(i) * 2 + 1]};
+    const int c = result.assignments[static_cast<size_t>(i)];
+    radius[static_cast<size_t>(c)] =
+        std::max(radius[static_cast<size_t>(c)],
+                 p.DistanceTo(result.CentroidPoint(c)));
+  }
+  for (int c = 0; c < result.k; ++c) {
+    EXPECT_NEAR(radius[static_cast<size_t>(c)],
+                result.max_radius[static_cast<size_t>(c)], 1e-12);
+  }
+}
+
+TEST(KMeansTest, HigherDimensionalRows) {
+  Rng rng(17);
+  // Two clusters in 5-D.
+  std::vector<double> data;
+  for (int i = 0; i < 20; ++i) {
+    for (int d = 0; d < 5; ++d) data.push_back(rng.Normal(0.0, 0.1));
+  }
+  for (int i = 0; i < 20; ++i) {
+    for (int d = 0; d < 5; ++d) data.push_back(rng.Normal(5.0, 0.1));
+  }
+  const auto result = RunKMeans(data, 40, 5, 2, {}, rng);
+  EXPECT_NE(result.assignments[0], result.assignments[20]);
+}
+
+TEST(FlattenPointsTest, Layout) {
+  const auto flat = FlattenPoints({{1.0, 2.0}, {3.0, 4.0}});
+  ASSERT_EQ(flat.size(), 4u);
+  EXPECT_DOUBLE_EQ(flat[0], 1.0);
+  EXPECT_DOUBLE_EQ(flat[3], 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// ThresholdCluster: the Eq. 7/8 loop
+// ---------------------------------------------------------------------------
+
+/// Property: after ThresholdCluster, every member is within epsilon of its
+/// centroid, for any epsilon.
+class ThresholdClusterBound
+    : public ::testing::TestWithParam<std::tuple<double, uint64_t>> {};
+
+TEST_P(ThresholdClusterBound, EveryMemberWithinEpsilon) {
+  const auto [epsilon, seed] = GetParam();
+  Rng rng(seed);
+  std::vector<double> data;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    data.push_back(rng.Uniform(0.0, 1.0));
+    data.push_back(rng.Uniform(0.0, 1.0));
+  }
+  ThresholdClusterOptions options;
+  const auto result = ThresholdCluster(data, n, 2, epsilon, options, rng);
+  ASSERT_GT(result.kmeans.k, 0);
+  for (int i = 0; i < n; ++i) {
+    const Point p{data[static_cast<size_t>(i) * 2],
+                  data[static_cast<size_t>(i) * 2 + 1]};
+    const int c = result.kmeans.assignments[static_cast<size_t>(i)];
+    EXPECT_LE(p.DistanceTo(result.kmeans.CentroidPoint(c)), epsilon + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EpsilonSweep, ThresholdClusterBound,
+    ::testing::Combine(::testing::Values(0.05, 0.1, 0.2, 0.5, 1.5),
+                       ::testing::Values(3u, 9u)));
+
+TEST(ThresholdClusterTest, TightEpsilonGrowsMoreClusters) {
+  Rng rng_a(5);
+  Rng rng_b(5);
+  std::vector<double> data;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    data.push_back(rng_a.Uniform(0.0, 1.0));
+    data.push_back(rng_a.Uniform(0.0, 1.0));
+  }
+  ThresholdClusterOptions options;
+  options.step = 2;
+  Rng r1(42);
+  Rng r2(42);
+  const auto loose = ThresholdCluster(data, n, 2, 0.5, options, r1);
+  const auto tight = ThresholdCluster(data, n, 2, 0.05, options, r2);
+  EXPECT_LT(loose.kmeans.k, tight.kmeans.k);
+  EXPECT_LE(loose.rounds, tight.rounds);
+}
+
+TEST(ThresholdClusterTest, SinglePointSingleCluster) {
+  Rng rng(1);
+  const auto result = ThresholdCluster({0.5, 0.5}, 1, 2, 1e-9, {}, rng);
+  EXPECT_EQ(result.kmeans.k, 1);
+  EXPECT_EQ(result.rounds, 1);
+}
+
+TEST(ThresholdClusterTest, DuplicatePointsNeverExceedN) {
+  Rng rng(2);
+  std::vector<double> data;
+  for (int i = 0; i < 10; ++i) {
+    data.push_back(1.0);
+    data.push_back(2.0);
+  }
+  const auto result = ThresholdCluster(data, 10, 2, 1e-12, {}, rng);
+  EXPECT_LE(result.kmeans.k, 10);
+  // Identical points fit a single centroid exactly.
+  EXPECT_EQ(result.kmeans.k, 1);
+}
+
+}  // namespace
+}  // namespace ppq::quantizer

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "common/matrix.h"
+#include "common/random.h"
+
+namespace ppq {
+namespace {
+
+TEST(MatrixTest, GramIsSymmetric) {
+  Matrix a(3, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  a(2, 0) = 5;
+  a(2, 1) = 6;
+  const Matrix g = a.Gram();
+  EXPECT_EQ(g.rows(), 2u);
+  EXPECT_DOUBLE_EQ(g(0, 1), g(1, 0));
+  EXPECT_DOUBLE_EQ(g(0, 0), 1 + 9 + 25);
+  EXPECT_DOUBLE_EQ(g(0, 1), 2 + 12 + 30);
+}
+
+TEST(MatrixTest, TransposeTimes) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  const auto v = a.TransposeTimes({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(v[0], 4.0);
+  EXPECT_DOUBLE_EQ(v[1], 6.0);
+}
+
+TEST(SolveLinearSystemTest, Identity) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(1, 1) = 1;
+  const auto x = SolveLinearSystem(a, {3.0, 4.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ((*x)[0], 3.0);
+  EXPECT_DOUBLE_EQ((*x)[1], 4.0);
+}
+
+TEST(SolveLinearSystemTest, RequiresPivoting) {
+  // a(0,0) == 0 forces a row swap.
+  Matrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  const auto x = SolveLinearSystem(a, {5.0, 7.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ((*x)[0], 7.0);
+  EXPECT_DOUBLE_EQ((*x)[1], 5.0);
+}
+
+TEST(SolveLinearSystemTest, SingularIsRejected) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;  // rank 1
+  EXPECT_FALSE(SolveLinearSystem(a, {1.0, 2.0}).ok());
+}
+
+TEST(SolveLinearSystemTest, DimensionMismatch) {
+  Matrix a(2, 3);
+  EXPECT_FALSE(SolveLinearSystem(a, {1.0, 2.0}).ok());
+}
+
+TEST(SolveLeastSquaresTest, ExactSystemRecovered) {
+  // y = 2 x1 - x2, overdetermined but consistent.
+  Matrix a(4, 2);
+  std::vector<double> b(4);
+  const double rows[4][2] = {{1, 0}, {0, 1}, {1, 1}, {2, 1}};
+  for (int i = 0; i < 4; ++i) {
+    a(static_cast<size_t>(i), 0) = rows[i][0];
+    a(static_cast<size_t>(i), 1) = rows[i][1];
+    b[static_cast<size_t>(i)] = 2 * rows[i][0] - rows[i][1];
+  }
+  const auto x = SolveLeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-6);
+  EXPECT_NEAR((*x)[1], -1.0, 1e-6);
+}
+
+TEST(SolveLeastSquaresTest, RidgeHandlesCollinearColumns) {
+  // Perfectly collinear columns: without ridge this is singular.
+  Matrix a(3, 2);
+  for (int i = 0; i < 3; ++i) {
+    a(static_cast<size_t>(i), 0) = i + 1.0;
+    a(static_cast<size_t>(i), 1) = 2.0 * (i + 1.0);
+  }
+  const auto x = SolveLeastSquares(a, {1.0, 2.0, 3.0}, /*ridge=*/1e-6);
+  ASSERT_TRUE(x.ok());
+  // Predictions should still be accurate even if the split between the
+  // two collinear coefficients is arbitrary.
+  for (int i = 0; i < 3; ++i) {
+    const double pred = (*x)[0] * (i + 1.0) + (*x)[1] * 2.0 * (i + 1.0);
+    EXPECT_NEAR(pred, i + 1.0, 1e-3);
+  }
+}
+
+/// Property: least squares residual is no worse than any random candidate.
+class LeastSquaresOptimality : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LeastSquaresOptimality, BeatsRandomCandidates) {
+  Rng rng(GetParam());
+  const size_t n = 20;
+  const size_t k = 3;
+  Matrix a(n, k);
+  std::vector<double> b(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < k; ++j) a(i, j) = rng.Uniform(-1.0, 1.0);
+    b[i] = rng.Uniform(-1.0, 1.0);
+  }
+  const auto solved = SolveLeastSquares(a, b);
+  ASSERT_TRUE(solved.ok());
+  const auto residual = [&](const std::vector<double>& x) {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double pred = 0.0;
+      for (size_t j = 0; j < k; ++j) pred += a(i, j) * x[j];
+      sum += (pred - b[i]) * (pred - b[i]);
+    }
+    return sum;
+  };
+  const double best = residual(*solved);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> candidate(k);
+    for (size_t j = 0; j < k; ++j) candidate[j] = rng.Uniform(-2.0, 2.0);
+    EXPECT_GE(residual(candidate) + 1e-9, best);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LeastSquaresOptimality,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace ppq

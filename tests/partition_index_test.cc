@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "index/partition_index.h"
+
+namespace ppq::index {
+namespace {
+
+TimeSlice MakeSlice(Tick t, const std::vector<Point>& points) {
+  TimeSlice slice;
+  slice.tick = t;
+  for (size_t i = 0; i < points.size(); ++i) {
+    slice.ids.push_back(static_cast<TrajId>(i));
+    slice.positions.push_back(points[i]);
+  }
+  return slice;
+}
+
+PartitionIndexOptions SmallOptions() {
+  PartitionIndexOptions o;
+  o.epsilon_s = 0.3;
+  o.cell_size = 0.05;
+  return o;
+}
+
+TEST(PartitionIndexTest, EmptySlice) {
+  Rng rng(1);
+  const PartitionIndex pi =
+      PartitionIndex::Build(TimeSlice{}, SmallOptions(), &rng);
+  EXPECT_EQ(pi.NumRegions(), 0u);
+  EXPECT_TRUE(pi.Query({0.0, 0.0}, 0).empty());
+}
+
+TEST(PartitionIndexTest, EveryIndexedPointIsFindable) {
+  Rng rng(2);
+  Rng data_rng(3);
+  std::vector<Point> points;
+  for (int i = 0; i < 200; ++i) {
+    points.push_back(
+        {data_rng.Uniform(0.0, 1.0), data_rng.Uniform(0.0, 1.0)});
+  }
+  const TimeSlice slice = MakeSlice(7, points);
+  const PartitionIndex pi = PartitionIndex::Build(slice, SmallOptions(), &rng);
+  EXPECT_GT(pi.NumRegions(), 0u);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const auto ids = pi.Query(points[i], 7);
+    EXPECT_TRUE(std::find(ids.begin(), ids.end(),
+                          static_cast<TrajId>(i)) != ids.end())
+        << "point " << i;
+  }
+}
+
+TEST(PartitionIndexTest, RegionsAreDisjoint) {
+  Rng rng(4);
+  Rng data_rng(5);
+  std::vector<Point> points;
+  // Two well-separated blobs force at least two clusters whose MBRs the
+  // overlap-removal must keep disjoint.
+  for (int i = 0; i < 100; ++i) {
+    points.push_back(
+        {data_rng.Normal(0.0, 0.1), data_rng.Normal(0.0, 0.1)});
+    points.push_back(
+        {data_rng.Normal(2.0, 0.1), data_rng.Normal(2.0, 0.1)});
+  }
+  const TimeSlice slice = MakeSlice(0, points);
+  const PartitionIndex pi = PartitionIndex::Build(slice, SmallOptions(), &rng);
+  const auto& regions = pi.regions();
+  for (size_t i = 0; i < regions.size(); ++i) {
+    for (size_t j = i + 1; j < regions.size(); ++j) {
+      EXPECT_FALSE(regions[i].grid.region().Intersects(
+          regions[j].grid.region()));
+    }
+  }
+}
+
+TEST(PartitionIndexTest, InsertCoveredRoutesByContainment) {
+  Rng rng(6);
+  const TimeSlice base =
+      MakeSlice(0, {{0.1, 0.1}, {0.2, 0.2}, {0.15, 0.12}});
+  PartitionIndex pi = PartitionIndex::Build(base, SmallOptions(), &rng);
+
+  TimeSlice next;
+  next.tick = 1;
+  next.ids = {10, 11};
+  next.positions = {{0.12, 0.15}, {5.0, 5.0}};  // one covered, one not
+  const auto uncovered = pi.InsertCovered(next);
+  ASSERT_EQ(uncovered.size(), 1u);
+  EXPECT_EQ(uncovered[0], 1u);
+  const auto ids = pi.Query({0.12, 0.15}, 1);
+  EXPECT_EQ(ids, (std::vector<TrajId>{10}));
+}
+
+TEST(PartitionIndexTest, AppendAdoptsRegions) {
+  Rng rng(7);
+  PartitionIndex a =
+      PartitionIndex::Build(MakeSlice(0, {{0.1, 0.1}}), SmallOptions(), &rng);
+  PartitionIndex b =
+      PartitionIndex::Build(MakeSlice(0, {{5.0, 5.0}}), SmallOptions(), &rng);
+  const size_t total = a.NumRegions() + b.NumRegions();
+  a.Append(std::move(b));
+  EXPECT_EQ(a.NumRegions(), total);
+  EXPECT_FALSE(a.Query({5.0, 5.0}, 0).empty());
+}
+
+TEST(PartitionIndexTest, AverageDropRatePaperExample) {
+  // Figure 5 example: four unit regions with baseline occupancies; at
+  // t+1 three of four regions lose all points -> ADR 0.75; one of four
+  // -> ADR 0.25 (eps_c = 0.5).
+  Rng rng(8);
+  // Four separated singleton clusters => four regions.
+  const TimeSlice base = MakeSlice(
+      0, {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}, {10.0, 10.0}});
+  PartitionIndexOptions options;
+  options.epsilon_s = 0.5;  // keep clusters separate
+  options.cell_size = 0.5;
+  PartitionIndex pi = PartitionIndex::Build(base, options, &rng);
+  ASSERT_EQ(pi.NumRegions(), 4u);
+
+  // Re-build case: only region 0 still occupied.
+  TimeSlice sparse;
+  sparse.tick = 1;
+  sparse.ids = {0};
+  sparse.positions = {{0.0, 0.0}};
+  EXPECT_DOUBLE_EQ(pi.AverageDropRate(sparse, 0.5), 0.75);
+
+  // Insertion case: three regions still occupied.
+  TimeSlice dense;
+  dense.tick = 1;
+  dense.ids = {0, 1, 2};
+  dense.positions = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  EXPECT_DOUBLE_EQ(pi.AverageDropRate(dense, 0.5), 0.25);
+}
+
+TEST(PartitionIndexTest, DropRateIgnoresGains) {
+  Rng rng(9);
+  const TimeSlice base = MakeSlice(0, {{0.0, 0.0}});
+  PartitionIndex pi = PartitionIndex::Build(base, SmallOptions(), &rng);
+  // Twice the occupancy is a gain, not a drop: h(x) = 0.
+  TimeSlice denser;
+  denser.tick = 1;
+  denser.ids = {0, 1};
+  denser.positions = {{0.0, 0.0}, {0.0, 0.0}};
+  EXPECT_DOUBLE_EQ(pi.AverageDropRate(denser, 0.5), 0.0);
+}
+
+TEST(PartitionIndexTest, PartialDropBelowThresholdNotCounted) {
+  Rng rng(10);
+  // One region with 10 points.
+  std::vector<Point> points(10, Point{0.0, 0.0});
+  PartitionIndex pi =
+      PartitionIndex::Build(MakeSlice(0, points), SmallOptions(), &rng);
+  ASSERT_EQ(pi.NumRegions(), 1u);
+  // 6 of 10 remain: drop rate 0.4 < eps_c = 0.5 -> not counted.
+  TimeSlice next;
+  next.tick = 1;
+  for (int i = 0; i < 6; ++i) {
+    next.ids.push_back(static_cast<TrajId>(i));
+    next.positions.push_back({0.0, 0.0});
+  }
+  EXPECT_DOUBLE_EQ(pi.AverageDropRate(next, 0.5), 0.0);
+  // 4 of 10 remain: drop rate 0.6 > 0.5 -> counted.
+  TimeSlice fewer;
+  fewer.tick = 1;
+  for (int i = 0; i < 4; ++i) {
+    fewer.ids.push_back(static_cast<TrajId>(i));
+    fewer.positions.push_back({0.0, 0.0});
+  }
+  EXPECT_DOUBLE_EQ(pi.AverageDropRate(fewer, 0.5), 1.0);
+}
+
+TEST(PartitionIndexTest, FinalizeKeepsQueriesIntact) {
+  Rng rng(11);
+  Rng data_rng(12);
+  std::vector<Point> points;
+  for (int i = 0; i < 100; ++i) {
+    points.push_back(
+        {data_rng.Uniform(0.0, 1.0), data_rng.Uniform(0.0, 1.0)});
+  }
+  const TimeSlice slice = MakeSlice(3, points);
+  PartitionIndex pi = PartitionIndex::Build(slice, SmallOptions(), &rng);
+  std::vector<std::vector<TrajId>> before;
+  for (const Point& p : points) before.push_back(pi.Query(p, 3));
+  pi.Finalize();
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(pi.Query(points[i], 3), before[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ppq::index

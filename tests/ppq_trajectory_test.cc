@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "core/ppq_trajectory.h"
+#include "datagen/generator.h"
+
+namespace ppq::core {
+namespace {
+
+TrajectoryDataset SmallDataset(int trajectories = 40, Tick horizon = 60) {
+  datagen::GeneratorOptions options;
+  options.num_trajectories = trajectories;
+  options.horizon = horizon;
+  options.min_length = 20;
+  options.max_length = static_cast<int>(horizon);
+  options.seed = 1234;
+  return datagen::PortoLikeGenerator(options).Generate();
+}
+
+PpqOptions FastOptions(PpqOptions base) {
+  base.enable_index = true;
+  return base;
+}
+
+TEST(PpqTrajectoryTest, MethodNames) {
+  EXPECT_EQ(PpqTrajectory(MakePpqA()).name(), "PPQ-A");
+  EXPECT_EQ(PpqTrajectory(MakePpqABasic()).name(), "PPQ-A-basic");
+  EXPECT_EQ(PpqTrajectory(MakePpqS()).name(), "PPQ-S");
+  EXPECT_EQ(PpqTrajectory(MakePpqSBasic()).name(), "PPQ-S-basic");
+  EXPECT_EQ(PpqTrajectory(MakeEPq()).name(), "E-PQ");
+  EXPECT_EQ(PpqTrajectory(MakeQTrajectory()).name(), "Q-trajectory");
+}
+
+TEST(PpqTrajectoryTest, MakeMethodConfigures) {
+  const PpqOptions base;
+  EXPECT_EQ(MakeMethod("PPQ-A", base)->name(), "PPQ-A");
+  EXPECT_EQ(MakeMethod("E-PQ", base)->name(), "E-PQ");
+  EXPECT_EQ(MakeMethod("Q-trajectory", base)->name(), "Q-trajectory");
+}
+
+/// Property (Definition 3.2 / Eq. 3): in error-bounded mode, every
+/// reconstructed point is within eps_1 of the original — for every method
+/// variant in the family.
+class ErrorBoundPerMethod : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ErrorBoundPerMethod, ReconstructionWithinEpsilon) {
+  const TrajectoryDataset dataset = SmallDataset();
+  PpqOptions base;
+  base.epsilon1 = 0.001;
+  auto method = MakeMethod(GetParam(), base);
+  method->Compress(dataset);
+  for (const Trajectory& traj : dataset.trajectories()) {
+    for (size_t i = 0; i < traj.points.size(); ++i) {
+      const Tick t = traj.start_tick + static_cast<Tick>(i);
+      // The plain (unrefined) reconstruction obeys the quantizer bound.
+      const auto recon = method->summary().Reconstruct(traj.id, t);
+      ASSERT_TRUE(recon.ok());
+      EXPECT_LE(recon->DistanceTo(traj.points[i]), base.epsilon1 + 1e-9)
+          << GetParam() << " traj " << traj.id << " tick " << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, ErrorBoundPerMethod,
+                         ::testing::Values("PPQ-A", "PPQ-A-basic", "PPQ-S",
+                                           "PPQ-S-basic", "E-PQ",
+                                           "Q-trajectory"));
+
+TEST(PpqTrajectoryTest, CqcRefinementTightensTheBound) {
+  const TrajectoryDataset dataset = SmallDataset();
+  PpqOptions options = FastOptions(MakePpqS());
+  PpqTrajectory method(options);
+  method.Compress(dataset);
+  const double bound = method.LocalSearchRadius();
+  EXPECT_LT(bound, options.epsilon1);  // sqrt(2)/2 * gs < eps_1
+  for (const Trajectory& traj : dataset.trajectories()) {
+    for (size_t i = 0; i < traj.points.size(); ++i) {
+      const Tick t = traj.start_tick + static_cast<Tick>(i);
+      const auto refined = method.Reconstruct(traj.id, t);
+      ASSERT_TRUE(refined.ok());
+      EXPECT_LE(refined->DistanceTo(traj.points[i]), bound + 1e-9);
+    }
+  }
+}
+
+TEST(PpqTrajectoryTest, BasicVariantBoundIsEpsilon) {
+  PpqTrajectory basic(MakePpqSBasic());
+  EXPECT_DOUBLE_EQ(basic.LocalSearchRadius(), MakePpqSBasic().epsilon1);
+}
+
+TEST(PpqTrajectoryTest, PredictionShrinksCodebook) {
+  // With prediction the quantized errors concentrate near zero, so the
+  // codebook is much smaller than quantizing raw positions.
+  const TrajectoryDataset dataset = SmallDataset(60, 80);
+  auto predictive = MakeMethod("E-PQ", PpqOptions{});
+  auto raw = MakeMethod("Q-trajectory", PpqOptions{});
+  predictive->Compress(dataset);
+  raw->Compress(dataset);
+  EXPECT_LT(predictive->NumCodewords(), raw->NumCodewords());
+}
+
+TEST(PpqTrajectoryTest, PartitioningTracksEpsilonP) {
+  const TrajectoryDataset dataset = SmallDataset(60, 80);
+  PpqOptions fine = MakePpqS();
+  fine.epsilon_p = 0.005;
+  PpqOptions coarse = MakePpqS();
+  coarse.epsilon_p = 0.5;
+  PpqTrajectory fine_method(fine);
+  PpqTrajectory coarse_method(coarse);
+  fine_method.Compress(dataset);
+  coarse_method.Compress(dataset);
+  double fine_q = 0.0;
+  double coarse_q = 0.0;
+  for (const auto& s : fine_method.tick_stats()) fine_q += s.partitions;
+  for (const auto& s : coarse_method.tick_stats()) coarse_q += s.partitions;
+  EXPECT_GT(fine_q, coarse_q);
+}
+
+TEST(PpqTrajectoryTest, TickStatsAlignedWithSlices) {
+  const TrajectoryDataset dataset = SmallDataset(20, 40);
+  PpqTrajectory method(MakePpqS());
+  method.Compress(dataset);
+  size_t active_ticks = 0;
+  for (Tick t = dataset.MinTick(); t < dataset.MaxTick(); ++t) {
+    if (!dataset.SliceAt(t).empty()) ++active_ticks;
+  }
+  EXPECT_EQ(method.tick_stats().size(), active_ticks);
+}
+
+TEST(PpqTrajectoryTest, IndexCoversWholeHorizon) {
+  const TrajectoryDataset dataset = SmallDataset(30, 50);
+  PpqTrajectory method(FastOptions(MakePpqS()));
+  method.Compress(dataset);
+  const auto* tpi = method.index();
+  ASSERT_NE(tpi, nullptr);
+  for (Tick t = dataset.MinTick(); t < dataset.MaxTick(); ++t) {
+    if (!dataset.SliceAt(t).empty()) {
+      EXPECT_NE(tpi->FindPeriod(t), nullptr) << "tick " << t;
+    }
+  }
+}
+
+TEST(PpqTrajectoryTest, DisabledIndexReturnsNull) {
+  PpqOptions options = MakePpqS();
+  options.enable_index = false;
+  PpqTrajectory method(options);
+  EXPECT_EQ(method.index(), nullptr);
+}
+
+TEST(PpqTrajectoryTest, FixedPerTickModeRespectsBitBudget) {
+  const TrajectoryDataset dataset = SmallDataset(40, 50);
+  PpqOptions options = MakePpqS();
+  options.mode = QuantizationMode::kFixedPerTick;
+  options.fixed_bits = 5;
+  PpqTrajectory method(options);
+  method.Compress(dataset);
+  for (const auto& [tick, codebook] : method.summary().tick_codebooks()) {
+    EXPECT_LE(codebook.size(), 32u) << "tick " << tick;
+    EXPECT_GT(codebook.size(), 0u);
+  }
+  // Reconstruction still works end to end.
+  const auto recon = method.Reconstruct(0, dataset[0].start_tick);
+  EXPECT_TRUE(recon.ok());
+}
+
+TEST(PpqTrajectoryTest, FixedModeMoreBitsLowerError) {
+  const TrajectoryDataset dataset = SmallDataset(40, 50);
+  const auto mae_for_bits = [&](int bits) {
+    PpqOptions options = MakePpqSBasic();  // no CQC: codebook error visible
+    options.mode = QuantizationMode::kFixedPerTick;
+    options.fixed_bits = bits;
+    PpqTrajectory method(options);
+    method.Compress(dataset);
+    return SummaryMaeMeters(method, dataset);
+  };
+  EXPECT_GT(mae_for_bits(3), mae_for_bits(8));
+}
+
+TEST(PpqTrajectoryTest, CompressionRatioAboveOneOnDefaults) {
+  const TrajectoryDataset dataset = SmallDataset(60, 80);
+  PpqTrajectory method(MakePpqS());
+  method.Compress(dataset);
+  EXPECT_GT(CompressionRatio(method, dataset), 1.0);
+}
+
+TEST(PpqTrajectoryTest, SummarySizeBreakdownConsistent) {
+  const TrajectoryDataset dataset = SmallDataset(20, 40);
+  PpqTrajectory method(MakePpqA());
+  method.Compress(dataset);
+  const SummarySize size = method.summary().Size();
+  EXPECT_EQ(method.SummaryBytes(), size.Total());
+  EXPECT_GT(size.codebook_bytes, 0u);
+  EXPECT_GT(size.code_index_bytes, 0u);
+  EXPECT_GT(size.cqc_bytes, 0u);  // PPQ-A stores CQC codes
+}
+
+TEST(PpqTrajectoryTest, QTrajectoryStoresNoCoefficients) {
+  const TrajectoryDataset dataset = SmallDataset(20, 40);
+  PpqTrajectory method(MakeQTrajectory());
+  method.Compress(dataset);
+  const SummarySize size = method.summary().Size();
+  EXPECT_EQ(size.coefficient_bytes, 0u);
+  EXPECT_EQ(size.cqc_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace ppq::core

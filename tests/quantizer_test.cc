@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "quantizer/codebook.h"
+#include "quantizer/incremental_quantizer.h"
+
+namespace ppq::quantizer {
+namespace {
+
+TEST(CodebookTest, EmptyNearest) {
+  Codebook cb;
+  const auto [index, dist] = cb.Nearest({0.0, 0.0});
+  EXPECT_EQ(index, -1);
+  EXPECT_TRUE(std::isinf(dist));
+}
+
+TEST(CodebookTest, NearestPicksClosest) {
+  Codebook cb({{0.0, 0.0}, {1.0, 1.0}, {2.0, 0.0}});
+  const auto [index, dist] = cb.Nearest({1.9, 0.1});
+  EXPECT_EQ(index, 2);
+  EXPECT_NEAR(dist, std::sqrt(0.01 + 0.01), 1e-12);
+}
+
+TEST(CodebookTest, AddReturnsStableIndices) {
+  Codebook cb;
+  EXPECT_EQ(cb.Add({1.0, 2.0}), 0);
+  EXPECT_EQ(cb.Add({3.0, 4.0}), 1);
+  EXPECT_EQ(cb[1].x, 3.0);
+}
+
+TEST(CodebookTest, BitsPerIndex) {
+  Codebook cb;
+  cb.Add({0, 0});
+  EXPECT_EQ(cb.BitsPerIndex(), 1);  // V = 1
+  cb.Add({1, 1});
+  EXPECT_EQ(cb.BitsPerIndex(), 1);  // V = 2
+  cb.Add({2, 2});
+  EXPECT_EQ(cb.BitsPerIndex(), 2);  // V = 3
+  for (int i = 0; i < 6; ++i) cb.Add({0, 0});
+  EXPECT_EQ(cb.BitsPerIndex(), 4);  // V = 9
+}
+
+TEST(CodebookTest, SizeBytesChargesTwoDoubles) {
+  Codebook cb({{0, 0}, {1, 1}});
+  EXPECT_EQ(cb.SizeBytes(), 2u * 16u);
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalQuantizer (Eq. 3)
+// ---------------------------------------------------------------------------
+
+IncrementalQuantizer::Options MakeOptions(double epsilon,
+                                          GrowthPolicy growth) {
+  IncrementalQuantizer::Options o;
+  o.epsilon = epsilon;
+  o.growth = growth;
+  return o;
+}
+
+/// Property: after QuantizeBatch, every error is within epsilon of its
+/// assigned codeword — the Definition 3.2 bound — for both growth
+/// policies and across epsilon scales.
+class QuantizerBound
+    : public ::testing::TestWithParam<std::tuple<double, GrowthPolicy>> {};
+
+TEST_P(QuantizerBound, ErrorBoundHolds) {
+  const auto [epsilon, growth] = GetParam();
+  IncrementalQuantizer q(MakeOptions(epsilon, growth));
+  Codebook cb;
+  Rng rng(77);
+  for (int batch = 0; batch < 5; ++batch) {
+    std::vector<Point> errors;
+    for (int i = 0; i < 200; ++i) {
+      errors.push_back({rng.Normal(0.0, epsilon * 4), rng.Normal(0.0, epsilon * 4)});
+    }
+    const auto codes = q.QuantizeBatch(errors, &cb);
+    ASSERT_EQ(codes.size(), errors.size());
+    for (size_t i = 0; i < errors.size(); ++i) {
+      ASSERT_GE(codes[i], 0);
+      ASSERT_LT(static_cast<size_t>(codes[i]), cb.size());
+      EXPECT_LE(errors[i].DistanceTo(cb[codes[i]]), epsilon + 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EpsilonAndPolicy, QuantizerBound,
+    ::testing::Combine(::testing::Values(1e-4, 1e-3, 1e-2, 0.1),
+                       ::testing::Values(GrowthPolicy::kCluster,
+                                         GrowthPolicy::kVerbatim)));
+
+TEST(IncrementalQuantizerTest, NoGrowthWhenCovered) {
+  IncrementalQuantizer q(MakeOptions(0.5, GrowthPolicy::kCluster));
+  Codebook cb({{0.0, 0.0}});
+  QuantizeStats stats;
+  const auto codes = q.QuantizeBatch({{0.1, 0.1}, {-0.2, 0.0}}, &cb, &stats);
+  EXPECT_EQ(stats.violators, 0u);
+  EXPECT_EQ(stats.added_codewords, 0u);
+  EXPECT_EQ(cb.size(), 1u);
+  EXPECT_EQ(codes[0], 0);
+}
+
+TEST(IncrementalQuantizerTest, GrowthOnlyForViolators) {
+  IncrementalQuantizer q(MakeOptions(0.5, GrowthPolicy::kVerbatim));
+  Codebook cb({{0.0, 0.0}});
+  QuantizeStats stats;
+  const auto codes =
+      q.QuantizeBatch({{0.1, 0.1}, {10.0, 10.0}}, &cb, &stats);
+  EXPECT_EQ(stats.violators, 1u);
+  EXPECT_EQ(stats.added_codewords, 1u);
+  EXPECT_EQ(cb.size(), 2u);
+  EXPECT_EQ(codes[0], 0);
+  EXPECT_EQ(codes[1], 1);
+}
+
+TEST(IncrementalQuantizerTest, ClusterPolicyProducesFewerCodewords) {
+  // 100 violators in a tight blob: clustering should cover them with far
+  // fewer codewords than verbatim's 100.
+  Rng rng(5);
+  std::vector<Point> blob;
+  for (int i = 0; i < 100; ++i) {
+    blob.push_back({5.0 + rng.Normal(0.0, 0.01), 5.0 + rng.Normal(0.0, 0.01)});
+  }
+  IncrementalQuantizer clustered(MakeOptions(0.1, GrowthPolicy::kCluster));
+  IncrementalQuantizer verbatim(MakeOptions(0.1, GrowthPolicy::kVerbatim));
+  Codebook cb_c;
+  Codebook cb_v;
+  clustered.QuantizeBatch(blob, &cb_c);
+  verbatim.QuantizeBatch(blob, &cb_v);
+  EXPECT_LT(cb_c.size(), cb_v.size());
+  EXPECT_LE(cb_c.size(), 4u);
+}
+
+TEST(IncrementalQuantizerTest, CodebookGrowsMonotonically) {
+  IncrementalQuantizer q(MakeOptions(0.05, GrowthPolicy::kCluster));
+  Codebook cb;
+  Rng rng(9);
+  size_t previous = 0;
+  for (int batch = 0; batch < 10; ++batch) {
+    std::vector<Point> errors;
+    for (int i = 0; i < 50; ++i) {
+      errors.push_back({rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)});
+    }
+    q.QuantizeBatch(errors, &cb);
+    EXPECT_GE(cb.size(), previous);
+    previous = cb.size();
+  }
+  // Once the space is covered, growth should flatten out: a fresh batch
+  // from the same distribution adds few codewords.
+  QuantizeStats stats;
+  std::vector<Point> more;
+  for (int i = 0; i < 50; ++i) {
+    more.push_back({rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)});
+  }
+  q.QuantizeBatch(more, &cb, &stats);
+  EXPECT_LT(stats.added_codewords, 10u);
+}
+
+TEST(IncrementalQuantizerTest, EmptyBatch) {
+  IncrementalQuantizer q(MakeOptions(0.1, GrowthPolicy::kCluster));
+  Codebook cb;
+  const auto codes = q.QuantizeBatch({}, &cb);
+  EXPECT_TRUE(codes.empty());
+  EXPECT_TRUE(cb.empty());
+}
+
+}  // namespace
+}  // namespace ppq::quantizer

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/metrics.h"
+#include "core/ppq_trajectory.h"
+#include "core/query_engine.h"
+#include "datagen/generator.h"
+
+namespace ppq::core {
+namespace {
+
+TrajectoryDataset SmallDataset(uint64_t seed = 77) {
+  datagen::GeneratorOptions options;
+  options.num_trajectories = 50;
+  options.horizon = 60;
+  options.min_length = 20;
+  options.max_length = 60;
+  options.seed = seed;
+  return datagen::PortoLikeGenerator(options).Generate();
+}
+
+TEST(QueryEngineTest, GroundTruthUsesGlobalCells) {
+  TrajectoryDataset dataset;
+  Trajectory a;
+  a.start_tick = 0;
+  a.points = {{0.00005, 0.00005}};  // cell (0, 0) at gc = 1e-4
+  dataset.Add(a);
+  Trajectory b;
+  b.start_tick = 0;
+  b.points = {{0.00015, 0.00005}};  // cell (1, 0)
+  dataset.Add(b);
+  const QuerySpec q{{0.00001, 0.00001}, 0};
+  const auto truth = QueryEngine::GroundTruth(dataset, q, 1e-4);
+  EXPECT_EQ(truth, (std::vector<TrajId>{0}));
+}
+
+TEST(QueryEngineTest, GroundTruthRespectsTick) {
+  TrajectoryDataset dataset;
+  Trajectory a;
+  a.start_tick = 5;
+  a.points = {{0.0, 0.0}};
+  dataset.Add(a);
+  EXPECT_TRUE(
+      QueryEngine::GroundTruth(dataset, {{0.0, 0.0}, 4}, 1e-4).empty());
+  EXPECT_FALSE(
+      QueryEngine::GroundTruth(dataset, {{0.0, 0.0}, 5}, 1e-4).empty());
+}
+
+/// Property (Section 5.2): with local search, STRQ recall is 1 — every
+/// trajectory truly in the query cell appears in the candidate list — for
+/// both CQC-refined PPQ variants, in error-bounded mode.
+class LocalSearchRecall : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LocalSearchRecall, RecallIsOne) {
+  const TrajectoryDataset dataset = SmallDataset();
+  PpqOptions base;
+  auto method = MakeMethod(GetParam(), base);
+  method->Compress(dataset);
+  QueryEngine engine(method.get(), &dataset, base.tpi.pi.cell_size);
+
+  Rng rng(5);
+  const auto queries = SampleQueries(dataset, 150, &rng);
+  for (const QuerySpec& q : queries) {
+    auto truth = QueryEngine::GroundTruth(dataset, q, engine.cell_size());
+    auto got = engine.Strq(q, StrqMode::kLocalSearch).ids;
+    std::sort(got.begin(), got.end());
+    for (TrajId id : truth) {
+      EXPECT_TRUE(std::binary_search(got.begin(), got.end(), id))
+          << GetParam() << ": query misses trajectory " << id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CqcMethods, LocalSearchRecall,
+                         ::testing::Values("PPQ-A", "PPQ-S"));
+
+TEST(QueryEngineTest, ExactModeHasPerfectPrecisionAndRecall) {
+  const TrajectoryDataset dataset = SmallDataset();
+  PpqOptions base;
+  auto method = MakeMethod("PPQ-S", base);
+  method->Compress(dataset);
+  QueryEngine engine(method.get(), &dataset, base.tpi.pi.cell_size);
+
+  Rng rng(6);
+  const auto queries = SampleQueries(dataset, 100, &rng);
+  const StrqEvaluation eval =
+      EvaluateStrq(engine, dataset, queries, StrqMode::kExact);
+  EXPECT_DOUBLE_EQ(eval.precision, 1.0);
+  EXPECT_DOUBLE_EQ(eval.recall, 1.0);
+  EXPECT_GT(eval.mean_candidates_visited, 0.0);
+}
+
+TEST(QueryEngineTest, ApproximateModeStillAccurateWithCqc) {
+  const TrajectoryDataset dataset = SmallDataset();
+  PpqOptions base;
+  auto method = MakeMethod("PPQ-S", base);
+  method->Compress(dataset);
+  QueryEngine engine(method.get(), &dataset, base.tpi.pi.cell_size);
+  Rng rng(7);
+  const auto queries = SampleQueries(dataset, 100, &rng);
+  const StrqEvaluation eval =
+      EvaluateStrq(engine, dataset, queries, StrqMode::kApproximate);
+  // CQC keeps the reconstruction within ~35 m of the truth; with 100 m
+  // cells most points stay in their true cell.
+  EXPECT_GT(eval.recall, 0.6);
+  EXPECT_GT(eval.precision, 0.6);
+}
+
+TEST(QueryEngineTest, LocalSearchSupersetOfApproximate) {
+  const TrajectoryDataset dataset = SmallDataset();
+  PpqOptions base;
+  auto method = MakeMethod("PPQ-A", base);
+  method->Compress(dataset);
+  QueryEngine engine(method.get(), &dataset, base.tpi.pi.cell_size);
+  Rng rng(8);
+  for (const QuerySpec& q : SampleQueries(dataset, 50, &rng)) {
+    auto approx = engine.Strq(q, StrqMode::kApproximate).ids;
+    auto local = engine.Strq(q, StrqMode::kLocalSearch).ids;
+    std::sort(approx.begin(), approx.end());
+    std::sort(local.begin(), local.end());
+    for (TrajId id : approx) {
+      EXPECT_TRUE(std::binary_search(local.begin(), local.end(), id));
+    }
+  }
+}
+
+TEST(QueryEngineTest, ExactSubsetOfLocalSearch) {
+  const TrajectoryDataset dataset = SmallDataset();
+  PpqOptions base;
+  auto method = MakeMethod("PPQ-S", base);
+  method->Compress(dataset);
+  QueryEngine engine(method.get(), &dataset, base.tpi.pi.cell_size);
+  Rng rng(9);
+  for (const QuerySpec& q : SampleQueries(dataset, 50, &rng)) {
+    auto local = engine.Strq(q, StrqMode::kLocalSearch).ids;
+    auto exact = engine.Strq(q, StrqMode::kExact).ids;
+    std::sort(local.begin(), local.end());
+    for (TrajId id : exact) {
+      EXPECT_TRUE(std::binary_search(local.begin(), local.end(), id));
+    }
+  }
+}
+
+TEST(QueryEngineTest, TpqReturnsPathsForMatches) {
+  const TrajectoryDataset dataset = SmallDataset();
+  PpqOptions base;
+  auto method = MakeMethod("PPQ-S", base);
+  method->Compress(dataset);
+  QueryEngine engine(method.get(), &dataset, base.tpi.pi.cell_size);
+
+  // Query at a known trajectory position with room for 10 more ticks.
+  const Trajectory& traj = dataset[3];
+  const size_t offset = traj.size() / 3;
+  const QuerySpec q{traj.points[offset],
+                    traj.start_tick + static_cast<Tick>(offset)};
+  const auto result = engine.Tpq(q, 10, StrqMode::kExact);
+  ASSERT_FALSE(result.ids.empty());
+  const auto it = std::find(result.ids.begin(), result.ids.end(), traj.id);
+  ASSERT_NE(it, result.ids.end());
+  const auto& path = result.paths[static_cast<size_t>(
+      it - result.ids.begin())];
+  EXPECT_GT(path.size(), 0u);
+  EXPECT_LE(path.size(), 10u);
+  // Path points track the raw trajectory within the CQC bound.
+  for (size_t i = 0; i < path.size(); ++i) {
+    const Point raw = traj.At(q.tick + static_cast<Tick>(i));
+    EXPECT_LE(path[i].DistanceTo(raw), method->LocalSearchRadius() + 1e-9);
+  }
+}
+
+TEST(QueryEngineTest, TpqPathClampsAtTrajectoryEnd) {
+  const TrajectoryDataset dataset = SmallDataset();
+  PpqOptions base;
+  auto method = MakeMethod("PPQ-S", base);
+  method->Compress(dataset);
+  QueryEngine engine(method.get(), &dataset, base.tpi.pi.cell_size);
+  const Trajectory& traj = dataset[1];
+  const QuerySpec q{traj.points.back(), traj.end_tick() - 1};
+  const auto result = engine.Tpq(q, 50, StrqMode::kExact);
+  for (const auto& path : result.paths) {
+    EXPECT_LE(path.size(), 50u);
+  }
+}
+
+TEST(QueryEngineTest, MethodWithoutIndexReturnsEmpty) {
+  const TrajectoryDataset dataset = SmallDataset();
+  PpqOptions options = MakePpqS();
+  options.enable_index = false;
+  PpqTrajectory method(options);
+  method.Compress(dataset);
+  QueryEngine engine(&method, &dataset, options.tpi.pi.cell_size);
+  const auto result = engine.Strq({{-8.6, 41.15}, 10}, StrqMode::kExact);
+  EXPECT_TRUE(result.ids.empty());
+}
+
+}  // namespace
+}  // namespace ppq::core

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "index/rectangle.h"
+
+namespace ppq::index {
+namespace {
+
+TEST(RectTest, Basics) {
+  const Rect r{0.0, 0.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(r.Area(), 2.0);
+  EXPECT_TRUE(r.Contains({1.0, 0.5}));
+  EXPECT_TRUE(r.Contains({0.0, 0.0}));  // closed
+  EXPECT_FALSE(r.Contains({2.1, 0.5}));
+  EXPECT_FALSE(r.Empty());
+  EXPECT_TRUE((Rect{1.0, 1.0, 1.0, 2.0}).Empty());
+}
+
+TEST(RectTest, IntersectionIsInterior) {
+  const Rect a{0.0, 0.0, 1.0, 1.0};
+  const Rect b{1.0, 0.0, 2.0, 1.0};  // shares an edge only
+  EXPECT_FALSE(a.Intersects(b));
+  const Rect c{0.5, 0.5, 1.5, 1.5};
+  EXPECT_TRUE(a.Intersects(c));
+  const Rect inter = a.Intersection(c);
+  EXPECT_DOUBLE_EQ(inter.min_x, 0.5);
+  EXPECT_DOUBLE_EQ(inter.max_x, 1.0);
+}
+
+TEST(BoundingRectTest, CoversAllPoints) {
+  const Rect r = BoundingRect({{1.0, 5.0}, {-2.0, 3.0}, {0.5, 7.0}});
+  EXPECT_DOUBLE_EQ(r.min_x, -2.0);
+  EXPECT_DOUBLE_EQ(r.max_x, 1.0);
+  EXPECT_DOUBLE_EQ(r.min_y, 3.0);
+  EXPECT_DOUBLE_EQ(r.max_y, 7.0);
+  EXPECT_TRUE(BoundingRect({}).Empty());
+}
+
+// ---------------------------------------------------------------------------
+// RemoveOverlap (Algorithm 3, lines 6-8)
+// ---------------------------------------------------------------------------
+
+TEST(RemoveOverlapTest, NoHolesReturnsRect) {
+  const Rect r{0.0, 0.0, 1.0, 1.0};
+  const auto pieces = RemoveOverlap(r, {});
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], r);
+}
+
+TEST(RemoveOverlapTest, DisjointHoleIgnored) {
+  const Rect r{0.0, 0.0, 1.0, 1.0};
+  const auto pieces = RemoveOverlap(r, {{5.0, 5.0, 6.0, 6.0}});
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], r);
+}
+
+TEST(RemoveOverlapTest, FullyCoveredReturnsNothing) {
+  const Rect r{0.0, 0.0, 1.0, 1.0};
+  const auto pieces = RemoveOverlap(r, {{-1.0, -1.0, 2.0, 2.0}});
+  EXPECT_TRUE(pieces.empty());
+}
+
+TEST(RemoveOverlapTest, CornerOverlapPaperStyle) {
+  // Figure 5a: R2 overlaps R1 at a corner; the remainder decomposes into
+  // disjoint rectangles whose union has the right area.
+  const Rect r{0.0, 0.0, 4.0, 4.0};
+  const Rect hole{2.0, 2.0, 6.0, 6.0};
+  const auto pieces = RemoveOverlap(r, {hole});
+  double area = 0.0;
+  for (const Rect& p : pieces) {
+    area += p.Area();
+    EXPECT_FALSE(p.Intersects(hole));
+  }
+  EXPECT_DOUBLE_EQ(area, 16.0 - 4.0);
+}
+
+TEST(RemoveOverlapTest, HoleInMiddleProducesFrame) {
+  const Rect r{0.0, 0.0, 3.0, 3.0};
+  const Rect hole{1.0, 1.0, 2.0, 2.0};
+  const auto pieces = RemoveOverlap(r, {hole});
+  double area = 0.0;
+  for (const Rect& p : pieces) area += p.Area();
+  EXPECT_DOUBLE_EQ(area, 8.0);
+  // Pairwise disjoint.
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    for (size_t j = i + 1; j < pieces.size(); ++j) {
+      EXPECT_FALSE(pieces[i].Intersects(pieces[j]));
+    }
+  }
+}
+
+TEST(RemoveOverlapTest, CoalescesSlabsWithEqualIntervals) {
+  // A hole clipped to the left half: the free right half should come back
+  // as a single rectangle, not two slabs.
+  const Rect r{0.0, 0.0, 4.0, 2.0};
+  const Rect hole{0.0, 0.0, 2.0, 2.0};
+  const auto pieces = RemoveOverlap(r, {hole});
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], (Rect{2.0, 0.0, 4.0, 2.0}));
+}
+
+/// Property: decomposition pieces are pairwise disjoint, disjoint from all
+/// holes, and conserve area, for random rectangles and hole sets.
+class RemoveOverlapProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RemoveOverlapProperty, DisjointAndAreaConserving) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const Rect r{rng.Uniform(0, 2), rng.Uniform(0, 2),
+                 rng.Uniform(4, 8), rng.Uniform(4, 8)};
+    std::vector<Rect> holes;
+    const int num_holes = static_cast<int>(rng.UniformInt(1, 6));
+    for (int h = 0; h < num_holes; ++h) {
+      const double x0 = rng.Uniform(-1, 7);
+      const double y0 = rng.Uniform(-1, 7);
+      holes.push_back(
+          {x0, y0, x0 + rng.Uniform(0.5, 3), y0 + rng.Uniform(0.5, 3)});
+    }
+    const auto pieces = RemoveOverlap(r, holes);
+
+    for (size_t i = 0; i < pieces.size(); ++i) {
+      EXPECT_FALSE(pieces[i].Empty());
+      for (const Rect& hole : holes) {
+        EXPECT_FALSE(pieces[i].Intersects(hole));
+      }
+      for (size_t j = i + 1; j < pieces.size(); ++j) {
+        EXPECT_FALSE(pieces[i].Intersects(pieces[j]));
+      }
+    }
+
+    // Area check via Monte Carlo membership: a point in r is in exactly
+    // one piece iff it is in no hole.
+    for (int s = 0; s < 200; ++s) {
+      const Point p{rng.Uniform(r.min_x + 1e-9, r.max_x - 1e-9),
+                    rng.Uniform(r.min_y + 1e-9, r.max_y - 1e-9)};
+      bool in_hole = false;
+      for (const Rect& hole : holes) {
+        // Open containment to sidestep boundary ties.
+        if (p.x > hole.min_x && p.x < hole.max_x && p.y > hole.min_y &&
+            p.y < hole.max_y) {
+          in_hole = true;
+        }
+      }
+      int covering = 0;
+      for (const Rect& piece : pieces) {
+        if (piece.Contains(p)) ++covering;
+      }
+      if (in_hole) {
+        EXPECT_EQ(covering, 0);
+      } else {
+        EXPECT_GE(covering, 1);
+        EXPECT_LE(covering, 2);  // boundary points may touch two pieces
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RemoveOverlapProperty,
+                         ::testing::Values(101, 202, 303));
+
+}  // namespace
+}  // namespace ppq::index

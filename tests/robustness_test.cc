@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include "baselines/product_quantization.h"
+#include "baselines/residual_quantization.h"
+#include "baselines/trajstore.h"
+#include "core/metrics.h"
+#include "core/ppq_trajectory.h"
+#include "core/query_engine.h"
+#include "datagen/generator.h"
+
+/// \file robustness_test.cc
+/// Edge-case and failure-injection coverage across the stack: degenerate
+/// datasets (empty, single point, duplicates), adversarial geometry
+/// (identical positions, extreme spans), and extreme thresholds. The
+/// pipeline must stay well-defined — no crash, bounds still honoured —
+/// in every case.
+
+namespace ppq {
+namespace {
+
+TimeSlice SliceOf(Tick t, std::vector<Point> points) {
+  TimeSlice slice;
+  slice.tick = t;
+  for (size_t i = 0; i < points.size(); ++i) {
+    slice.ids.push_back(static_cast<TrajId>(i));
+    slice.positions.push_back(points[i]);
+  }
+  return slice;
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate datasets
+// ---------------------------------------------------------------------------
+
+TEST(RobustnessTest, EmptyDatasetCompresses) {
+  TrajectoryDataset empty;
+  core::PpqTrajectory method(core::MakePpqA());
+  method.Compress(empty);
+  EXPECT_EQ(method.SummaryBytes(), method.summary().Size().Total());
+  EXPECT_DOUBLE_EQ(core::SummaryMaeMeters(method, empty), 0.0);
+}
+
+TEST(RobustnessTest, SinglePointTrajectory) {
+  TrajectoryDataset dataset;
+  Trajectory t;
+  t.start_tick = 5;
+  t.points = {{1.0, 2.0}};
+  dataset.Add(t);
+  core::PpqTrajectory method(core::MakePpqS());
+  method.Compress(dataset);
+  const auto recon = method.Reconstruct(0, 5);
+  ASSERT_TRUE(recon.ok());
+  EXPECT_LE(recon->DistanceTo({1.0, 2.0}), method.LocalSearchRadius() + 1e-9);
+}
+
+TEST(RobustnessTest, AllPointsIdentical) {
+  // A parked fleet: every position equal, every tick. Exercises
+  // zero-variance autocorrelation windows, degenerate MBRs, singular
+  // prediction fits.
+  TrajectoryDataset dataset;
+  for (int i = 0; i < 5; ++i) {
+    Trajectory t;
+    t.start_tick = 0;
+    t.points.assign(20, Point{3.0, 4.0});
+    dataset.Add(t);
+  }
+  for (const char* name : {"PPQ-A", "PPQ-S", "E-PQ", "Q-trajectory"}) {
+    auto method = core::MakeMethod(name, core::PpqOptions{});
+    method->Compress(dataset);
+    const auto recon = method->Reconstruct(0, 10);
+    ASSERT_TRUE(recon.ok()) << name;
+    EXPECT_LE(recon->DistanceTo({3.0, 4.0}), 0.0015) << name;
+  }
+}
+
+TEST(RobustnessTest, TrajectoriesOfWildlyDifferentLengths) {
+  TrajectoryDataset dataset;
+  Trajectory tiny;
+  tiny.start_tick = 0;
+  tiny.points = {{0.0, 0.0}, {0.001, 0.0}};
+  dataset.Add(tiny);
+  Trajectory lengthy;
+  lengthy.start_tick = 0;
+  for (int i = 0; i < 500; ++i) {
+    lengthy.points.push_back({i * 1e-4, 0.5});
+  }
+  dataset.Add(lengthy);
+  core::PpqTrajectory method(core::MakePpqA());
+  method.Compress(dataset);
+  EXPECT_TRUE(method.Reconstruct(0, 1).ok());
+  EXPECT_TRUE(method.Reconstruct(1, 499).ok());
+  EXPECT_FALSE(method.Reconstruct(0, 100).ok());
+}
+
+TEST(RobustnessTest, LateStartingTrajectories) {
+  // Trajectories appearing mid-stream (the incremental partitioner's
+  // newcomer path) at a far-away location.
+  TrajectoryDataset dataset;
+  Trajectory early;
+  early.start_tick = 0;
+  early.points.assign(30, Point{0.0, 0.0});
+  dataset.Add(early);
+  Trajectory late;
+  late.start_tick = 15;
+  late.points.assign(15, Point{10.0, 10.0});
+  dataset.Add(late);
+  core::PpqTrajectory method(core::MakePpqS());
+  method.Compress(dataset);
+  const auto recon = method.Reconstruct(1, 20);
+  ASSERT_TRUE(recon.ok());
+  EXPECT_LE(recon->DistanceTo({10.0, 10.0}), method.LocalSearchRadius() + 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Extreme thresholds
+// ---------------------------------------------------------------------------
+
+TEST(RobustnessTest, MicroscopicEpsilonStillBounded) {
+  datagen::GeneratorOptions gen;
+  gen.num_trajectories = 5;
+  gen.horizon = 30;
+  gen.min_length = 10;
+  gen.max_length = 30;
+  const TrajectoryDataset dataset =
+      datagen::PortoLikeGenerator(gen).Generate();
+  core::PpqOptions options = core::MakePpqSBasic();
+  options.epsilon1 = 1e-7;  // ~1 cm
+  core::PpqTrajectory method(options);
+  method.Compress(dataset);
+  for (const Trajectory& traj : dataset.trajectories()) {
+    for (size_t i = 0; i < traj.size(); ++i) {
+      const auto recon =
+          method.Reconstruct(traj.id, traj.start_tick + static_cast<Tick>(i));
+      ASSERT_TRUE(recon.ok());
+      EXPECT_LE(recon->DistanceTo(traj.points[i]), 1e-7 + 1e-15);
+    }
+  }
+}
+
+TEST(RobustnessTest, HugeEpsilonCollapsesCodebook) {
+  datagen::GeneratorOptions gen;
+  gen.num_trajectories = 10;
+  gen.horizon = 40;
+  const TrajectoryDataset dataset =
+      datagen::PortoLikeGenerator(gen).Generate();
+  core::PpqOptions options = core::MakeQTrajectory();
+  options.epsilon1 = 10.0;  // covers the whole region
+  core::PpqTrajectory method(options);
+  method.Compress(dataset);
+  EXPECT_LE(method.NumCodewords(), 4u);
+}
+
+TEST(RobustnessTest, TinyPartitionEpsilonBoundedByPopulation) {
+  TimeSlice slice = SliceOf(0, {{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}});
+  partition::IncrementalPartitioner p({1e-12, 1, 15, true, 42});
+  const auto assignment = p.Update(slice.ids, {0.0, 0.0, 1.0, 0.0, 0.0, 1.0}, 2);
+  EXPECT_EQ(p.NumPartitions(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Baselines under stress
+// ---------------------------------------------------------------------------
+
+TEST(RobustnessTest, TrajStoreHandlesPointsOnSplitBoundaries) {
+  baselines::TrajStore::Options options;
+  options.region = index::Rect{0.0, 0.0, 1.0, 1.0};
+  options.leaf_capacity = 4;
+  options.enable_index = false;
+  baselines::TrajStore store(options);
+  // All inserts exactly on the quadrant boundary of the root.
+  for (Tick t = 0; t < 10; ++t) {
+    store.ObserveSlice(SliceOf(t, {{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}}));
+  }
+  store.Finish();
+  const auto recon = store.Reconstruct(0, 5);
+  ASSERT_TRUE(recon.ok());
+  EXPECT_LE(recon->DistanceTo({0.5, 0.5}), 0.0011);
+}
+
+TEST(RobustnessTest, ProductQuantizationSinglePointSlices) {
+  baselines::BaselineOptions options;
+  options.enable_index = false;
+  baselines::ProductQuantization pq(options);
+  for (Tick t = 0; t < 5; ++t) {
+    pq.ObserveSlice(SliceOf(t, {{1.0 + t * 1e-4, 2.0}}));
+  }
+  pq.Finish();
+  const auto recon = pq.Reconstruct(0, 3);
+  ASSERT_TRUE(recon.ok());
+  EXPECT_LE(recon->DistanceTo({1.0 + 3e-4, 2.0}), options.epsilon1 + 1e-12);
+}
+
+TEST(RobustnessTest, ResidualQuantizationExtremeCoarseFactor) {
+  baselines::ResidualQuantization::Options options;
+  options.coarse_factor = 1000.0;
+  options.enable_index = false;
+  baselines::ResidualQuantization rq(options);
+  for (Tick t = 0; t < 5; ++t) {
+    rq.ObserveSlice(SliceOf(t, {{1.0, 2.0}, {1.5, 2.5}}));
+  }
+  rq.Finish();
+  const auto recon = rq.Reconstruct(1, 2);
+  ASSERT_TRUE(recon.ok());
+  EXPECT_LE(recon->DistanceTo({1.5, 2.5}), options.epsilon1 + 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Query layer
+// ---------------------------------------------------------------------------
+
+TEST(RobustnessTest, QueryAtUnpopulatedTickReturnsEmpty) {
+  TrajectoryDataset dataset;
+  Trajectory t;
+  t.start_tick = 10;
+  t.points.assign(5, Point{1.0, 1.0});
+  dataset.Add(t);
+  core::PpqTrajectory method(core::MakePpqS());
+  method.Compress(dataset);
+  core::QueryEngine engine(&method, &dataset, 0.001);
+  EXPECT_TRUE(engine.Strq({{1.0, 1.0}, 3}, core::StrqMode::kExact).ids.empty());
+  EXPECT_TRUE(
+      engine.Strq({{1.0, 1.0}, 99}, core::StrqMode::kExact).ids.empty());
+}
+
+TEST(RobustnessTest, QueryFarFromAllDataReturnsEmpty) {
+  datagen::GeneratorOptions gen;
+  gen.num_trajectories = 10;
+  gen.horizon = 30;
+  const TrajectoryDataset dataset =
+      datagen::PortoLikeGenerator(gen).Generate();
+  core::PpqTrajectory method(core::MakePpqS());
+  method.Compress(dataset);
+  core::QueryEngine engine(&method, &dataset, 0.001);
+  const auto result =
+      engine.Strq({{120.0, -45.0}, 10}, core::StrqMode::kLocalSearch);
+  EXPECT_TRUE(result.ids.empty());
+}
+
+TEST(RobustnessTest, TpqWithZeroLength) {
+  TrajectoryDataset dataset;
+  Trajectory t;
+  t.start_tick = 0;
+  t.points.assign(10, Point{1.0, 1.0});
+  dataset.Add(t);
+  core::PpqTrajectory method(core::MakePpqS());
+  method.Compress(dataset);
+  core::QueryEngine engine(&method, &dataset, 0.001);
+  const auto result = engine.Tpq({{1.0, 1.0}, 0}, 0, core::StrqMode::kExact);
+  for (const auto& path : result.paths) EXPECT_TRUE(path.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Dataset slicing under gaps
+// ---------------------------------------------------------------------------
+
+TEST(RobustnessTest, SparseTimelineSlices) {
+  TrajectoryDataset dataset;
+  Trajectory a;
+  a.start_tick = 0;
+  a.points.assign(3, Point{0.0, 0.0});
+  dataset.Add(a);
+  Trajectory b;
+  b.start_tick = 100;  // long silent gap in the middle
+  b.points.assign(3, Point{1.0, 1.0});
+  dataset.Add(b);
+  core::PpqTrajectory method(core::MakePpqS());
+  method.Compress(dataset);  // must skip the 97 empty ticks cleanly
+  EXPECT_TRUE(method.Reconstruct(0, 2).ok());
+  EXPECT_TRUE(method.Reconstruct(1, 102).ok());
+}
+
+}  // namespace
+}  // namespace ppq

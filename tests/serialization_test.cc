@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/metrics.h"
+#include "core/ppq_trajectory.h"
+#include "core/serialization.h"
+#include "datagen/generator.h"
+
+namespace ppq::core {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TrajectoryDataset SmallDataset() {
+  datagen::GeneratorOptions options;
+  options.num_trajectories = 25;
+  options.horizon = 50;
+  options.min_length = 15;
+  options.max_length = 50;
+  options.seed = 88;
+  return datagen::PortoLikeGenerator(options).Generate();
+}
+
+/// Property: a round-tripped summary decodes every point identically, for
+/// every method configuration (CQC on/off, prediction on/off, fixed mode).
+class SerializationRoundTrip : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(SerializationRoundTrip, DecodesIdentically) {
+  const TrajectoryDataset dataset = SmallDataset();
+  PpqOptions base;
+  base.enable_index = false;
+  auto method = MakeMethod(GetParam(), base);
+  method->Compress(dataset);
+
+  const std::string path = TempPath("roundtrip.summary");
+  ASSERT_TRUE(SaveSummary(method->summary(), path).ok());
+  auto loaded = LoadSummary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->NumCodewords(), method->summary().NumCodewords());
+  EXPECT_EQ(loaded->TotalPoints(), method->summary().TotalPoints());
+  EXPECT_EQ(loaded->Size().Total(), method->summary().Size().Total());
+
+  for (const Trajectory& traj : dataset.trajectories()) {
+    for (size_t i = 0; i < traj.size(); ++i) {
+      const Tick t = traj.start_tick + static_cast<Tick>(i);
+      const auto original = method->summary().ReconstructRefined(traj.id, t);
+      const auto reloaded = loaded->ReconstructRefined(traj.id, t);
+      ASSERT_TRUE(original.ok());
+      ASSERT_TRUE(reloaded.ok());
+      EXPECT_DOUBLE_EQ(original->x, reloaded->x);
+      EXPECT_DOUBLE_EQ(original->y, reloaded->y);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, SerializationRoundTrip,
+                         ::testing::Values("PPQ-A", "PPQ-S", "PPQ-S-basic",
+                                           "E-PQ", "Q-trajectory"));
+
+TEST(SerializationTest, FixedModeRoundTrip) {
+  const TrajectoryDataset dataset = SmallDataset();
+  PpqOptions options = MakePpqS();
+  options.mode = QuantizationMode::kFixedPerTick;
+  options.fixed_bits = 5;
+  options.enable_index = false;
+  PpqTrajectory method(options);
+  method.Compress(dataset);
+
+  const std::string path = TempPath("fixed.summary");
+  ASSERT_TRUE(SaveSummary(method.summary(), path).ok());
+  auto loaded = LoadSummary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->tick_codebooks().size(),
+            method.summary().tick_codebooks().size());
+  const auto a = method.summary().ReconstructRefined(0, dataset[0].start_tick);
+  const auto b = loaded->ReconstructRefined(0, dataset[0].start_tick);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->x, b->x);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFile) {
+  EXPECT_EQ(LoadSummary("/nonexistent/nope.summary").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(SerializationTest, RejectsWrongMagic) {
+  const std::string path = TempPath("not_a_summary.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "HELLOWORLD_THIS_IS_NOT_A_SUMMARY";
+  }
+  EXPECT_EQ(LoadSummary(path).status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RejectsTruncatedFile) {
+  // Write a valid summary, truncate it, expect a clean error.
+  const TrajectoryDataset dataset = SmallDataset();
+  PpqOptions options = MakePpqS();
+  options.enable_index = false;
+  PpqTrajectory method(options);
+  method.Compress(dataset);
+  const std::string path = TempPath("truncated.summary");
+  ASSERT_TRUE(SaveSummary(method.summary(), path).ok());
+
+  // Truncate to 40 bytes (past the header, inside the codebook).
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> head(40);
+    in.read(head.data(), 40);
+    in.close();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(head.data(), 40);
+  }
+  const auto loaded = LoadSummary(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, EmptySummaryRoundTrips) {
+  TrajectorySummary empty(3, false, std::nullopt);
+  const std::string path = TempPath("empty.summary");
+  ASSERT_TRUE(SaveSummary(empty, path).ok());
+  auto loaded = LoadSummary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumTrajectories(), 0u);
+  EXPECT_EQ(loaded->prediction_order(), 3);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ppq::core

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "storage/disk_index.h"
+#include "storage/page_manager.h"
+
+namespace ppq::storage {
+namespace {
+
+// ---------------------------------------------------------------------------
+// PageManager
+// ---------------------------------------------------------------------------
+
+TEST(PageManagerTest, AppendFillsPagesSequentially) {
+  PageManager pm(100);
+  EXPECT_EQ(pm.AppendRecord(60), 0);
+  EXPECT_EQ(pm.AppendRecord(30), 0);
+  // 60 + 30 + 20 > 100: opens page 1.
+  EXPECT_EQ(pm.AppendRecord(20), 1);
+  EXPECT_EQ(pm.NumPages(), 2);
+  EXPECT_EQ(pm.TotalBytes(), 110u);
+  EXPECT_EQ(pm.PageFill(0), 90u);
+  EXPECT_EQ(pm.PageFill(1), 20u);
+}
+
+TEST(PageManagerTest, OversizedRecordSpansPages) {
+  PageManager pm(100);
+  EXPECT_EQ(pm.AppendRecord(250), 0);
+  EXPECT_EQ(pm.NumPages(), 3);
+  EXPECT_EQ(pm.PageFill(2), 50u);
+}
+
+TEST(PageManagerTest, SealForcesNewPage) {
+  PageManager pm(100);
+  pm.AppendRecord(10);
+  pm.SealCurrentPage();
+  EXPECT_EQ(pm.AppendRecord(10), 1);
+}
+
+TEST(PageManagerTest, SealOnEmptyIsNoop) {
+  PageManager pm(100);
+  pm.SealCurrentPage();
+  EXPECT_EQ(pm.NumPages(), 0);
+}
+
+TEST(PageManagerTest, ReadCountsDistinctFetches) {
+  PageManager pm(100);
+  pm.AppendRecord(250);  // pages 0..2
+  ASSERT_TRUE(pm.ReadPage(0).ok());
+  ASSERT_TRUE(pm.ReadPage(0).ok());  // cached
+  ASSERT_TRUE(pm.ReadPage(1).ok());
+  ASSERT_TRUE(pm.ReadPage(0).ok());  // cache evicted by page 1
+  EXPECT_EQ(pm.io_stats().pages_read, 3u);
+  pm.DropCache();
+  ASSERT_TRUE(pm.ReadPage(0).ok());
+  EXPECT_EQ(pm.io_stats().pages_read, 4u);
+}
+
+TEST(PageManagerTest, ReadRange) {
+  PageManager pm(10);
+  pm.AppendRecord(95);  // 10 pages
+  ASSERT_TRUE(pm.ReadRange(2, 5).ok());
+  EXPECT_EQ(pm.io_stats().pages_read, 4u);
+}
+
+TEST(PageManagerTest, OutOfRangeRead) {
+  PageManager pm(10);
+  pm.AppendRecord(5);
+  EXPECT_FALSE(pm.ReadPage(3).ok());
+  EXPECT_FALSE(pm.ReadPage(-1).ok());
+}
+
+TEST(PageManagerTest, ResetIoStats) {
+  PageManager pm(10);
+  pm.AppendRecord(5);
+  (void)pm.ReadPage(0);
+  pm.ResetIoStats();
+  EXPECT_EQ(pm.io_stats().pages_read, 0u);
+  EXPECT_EQ(pm.io_stats().pages_written, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Disk-resident indexes
+// ---------------------------------------------------------------------------
+
+TimeSlice SliceAt(Tick t, const std::vector<Point>& points) {
+  TimeSlice slice;
+  slice.tick = t;
+  for (size_t i = 0; i < points.size(); ++i) {
+    slice.ids.push_back(static_cast<TrajId>(i));
+    slice.positions.push_back(points[i]);
+  }
+  return slice;
+}
+
+std::vector<Point> Cloud(Rng* rng, double cx, int n = 15) {
+  std::vector<Point> points;
+  for (int i = 0; i < n; ++i) {
+    points.push_back({cx + rng->Normal(0.0, 0.05), rng->Normal(0.0, 0.05)});
+  }
+  return points;
+}
+
+DiskResidentTpi::Options TpiDiskOptions() {
+  DiskResidentTpi::Options o;
+  o.tpi.pi.epsilon_s = 0.5;
+  o.tpi.pi.cell_size = 0.1;
+  o.page_size = 256;  // small pages so I/O counts are visible
+  return o;
+}
+
+TEST(DiskResidentTpiTest, QueriesMatchInMemoryIndex) {
+  Rng rng(1);
+  DiskResidentTpi disk(TpiDiskOptions());
+  std::vector<std::pair<Tick, std::vector<Point>>> history;
+  for (Tick t = 0; t < 10; ++t) {
+    const auto points = Cloud(&rng, 0.15 * t);
+    disk.Ingest(SliceAt(t, points));
+    history.push_back({t, points});
+  }
+  disk.Seal();
+  for (const auto& [t, points] : history) {
+    for (size_t i = 0; i < points.size(); ++i) {
+      const auto got = disk.Query(points[i], t);
+      const auto expected = disk.tpi().Query(points[i], t);
+      EXPECT_EQ(got, expected) << "tick " << t << " point " << i;
+    }
+  }
+  EXPECT_GT(disk.io_stats().pages_read, 0u);
+}
+
+TEST(DiskResidentTpiTest, SealFlushesOpenPeriod) {
+  Rng rng(2);
+  DiskResidentTpi disk(TpiDiskOptions());
+  disk.Ingest(SliceAt(0, Cloud(&rng, 0.0)));
+  // Before Seal, queries hit an unflushed page table: still answerable
+  // but without I/O accounting for the open period.
+  disk.Seal();
+  EXPECT_GT(disk.pager().NumPages(), 0);
+  EXPECT_GT(disk.IndexSizeBytes(), 0u);
+}
+
+TEST(DiskResidentPiTest, QueriesReturnIndexedIds) {
+  Rng rng(3);
+  DiskResidentPi::Options options;
+  options.pi.epsilon_s = 0.5;
+  options.pi.cell_size = 0.1;
+  options.page_size = 256;
+  DiskResidentPi disk(options);
+  std::vector<std::pair<Tick, std::vector<Point>>> history;
+  for (Tick t = 0; t < 8; ++t) {
+    const auto points = Cloud(&rng, 0.1 * t);
+    disk.Ingest(SliceAt(t, points));
+    history.push_back({t, points});
+  }
+  for (const auto& [t, points] : history) {
+    for (size_t i = 0; i < points.size(); ++i) {
+      const auto ids = disk.Query(points[i], t);
+      EXPECT_TRUE(std::find(ids.begin(), ids.end(),
+                            static_cast<TrajId>(i)) != ids.end());
+    }
+  }
+  EXPECT_GT(disk.io_stats().pages_read, 0u);
+  EXPECT_GT(disk.IndexSizeBytes(), 0u);
+}
+
+TEST(DiskResidentPiTest, UnknownTickReturnsEmpty) {
+  DiskResidentPi disk(DiskResidentPi::Options{});
+  EXPECT_TRUE(disk.Query({0.0, 0.0}, 42).empty());
+}
+
+}  // namespace
+}  // namespace ppq::storage

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "core/summary.h"
+
+namespace ppq::core {
+namespace {
+
+/// Hand-build a tiny summary: one trajectory, persistence prediction
+/// (coefficients [1]), codebook with two codewords.
+TrajectorySummary MakeTinySummary(bool with_cqc) {
+  std::optional<cqc::CqcCodec> codec;
+  if (with_cqc) codec.emplace(0.5, 0.2);
+  TrajectorySummary summary(/*prediction_order=*/1, with_cqc,
+                            std::move(codec));
+
+  // Codebook: c0 = (1, 0) (warm-up absolute position), c1 = (0.5, 0).
+  summary.mutable_codebook()->Add({1.0, 0.0});
+  summary.mutable_codebook()->Add({0.5, 0.0});
+
+  // Coefficients at ticks 1, 2: persistence.
+  predictor::PredictionCoefficients persist;
+  persist.coefficients = {1.0};
+  summary.SetCoefficients(1, {persist});
+  summary.SetCoefficients(2, {persist});
+
+  // Trajectory 7 starting at tick 0:
+  //   t=0: warm-up, codeword 0        -> recon (1, 0)
+  //   t=1: partition 0, codeword 1    -> recon (1,0) + (0.5,0) = (1.5, 0)
+  //   t=2: partition 0, codeword 1    -> recon (2.0, 0)
+  TrajectoryRecord& record = summary.GetOrCreate(7, 0);
+  record.points.push_back({-1, 0, {}});
+  record.points.push_back({0, 1, {}});
+  record.points.push_back({0, 1, {}});
+  return summary;
+}
+
+TEST(SummaryTest, ReconstructClosedLoop) {
+  const TrajectorySummary summary = MakeTinySummary(false);
+  const auto p0 = summary.Reconstruct(7, 0);
+  ASSERT_TRUE(p0.ok());
+  EXPECT_DOUBLE_EQ(p0->x, 1.0);
+  const auto p1 = summary.Reconstruct(7, 1);
+  ASSERT_TRUE(p1.ok());
+  EXPECT_DOUBLE_EQ(p1->x, 1.5);
+  const auto p2 = summary.Reconstruct(7, 2);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_DOUBLE_EQ(p2->x, 2.0);
+}
+
+TEST(SummaryTest, ReconstructIsIdempotent) {
+  const TrajectorySummary summary = MakeTinySummary(false);
+  const auto a = summary.Reconstruct(7, 2);
+  const auto b = summary.Reconstruct(7, 2);  // memoised path
+  const auto c = summary.Reconstruct(7, 0);  // earlier tick after later
+  ASSERT_TRUE(a.ok());
+  EXPECT_DOUBLE_EQ(a->x, b->x);
+  EXPECT_DOUBLE_EQ(c->x, 1.0);
+}
+
+TEST(SummaryTest, UnknownTrajectory) {
+  const TrajectorySummary summary = MakeTinySummary(false);
+  EXPECT_EQ(summary.Reconstruct(99, 0).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SummaryTest, OutOfRangeTick) {
+  const TrajectorySummary summary = MakeTinySummary(false);
+  EXPECT_EQ(summary.Reconstruct(7, 5).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(summary.Reconstruct(7, -1).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(SummaryTest, ReconstructRangeClampsAtEnd) {
+  const TrajectorySummary summary = MakeTinySummary(false);
+  const auto range = summary.ReconstructRange(7, 1, 10);
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->size(), 2u);  // ticks 1 and 2 only
+  EXPECT_DOUBLE_EQ((*range)[0].x, 1.5);
+  EXPECT_DOUBLE_EQ((*range)[1].x, 2.0);
+}
+
+TEST(SummaryTest, RefinedEqualsPlainWithoutCqc) {
+  const TrajectorySummary summary = MakeTinySummary(false);
+  const auto plain = summary.Reconstruct(7, 1);
+  const auto refined = summary.ReconstructRefined(7, 1);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(refined.ok());
+  EXPECT_DOUBLE_EQ(plain->x, refined->x);
+}
+
+TEST(SummaryTest, SizeBreakdownComponents) {
+  const TrajectorySummary summary = MakeTinySummary(false);
+  const SummarySize size = summary.Size();
+  // 2 codewords * 16 bytes.
+  EXPECT_EQ(size.codebook_bytes, 32u);
+  // 3 points * 1 bit (V=2) -> 1 byte.
+  EXPECT_EQ(size.code_index_bytes, 1u);
+  // 2 ticks * 1 partition * 1 coefficient * 8 bytes.
+  EXPECT_EQ(size.coefficient_bytes, 16u);
+  EXPECT_EQ(size.cqc_bytes, 0u);
+  EXPECT_GT(size.metadata_bytes, 0u);
+  EXPECT_EQ(size.Total(), size.codebook_bytes + size.code_index_bytes +
+                              size.coefficient_bytes +
+                              size.partition_id_bytes + size.cqc_bytes +
+                              size.metadata_bytes);
+}
+
+TEST(SummaryTest, CqcBytesCounted) {
+  TrajectorySummary summary = MakeTinySummary(true);
+  // Attach a CQC code to every point.
+  // (cells: 2*0.5/0.2 = 5 -> depth 3 -> 6 bits per code)
+  TrajectoryRecord& record = summary.GetOrCreate(7, 0);
+  for (auto& pr : record.points) {
+    pr.cqc = summary.codec()->Encode({0.0, 0.0}, {0.1, 0.1});
+  }
+  const SummarySize size = summary.Size();
+  EXPECT_EQ(size.cqc_bytes, (3u * 6u + 7u) / 8u);
+}
+
+TEST(SummaryTest, NumCodewordsGlobalVsPerTick) {
+  TrajectorySummary summary(1, false, std::nullopt);
+  summary.mutable_codebook()->Add({0, 0});
+  EXPECT_EQ(summary.NumCodewords(), 1u);
+  // Adding per-tick codebooks switches the accounting.
+  summary.mutable_tick_codebook(0)->Add({0, 0});
+  summary.mutable_tick_codebook(0)->Add({1, 1});
+  summary.mutable_tick_codebook(1)->Add({2, 2});
+  EXPECT_EQ(summary.NumCodewords(), 3u);
+}
+
+TEST(SummaryTest, TotalPointsSumsRecords) {
+  TrajectorySummary summary = MakeTinySummary(false);
+  EXPECT_EQ(summary.TotalPoints(), 3u);
+  summary.GetOrCreate(8, 4).points.push_back({-1, 0, {}});
+  EXPECT_EQ(summary.TotalPoints(), 4u);
+  EXPECT_EQ(summary.NumTrajectories(), 2u);
+}
+
+TEST(SummaryTest, MissingCoefficientsIsInternalError) {
+  TrajectorySummary summary(1, false, std::nullopt);
+  summary.mutable_codebook()->Add({0.0, 0.0});
+  TrajectoryRecord& record = summary.GetOrCreate(1, 0);
+  record.points.push_back({0, 0, {}});  // partition 0 but no coefficients
+  EXPECT_EQ(summary.Reconstruct(1, 0).status().code(),
+            StatusCode::kInternal);
+}
+
+TEST(SummaryTest, CorruptCodewordIndexIsInternalError) {
+  TrajectorySummary summary(1, false, std::nullopt);
+  TrajectoryRecord& record = summary.GetOrCreate(1, 0);
+  record.points.push_back({-1, 5, {}});  // codeword 5 of empty codebook
+  EXPECT_EQ(summary.Reconstruct(1, 0).status().code(),
+            StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace ppq::core

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "baselines/trajstore.h"
+#include "common/random.h"
+#include "datagen/generator.h"
+
+/// \file trajstore_test.cc
+/// Deeper TrajStore invariants beyond the baseline smoke tests: quadtree
+/// structure under load, split redistribution, merge behaviour, budget
+/// proportionality in fixed mode, and disk-page bookkeeping.
+
+namespace ppq::baselines {
+namespace {
+
+TimeSlice SliceOf(Tick t, const std::vector<Point>& points) {
+  TimeSlice slice;
+  slice.tick = t;
+  for (size_t i = 0; i < points.size(); ++i) {
+    slice.ids.push_back(static_cast<TrajId>(i));
+    slice.positions.push_back(points[i]);
+  }
+  return slice;
+}
+
+TrajStore::Options UnitOptions(size_t capacity = 8) {
+  TrajStore::Options options;
+  options.region = index::Rect{0.0, 0.0, 1.0, 1.0};
+  options.leaf_capacity = capacity;
+  options.enable_index = false;
+  return options;
+}
+
+TEST(TrajStoreStructureTest, NoSplitUnderCapacity) {
+  TrajStore store(UnitOptions(100));
+  Rng rng(1);
+  std::vector<Point> points;
+  for (int i = 0; i < 50; ++i) {
+    points.push_back({rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)});
+  }
+  store.ObserveSlice(SliceOf(0, points));
+  store.Finish();
+  EXPECT_EQ(store.stats().splits, 0u);
+  EXPECT_EQ(store.stats().leaves, 1u);
+}
+
+TEST(TrajStoreStructureTest, SplitsConcentrateWherePointsAre) {
+  // All mass in one corner: splits recurse there, leaving the rest of the
+  // tree shallow.
+  TrajStore store(UnitOptions(8));
+  Rng rng(2);
+  for (Tick t = 0; t < 10; ++t) {
+    std::vector<Point> points;
+    for (int i = 0; i < 20; ++i) {
+      points.push_back({rng.Uniform(0.0, 0.05), rng.Uniform(0.0, 0.05)});
+    }
+    store.ObserveSlice(SliceOf(t, points));
+  }
+  store.Finish();
+  EXPECT_GT(store.stats().splits, 2u);
+  // Every point still reconstructs within the bound despite the deep tree.
+  const auto recon = store.Reconstruct(3, 5);
+  ASSERT_TRUE(recon.ok());
+}
+
+TEST(TrajStoreStructureTest, AgingTriggersMerges) {
+  // Splits preserve subtree totals, so merges only fire after aging: fill
+  // the tree over many ticks, evict the old history, and the sparse
+  // siblings collapse back.
+  TrajStore::Options options = UnitOptions(16);
+  options.merge_fill = 0.5;
+  TrajStore store(options);
+  Rng rng(3);
+  for (Tick t = 0; t < 20; ++t) {
+    std::vector<Point> points;
+    for (int i = 0; i < 10; ++i) {
+      points.push_back({rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)});
+    }
+    store.ObserveSlice(SliceOf(t, points));
+  }
+  const size_t leaves_before = store.stats().leaves;
+  ASSERT_GT(leaves_before, 1u);
+  store.EvictOlderThan(19);  // keep only the final tick (10 points)
+  EXPECT_GT(store.stats().merges, 0u);
+  EXPECT_LT(store.stats().leaves, leaves_before);
+  // The survivors still compress and reconstruct.
+  store.Finish();
+  const auto recon = store.Reconstruct(0, 19);
+  ASSERT_TRUE(recon.ok());
+  // Evicted history is gone.
+  EXPECT_FALSE(store.Reconstruct(0, 5).ok());
+}
+
+TEST(TrajStoreStructureTest, FixedBudgetScalesWithCellPopulation) {
+  TrajStore::Options options = UnitOptions(64);
+  options.mode = core::QuantizationMode::kFixedPerTick;
+  options.fixed_bits = 4;
+  TrajStore store(options);
+  Rng rng(4);
+  // Dense blob in one quadrant, sparse elsewhere.
+  for (Tick t = 0; t < 20; ++t) {
+    std::vector<Point> points;
+    for (int i = 0; i < 30; ++i) {
+      points.push_back(
+          {rng.Uniform(0.0, 0.2), rng.Uniform(0.0, 0.2)});
+    }
+    points.push_back({0.9, 0.9});
+    store.ObserveSlice(SliceOf(t, points));
+  }
+  store.Finish();
+  EXPECT_GT(store.NumCodewords(), 0u);
+  // The sparse corner reconstructs from very few codewords; the method
+  // still answers for its single inhabitant.
+  const auto recon =
+      store.Reconstruct(static_cast<TrajId>(30), 10);
+  ASSERT_TRUE(recon.ok());
+}
+
+TEST(TrajStoreDiskTest, PageSetGrowsWithTimeSpan) {
+  // The same cell touched across many ticks scatters across pages; a
+  // disk query must fetch more pages the longer the span.
+  storage::PageManager pager(64);  // tiny pages: every few points one page
+  TrajStore::Options options = UnitOptions(1 << 20);
+  options.pager = &pager;
+  TrajStore store(options);
+  for (Tick t = 0; t < 30; ++t) {
+    store.ObserveSlice(SliceOf(t, {{0.5, 0.5}, {0.51, 0.5}, {0.52, 0.5}}));
+  }
+  store.Finish();
+  pager.ResetIoStats();
+  pager.DropCache();
+  (void)store.DiskQuery({0.5, 0.5}, 15);
+  const uint64_t reads = pager.io_stats().pages_read;
+  EXPECT_GT(reads, 3u);  // many pages, not just the queried tick's
+}
+
+TEST(TrajStoreDiskTest, QueryOutsideRootIsEmpty) {
+  TrajStore store(UnitOptions());
+  store.ObserveSlice(SliceOf(0, {{0.5, 0.5}}));
+  store.Finish();
+  EXPECT_TRUE(store.DiskQuery({500.0, 500.0}, 0).empty());
+}
+
+TEST(TrajStoreStructureTest, SummaryBytesTrackCodewords) {
+  const auto dataset = [] {
+    datagen::GeneratorOptions gen;
+    gen.num_trajectories = 20;
+    gen.horizon = 40;
+    return datagen::PortoLikeGenerator(gen).Generate();
+  }();
+  TrajStore::Options coarse;
+  coarse.epsilon1 = 0.01;
+  coarse.enable_index = false;
+  TrajStore::Options fine;
+  fine.epsilon1 = 0.0005;
+  fine.enable_index = false;
+  TrajStore coarse_store(coarse);
+  TrajStore fine_store(fine);
+  coarse_store.Compress(dataset);
+  fine_store.Compress(dataset);
+  EXPECT_LT(coarse_store.NumCodewords(), fine_store.NumCodewords());
+  EXPECT_LT(coarse_store.SummaryBytes(), fine_store.SummaryBytes());
+}
+
+}  // namespace
+}  // namespace ppq::baselines

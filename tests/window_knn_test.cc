@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/metrics.h"
+#include "core/ppq_trajectory.h"
+#include "core/query_engine.h"
+#include "datagen/generator.h"
+
+/// \file window_knn_test.cc
+/// Tests for the query-engine extensions: rectangular window queries and
+/// k-nearest-trajectory queries over the compressed summary.
+
+namespace ppq::core {
+namespace {
+
+struct Fixture {
+  TrajectoryDataset dataset;
+  std::unique_ptr<PpqTrajectory> method;
+  std::unique_ptr<QueryEngine> engine;
+};
+
+Fixture MakeFixture(uint64_t seed = 9) {
+  Fixture f;
+  datagen::GeneratorOptions gen;
+  gen.num_trajectories = 60;
+  gen.horizon = 60;
+  gen.min_length = 20;
+  gen.max_length = 60;
+  gen.seed = seed;
+  f.dataset = datagen::PortoLikeGenerator(gen).Generate();
+  PpqOptions options = MakePpqA();
+  f.method = std::make_unique<PpqTrajectory>(options);
+  f.method->Compress(f.dataset);
+  f.engine = std::make_unique<QueryEngine>(f.method.get(), &f.dataset,
+                                           options.tpi.pi.cell_size);
+  return f;
+}
+
+QueryEngine::Window WindowAround(const Point& center, double half) {
+  return {center.x - half, center.y - half, center.x + half,
+          center.y + half};
+}
+
+// ---------------------------------------------------------------------------
+// Window queries
+// ---------------------------------------------------------------------------
+
+TEST(WindowQueryTest, ExactModeMatchesGroundTruth) {
+  const Fixture f = MakeFixture();
+  Rng rng(3);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto& traj = f.dataset[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(f.dataset.size()) - 1))];
+    const size_t offset = traj.size() / 2;
+    const Tick t = traj.start_tick + static_cast<Tick>(offset);
+    const auto window =
+        WindowAround(traj.points[offset], rng.Uniform(0.001, 0.01));
+
+    auto got = f.engine->WindowQuery(window, t, StrqMode::kExact).ids;
+    auto truth = QueryEngine::WindowGroundTruth(f.dataset, window, t);
+    std::sort(got.begin(), got.end());
+    std::sort(truth.begin(), truth.end());
+    EXPECT_EQ(got, truth);
+  }
+}
+
+TEST(WindowQueryTest, LocalSearchRecallIsOne) {
+  const Fixture f = MakeFixture(11);
+  Rng rng(4);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto& traj = f.dataset[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(f.dataset.size()) - 1))];
+    const size_t offset = traj.size() / 3;
+    const Tick t = traj.start_tick + static_cast<Tick>(offset);
+    const auto window = WindowAround(traj.points[offset], 0.003);
+
+    auto got = f.engine->WindowQuery(window, t, StrqMode::kLocalSearch).ids;
+    std::sort(got.begin(), got.end());
+    for (TrajId id : QueryEngine::WindowGroundTruth(f.dataset, window, t)) {
+      EXPECT_TRUE(std::binary_search(got.begin(), got.end(), id));
+    }
+  }
+}
+
+TEST(WindowQueryTest, EmptyWindowReturnsNothing) {
+  const Fixture f = MakeFixture();
+  const QueryEngine::Window degenerate{0.5, 0.5, 0.5, 0.5};
+  EXPECT_TRUE(
+      f.engine->WindowQuery(degenerate, 10, StrqMode::kExact).ids.empty());
+  const QueryEngine::Window inverted{1.0, 1.0, 0.0, 0.0};
+  EXPECT_TRUE(
+      f.engine->WindowQuery(inverted, 10, StrqMode::kExact).ids.empty());
+}
+
+TEST(WindowQueryTest, WholeRegionWindowReturnsAllActive) {
+  const Fixture f = MakeFixture();
+  const BoundingBox box = f.dataset.Bounds();
+  const QueryEngine::Window all{box.min_x - 0.1, box.min_y - 0.1,
+                                box.max_x + 0.1, box.max_y + 0.1};
+  const Tick t = (f.dataset.MinTick() + f.dataset.MaxTick()) / 2;
+  auto got = f.engine->WindowQuery(all, t, StrqMode::kExact).ids;
+  size_t active = 0;
+  for (const Trajectory& traj : f.dataset.trajectories()) {
+    if (traj.ActiveAt(t)) ++active;
+  }
+  EXPECT_EQ(got.size(), active);
+}
+
+// ---------------------------------------------------------------------------
+// k-nearest trajectories
+// ---------------------------------------------------------------------------
+
+TEST(NearestTrajectoriesTest, ReturnsKSortedByDistance) {
+  const Fixture f = MakeFixture();
+  const auto& traj = f.dataset[5];
+  const Tick t = traj.start_tick + static_cast<Tick>(traj.size() / 2);
+  const QuerySpec q{traj.At(t), t};
+  const auto neighbors = f.engine->NearestTrajectories(q, 5);
+  ASSERT_LE(neighbors.size(), 5u);
+  ASSERT_GE(neighbors.size(), 1u);
+  for (size_t i = 1; i < neighbors.size(); ++i) {
+    EXPECT_GE(neighbors[i].distance, neighbors[i - 1].distance);
+  }
+  // The query point lies on trajectory 5, so it must rank first (its
+  // reconstruction is within the deviation bound of distance zero).
+  EXPECT_EQ(neighbors[0].id, 5);
+}
+
+TEST(NearestTrajectoriesTest, WithinBoundOfTrueNearest) {
+  const Fixture f = MakeFixture(13);
+  const double bound = f.method->LocalSearchRadius();
+  Rng rng(5);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto& traj = f.dataset[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(f.dataset.size()) - 1))];
+    const Tick t = traj.start_tick + static_cast<Tick>(traj.size() / 2);
+    const QuerySpec q{traj.At(t), t};
+    const auto neighbors = f.engine->NearestTrajectories(q, 3);
+    ASSERT_FALSE(neighbors.empty());
+
+    // True sorted distances from the raw data.
+    std::vector<double> truth;
+    for (const Trajectory& other : f.dataset.trajectories()) {
+      if (other.ActiveAt(t)) {
+        truth.push_back(other.At(t).DistanceTo(q.position));
+      }
+    }
+    std::sort(truth.begin(), truth.end());
+    for (size_t i = 0; i < neighbors.size() && i < truth.size(); ++i) {
+      // Reported reconstruction distance is within the deviation bound of
+      // the true i-th nearest distance.
+      EXPECT_LE(std::fabs(neighbors[i].distance - truth[i]), 2 * bound + 1e-9)
+          << "rank " << i;
+    }
+  }
+}
+
+TEST(NearestTrajectoriesTest, KLargerThanPopulation) {
+  const Fixture f = MakeFixture();
+  const auto& traj = f.dataset[0];
+  const Tick t = traj.start_tick;
+  const auto neighbors =
+      f.engine->NearestTrajectories({traj.At(t), t}, 10000);
+  size_t active = 0;
+  for (const Trajectory& other : f.dataset.trajectories()) {
+    if (other.ActiveAt(t)) ++active;
+  }
+  EXPECT_EQ(neighbors.size(), active);
+}
+
+TEST(NearestTrajectoriesTest, ZeroKReturnsEmpty) {
+  const Fixture f = MakeFixture();
+  EXPECT_TRUE(
+      f.engine->NearestTrajectories({{0.0, 0.0}, 10}, 0).empty());
+}
+
+TEST(NearestTrajectoriesTest, NoIndexReturnsEmpty) {
+  datagen::GeneratorOptions gen;
+  gen.num_trajectories = 5;
+  gen.horizon = 20;
+  const TrajectoryDataset dataset =
+      datagen::PortoLikeGenerator(gen).Generate();
+  PpqOptions options = MakePpqA();
+  options.enable_index = false;
+  PpqTrajectory method(options);
+  method.Compress(dataset);
+  QueryEngine engine(&method, &dataset, options.tpi.pi.cell_size);
+  EXPECT_TRUE(engine.NearestTrajectories({{0.0, 0.0}, 5}, 3).empty());
+}
+
+}  // namespace
+}  // namespace ppq::core
