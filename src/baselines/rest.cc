@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/grid_key.h"
+
 namespace ppq::baselines {
 
 Rest::Rest(TrajectoryDataset reference, Options options)
@@ -23,7 +25,7 @@ int64_t Rest::GridKey(const Point& p) const {
       static_cast<int64_t>(std::floor(p.x / options_.index_cell));
   const int64_t cy =
       static_cast<int64_t>(std::floor(p.y / options_.index_cell));
-  return (cx << 32) ^ (cy & 0xffffffffLL);
+  return CellKey(cx, cy);
 }
 
 void Rest::ObserveSlice(const TimeSlice& slice) {
@@ -57,7 +59,7 @@ void Rest::CompressTrajectory(TrajId id, Tick start_tick,
         static_cast<int64_t>(std::floor(points[i].y / options_.index_cell));
 
     const auto try_candidates = [&](int64_t cx, int64_t cy) {
-      const auto it = grid_.find((cx << 32) ^ (cy & 0xffffffffLL));
+      const auto it = grid_.find(CellKey(cx, cy));
       if (it == grid_.end()) return;
       for (const auto& [ref_id, offset] : it->second) {
         if (examined >= options_.max_candidates) return;

@@ -273,8 +273,10 @@ void TrajStore::EvictOlderThan(Tick cutoff) {
   for (Node& node : nodes_) {
     if (!node.is_leaf) continue;
     const size_t before = node.entries.size();
-    std::erase_if(node.entries,
-                  [cutoff](const Entry& e) { return e.tick < cutoff; });
+    node.entries.erase(
+        std::remove_if(node.entries.begin(), node.entries.end(),
+                       [cutoff](const Entry& e) { return e.tick < cutoff; }),
+        node.entries.end());
     evicted += before - node.entries.size();
   }
   if (evicted > 0) {

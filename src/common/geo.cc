@@ -1,13 +1,12 @@
 #include "common/geo.h"
 
 #include <cmath>
-#include <numbers>
 
 namespace ppq {
 
 double EquirectangularDistanceMeters(const Point& a, const Point& b,
                                      double mean_lat_deg) {
-  const double lat_rad = mean_lat_deg * std::numbers::pi / 180.0;
+  const double lat_rad = mean_lat_deg * kPi / 180.0;
   const double dx = (a.x - b.x) * std::cos(lat_rad);
   const double dy = a.y - b.y;
   return std::sqrt(dx * dx + dy * dy) * kMetersPerDegree;

@@ -14,6 +14,10 @@
 
 namespace ppq {
 
+/// Pi, spelled out once; the project targets C++17 so std::numbers is
+/// unavailable.
+constexpr double kPi = 3.14159265358979323846;
+
 /// Metres per degree of latitude (and, in the paper's uniform convention,
 /// per degree of longitude as well).
 constexpr double kMetersPerDegree = 111320.0;

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file grid_key.h
+/// Shared packing of signed 2-D grid-cell coordinates into a single 64-bit
+/// hash key, used by every fixed-resolution spatial grid in the codebase
+/// (quantizer cell cover, nearest-codeword grid, REST reference index).
+
+namespace ppq {
+
+/// Pack (cx, cy) into one key; 2^31 cells per axis is ample.
+inline int64_t CellKey(int64_t cx, int64_t cy) {
+  // Shift in the unsigned domain: left-shifting a negative value is UB
+  // pre-C++20.
+  return static_cast<int64_t>((static_cast<uint64_t>(cx) << 32) ^
+                              (static_cast<uint64_t>(cy) & 0xffffffffULL));
+}
+
+}  // namespace ppq

@@ -49,6 +49,7 @@ struct Point {
     return *this;
   }
   bool operator==(const Point& o) const { return x == o.x && y == o.y; }
+  bool operator!=(const Point& o) const { return !(*this == o); }
 
   /// Euclidean norm.
   double Norm() const { return std::sqrt(x * x + y * y); }

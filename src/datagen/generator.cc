@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numbers>
 
 #include "common/geo.h"
 
@@ -71,7 +70,7 @@ Trajectory PortoLikeGenerator::GenerateTrip(TrajId id) {
 
   // Urban taxi: ~30 km/h at a 15 s sampling period -> ~125 m/tick.
   const double mean_step = MetersToDegrees(125.0);
-  double heading = rng_.Uniform(0.0, 2.0 * std::numbers::pi);
+  double heading = rng_.Uniform(0.0, 2.0 * kPi);
   Point velocity{mean_step * std::cos(heading), mean_step * std::sin(heading)};
 
   traj.points.reserve(static_cast<size_t>(length));
@@ -148,7 +147,7 @@ Trajectory GeoLifeLikeGenerator::GenerateTrajectory(TrajId id) {
             beijing.y + rng_.Normal(0.0, 0.15)};
 
   Mode mode = Mode::kWalk;
-  double heading = rng_.Uniform(0.0, 2.0 * std::numbers::pi);
+  double heading = rng_.Uniform(0.0, 2.0 * kPi);
   Point velocity{std::cos(heading), std::sin(heading)};
   velocity = velocity * ModeSpeedDegrees(mode);
 

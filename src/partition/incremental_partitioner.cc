@@ -1,5 +1,6 @@
 #include "partition/incremental_partitioner.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -115,9 +116,10 @@ std::vector<int> IncrementalPartitioner::Update(
   }
 
   // Drop partitions whose trajectories all ended.
-  std::erase_if(partitions_, [](const PartitionState& p) {
-    return p.rows.empty();
-  });
+  partitions_.erase(
+      std::remove_if(partitions_.begin(), partitions_.end(),
+                     [](const PartitionState& p) { return p.rows.empty(); }),
+      partitions_.end());
 
   // Step 2: recompute centroids, re-split partitions violating eps_p.
   std::vector<int> pending_rows;
@@ -174,9 +176,10 @@ std::vector<int> IncrementalPartitioner::Update(
         }
       }
     }
-    std::erase_if(partitions_, [](const PartitionState& p) {
-      return p.rows.empty();
-    });
+    partitions_.erase(
+        std::remove_if(partitions_.begin(), partitions_.end(),
+                       [](const PartitionState& p) { return p.rows.empty(); }),
+        partitions_.end());
   }
 
   // Publish assignments and refresh the trajectory->partition map.

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/grid_key.h"
 #include "common/types.h"
 
 /// \file grid_nearest.h
@@ -72,10 +73,7 @@ class GridNearest {
   int64_t CellCoord(double v) const {
     return static_cast<int64_t>(std::floor(v / cell_));
   }
-  static int64_t Key(int64_t cx, int64_t cy) {
-    // Interleave into a single key; 2^31 cells per axis is ample.
-    return (cx << 32) ^ (cy & 0xffffffffLL);
-  }
+  static int64_t Key(int64_t cx, int64_t cy) { return CellKey(cx, cy); }
   int64_t KeyOf(const Point& p) const {
     return Key(CellCoord(p.x), CellCoord(p.y));
   }

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/grid_key.h"
+
 namespace ppq::quantizer {
 
 void IncrementalQuantizer::SyncGrid(const Codebook& codebook) {
@@ -81,7 +83,7 @@ std::vector<CodewordIndex> IncrementalQuantizer::QuantizeBatch(
     const auto key_of = [side](const Point& p) {
       const int64_t cx = static_cast<int64_t>(std::floor(p.x / side));
       const int64_t cy = static_cast<int64_t>(std::floor(p.y / side));
-      return (cx << 32) ^ (cy & 0xffffffffLL);
+      return CellKey(cx, cy);
     };
     for (size_t i : violators) {
       const int64_t key = key_of(errors[i]);

@@ -135,7 +135,7 @@ INSTANTIATE_TEST_SUITE_P(GridSizes, QuadtreeRoundTrip,
                                            16, 17, 25, 32, 33));
 
 TEST(CoordinateQuadtreeTest, RectangularGridsRoundTrip) {
-  for (const auto [w, h] : {std::pair{1, 5}, {5, 1}, {3, 7}, {8, 2}}) {
+  for (const auto& [w, h] : {std::pair{1, 5}, {5, 1}, {3, 7}, {8, 2}}) {
     CoordinateQuadtree tree(w, h);
     for (int cy = 0; cy < h; ++cy) {
       for (int cx = 0; cx < w; ++cx) {
@@ -188,7 +188,7 @@ TEST_P(Lemma3Bound, RefinedErrorWithinBound) {
   for (int trial = 0; trial < 2000; ++trial) {
     const Point original{rng.Uniform(-50.0, 50.0), rng.Uniform(-30.0, 30.0)};
     // Deviation uniform in the eps_1 disc (the quantizer bound).
-    const double angle = rng.Uniform(0.0, 2.0 * M_PI);
+    const double angle = rng.Uniform(0.0, 2.0 * kPi);
     const double radius = epsilon * std::sqrt(rng.Uniform(0.0, 1.0));
     const Point reconstructed{original.x + radius * std::cos(angle),
                               original.y + radius * std::sin(angle)};
