@@ -46,6 +46,8 @@ void GrowthPolicyAblation(const DatasetBundle& bundle) {
                 method.NumCodewords(),
                 core::SummaryMaeMeters(method, bundle.data),
                 timer.ElapsedSeconds());
+    PrintThroughput(method.name(), "encode", bundle.data.TotalPoints(),
+                    timer.ElapsedSeconds());
   }
 }
 
@@ -62,6 +64,8 @@ void AutocorrFeatureAblation(const DatasetBundle& bundle) {
     WallTimer timer;
     method.Compress(bundle.data);
     const double seconds = timer.ElapsedSeconds();
+    PrintThroughput(method.name(), "encode", bundle.data.TotalPoints(),
+                    seconds);
     int peak = 0;
     double sum = 0.0;
     for (const auto& s : method.tick_stats()) {
@@ -96,7 +100,7 @@ void MergeAblation(const DatasetBundle& bundle) {
     // unchanged and a dedicated option.
     tweaked.partition_merge = merge;
     core::PpqTrajectory method(tweaked);
-    method.Compress(bundle.data);
+    CompressTimed(method, bundle.data);
     int peak = 0;
     double sum = 0.0;
     for (const auto& s : method.tick_stats()) {
@@ -119,7 +123,7 @@ void PredictionOrderAblation(const DatasetBundle& bundle) {
     core::PpqOptions o = Tuned(bundle, false);
     o.prediction_order = k;
     core::PpqTrajectory method(o);
-    method.Compress(bundle.data);
+    CompressTimed(method, bundle.data);
     std::printf("%4d %12zu %10.2f %8.2f\n", k, method.NumCodewords(),
                 core::SummaryMaeMeters(method, bundle.data),
                 core::CompressionRatio(method, bundle.data));
@@ -135,7 +139,7 @@ void CqcGridAblation(const DatasetBundle& bundle) {
     core::PpqOptions o = Tuned(bundle, false);
     o.cqc_grid_size = MetersToDegrees(gs_m);
     core::PpqTrajectory method(o);
-    method.Compress(bundle.data);
+    CompressTimed(method, bundle.data);
     const auto size = method.summary().Size();
     const size_t points = method.summary().TotalPoints();
     std::printf("%8.1f %10.2f %10.2f %8.2f %10.1f\n", gs_m,

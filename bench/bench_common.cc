@@ -9,6 +9,7 @@
 #include "baselines/residual_quantization.h"
 #include "baselines/trajstore.h"
 #include "common/geo.h"
+#include "common/timer.h"
 
 namespace ppq::bench {
 namespace {
@@ -29,11 +30,30 @@ BenchOptions ParseArgs(int argc, char** argv) {
       options.queries = static_cast<size_t>(value);
     } else if (std::sscanf(argv[i], "--seed=%lf", &value) == 1) {
       options.seed = static_cast<uint64_t>(value);
+    } else if (std::sscanf(argv[i], "--threads=%lf", &value) == 1) {
+      options.threads = static_cast<size_t>(value);
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("flags: --scale=<f> --queries=<n> --seed=<n>\n");
+      std::printf(
+          "flags: --scale=<f> --queries=<n> --seed=<n> --threads=<n>\n");
     }
   }
   return options;
+}
+
+void PrintThroughput(const std::string& method, const char* phase,
+                     size_t items, double seconds) {
+  const double rate = seconds > 0.0 ? static_cast<double>(items) / seconds
+                                    : 0.0;
+  std::printf("[throughput] method=%s phase=%s items=%zu seconds=%.4f "
+              "rate=%.0f\n",
+              method.c_str(), phase, items, seconds, rate);
+}
+
+void CompressTimed(core::Compressor& method, const TrajectoryDataset& data) {
+  WallTimer timer;
+  method.Compress(data);
+  PrintThroughput(method.name(), "encode", data.TotalPoints(),
+                  timer.ElapsedSeconds());
 }
 
 DatasetBundle MakePortoBundle(const BenchOptions& options) {

@@ -13,9 +13,11 @@
 /// \file bench_common.h
 /// Shared scaffolding for the table/figure reproduction binaries: workload
 /// construction (Porto-like / GeoLife-like / sub-Porto, Section 6.1),
-/// method factory covering the paper's nine compared methods, and common
+/// method factory covering the paper's nine compared methods, common
 /// CLI parsing (--scale grows or shrinks every workload, --queries sets
-/// the query batch size, --seed the RNG seed).
+/// the query batch size, --seed the RNG seed, --threads the serving
+/// parallelism), and wall-clock throughput reporting so every bench run
+/// leaves a parseable perf trail (points/sec encode, queries/sec serve).
 
 namespace ppq::bench {
 
@@ -27,10 +29,26 @@ struct BenchOptions {
   /// for laptop runtimes and can be raised with --queries).
   size_t queries = 1000;
   uint64_t seed = 42;
+  /// Serving thread count for the executor-based benches; 0 sweeps a
+  /// ladder (bench_serve) or means "hardware threads" elsewhere.
+  size_t threads = 1;
 };
 
-/// Parse --scale=<f> --queries=<n> --seed=<n>; unknown flags are ignored.
+/// Parse --scale=<f> --queries=<n> --seed=<n> --threads=<n>; unknown
+/// flags are ignored.
 BenchOptions ParseArgs(int argc, char** argv);
+
+/// \brief Print one machine-parseable throughput line:
+///   [throughput] method=<name> phase=<phase> items=<n> seconds=<s> rate=<r>
+/// Phases in use: "encode" (points/sec) and "serve" (queries/sec). The
+/// uniform shape is what lets BENCH_*.json capture a perf trajectory
+/// across runs.
+void PrintThroughput(const std::string& method, const char* phase,
+                     size_t items, double seconds);
+
+/// Compress \p data into \p method (streaming tick by tick + Finish) and
+/// print the encode throughput line.
+void CompressTimed(core::Compressor& method, const TrajectoryDataset& data);
 
 /// \brief A benchmark workload plus its dataset-specific thresholds
 /// (Section 6.1 parameter settings, recalibrated to the synthetic

@@ -32,7 +32,7 @@ void RunSweep(const DatasetBundle& bundle, const std::string& method,
     core::PpqOptions options = ppq->options();
     options.epsilon_p = eps;
     core::PpqTrajectory tuned(options);
-    tuned.Compress(bundle.data);
+    CompressTimed(tuned, bundle.data);
     int peak = 0;
     double sum = 0.0;
     for (const auto& stats : tuned.tick_stats()) {

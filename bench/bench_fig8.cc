@@ -26,7 +26,7 @@ void RunSeries(const DatasetBundle& bundle, const std::string& method,
     core::PpqOptions options = ppq->options();
     options.epsilon_p = eps;
     core::PpqTrajectory tuned(options);
-    tuned.Compress(bundle.data);
+    CompressTimed(tuned, bundle.data);
     std::vector<int> q;
     for (const auto& stats : tuned.tick_stats()) q.push_back(stats.partitions);
     series.push_back(std::move(q));

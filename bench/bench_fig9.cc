@@ -10,6 +10,7 @@
 #include "baselines/rest.h"
 #include "bench/bench_common.h"
 #include "common/geo.h"
+#include "common/timer.h"
 #include "core/metrics.h"
 
 namespace ppq::bench {
@@ -26,15 +27,21 @@ void RunStandard(const DatasetBundle& bundle) {
   for (const std::string& name : AllMethodNames()) {
     const bool cqc = (name == "PPQ-A" || name == "PPQ-S");
     std::printf("%-24s", name.c_str());
+    double total_seconds = 0.0;
+    size_t total_points = 0;
     for (double deviation : kDeviations) {
       MethodSetup setup = DeviationSetup(deviation, cqc);
       setup.enable_index = false;
       auto method = MakeCompressor(name, bundle, setup);
+      WallTimer timer;
       method->Compress(bundle.data);
+      total_seconds += timer.ElapsedSeconds();
+      total_points += bundle.data.TotalPoints();
       std::printf(" %8.2f", core::CompressionRatio(*method, bundle.data));
       std::fflush(stdout);
     }
     std::printf("\n");
+    PrintThroughput(name, "encode", total_points, total_seconds);
   }
 }
 
@@ -76,27 +83,39 @@ void RunSubPorto(const BenchOptions& options) {
     if (name == "TrajStore") continue;  // the paper's Fig 9c omits it
     const bool cqc = (name == "PPQ-A" || name == "PPQ-S");
     std::printf("%-24s", name.c_str());
+    double total_seconds = 0.0;
+    size_t total_points = 0;
     for (double deviation : kDeviations) {
       MethodSetup setup = DeviationSetup(deviation, cqc);
       setup.enable_index = false;
       auto method = MakeCompressor(name, bundle, setup);
+      WallTimer timer;
       method->Compress(bundle.data);
+      total_seconds += timer.ElapsedSeconds();
+      total_points += bundle.data.TotalPoints();
       std::printf(" %8.2f", core::CompressionRatio(*method, bundle.data));
       std::fflush(stdout);
     }
     std::printf("\n");
+    PrintThroughput(name, "encode", total_points, total_seconds);
   }
 
   std::printf("%-24s", "REST");
+  double rest_seconds = 0.0;
+  size_t rest_points = 0;
   for (double deviation : kDeviations) {
     baselines::Rest::Options rest_options;
     rest_options.deviation = MetersToDegrees(deviation);
     baselines::Rest rest(reference, rest_options);
+    WallTimer timer;
     rest.Compress(bundle.data);
+    rest_seconds += timer.ElapsedSeconds();
+    rest_points += bundle.data.TotalPoints();
     std::printf(" %8.2f", core::CompressionRatio(rest, bundle.data));
     std::fflush(stdout);
   }
   std::printf("\n");
+  PrintThroughput("REST", "encode", rest_points, rest_seconds);
 }
 
 }  // namespace

@@ -1,0 +1,198 @@
+/// \file bench_serve.cc
+/// Concurrent serving benchmark for the writer/reader split: compress a
+/// Porto-like workload with PPQ-A, Seal() it into an immutable
+/// SummarySnapshot, and measure queries/sec of the batched QueryExecutor
+/// over a mixed STRQ / window / k-NN workload at 1/2/4/8 threads
+/// (or a single count with --threads=N). Before timing, every batch
+/// result is checked byte-identical against the serial QueryEngine — the
+/// speedup is only worth reporting if the answers are exactly the same.
+///
+/// Output ends with one [serve] line per thread count:
+///   [serve] threads=4 queries=3500 seconds=0.81 qps=4321 speedup=2.73
+/// plus the shared [throughput] lines (phase=serve) for the perf trail.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/metrics.h"
+#include "core/query_engine.h"
+#include "core/query_executor.h"
+
+namespace ppq::bench {
+namespace {
+
+struct Workload {
+  std::vector<core::QuerySpec> strq;
+  std::vector<core::WindowSpec> windows;
+  std::vector<core::QuerySpec> knn;
+
+  size_t Total() const { return strq.size() + windows.size() + knn.size(); }
+};
+
+Workload MakeWorkload(const TrajectoryDataset& data, size_t queries,
+                      uint64_t seed) {
+  Workload w;
+  Rng rng(seed);
+  w.strq = core::SampleQueries(data, queries, &rng);
+  for (const core::QuerySpec& q : core::SampleQueries(data, queries / 2,
+                                                      &rng)) {
+    const double half = rng.Uniform(0.001, 0.01);
+    w.windows.push_back({core::Window{q.position.x - half,
+                                      q.position.y - half,
+                                      q.position.x + half,
+                                      q.position.y + half},
+                         q.tick});
+  }
+  w.knn = core::SampleQueries(data, queries / 4, &rng);
+  return w;
+}
+
+struct MixedResults {
+  std::vector<core::StrqResult> strq_exact;
+  std::vector<core::StrqResult> strq_local;
+  std::vector<core::StrqResult> windows;
+  std::vector<std::vector<core::Neighbor>> knn;
+
+  bool operator==(const MixedResults& o) const {
+    return strq_exact == o.strq_exact && strq_local == o.strq_local &&
+           windows == o.windows && knn == o.knn;
+  }
+};
+
+constexpr size_t kKnnK = 8;
+
+MixedResults RunSerial(const core::QueryEngine& engine, const Workload& w) {
+  MixedResults r;
+  for (const auto& q : w.strq) {
+    r.strq_exact.push_back(engine.Strq(q, core::StrqMode::kExact));
+    r.strq_local.push_back(engine.Strq(q, core::StrqMode::kLocalSearch));
+  }
+  for (const auto& win : w.windows) {
+    r.windows.push_back(
+        engine.WindowQuery(win.window, win.tick, core::StrqMode::kExact));
+  }
+  for (const auto& q : w.knn) {
+    r.knn.push_back(engine.NearestTrajectories(q, kKnnK));
+  }
+  return r;
+}
+
+MixedResults RunExecutor(core::QueryExecutor& executor, const Workload& w) {
+  MixedResults r;
+  r.strq_exact = executor.StrqBatch(w.strq, core::StrqMode::kExact);
+  r.strq_local = executor.StrqBatch(w.strq, core::StrqMode::kLocalSearch);
+  r.windows = executor.WindowBatch(w.windows, core::StrqMode::kExact);
+  r.knn = executor.KnnBatch(w.knn, kKnnK);
+  return r;
+}
+
+/// One serving pass: queries evaluated per timed run (exact+local STRQ
+/// count as two evaluations per spec).
+size_t EvaluationsPerPass(const Workload& w) {
+  return 2 * w.strq.size() + w.windows.size() + w.knn.size();
+}
+
+int Run(const BenchOptions& options) {
+  std::printf("=== bench_serve: snapshot + concurrent batched executor ===\n");
+  const DatasetBundle bundle = MakePortoBundle(options);
+  std::printf("dataset: %s, %zu trajectories, %zu points\n",
+              bundle.name.c_str(), bundle.data.size(),
+              bundle.data.TotalPoints());
+
+  MethodSetup setup;
+  setup.mode = core::QuantizationMode::kErrorBounded;
+  auto method = MakeCompressor("PPQ-A", bundle, setup);
+  CompressTimed(*method, bundle.data);
+
+  WallTimer seal_timer;
+  const core::SnapshotPtr snapshot = method->Seal();
+  std::printf("seal: %.1f KB summary, %zu trajectories, %.3f ms\n",
+              static_cast<double>(snapshot->SummaryBytes()) / 1024.0,
+              snapshot->NumTrajectories(), seal_timer.ElapsedMillis());
+
+  const double cell_size = 100.0 / kMetersPerDegree;
+  const Workload workload =
+      MakeWorkload(bundle.data, options.queries, options.seed + 99);
+  const size_t evaluations = EvaluationsPerPass(workload);
+  std::printf("workload: %zu STRQ (exact+local) + %zu window + %zu kNN "
+              "= %zu evaluations/pass\n",
+              workload.strq.size(), workload.windows.size(),
+              workload.knn.size(), evaluations);
+
+  // Serial reference: the single-query engine, timed the same way.
+  const core::QueryEngine engine(method.get(), &bundle.data, cell_size);
+  WallTimer serial_timer;
+  const MixedResults reference = RunSerial(engine, workload);
+  const double serial_seconds = serial_timer.ElapsedSeconds();
+  const double serial_qps =
+      serial_seconds > 0.0
+          ? static_cast<double>(evaluations) / serial_seconds
+          : 0.0;
+  PrintThroughput("QueryEngine", "serve", evaluations, serial_seconds);
+
+  std::vector<size_t> ladder = {1, 2, 4, 8};
+  if (options.threads > 0) ladder = {options.threads};
+
+  bool all_identical = true;
+  double qps_at_1 = 0.0;
+  for (size_t threads : ladder) {
+    core::QueryExecutor::Options exec_options;
+    exec_options.num_threads = threads;
+    exec_options.raw = &bundle.data;
+    exec_options.cell_size = cell_size;
+    core::QueryExecutor executor(snapshot, exec_options);
+
+    // Correctness pass (also warms per-worker decode scratch the same way
+    // every thread count warms it: by running the workload once).
+    const MixedResults check = RunExecutor(executor, workload);
+    const bool identical = check == reference;
+    all_identical = all_identical && identical;
+
+    WallTimer timer;
+    const MixedResults timed = RunExecutor(executor, workload);
+    const double seconds = timer.ElapsedSeconds();
+    all_identical = all_identical && (timed == reference);
+
+    const double qps =
+        seconds > 0.0 ? static_cast<double>(evaluations) / seconds : 0.0;
+    if (threads == 1) qps_at_1 = qps;
+    // Speedup vs the 1-thread executor when the ladder includes it;
+    // otherwise (explicit --threads=N) vs the serial engine.
+    const double baseline = qps_at_1 > 0.0 ? qps_at_1 : serial_qps;
+    const double speedup = baseline > 0.0 ? qps / baseline : 0.0;
+    const std::string label =
+        "QueryExecutor/" + std::to_string(threads) + "t";
+    PrintThroughput(label, "serve", evaluations, seconds);
+    std::printf("[serve] threads=%zu queries=%zu seconds=%.4f qps=%.0f "
+                "speedup=%.2f identical=%s\n",
+                threads, evaluations, seconds, qps, speedup,
+                identical ? "yes" : "NO");
+  }
+
+  if (!all_identical) {
+    std::printf("ERROR: executor results diverged from the serial engine\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ppq::bench
+
+int main(int argc, char** argv) {
+  ppq::bench::BenchOptions options = ppq::bench::ParseArgs(argc, argv);
+  // bench_serve sweeps the thread ladder by default.
+  bool threads_given = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--threads=", 0) == 0) {
+      threads_given = true;
+    }
+  }
+  if (!threads_given) options.threads = 0;
+  return ppq::bench::Run(options);
+}

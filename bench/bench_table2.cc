@@ -15,6 +15,7 @@
 
 #include "bench/bench_common.h"
 #include "common/random.h"
+#include "common/timer.h"
 #include "core/metrics.h"
 #include "core/query_engine.h"
 
@@ -41,7 +42,7 @@ void RunDataset(const DatasetBundle& bundle, const BenchOptions& options,
     setup.mode = core::QuantizationMode::kFixedPerTick;
     setup.fixed_bits = bits;
     auto method = MakeCompressor(name, bundle, setup);
-    method->Compress(bundle.data);
+    CompressTimed(*method, bundle.data);
 
     const double mae = core::SummaryMaeMeters(*method, bundle.data);
     // STRQ evaluation cell: 1 km. The paper's graded precision/recall
@@ -51,9 +52,12 @@ void RunDataset(const DatasetBundle& bundle, const BenchOptions& options,
     core::QueryEngine engine(method.get(), &bundle.data,
                              1000.0 / kMetersPerDegree);
     const bool cqc = (name == "PPQ-A" || name == "PPQ-S");
+    WallTimer serve_timer;
     const auto eval = core::EvaluateStrq(
         engine, bundle.data, queries,
         cqc ? core::StrqMode::kExact : core::StrqMode::kApproximate);
+    PrintThroughput(name, "serve", queries.size(),
+                    serve_timer.ElapsedSeconds());
     std::printf("%-24s %10.2f %10.3f %10.3f\n", name.c_str(), mae,
                 eval.precision, eval.recall);
   }

@@ -9,6 +9,7 @@
 
 #include "bench/bench_common.h"
 #include "common/random.h"
+#include "common/timer.h"
 #include "core/metrics.h"
 
 namespace ppq::bench {
@@ -44,15 +45,19 @@ void RunDataset(const DatasetBundle& bundle, const BenchOptions& options,
     setup.fixed_bits = bits;
     setup.enable_index = false;  // TPQ cost here is reconstruction only
     auto method = MakeCompressor(name, bundle, setup);
-    method->Compress(bundle.data);
+    CompressTimed(*method, bundle.data);
 
     std::printf("%-24s", name.c_str());
+    WallTimer serve_timer;
+    size_t served = 0;
     for (int length : {10, 20, 30, 40, 50}) {
       const double mae = core::EvaluateTpqMaeMeters(*method, bundle.data,
                                                     queries, ids, length);
+      served += queries.size();
       std::printf(" %9.2f", mae);
     }
     std::printf("\n");
+    PrintThroughput(name, "serve", served, serve_timer.ElapsedSeconds());
   }
 }
 

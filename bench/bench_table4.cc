@@ -9,6 +9,7 @@
 
 #include "bench/bench_common.h"
 #include "common/random.h"
+#include "common/timer.h"
 #include "core/metrics.h"
 #include "core/query_engine.h"
 
@@ -34,11 +35,14 @@ void RunDataset(const DatasetBundle& bundle, const BenchOptions& options) {
       setup.mode = core::QuantizationMode::kFixedPerTick;
       setup.fixed_bits = bits;
       auto method = MakeCompressor(name, bundle, setup);
-      method->Compress(bundle.data);
+      CompressTimed(*method, bundle.data);
       core::QueryEngine engine(method.get(), &bundle.data,
                                100.0 / kMetersPerDegree);
+      WallTimer serve_timer;
       const auto eval = core::EvaluateStrq(engine, bundle.data, queries,
                                            core::StrqMode::kExact);
+      PrintThroughput(name, "serve", queries.size(),
+                      serve_timer.ElapsedSeconds());
       ratios.push_back(eval.visit_ratio * 1e3);
       maes.push_back(core::SummaryMaeMeters(*method, bundle.data));
     }

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "common/timer.h"
 
 namespace ppq::bench {
 namespace {
@@ -21,15 +22,21 @@ void RunDataset(const DatasetBundle& bundle) {
   for (const std::string& name : AllMethodNames()) {
     const bool cqc = (name == "PPQ-A" || name == "PPQ-S");
     std::printf("%-24s", name.c_str());
+    double total_seconds = 0.0;
+    size_t total_points = 0;
     for (double deviation : {200.0, 400.0, 600.0, 800.0, 1000.0}) {
       MethodSetup setup = DeviationSetup(deviation, cqc);
       setup.enable_index = false;
       auto method = MakeCompressor(name, bundle, setup);
+      WallTimer timer;
       method->Compress(bundle.data);
+      total_seconds += timer.ElapsedSeconds();
+      total_points += bundle.data.TotalPoints();
       std::printf(" %9zu", method->NumCodewords());
       std::fflush(stdout);
     }
     std::printf("\n");
+    PrintThroughput(name, "encode", total_points, total_seconds);
   }
 }
 

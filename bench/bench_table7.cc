@@ -42,6 +42,7 @@ void RunDataset(const DatasetBundle& bundle) {
     std::printf("%6.1f %12.3f %10.2f %10zu %12zu\n", eps_c,
                 static_cast<double>(tpi.SizeBytes()) / (1024.0 * 1024.0),
                 seconds, tpi.stats().num_periods, tpi.stats().num_insertions);
+    PrintThroughput("TPI", "encode", tpi.stats().points_indexed, seconds);
   }
 }
 

@@ -128,6 +128,9 @@ void RunDataset(const DatasetBundle& bundle, const BenchOptions& options) {
     std::printf("%-12s %12.3f %10llu %16.3f %14.2f\n", row.name, row.size_mb,
                 static_cast<unsigned long long>(row.ios), row.response_s,
                 row.build_s);
+    PrintThroughput(row.name, "encode", bundle.data.TotalPoints(),
+                    row.build_s);
+    PrintThroughput(row.name, "serve", queries.size(), row.response_s);
   }
 }
 

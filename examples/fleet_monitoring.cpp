@@ -5,8 +5,10 @@
 /// (STRQ), "where did they go next?" (TPQ), and "where will vehicle v be
 /// in the next l ticks?" (forecasting over the summary).
 ///
-/// The example runs the stream in two phases to show that queries work
-/// mid-ingest — nothing waits for the full dataset.
+/// The example runs the stream in two phases to show the writer/reader
+/// split: ingestion never stops; the operator's queries run against
+/// immutable Seal() snapshots that are re-cut (and hot-swapped into the
+/// query executor) as the stream advances.
 
 #include <cstdio>
 
@@ -15,6 +17,7 @@
 #include "core/metrics.h"
 #include "core/ppq_trajectory.h"
 #include "core/query_engine.h"
+#include "core/query_executor.h"
 #include "datagen/generator.h"
 
 int main() {
@@ -41,19 +44,33 @@ int main() {
               monitor.NumCodewords(),
               static_cast<double>(monitor.SummaryBytes()) / 1024.0);
 
-  // Mid-stream STRQ: who passed the busiest spot at tick 150?
-  core::QueryEngine engine(&monitor, &fleet, options.tpi.pi.cell_size);
-  // Probe a vehicle mid-trip (and inside the ingested phase).
+  // Mid-stream serving: seal what has been ingested so far into an
+  // immutable snapshot. The monitor keeps encoding; the operator's
+  // queries never touch writer state.
+  core::QueryExecutor::Options exec_options;
+  exec_options.num_threads = 4;
+  exec_options.raw = &fleet;
+  exec_options.cell_size = options.tpi.pi.cell_size;
+  core::QueryExecutor executor(monitor.Seal(), exec_options);
+
+  // STRQ: who passed the busiest spot? Probe a vehicle mid-trip (and
+  // inside the ingested phase).
   const Trajectory& probe = fleet[42];
   const Tick probe_tick = std::min<Tick>(
       probe.start_tick + static_cast<Tick>(probe.size()) / 2, phase1_end - 20);
   const core::QuerySpec mid_query{probe.At(probe_tick), probe_tick};
-  const auto mid = engine.Strq(mid_query, core::StrqMode::kExact);
+  const auto mid_batch =
+      executor.StrqBatch({mid_query}, core::StrqMode::kExact);
+  const auto& mid = mid_batch[0];
   std::printf("STRQ @t=%d: %zu vehicles in the query cell (%zu candidates "
-              "verified)\n",
-              probe_tick, mid.ids.size(), mid.candidates_visited);
+              "verified, %zu serving threads)\n",
+              probe_tick, mid.ids.size(), mid.candidates_visited,
+              executor.num_threads());
 
-  // Path query: where did they go in the following 15 ticks?
+  // Path query: where did they go in the following 15 ticks? (TPQ is a
+  // single-query flow; the engine serves it off the same snapshot.)
+  const core::QueryEngine engine(executor.snapshot(), &fleet,
+                                 options.tpi.pi.cell_size);
   const auto paths = engine.Tpq(mid_query, 15, core::StrqMode::kExact);
   for (size_t i = 0; i < paths.ids.size() && i < 3; ++i) {
     const auto& path = paths.paths[i];
@@ -87,6 +104,20 @@ int main() {
     if (!slice.empty()) monitor.ObserveSlice(slice);
   }
   monitor.Finish();
+
+  // Re-seal and hot-swap: the executor now serves the full day.
+  executor.UpdateSnapshot(monitor.Seal());
+  const Tick evening = phase1_end + 50;
+  const auto& active = fleet.ActiveIdsAt(evening);
+  if (!active.empty()) {
+    const Trajectory& witness = fleet[static_cast<size_t>(active.front())];
+    const auto evening_batch = executor.StrqBatch(
+        {core::QuerySpec{witness.At(evening), evening}},
+        core::StrqMode::kLocalSearch);
+    std::printf("after re-seal, STRQ @t=%d sees %zu of %zu active "
+                "vehicles in the query cell\n",
+                evening, evening_batch[0].ids.size(), active.size());
+  }
 
   std::printf("\nend of day: %zu vehicles, %zu points, ratio %.2fx, "
               "MAE %.1f m\n",

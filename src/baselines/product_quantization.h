@@ -40,6 +40,16 @@ class ProductQuantization : public core::Compressor {
                : max_deviation_;
   }
 
+  std::vector<core::RecordSpan> RecordSpans() const override {
+    std::vector<core::RecordSpan> spans;
+    spans.reserve(records_.size());
+    for (const auto& [id, record] : records_) {
+      spans.push_back(
+          {id, record.start_tick, static_cast<Tick>(record.codes.size())});
+    }
+    return spans;
+  }
+
  private:
   struct Code {
     int32_t x = -1;

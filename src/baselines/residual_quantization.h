@@ -46,6 +46,16 @@ class ResidualQuantization : public core::Compressor {
                : max_deviation_;
   }
 
+  std::vector<core::RecordSpan> RecordSpans() const override {
+    std::vector<core::RecordSpan> spans;
+    spans.reserve(records_.size());
+    for (const auto& [id, record] : records_) {
+      spans.push_back(
+          {id, record.start_tick, static_cast<Tick>(record.codes.size())});
+    }
+    return spans;
+  }
+
  private:
   struct Code {
     int32_t coarse = -1;

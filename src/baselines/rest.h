@@ -59,6 +59,16 @@ class Rest : public core::Compressor {
   size_t NumCodewords() const override { return 0; }
   double LocalSearchRadius() const override { return options_.deviation; }
 
+  std::vector<core::RecordSpan> RecordSpans() const override {
+    std::vector<core::RecordSpan> spans;
+    spans.reserve(records_.size());
+    for (const auto& [id, record] : records_) {
+      spans.push_back(
+          {id, record.start_tick, static_cast<Tick>(record.total_points)});
+    }
+    return spans;
+  }
+
   /// Fraction of points covered by reference matches (observability).
   double MatchCoverage() const;
 

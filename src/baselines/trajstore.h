@@ -63,6 +63,16 @@ class TrajStore : public core::Compressor {
                : max_deviation_;
   }
 
+  std::vector<core::RecordSpan> RecordSpans() const override {
+    std::vector<core::RecordSpan> spans;
+    spans.reserve(records_.size());
+    for (const auto& [id, record] : records_) {
+      spans.push_back({id, record.start_tick,
+                       static_cast<Tick>(record.leaf_and_code.size())});
+    }
+    return spans;
+  }
+
   /// Disk query: candidates at tick \p t in the leaf containing \p p,
   /// charging one read per distinct page the leaf's entries occupy.
   std::vector<TrajId> DiskQuery(const Point& p, Tick t);

@@ -1,0 +1,161 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.h
+/// A small reusable worker pool built for batched query serving: one
+/// ParallelFor call fans a contiguous index range across persistent worker
+/// threads with dynamic (work-stealing-counter) load balancing. The caller
+/// participates as worker 0, so a pool of size N uses N-1 background
+/// threads and a pool of size 1 degenerates to an inline loop with zero
+/// synchronization — serial and parallel runs share one code path.
+///
+/// Thread-safety contract: ParallelFor is NOT reentrant and must not be
+/// called from two threads at once (one executor batch at a time). The
+/// callback receives (worker, index) with worker < size(), letting callers
+/// maintain per-worker scratch without locks. Indices are each executed
+/// exactly once; completion of ParallelFor happens-after every callback.
+
+namespace ppq {
+
+/// \brief Fixed-size pool of persistent workers driving ParallelFor jobs.
+class ThreadPool {
+ public:
+  using Task = std::function<void(size_t worker, size_t index)>;
+
+  /// \param num_threads total workers including the caller; 0 means
+  ///        std::thread::hardware_concurrency().
+  explicit ThreadPool(size_t num_threads = 0) {
+    if (num_threads == 0) {
+      num_threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    num_threads_ = num_threads;
+    workers_.reserve(num_threads - 1);
+    for (size_t w = 1; w < num_threads; ++w) {
+      workers_.emplace_back([this, w] { WorkerLoop(w); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return num_threads_; }
+
+  /// Run fn(worker, i) for every i in [0, count), spread over all workers.
+  /// Blocks until every index has been executed. If any callback throws,
+  /// the remaining indices still run and the first exception is rethrown
+  /// here.
+  void ParallelFor(size_t count, const Task& fn) {
+    if (count == 0) return;
+    if (workers_.empty() || count == 1) {
+      // Inline path: same drain-then-rethrow semantics as the pooled path
+      // so side effects don't depend on the thread count.
+      std::exception_ptr first_error;
+      for (size_t i = 0; i < count; ++i) {
+        try {
+          fn(0, i);
+        } catch (...) {
+          if (first_error == nullptr) first_error = std::current_exception();
+        }
+      }
+      if (first_error != nullptr) std::rethrow_exception(first_error);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = &fn;
+      job_count_ = count;
+      items_done_ = 0;
+      first_error_ = nullptr;
+      next_.store(0, std::memory_order_relaxed);
+      ++generation_;
+    }
+    wake_cv_.notify_all();
+    RunJob(&fn, count, /*worker=*/0);
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] {
+      return items_done_ == job_count_ && runners_ == 0;
+    });
+    if (first_error_ != nullptr) {
+      std::exception_ptr error = first_error_;
+      first_error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
+  }
+
+ private:
+  void WorkerLoop(size_t worker) {
+    uint64_t seen_generation = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      wake_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      const Task* job = job_;
+      const size_t count = job_count_;
+      if (job == nullptr) continue;  // job already drained before we woke
+      ++runners_;
+      lock.unlock();
+      RunJob(job, count, worker);
+      lock.lock();
+      if (--runners_ == 0) done_cv_.notify_all();
+    }
+  }
+
+  void RunJob(const Task* job, size_t count, size_t worker) {
+    for (;;) {
+      const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        (*job)(worker, i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (first_error_ == nullptr) first_error_ = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++items_done_ == count) {
+        job_ = nullptr;  // late wakers skip straight back to waiting
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  size_t num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable wake_cv_;  ///< workers wait here for a job
+  std::condition_variable done_cv_;  ///< ParallelFor waits here for drain
+  // All fields below are guarded by mu_ except next_, which is atomic so
+  // index claiming stays lock-free on the hot path.
+  const Task* job_ = nullptr;
+  size_t job_count_ = 0;
+  size_t items_done_ = 0;
+  size_t runners_ = 0;
+  uint64_t generation_ = 0;
+  std::exception_ptr first_error_ = nullptr;
+  bool stop_ = false;
+  std::atomic<size_t> next_{0};
+};
+
+}  // namespace ppq

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <unordered_map>
 #include <vector>
 
 /// \file types.h
@@ -124,6 +125,12 @@ struct BoundingBox {
 
 /// \brief A collection of tick-aligned trajectories plus time-slicing
 /// utilities used by the online pipeline.
+///
+/// The dataset maintains a per-tick active-id index, extended incrementally
+/// on every Add, so SliceAt and the ground-truth helpers cost O(active at
+/// t) instead of scanning all N trajectories per tick. Mutating a stored
+/// trajectory's tick span through the non-const accessors is not supported
+/// (it would stale the index); replace the trajectory instead.
 class TrajectoryDataset {
  public:
   TrajectoryDataset() = default;
@@ -136,6 +143,7 @@ class TrajectoryDataset {
   void Add(Trajectory traj) {
     traj.id = static_cast<TrajId>(trajectories_.size());
     trajectories_.push_back(std::move(traj));
+    IndexTrajectory(trajectories_.back());
   }
 
   size_t size() const { return trajectories_.size(); }
@@ -165,15 +173,24 @@ class TrajectoryDataset {
     return m;
   }
 
+  /// Ids of every trajectory active at tick \p t, in ascending id order.
+  /// O(1) average: served from the per-tick index maintained by Add.
+  const std::vector<TrajId>& ActiveIdsAt(Tick t) const {
+    static const std::vector<TrajId> kEmpty;
+    const auto it = active_ids_.find(t);
+    return it != active_ids_.end() ? it->second : kEmpty;
+  }
+
   /// All points active at tick \p t (the {T^t} of the paper).
+  /// O(active at t) via the per-tick index.
   TimeSlice SliceAt(Tick t) const {
     TimeSlice slice;
     slice.tick = t;
-    for (const auto& traj : trajectories_) {
-      if (traj.ActiveAt(t)) {
-        slice.ids.push_back(traj.id);
-        slice.positions.push_back(traj.At(t));
-      }
+    const std::vector<TrajId>& ids = ActiveIdsAt(t);
+    slice.ids = ids;
+    slice.positions.reserve(ids.size());
+    for (TrajId id : ids) {
+      slice.positions.push_back(trajectories_[static_cast<size_t>(id)].At(t));
     }
     return slice;
   }
@@ -190,9 +207,24 @@ class TrajectoryDataset {
   void ReassignIds() {
     for (size_t i = 0; i < trajectories_.size(); ++i)
       trajectories_[i].id = static_cast<TrajId>(i);
+    active_ids_.clear();
+    for (const auto& traj : trajectories_) IndexTrajectory(traj);
+  }
+
+  /// Extend the per-tick index with one trajectory's span. Incremental —
+  /// Add never rescans — and O(span) per trajectory. Keyed by tick (not a
+  /// dense array) so sparse or widely separated tick ranges cost memory
+  /// proportional to *occupied* ticks only.
+  void IndexTrajectory(const Trajectory& traj) {
+    for (Tick t = traj.start_tick; t < traj.end_tick(); ++t) {
+      active_ids_[t].push_back(traj.id);
+    }
   }
 
   std::vector<Trajectory> trajectories_;
+  /// tick -> ids active at that tick, ascending (ids are assigned in Add
+  /// order, so per-tick push_back preserves ascending order).
+  std::unordered_map<Tick, std::vector<TrajId>> active_ids_;
 };
 
 }  // namespace ppq

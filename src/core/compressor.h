@@ -1,6 +1,8 @@
 #pragma once
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
@@ -12,8 +14,24 @@
 /// one interface lets the benchmark harness sweep methods exactly like the
 /// paper's tables do, and gives every method the same indexing extension
 /// ("for fairness, we extended these methods with our indexing approach").
+///
+/// The compressor is the WRITER side of the serving architecture: it is
+/// single-threaded and mutable. Seal() hands the READER side an immutable
+/// SummarySnapshot (see snapshot.h) that concurrent query executors can
+/// share while encoding continues.
 
 namespace ppq::core {
+
+class SummarySnapshot;
+using SnapshotPtr = std::shared_ptr<const SummarySnapshot>;
+
+/// \brief The tick span one trajectory's encoded record covers — the
+/// generic shape Seal() needs to enumerate a method's decodable content.
+struct RecordSpan {
+  TrajId id = kInvalidTrajId;
+  Tick start_tick = 0;
+  Tick length = 0;
+};
 
 /// \brief An online trajectory compressor with reconstruction and
 /// (optionally) an index over its reconstructed points.
@@ -48,6 +66,25 @@ class Compressor {
   /// |reconstructed - original|. Methods without CQC return their
   /// quantizer deviation bound; 0 disables local search.
   virtual double LocalSearchRadius() const { return 0.0; }
+
+  /// The tick spans of every encoded trajectory record. Used by the
+  /// default Seal() to materialize a snapshot; methods that cannot
+  /// enumerate their content return empty (their snapshots serve nothing).
+  virtual std::vector<RecordSpan> RecordSpans() const { return {}; }
+
+  /// \brief Seal the current state into an immutable, shareable snapshot.
+  ///
+  /// May be called mid-stream (between ObserveSlice calls) or after
+  /// Finish(); the snapshot deep-copies what it needs, so encoding can
+  /// continue and readers keep serving the sealed state. The default
+  /// implementation decodes every RecordSpans() point once into a
+  /// MaterializedSnapshot; methods with a scratch-decodable summary (the
+  /// PPQ family) override it to seal the compressed form instead.
+  ///
+  /// Seal() itself is NOT thread-safe with respect to ObserveSlice — call
+  /// it from the writer thread. The returned snapshot is safe for any
+  /// number of concurrent readers.
+  virtual SnapshotPtr Seal() const;
 
   /// Convenience: stream a whole dataset tick by tick, then Finish().
   void Compress(const TrajectoryDataset& dataset) {

@@ -56,11 +56,7 @@ StrqEvaluation EvaluateStrq(const QueryEngine& engine,
                           returned.end(), std::back_inserter(both));
     pr.AddQuery(both.size(), returned.size(), truth.size());
     visited.Add(static_cast<double>(result.candidates_visited));
-    size_t active_now = 0;
-    for (const Trajectory& traj : raw.trajectories()) {
-      if (traj.ActiveAt(q.tick)) ++active_now;
-    }
-    active.Add(static_cast<double>(active_now));
+    active.Add(static_cast<double>(raw.ActiveIdsAt(q.tick).size()));
   }
   StrqEvaluation eval;
   eval.precision = pr.precision();

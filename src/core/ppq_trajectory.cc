@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/timer.h"
+#include "core/snapshot.h"
 #include "quantizer/kmeans.h"
 
 namespace ppq::core {
@@ -253,6 +254,26 @@ void PpqTrajectory::Finish() {
 
 Result<Point> PpqTrajectory::Reconstruct(TrajId id, Tick t) const {
   return summary_.ReconstructRefined(id, t);
+}
+
+std::vector<RecordSpan> PpqTrajectory::RecordSpans() const {
+  std::vector<RecordSpan> spans;
+  spans.reserve(summary_.records().size());
+  for (const auto& [id, record] : summary_.records()) {
+    spans.push_back(
+        {id, record.start_tick, static_cast<Tick>(record.points.size())});
+  }
+  return spans;
+}
+
+SnapshotPtr PpqTrajectory::Seal() const {
+  std::shared_ptr<const index::TemporalPartitionIndex> tpi;
+  if (options_.enable_index) {
+    tpi = std::make_shared<const index::TemporalPartitionIndex>(tpi_);
+  }
+  return std::make_shared<PpqSummarySnapshot>(name(), summary_.SnapshotCopy(),
+                                              std::move(tpi),
+                                              LocalSearchRadius());
 }
 
 std::unique_ptr<PpqTrajectory> MakeMethod(const std::string& name,

@@ -55,6 +55,13 @@ class PpqTrajectory : public Compressor {
   /// guaranteed-recall scan at the price the method's accuracy earns).
   double LocalSearchRadius() const override;
 
+  std::vector<RecordSpan> RecordSpans() const override;
+
+  /// Seal the compressed form directly (summary + index deep copy) into a
+  /// PpqSummarySnapshot — no materialization, memory stays at summary
+  /// scale. Re-sealable mid-stream: encoding continues untouched.
+  SnapshotPtr Seal() const override;
+
   const TrajectorySummary& summary() const { return summary_; }
   const PpqOptions& options() const { return options_; }
   /// Number of live partitions after the last slice (Figure 8's q).

@@ -1,183 +1,59 @@
 #include "core/query_engine.h"
 
-#include <algorithm>
 #include <cmath>
+
+#include "core/query_eval.h"
 
 namespace ppq::core {
 
-QueryEngine::Cell QueryEngine::CellOf(const Point& p) const {
-  const double cx = std::floor(p.x / cell_size_);
-  const double cy = std::floor(p.y / cell_size_);
-  return Cell{cx * cell_size_, cy * cell_size_, (cx + 1) * cell_size_,
-              (cy + 1) * cell_size_};
-}
-
-double QueryEngine::Cell::Distance(const Point& p) const {
-  const double dx =
-      std::max({min_x - p.x, 0.0, p.x - max_x});
-  const double dy =
-      std::max({min_y - p.y, 0.0, p.y - max_y});
-  return std::sqrt(dx * dx + dy * dy);
-}
+using eval::CompressorReader;
+using eval::SnapshotReader;
 
 StrqResult QueryEngine::Strq(const QuerySpec& q, StrqMode mode) const {
-  StrqResult result;
-  const index::TemporalPartitionIndex* tpi = method_->index();
-  if (tpi == nullptr) return result;
-
-  const Cell cell = CellOf(q.position);
-  const double radius =
-      (mode == StrqMode::kApproximate) ? 0.0 : method_->LocalSearchRadius();
-
-  // Candidate sweep: every indexed point within `radius` of the query cell
-  // lies inside the disc around the cell centre with radius
-  // (cell half-diagonal + radius).
-  const double sweep =
-      std::sqrt(2.0) / 2.0 * cell_size_ + radius + 1e-12;
-  std::vector<TrajId> coarse = tpi->QueryCircle(cell.Center(), sweep, q.tick);
-  std::sort(coarse.begin(), coarse.end());
-  coarse.erase(std::unique(coarse.begin(), coarse.end()), coarse.end());
-
-  for (TrajId id : coarse) {
-    const auto recon = method_->Reconstruct(id, q.tick);
-    if (!recon.ok()) continue;
-    const double dist = cell.Distance(*recon);
-    if (mode == StrqMode::kApproximate) {
-      if (cell.Contains(*recon)) result.ids.push_back(id);
-      continue;
-    }
-    if (dist > radius) continue;  // cannot be in the cell by Lemma 3
-    if (mode == StrqMode::kLocalSearch) {
-      result.ids.push_back(id);
-      continue;
-    }
-    // kExact: verify against the raw trajectory.
-    ++result.candidates_visited;
-    if (raw_ != nullptr) {
-      const Trajectory& traj = (*raw_)[static_cast<size_t>(id)];
-      if (traj.ActiveAt(q.tick) && cell.Contains(traj.At(q.tick))) {
-        result.ids.push_back(id);
-      }
-    }
+  if (snapshot_ != nullptr) {
+    return eval::Strq(SnapshotReader{snapshot_.get(), &memo_}, raw_,
+                      cell_size_, q, mode);
   }
-  return result;
+  return eval::Strq(CompressorReader{method_}, raw_, cell_size_, q, mode);
 }
 
 QueryEngine::TpqResult QueryEngine::Tpq(const QuerySpec& q, int length,
                                         StrqMode mode) const {
-  TpqResult result;
-  const StrqResult strq = Strq(q, mode);
-  for (TrajId id : strq.ids) {
-    std::vector<Point> path;
-    path.reserve(static_cast<size_t>(length));
-    for (int i = 0; i < length; ++i) {
-      const auto p = method_->Reconstruct(id, q.tick + static_cast<Tick>(i));
-      if (!p.ok()) break;  // trajectory ended
-      path.push_back(*p);
-    }
-    result.ids.push_back(id);
-    result.paths.push_back(std::move(path));
+  if (snapshot_ != nullptr) {
+    return eval::Tpq(SnapshotReader{snapshot_.get(), &memo_}, raw_,
+                     cell_size_, q, length, mode);
   }
-  return result;
+  return eval::Tpq(CompressorReader{method_}, raw_, cell_size_, q, length,
+                   mode);
 }
 
 StrqResult QueryEngine::WindowQuery(const Window& window, Tick t,
                                     StrqMode mode) const {
-  StrqResult result;
-  const index::TemporalPartitionIndex* tpi = method_->index();
-  if (tpi == nullptr) return result;
-  if (window.max_x <= window.min_x || window.max_y <= window.min_y) {
-    return result;
+  if (snapshot_ != nullptr) {
+    return eval::WindowQuery(SnapshotReader{snapshot_.get(), &memo_}, raw_,
+                             window, t, mode);
   }
+  return eval::WindowQuery(CompressorReader{method_}, raw_, window, t, mode);
+}
 
-  const double radius =
-      (mode == StrqMode::kApproximate) ? 0.0 : method_->LocalSearchRadius();
-  const Point center{(window.min_x + window.max_x) / 2.0,
-                     (window.min_y + window.max_y) / 2.0};
-  const double half_diag =
-      std::sqrt((window.max_x - window.min_x) * (window.max_x - window.min_x) +
-                (window.max_y - window.min_y) * (window.max_y - window.min_y)) /
-      2.0;
-  std::vector<TrajId> coarse =
-      tpi->QueryCircle(center, half_diag + radius + 1e-12, t);
-  std::sort(coarse.begin(), coarse.end());
-  coarse.erase(std::unique(coarse.begin(), coarse.end()), coarse.end());
-
-  const auto window_distance = [&window](const Point& p) {
-    const double dx = std::max({window.min_x - p.x, 0.0, p.x - window.max_x});
-    const double dy = std::max({window.min_y - p.y, 0.0, p.y - window.max_y});
-    return std::sqrt(dx * dx + dy * dy);
-  };
-
-  for (TrajId id : coarse) {
-    const auto recon = method_->Reconstruct(id, t);
-    if (!recon.ok()) continue;
-    if (mode == StrqMode::kApproximate) {
-      if (window.Contains(*recon)) result.ids.push_back(id);
-      continue;
-    }
-    if (window_distance(*recon) > radius) continue;
-    if (mode == StrqMode::kLocalSearch) {
-      result.ids.push_back(id);
-      continue;
-    }
-    ++result.candidates_visited;
-    if (raw_ != nullptr) {
-      const Trajectory& traj = (*raw_)[static_cast<size_t>(id)];
-      if (traj.ActiveAt(t) && window.Contains(traj.At(t))) {
-        result.ids.push_back(id);
-      }
-    }
+std::vector<QueryEngine::Neighbor> QueryEngine::NearestTrajectories(
+    const QuerySpec& q, size_t k) const {
+  if (snapshot_ != nullptr) {
+    return eval::NearestTrajectories(SnapshotReader{snapshot_.get(), &memo_},
+                                     cell_size_, q, k);
   }
-  return result;
+  return eval::NearestTrajectories(CompressorReader{method_}, cell_size_, q,
+                                   k);
 }
 
 std::vector<TrajId> QueryEngine::WindowGroundTruth(
     const TrajectoryDataset& raw, const Window& window, Tick t) {
   std::vector<TrajId> ids;
-  for (const Trajectory& traj : raw.trajectories()) {
-    if (traj.ActiveAt(t) && window.Contains(traj.At(t))) {
-      ids.push_back(traj.id);
-    }
+  for (TrajId id : raw.ActiveIdsAt(t)) {
+    const Trajectory& traj = raw[static_cast<size_t>(id)];
+    if (window.Contains(traj.At(t))) ids.push_back(id);
   }
   return ids;
-}
-
-std::vector<QueryEngine::Neighbor> QueryEngine::NearestTrajectories(
-    const QuerySpec& q, size_t k) const {
-  std::vector<Neighbor> result;
-  const index::TemporalPartitionIndex* tpi = method_->index();
-  if (tpi == nullptr || k == 0) return result;
-
-  // Expanding ring search: double the radius until at least k candidates
-  // are found (or the search space is clearly exhausted), then rank by
-  // reconstruction distance. The extra `bound` margin guarantees no true
-  // k-NN member outside the scanned disc can beat the returned set by
-  // more than the deviation bound.
-  const double bound = method_->LocalSearchRadius();
-  double radius = std::max(cell_size_, 4.0 * bound);
-  std::vector<TrajId> coarse;
-  for (int attempt = 0; attempt < 24; ++attempt) {
-    coarse = tpi->QueryCircle(q.position, radius + bound, q.tick);
-    std::sort(coarse.begin(), coarse.end());
-    coarse.erase(std::unique(coarse.begin(), coarse.end()), coarse.end());
-    if (coarse.size() >= k) break;
-    radius *= 2.0;
-  }
-
-  result.reserve(coarse.size());
-  for (TrajId id : coarse) {
-    const auto recon = method_->Reconstruct(id, q.tick);
-    if (!recon.ok()) continue;
-    result.push_back({id, recon->DistanceTo(q.position)});
-  }
-  std::sort(result.begin(), result.end(),
-            [](const Neighbor& a, const Neighbor& b) {
-              return a.distance < b.distance ||
-                     (a.distance == b.distance && a.id < b.id);
-            });
-  if (result.size() > k) result.resize(k);
-  return result;
 }
 
 std::vector<TrajId> QueryEngine::GroundTruth(const TrajectoryDataset& raw,
@@ -186,12 +62,11 @@ std::vector<TrajId> QueryEngine::GroundTruth(const TrajectoryDataset& raw,
   const double cx = std::floor(q.position.x / cell_size);
   const double cy = std::floor(q.position.y / cell_size);
   std::vector<TrajId> ids;
-  for (const Trajectory& traj : raw.trajectories()) {
-    if (!traj.ActiveAt(q.tick)) continue;
-    const Point& p = traj.At(q.tick);
+  for (TrajId id : raw.ActiveIdsAt(q.tick)) {
+    const Point& p = raw[static_cast<size_t>(id)].At(q.tick);
     if (std::floor(p.x / cell_size) == cx &&
         std::floor(p.y / cell_size) == cy) {
-      ids.push_back(traj.id);
+      ids.push_back(id);
     }
   }
   return ids;

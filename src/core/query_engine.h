@@ -4,12 +4,22 @@
 
 #include "common/types.h"
 #include "core/compressor.h"
+#include "core/query_types.h"
+#include "core/snapshot.h"
 
 /// \file query_engine.h
 /// Spatio-temporal query processing over a compressed summary
 /// (Section 5.2): STRQ (Definition 5.2) and TPQ (Definition 5.3), with the
 /// CQC-motivated local-search strategy that makes STRQ recall 1 and, after
 /// verification against the raw data, precision 1.
+///
+/// QueryEngine is the thin SINGLE-QUERY adapter over the shared evaluation
+/// code in query_eval.h — convenient for tests, examples, and one-off
+/// queries against either a live compressor or a sealed snapshot. It is
+/// not thread-safe (the live-compressor path decodes through the method's
+/// internal memo); concurrent serving goes through QueryExecutor, which
+/// runs the exact same algorithms and therefore returns byte-identical
+/// results.
 ///
 /// Queries are evaluated against a *global* grid of gc-sized cells anchored
 /// at the origin, shared by every method, so precision/recall are
@@ -18,38 +28,15 @@
 
 namespace ppq::core {
 
-/// \brief STRQ evaluation modes.
-enum class StrqMode {
-  /// Return the ids whose indexed (reconstructed) position falls in the
-  /// query cell — the summary used directly, no guarantees.
-  kApproximate,
-  /// Local search (Section 5.2): scan cells within the method's deviation
-  /// radius of the query cell and keep ids whose reconstruction is within
-  /// that radius of the cell; recall is 1 by Lemma 3.
-  kLocalSearch,
-  /// Local search + verification against the raw trajectories: precision
-  /// and recall both 1. The number of candidates verified is the "ratio of
-  /// trajectories visited" statistic of Table 4.
-  kExact,
-};
-
-/// \brief One spatio-temporal query (x, y, t).
-struct QuerySpec {
-  Point position;
-  Tick tick = 0;
-};
-
-/// \brief Result of an STRQ evaluation, including the verification-step
-/// cost needed by Table 4.
-struct StrqResult {
-  std::vector<TrajId> ids;
-  /// Candidates accessed in the second (verification) step.
-  size_t candidates_visited = 0;
-};
-
-/// \brief Query processor bound to one compressed method.
+/// \brief Single-query processor bound to one compressed method.
 class QueryEngine {
  public:
+  // Pre-split spellings of the shared query vocabulary (query_types.h)
+  // kept as nested aliases for source compatibility.
+  using Window = core::Window;
+  using Neighbor = core::Neighbor;
+  using TpqResult = core::TpqResult;
+
   /// \param method     the compressor whose summary/index answer queries.
   /// \param raw        the raw dataset, used only for kExact verification
   ///                   and allowed to be nullptr otherwise.
@@ -58,27 +45,23 @@ class QueryEngine {
               double cell_size)
       : method_(method), raw_(raw), cell_size_(cell_size) {}
 
+  /// Serve single queries off a sealed snapshot instead of a live
+  /// compressor (the engine keeps its own decode scratch).
+  QueryEngine(SnapshotPtr snapshot, const TrajectoryDataset* raw,
+              double cell_size)
+      : snapshot_(std::move(snapshot)), raw_(raw), cell_size_(cell_size) {}
+
   /// Spatio-temporal range query at (q.position, q.tick).
   StrqResult Strq(const QuerySpec& q, StrqMode mode) const;
 
   /// Trajectory path query: STRQ then reconstruct the next \p length
   /// positions of every matching trajectory.
-  struct TpqResult {
-    std::vector<TrajId> ids;
-    std::vector<std::vector<Point>> paths;
-  };
   TpqResult Tpq(const QuerySpec& q, int length, StrqMode mode) const;
 
   /// \brief Window query: trajectories inside an arbitrary rectangle at
   /// tick \p t. Generalises STRQ from one grid cell to a region; the same
   /// local-search argument applies with the rectangle in place of the
   /// cell, so kLocalSearch has recall 1 and kExact verifies to precision 1.
-  struct Window {
-    double min_x, min_y, max_x, max_y;
-    bool Contains(const Point& p) const {
-      return p.x >= min_x && p.x < max_x && p.y >= min_y && p.y < max_y;
-    }
-  };
   StrqResult WindowQuery(const Window& window, Tick t, StrqMode mode) const;
 
   /// Ground truth for WindowQuery from the raw data.
@@ -91,10 +74,6 @@ class QueryEngine {
   /// their refined reconstruction, and the method's deviation bound makes
   /// the result set correct-within-bound (every returned trajectory's true
   /// distance is within 2x the deviation bound of the true k-NN set).
-  struct Neighbor {
-    TrajId id;
-    double distance;  ///< distance of the reconstruction to the query point
-  };
   std::vector<Neighbor> NearestTrajectories(const QuerySpec& q,
                                             size_t k) const;
 
@@ -107,21 +86,10 @@ class QueryEngine {
   double cell_size() const { return cell_size_; }
 
  private:
-  /// The global grid cell containing p, as [min, max) bounds.
-  struct Cell {
-    double min_x, min_y, max_x, max_y;
-    bool Contains(const Point& p) const {
-      return p.x >= min_x && p.x < max_x && p.y >= min_y && p.y < max_y;
-    }
-    /// Euclidean distance from p to the cell (0 inside).
-    double Distance(const Point& p) const;
-    Point Center() const {
-      return {(min_x + max_x) / 2.0, (min_y + max_y) / 2.0};
-    }
-  };
-  Cell CellOf(const Point& p) const;
-
-  const Compressor* method_;
+  const Compressor* method_ = nullptr;
+  SnapshotPtr snapshot_;
+  /// Decode scratch for the snapshot path (single-threaded by contract).
+  mutable DecodeMemo memo_;
   const TrajectoryDataset* raw_;
   double cell_size_;
 };

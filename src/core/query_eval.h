@@ -1,0 +1,244 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/compressor.h"
+#include "core/query_types.h"
+#include "core/snapshot.h"
+#include "index/temporal_index.h"
+
+/// \file query_eval.h
+/// The spatio-temporal query algorithms of Section 5.2 (STRQ local search,
+/// window queries, expanding-ring k-NN), written once as templates over a
+/// minimal Reader concept so that the serial QueryEngine and the batched
+/// QueryExecutor evaluate *the same code* — results are byte-identical by
+/// construction, whichever path (and whichever thread count) served them.
+///
+/// A Reader provides:
+///   Result<Point> Reconstruct(TrajId id, Tick t) const;
+///   const index::TemporalPartitionIndex* index() const;
+///   double LocalSearchRadius() const;
+/// It is the Reader that decides where decode scratch lives: the serial
+/// engine uses the compressor's internal memo, the executor hands every
+/// worker thread its own DecodeMemo.
+
+namespace ppq::core::eval {
+
+/// Reader over a live compressor: decode goes through the method's own
+/// (internal, single-threaded) memo.
+struct CompressorReader {
+  const Compressor* method;
+
+  Result<Point> Reconstruct(TrajId id, Tick t) const {
+    return method->Reconstruct(id, t);
+  }
+  const index::TemporalPartitionIndex* index() const {
+    return method->index();
+  }
+  double LocalSearchRadius() const { return method->LocalSearchRadius(); }
+};
+
+/// Reader over a sealed snapshot with caller-owned scratch — the
+/// concurrent-safe path.
+struct SnapshotReader {
+  const SummarySnapshot* snapshot;
+  DecodeMemo* scratch;
+
+  Result<Point> Reconstruct(TrajId id, Tick t) const {
+    return snapshot->Reconstruct(id, t, scratch);
+  }
+  const index::TemporalPartitionIndex* index() const {
+    return snapshot->index();
+  }
+  double LocalSearchRadius() const { return snapshot->LocalSearchRadius(); }
+};
+
+/// \brief The global grid cell containing a point, as [min, max) bounds.
+struct GridCell {
+  double min_x, min_y, max_x, max_y;
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x < max_x && p.y >= min_y && p.y < max_y;
+  }
+  /// Euclidean distance from p to the cell (0 inside).
+  double Distance(const Point& p) const {
+    const double dx = std::max({min_x - p.x, 0.0, p.x - max_x});
+    const double dy = std::max({min_y - p.y, 0.0, p.y - max_y});
+    return std::sqrt(dx * dx + dy * dy);
+  }
+  Point Center() const {
+    return {(min_x + max_x) / 2.0, (min_y + max_y) / 2.0};
+  }
+};
+
+inline GridCell CellOf(const Point& p, double cell_size) {
+  const double cx = std::floor(p.x / cell_size);
+  const double cy = std::floor(p.y / cell_size);
+  return GridCell{cx * cell_size, cy * cell_size, (cx + 1) * cell_size,
+                  (cy + 1) * cell_size};
+}
+
+inline double WindowDistance(const Window& window, const Point& p) {
+  const double dx = std::max({window.min_x - p.x, 0.0, p.x - window.max_x});
+  const double dy = std::max({window.min_y - p.y, 0.0, p.y - window.max_y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Spatio-temporal range query at (q.position, q.tick).
+template <typename Reader>
+StrqResult Strq(const Reader& reader, const TrajectoryDataset* raw,
+                double cell_size, const QuerySpec& q, StrqMode mode) {
+  StrqResult result;
+  const index::TemporalPartitionIndex* tpi = reader.index();
+  if (tpi == nullptr) return result;
+
+  const GridCell cell = CellOf(q.position, cell_size);
+  const double radius =
+      (mode == StrqMode::kApproximate) ? 0.0 : reader.LocalSearchRadius();
+
+  // Candidate sweep: every indexed point within `radius` of the query cell
+  // lies inside the disc around the cell centre with radius
+  // (cell half-diagonal + radius).
+  const double sweep = std::sqrt(2.0) / 2.0 * cell_size + radius + 1e-12;
+  std::vector<TrajId> coarse = tpi->QueryCircle(cell.Center(), sweep, q.tick);
+  std::sort(coarse.begin(), coarse.end());
+  coarse.erase(std::unique(coarse.begin(), coarse.end()), coarse.end());
+
+  for (TrajId id : coarse) {
+    const auto recon = reader.Reconstruct(id, q.tick);
+    if (!recon.ok()) continue;
+    const double dist = cell.Distance(*recon);
+    if (mode == StrqMode::kApproximate) {
+      if (cell.Contains(*recon)) result.ids.push_back(id);
+      continue;
+    }
+    if (dist > radius) continue;  // cannot be in the cell by Lemma 3
+    if (mode == StrqMode::kLocalSearch) {
+      result.ids.push_back(id);
+      continue;
+    }
+    // kExact: verify against the raw trajectory.
+    ++result.candidates_visited;
+    if (raw != nullptr) {
+      const Trajectory& traj = (*raw)[static_cast<size_t>(id)];
+      if (traj.ActiveAt(q.tick) && cell.Contains(traj.At(q.tick))) {
+        result.ids.push_back(id);
+      }
+    }
+  }
+  return result;
+}
+
+/// Window query: trajectories inside an arbitrary rectangle at tick t.
+template <typename Reader>
+StrqResult WindowQuery(const Reader& reader, const TrajectoryDataset* raw,
+                       const Window& window, Tick t, StrqMode mode) {
+  StrqResult result;
+  const index::TemporalPartitionIndex* tpi = reader.index();
+  if (tpi == nullptr) return result;
+  if (window.max_x <= window.min_x || window.max_y <= window.min_y) {
+    return result;
+  }
+
+  const double radius =
+      (mode == StrqMode::kApproximate) ? 0.0 : reader.LocalSearchRadius();
+  const Point center{(window.min_x + window.max_x) / 2.0,
+                     (window.min_y + window.max_y) / 2.0};
+  const double half_diag =
+      std::sqrt((window.max_x - window.min_x) * (window.max_x - window.min_x) +
+                (window.max_y - window.min_y) * (window.max_y - window.min_y)) /
+      2.0;
+  std::vector<TrajId> coarse =
+      tpi->QueryCircle(center, half_diag + radius + 1e-12, t);
+  std::sort(coarse.begin(), coarse.end());
+  coarse.erase(std::unique(coarse.begin(), coarse.end()), coarse.end());
+
+  for (TrajId id : coarse) {
+    const auto recon = reader.Reconstruct(id, t);
+    if (!recon.ok()) continue;
+    if (mode == StrqMode::kApproximate) {
+      if (window.Contains(*recon)) result.ids.push_back(id);
+      continue;
+    }
+    if (WindowDistance(window, *recon) > radius) continue;
+    if (mode == StrqMode::kLocalSearch) {
+      result.ids.push_back(id);
+      continue;
+    }
+    ++result.candidates_visited;
+    if (raw != nullptr) {
+      const Trajectory& traj = (*raw)[static_cast<size_t>(id)];
+      if (traj.ActiveAt(t) && window.Contains(traj.At(t))) {
+        result.ids.push_back(id);
+      }
+    }
+  }
+  return result;
+}
+
+/// k-nearest-trajectory query, answered entirely from the summary via an
+/// expanding ring search over the index.
+template <typename Reader>
+std::vector<Neighbor> NearestTrajectories(const Reader& reader,
+                                          double cell_size, const QuerySpec& q,
+                                          size_t k) {
+  std::vector<Neighbor> result;
+  const index::TemporalPartitionIndex* tpi = reader.index();
+  if (tpi == nullptr || k == 0) return result;
+
+  // Expanding ring search: double the radius until at least k candidates
+  // are found (or the search space is clearly exhausted), then rank by
+  // reconstruction distance. The extra `bound` margin guarantees no true
+  // k-NN member outside the scanned disc can beat the returned set by
+  // more than the deviation bound.
+  const double bound = reader.LocalSearchRadius();
+  double radius = std::max(cell_size, 4.0 * bound);
+  std::vector<TrajId> coarse;
+  for (int attempt = 0; attempt < 24; ++attempt) {
+    coarse = tpi->QueryCircle(q.position, radius + bound, q.tick);
+    std::sort(coarse.begin(), coarse.end());
+    coarse.erase(std::unique(coarse.begin(), coarse.end()), coarse.end());
+    if (coarse.size() >= k) break;
+    radius *= 2.0;
+  }
+
+  result.reserve(coarse.size());
+  for (TrajId id : coarse) {
+    const auto recon = reader.Reconstruct(id, q.tick);
+    if (!recon.ok()) continue;
+    result.push_back({id, recon->DistanceTo(q.position)});
+  }
+  std::sort(result.begin(), result.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              return a.distance < b.distance ||
+                     (a.distance == b.distance && a.id < b.id);
+            });
+  if (result.size() > k) result.resize(k);
+  return result;
+}
+
+/// Trajectory path query: STRQ then reconstruct the next \p length
+/// positions of every matching trajectory.
+template <typename Reader>
+TpqResult Tpq(const Reader& reader, const TrajectoryDataset* raw,
+              double cell_size, const QuerySpec& q, int length,
+              StrqMode mode) {
+  TpqResult result;
+  const StrqResult strq = Strq(reader, raw, cell_size, q, mode);
+  for (TrajId id : strq.ids) {
+    std::vector<Point> path;
+    path.reserve(static_cast<size_t>(length));
+    for (int i = 0; i < length; ++i) {
+      const auto p = reader.Reconstruct(id, q.tick + static_cast<Tick>(i));
+      if (!p.ok()) break;  // trajectory ended
+      path.push_back(*p);
+    }
+    result.ids.push_back(id);
+    result.paths.push_back(std::move(path));
+  }
+  return result;
+}
+
+}  // namespace ppq::core::eval

@@ -1,0 +1,76 @@
+#include "core/query_executor.h"
+
+#include <utility>
+
+#include "core/query_eval.h"
+
+namespace ppq::core {
+
+using eval::SnapshotReader;
+
+QueryExecutor::QueryExecutor(SnapshotPtr snapshot, Options options)
+    : options_(options),
+      snapshot_(std::move(snapshot)),
+      pool_(options.num_threads),
+      scratch_(pool_.size()) {}
+
+template <typename Fn>
+void QueryExecutor::RunBatch(size_t count, const Fn& fn) {
+  const SnapshotPtr pinned = snapshot();
+  pool_.ParallelFor(count, [&](size_t worker, size_t i) {
+    fn(*pinned, scratch_[worker], i);
+  });
+  for (DecodeMemo& memo : scratch_) {
+    if (memo.TotalPoints() > options_.scratch_budget_points) memo.Clear();
+  }
+}
+
+std::vector<StrqResult> QueryExecutor::StrqBatch(
+    const std::vector<QuerySpec>& queries, StrqMode mode) {
+  std::vector<StrqResult> results(queries.size());
+  RunBatch(queries.size(), [&](const SummarySnapshot& snap, DecodeMemo& memo,
+                               size_t i) {
+    results[i] = eval::Strq(SnapshotReader{&snap, &memo}, options_.raw,
+                            options_.cell_size, queries[i], mode);
+  });
+  return results;
+}
+
+std::vector<StrqResult> QueryExecutor::WindowBatch(
+    const std::vector<WindowSpec>& windows, StrqMode mode) {
+  std::vector<StrqResult> results(windows.size());
+  RunBatch(windows.size(), [&](const SummarySnapshot& snap, DecodeMemo& memo,
+                               size_t i) {
+    results[i] = eval::WindowQuery(SnapshotReader{&snap, &memo}, options_.raw,
+                                   windows[i].window, windows[i].tick, mode);
+  });
+  return results;
+}
+
+std::vector<std::vector<Neighbor>> QueryExecutor::KnnBatch(
+    const std::vector<QuerySpec>& queries, size_t k) {
+  std::vector<std::vector<Neighbor>> results(queries.size());
+  RunBatch(queries.size(), [&](const SummarySnapshot& snap, DecodeMemo& memo,
+                               size_t i) {
+    results[i] = eval::NearestTrajectories(SnapshotReader{&snap, &memo},
+                                           options_.cell_size, queries[i], k);
+  });
+  return results;
+}
+
+void QueryExecutor::UpdateSnapshot(SnapshotPtr snapshot) {
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = std::move(snapshot);
+  }
+  // Memoised prefixes decoded the previous summary; drop them. Safe under
+  // the external-synchronization contract (no batch mid-flight here).
+  for (DecodeMemo& memo : scratch_) memo.Clear();
+}
+
+SnapshotPtr QueryExecutor::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+}  // namespace ppq::core

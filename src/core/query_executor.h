@@ -1,0 +1,91 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/types.h"
+#include "core/query_types.h"
+#include "core/snapshot.h"
+
+/// \file query_executor.h
+/// The READER side of the serving architecture: a QueryExecutor owns an
+/// immutable SummarySnapshot plus a reusable thread pool and exposes
+/// batched query APIs that fan a vector of specs across workers. Every
+/// worker keeps its own DecodeMemo scratch, so the shared snapshot is only
+/// ever read; results land in a pre-sized vector indexed by query
+/// position, making output ordering deterministic and byte-identical to
+/// the serial QueryEngine regardless of thread count.
+///
+/// Thread-safety contract:
+///  - A batch call parallelises internally; the executor itself is
+///    externally synchronized — do not run two batch calls, or a batch
+///    and an UpdateSnapshot, on one executor concurrently (one executor
+///    per serving loop; the writer hands fresh seals to that loop).
+///  - The underlying snapshot is immutable and shared by refcount, so any
+///    number of executors can serve one seal while the writer encodes on.
+
+namespace ppq::core {
+
+/// \brief Concurrent, batched query processor over a sealed snapshot.
+class QueryExecutor {
+ public:
+  struct Options {
+    /// Worker count (including the calling thread); 0 = hardware threads.
+    size_t num_threads = 0;
+    /// Raw dataset for StrqMode::kExact verification; may be nullptr, in
+    /// which case exact mode degenerates like the serial engine's.
+    const TrajectoryDataset* raw = nullptr;
+    /// Evaluation grid cell size gc.
+    double cell_size = 0.001;
+    /// Per-worker decode-scratch budget: when a worker's memoised prefixes
+    /// exceed this many points the scratch is cleared, bounding resident
+    /// memory at (num_threads * budget * sizeof(Point)).
+    size_t scratch_budget_points = size_t{1} << 22;
+  };
+
+  QueryExecutor(SnapshotPtr snapshot, Options options);
+
+  /// Batched STRQ: result[i] answers queries[i].
+  std::vector<StrqResult> StrqBatch(const std::vector<QuerySpec>& queries,
+                                    StrqMode mode);
+
+  /// Batched window queries: result[i] answers windows[i].
+  std::vector<StrqResult> WindowBatch(const std::vector<WindowSpec>& windows,
+                                      StrqMode mode);
+
+  /// Batched k-NN: result[i] holds up to k neighbors of queries[i].
+  std::vector<std::vector<Neighbor>> KnnBatch(
+      const std::vector<QuerySpec>& queries, size_t k);
+
+  /// Swap in a fresh seal of the (still-encoding) writer; subsequent
+  /// batches see the new snapshot. Decode scratch is dropped (it indexed
+  /// the old summary), so — per the external-synchronization contract —
+  /// this must NOT be called while a batch is mid-flight on this
+  /// executor: run it from the same serving loop, between batches.
+  void UpdateSnapshot(SnapshotPtr snapshot);
+
+  /// The currently served snapshot.
+  SnapshotPtr snapshot() const;
+
+  size_t num_threads() const { return pool_.size(); }
+  double cell_size() const { return options_.cell_size; }
+
+ private:
+  /// Pin the current snapshot and run fn(snapshot, scratch[w], i) for
+  /// every spec index across the pool.
+  template <typename Fn>
+  void RunBatch(size_t count, const Fn& fn);
+
+  Options options_;
+  mutable std::mutex snapshot_mu_;  ///< guards snapshot_ swaps/reads
+  SnapshotPtr snapshot_;
+  ThreadPool pool_;
+  /// One decode scratch per worker; reused across batches so memoised
+  /// prefixes keep paying off. Guarded by the external-synchronization
+  /// contract (only one batch at a time touches them).
+  std::vector<DecodeMemo> scratch_;
+};
+
+}  // namespace ppq::core

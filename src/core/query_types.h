@@ -1,0 +1,80 @@
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+/// \file query_types.h
+/// Value types shared by the single-query engine (query_engine.h) and the
+/// batched concurrent executor (query_executor.h): query specifications,
+/// evaluation modes, and result shapes. Kept free of any engine state so
+/// both serving paths speak exactly the same vocabulary.
+
+namespace ppq::core {
+
+/// \brief STRQ evaluation modes.
+enum class StrqMode {
+  /// Return the ids whose indexed (reconstructed) position falls in the
+  /// query cell — the summary used directly, no guarantees.
+  kApproximate,
+  /// Local search (Section 5.2): scan cells within the method's deviation
+  /// radius of the query cell and keep ids whose reconstruction is within
+  /// that radius of the cell; recall is 1 by Lemma 3.
+  kLocalSearch,
+  /// Local search + verification against the raw trajectories: precision
+  /// and recall both 1. The number of candidates verified is the "ratio of
+  /// trajectories visited" statistic of Table 4.
+  kExact,
+};
+
+/// \brief One spatio-temporal query (x, y, t).
+struct QuerySpec {
+  Point position;
+  Tick tick = 0;
+};
+
+/// \brief Result of an STRQ evaluation, including the verification-step
+/// cost needed by Table 4.
+struct StrqResult {
+  std::vector<TrajId> ids;
+  /// Candidates accessed in the second (verification) step.
+  size_t candidates_visited = 0;
+
+  bool operator==(const StrqResult& o) const {
+    return ids == o.ids && candidates_visited == o.candidates_visited;
+  }
+};
+
+/// \brief An arbitrary query rectangle (window queries generalise STRQ
+/// from one grid cell to a region).
+struct Window {
+  double min_x, min_y, max_x, max_y;
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x < max_x && p.y >= min_y && p.y < max_y;
+  }
+};
+
+/// \brief A window query: rectangle + tick.
+struct WindowSpec {
+  Window window;
+  Tick tick = 0;
+};
+
+/// \brief One k-NN answer entry.
+struct Neighbor {
+  TrajId id;
+  double distance;  ///< distance of the reconstruction to the query point
+
+  bool operator==(const Neighbor& o) const {
+    return id == o.id && distance == o.distance;
+  }
+};
+
+/// \brief Trajectory path query result: STRQ matches plus the next
+/// reconstructed positions of every match.
+struct TpqResult {
+  std::vector<TrajId> ids;
+  std::vector<std::vector<Point>> paths;
+};
+
+}  // namespace ppq::core

@@ -1,0 +1,84 @@
+#include "core/snapshot.h"
+
+#include <utility>
+
+#include "core/compressor.h"
+
+namespace ppq::core {
+
+// ---------------------------------------------------------------------------
+// PpqSummarySnapshot
+// ---------------------------------------------------------------------------
+
+PpqSummarySnapshot::PpqSummarySnapshot(
+    std::string name, TrajectorySummary summary,
+    std::shared_ptr<const index::TemporalPartitionIndex> tpi,
+    double local_search_radius)
+    : name_(std::move(name)),
+      summary_(std::move(summary)),
+      tpi_(std::move(tpi)),
+      local_search_radius_(local_search_radius),
+      summary_bytes_(summary_.Size().Total()) {}
+
+Result<Point> PpqSummarySnapshot::Reconstruct(TrajId id, Tick t,
+                                              DecodeMemo* scratch) const {
+  return summary_.ReconstructRefined(id, t, scratch);
+}
+
+// ---------------------------------------------------------------------------
+// MaterializedSnapshot
+// ---------------------------------------------------------------------------
+
+MaterializedSnapshot::MaterializedSnapshot(
+    std::string name, std::map<TrajId, TrajectoryPoints> points,
+    std::shared_ptr<const index::TemporalPartitionIndex> tpi,
+    double local_search_radius, size_t summary_bytes, size_t num_codewords)
+    : name_(std::move(name)),
+      points_(std::move(points)),
+      tpi_(std::move(tpi)),
+      local_search_radius_(local_search_radius),
+      summary_bytes_(summary_bytes),
+      num_codewords_(num_codewords) {}
+
+Result<Point> MaterializedSnapshot::Reconstruct(TrajId id, Tick t,
+                                                DecodeMemo* /*scratch*/) const {
+  const auto it = points_.find(id);
+  if (it == points_.end()) {
+    return Status::NotFound("unknown trajectory id");
+  }
+  const TrajectoryPoints& traj = it->second;
+  if (t < traj.start_tick ||
+      t >= traj.start_tick + static_cast<Tick>(traj.points.size())) {
+    return Status::OutOfRange("trajectory has no sample at requested tick");
+  }
+  return traj.points[static_cast<size_t>(t - traj.start_tick)];
+}
+
+// ---------------------------------------------------------------------------
+// Compressor::Seal default: materialize every record span
+// ---------------------------------------------------------------------------
+
+SnapshotPtr Compressor::Seal() const {
+  std::map<TrajId, MaterializedSnapshot::TrajectoryPoints> points;
+  for (const RecordSpan& span : RecordSpans()) {
+    MaterializedSnapshot::TrajectoryPoints traj;
+    traj.start_tick = span.start_tick;
+    traj.points.reserve(static_cast<size_t>(span.length));
+    for (Tick i = 0; i < span.length; ++i) {
+      const auto p = Reconstruct(span.id, span.start_tick + i);
+      if (!p.ok()) break;  // defensive: freeze the decodable prefix
+      traj.points.push_back(*p);
+    }
+    points.emplace(span.id, std::move(traj));
+  }
+
+  std::shared_ptr<const index::TemporalPartitionIndex> tpi;
+  if (index() != nullptr) {
+    tpi = std::make_shared<const index::TemporalPartitionIndex>(*index());
+  }
+  return std::make_shared<MaterializedSnapshot>(
+      name(), std::move(points), std::move(tpi), LocalSearchRadius(),
+      SummaryBytes(), NumCodewords());
+}
+
+}  // namespace ppq::core

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/summary.h"
+#include "index/temporal_index.h"
+
+/// \file snapshot.h
+/// The writer/reader split of the serving path: a SummarySnapshot is an
+/// immutable, cheaply shareable (shared_ptr) sealed view of a compressor's
+/// queryable state — summary, codebooks, CQC codec, and temporal index —
+/// produced by Compressor::Seal(). Encoding can continue after a seal (the
+/// snapshot deep-copies what it needs), so a server can re-seal
+/// periodically and swap snapshots under live readers, PRESS/compact-index
+/// style: writers never touch what readers see.
+///
+/// Thread-safety contract: every method of a snapshot is safe to call from
+/// any number of threads concurrently, PROVIDED each caller passes its own
+/// DecodeMemo to Reconstruct(). The snapshot itself holds no mutable
+/// state; all decode scratch lives with the caller.
+
+namespace ppq::core {
+
+class SummarySnapshot;
+/// Snapshots are shared by const pointer: readers hold refcounts, the
+/// writer drops its reference on re-seal, and the last reader frees it.
+using SnapshotPtr = std::shared_ptr<const SummarySnapshot>;
+
+/// \brief Immutable sealed view of a compressed method, ready to serve
+/// queries concurrently.
+class SummarySnapshot {
+ public:
+  virtual ~SummarySnapshot() = default;
+
+  /// Method name as printed in the paper's tables.
+  virtual std::string name() const = 0;
+
+  /// Reconstruct T_i^t from the sealed summary. \p scratch must be owned
+  /// by the calling thread (one DecodeMemo per reader thread); it carries
+  /// the memoised decode prefixes across calls.
+  virtual Result<Point> Reconstruct(TrajId id, Tick t,
+                                    DecodeMemo* scratch) const = 0;
+
+  /// The sealed temporal index, or nullptr when the method was built
+  /// without one (queries then return empty, like the live engine).
+  virtual const index::TemporalPartitionIndex* index() const = 0;
+
+  /// The method's local-search radius at seal time.
+  virtual double LocalSearchRadius() const = 0;
+
+  /// Summary footprint at seal time.
+  virtual size_t SummaryBytes() const = 0;
+  virtual size_t NumCodewords() const = 0;
+  virtual size_t NumTrajectories() const = 0;
+};
+
+/// \brief Snapshot of a PPQ-family method: deep copies of the decodable
+/// summary (codebooks + code streams + coefficients + CQC codes) and the
+/// temporal partition index. Reconstruction decodes from the compressed
+/// form, using only the caller's scratch — memory stays at summary scale.
+class PpqSummarySnapshot final : public SummarySnapshot {
+ public:
+  PpqSummarySnapshot(std::string name, TrajectorySummary summary,
+                     std::shared_ptr<const index::TemporalPartitionIndex> tpi,
+                     double local_search_radius);
+
+  std::string name() const override { return name_; }
+  Result<Point> Reconstruct(TrajId id, Tick t,
+                            DecodeMemo* scratch) const override;
+  const index::TemporalPartitionIndex* index() const override {
+    return tpi_.get();
+  }
+  double LocalSearchRadius() const override { return local_search_radius_; }
+  size_t SummaryBytes() const override { return summary_bytes_; }
+  size_t NumCodewords() const override { return summary_.NumCodewords(); }
+  size_t NumTrajectories() const override {
+    return summary_.NumTrajectories();
+  }
+
+  const TrajectorySummary& summary() const { return summary_; }
+
+ private:
+  std::string name_;
+  TrajectorySummary summary_;
+  std::shared_ptr<const index::TemporalPartitionIndex> tpi_;
+  double local_search_radius_;
+  size_t summary_bytes_;  ///< cached: Size() walks every record
+};
+
+/// \brief Generic snapshot for methods without a scratch-decodable summary
+/// (the offline baselines): every reconstructable point is decoded once at
+/// seal time into a dense per-trajectory table, making Reconstruct an O(1)
+/// array lookup that ignores the scratch.
+class MaterializedSnapshot final : public SummarySnapshot {
+ public:
+  struct TrajectoryPoints {
+    Tick start_tick = 0;
+    std::vector<Point> points;
+  };
+
+  MaterializedSnapshot(std::string name,
+                       std::map<TrajId, TrajectoryPoints> points,
+                       std::shared_ptr<const index::TemporalPartitionIndex> tpi,
+                       double local_search_radius, size_t summary_bytes,
+                       size_t num_codewords);
+
+  std::string name() const override { return name_; }
+  Result<Point> Reconstruct(TrajId id, Tick t,
+                            DecodeMemo* scratch) const override;
+  const index::TemporalPartitionIndex* index() const override {
+    return tpi_.get();
+  }
+  double LocalSearchRadius() const override { return local_search_radius_; }
+  size_t SummaryBytes() const override { return summary_bytes_; }
+  size_t NumCodewords() const override { return num_codewords_; }
+  size_t NumTrajectories() const override { return points_.size(); }
+
+ private:
+  std::string name_;
+  std::map<TrajId, TrajectoryPoints> points_;
+  std::shared_ptr<const index::TemporalPartitionIndex> tpi_;
+  double local_search_radius_;
+  size_t summary_bytes_;
+  size_t num_codewords_;
+};
+
+}  // namespace ppq::core

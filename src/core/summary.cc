@@ -14,6 +14,15 @@ TrajectoryRecord& TrajectorySummary::GetOrCreate(TrajId id, Tick start) {
   return it->second;
 }
 
+TrajectorySummary TrajectorySummary::SnapshotCopy() const {
+  TrajectorySummary copy(prediction_order_, has_cqc_, codec_);
+  copy.codebook_ = codebook_;
+  copy.tick_codebooks_ = tick_codebooks_;
+  copy.coefficients_ = coefficients_;
+  copy.records_ = records_;
+  return copy;
+}
+
 const TrajectoryRecord* TrajectorySummary::Find(TrajId id) const {
   const auto it = records_.find(id);
   return it == records_.end() ? nullptr : &it->second;
@@ -45,7 +54,8 @@ const quantizer::Codebook& TrajectorySummary::CodebookAt(Tick t) const {
 }
 
 Result<Point> TrajectorySummary::ReconstructInternal(TrajId id, Tick t,
-                                                     bool refined) const {
+                                                     bool refined,
+                                                     DecodeMemo* scratch) const {
   const auto rit = records_.find(id);
   if (rit == records_.end()) {
     return Status::NotFound("unknown trajectory id");
@@ -56,7 +66,7 @@ Result<Point> TrajectorySummary::ReconstructInternal(TrajId id, Tick t,
   }
 
   // Extend the memoised reconstruction prefix up to t.
-  std::vector<Point>& memo = memo_[id];
+  std::vector<Point>& memo = scratch->prefix[id];
   const size_t needed = static_cast<size_t>(t - record.start_tick) + 1;
   while (memo.size() < needed) {
     const Tick tick = record.start_tick + static_cast<Tick>(memo.size());
@@ -95,12 +105,16 @@ Result<Point> TrajectorySummary::ReconstructInternal(TrajId id, Tick t,
   return codec_->Refine(base, record.At(t).cqc);
 }
 
-Result<Point> TrajectorySummary::Reconstruct(TrajId id, Tick t) const {
-  return ReconstructInternal(id, t, /*refined=*/false);
+Result<Point> TrajectorySummary::Reconstruct(TrajId id, Tick t,
+                                             DecodeMemo* memo) const {
+  return ReconstructInternal(id, t, /*refined=*/false,
+                             memo != nullptr ? memo : &memo_);
 }
 
-Result<Point> TrajectorySummary::ReconstructRefined(TrajId id, Tick t) const {
-  return ReconstructInternal(id, t, /*refined=*/true);
+Result<Point> TrajectorySummary::ReconstructRefined(TrajId id, Tick t,
+                                                    DecodeMemo* memo) const {
+  return ReconstructInternal(id, t, /*refined=*/true,
+                             memo != nullptr ? memo : &memo_);
 }
 
 Result<std::vector<Point>> TrajectorySummary::ReconstructRange(
@@ -112,7 +126,7 @@ Result<std::vector<Point>> TrajectorySummary::ReconstructRange(
   for (int i = 0; i < count; ++i) {
     const Tick t = from + static_cast<Tick>(i);
     if (!record->ActiveAt(t)) break;  // clamp at trajectory end
-    auto point = ReconstructInternal(id, t, /*refined=*/true);
+    auto point = ReconstructInternal(id, t, /*refined=*/true, &memo_);
     if (!point.ok()) return point.status();
     out.push_back(*point);
   }

@@ -59,6 +59,26 @@ struct SummarySize {
   }
 };
 
+/// \brief Caller-owned reconstruction scratch: per trajectory, the prefix
+/// of decoded points computed so far (decode is sequential by nature).
+///
+/// The decoder extends the prefix on demand, so repeated queries against
+/// nearby ticks amortise to O(1). Handing each reader thread its own
+/// DecodeMemo is what makes concurrent reconstruction over one shared
+/// (immutable) summary safe: with an external memo the decode path only
+/// reads the summary's maps.
+struct DecodeMemo {
+  std::map<TrajId, std::vector<Point>> prefix;
+
+  void Clear() { prefix.clear(); }
+  /// Total decoded points held (scratch-budget accounting).
+  size_t TotalPoints() const {
+    size_t n = 0;
+    for (const auto& [id, points] : prefix) n += points.size();
+    return n;
+  }
+};
+
 /// \brief The complete decodable summary.
 class TrajectorySummary {
  public:
@@ -90,14 +110,28 @@ class TrajectorySummary {
   /// Reconstruct T^_i^t (prediction + codeword, Equation 4). Runs the
   /// closed-loop recursion from the trajectory start; O(t - start) per
   /// cold call, O(1) amortised via the per-trajectory memo.
-  Result<Point> Reconstruct(TrajId id, Tick t) const;
+  ///
+  /// With the default \p memo (nullptr) the summary's internal memo is
+  /// used — convenient, but NOT safe under concurrent callers. Concurrent
+  /// readers must each pass their own DecodeMemo; the decode then only
+  /// reads the summary state.
+  Result<Point> Reconstruct(TrajId id, Tick t,
+                            DecodeMemo* memo = nullptr) const;
 
-  /// Reconstruct with CQC refinement (Equation 11) when available.
-  Result<Point> ReconstructRefined(TrajId id, Tick t) const;
+  /// Reconstruct with CQC refinement (Equation 11) when available. Same
+  /// memo contract as Reconstruct().
+  Result<Point> ReconstructRefined(TrajId id, Tick t,
+                                   DecodeMemo* memo = nullptr) const;
 
   /// Reconstruct the sub-trajectory [from, from + count) (TPQ payload).
   Result<std::vector<Point>> ReconstructRange(TrajId id, Tick from,
                                               int count) const;
+
+  /// Deep copy of the decodable state (codebooks, coefficients, records,
+  /// codec) WITHOUT the internal decode memo — the copy Seal() takes.
+  /// Skipping the memo keeps seals at summary scale even when the live
+  /// summary has served queries (a warm memo is raw-data-scale).
+  TrajectorySummary SnapshotCopy() const;
 
   // --- introspection -------------------------------------------------------
 
@@ -131,7 +165,8 @@ class TrajectorySummary {
 
  private:
   const quantizer::Codebook& CodebookAt(Tick t) const;
-  Result<Point> ReconstructInternal(TrajId id, Tick t, bool refined) const;
+  Result<Point> ReconstructInternal(TrajId id, Tick t, bool refined,
+                                    DecodeMemo* memo) const;
 
   int prediction_order_;
   bool has_cqc_;
@@ -141,9 +176,8 @@ class TrajectorySummary {
   std::map<Tick, std::vector<predictor::PredictionCoefficients>> coefficients_;
   std::map<TrajId, TrajectoryRecord> records_;
 
-  /// Reconstruction memo: per trajectory, the prefix of reconstructed
-  /// points computed so far (decode is sequential by nature).
-  mutable std::map<TrajId, std::vector<Point>> memo_;
+  /// Internal memo backing the single-threaded convenience decode path.
+  mutable DecodeMemo memo_;
 };
 
 }  // namespace ppq::core

@@ -14,15 +14,17 @@ TEST(ParseArgsTest, Defaults) {
   EXPECT_DOUBLE_EQ(options.scale, 1.0);
   EXPECT_EQ(options.queries, 1000u);
   EXPECT_EQ(options.seed, 42u);
+  EXPECT_EQ(options.threads, 1u);
 }
 
 TEST(ParseArgsTest, ParsesAllFlags) {
   const char* argv[] = {"bench", "--scale=0.25", "--queries=500",
-                        "--seed=7"};
-  const BenchOptions options = ParseArgs(4, const_cast<char**>(argv));
+                        "--seed=7", "--threads=4"};
+  const BenchOptions options = ParseArgs(5, const_cast<char**>(argv));
   EXPECT_DOUBLE_EQ(options.scale, 0.25);
   EXPECT_EQ(options.queries, 500u);
   EXPECT_EQ(options.seed, 7u);
+  EXPECT_EQ(options.threads, 4u);
 }
 
 TEST(ParseArgsTest, IgnoresUnknownFlags) {

@@ -129,6 +129,48 @@ TEST(TrajectoryDatasetTest, SliceAtReturnsActivePoints) {
   EXPECT_EQ(s4.ids[0], 1);
 }
 
+TEST(TrajectoryDatasetTest, ActiveIdsAtMatchesBruteForce) {
+  // The per-tick index must agree with a brute-force scan at every tick,
+  // including out-of-range ticks, with ids in ascending order. The second
+  // Add starts EARLIER than the first (out-of-order arrival).
+  TrajectoryDataset ds;
+  ds.Add(MakeTrajectory(5, 4, 0.0));   // active 5..8
+  ds.Add(MakeTrajectory(2, 3, 1.0));   // active 2..4
+  ds.Add(MakeTrajectory(4, 6, 2.0));   // active 4..9
+  for (Tick t = -2; t <= 12; ++t) {
+    std::vector<TrajId> expected;
+    for (const Trajectory& traj : ds.trajectories()) {
+      if (traj.ActiveAt(t)) expected.push_back(traj.id);
+    }
+    EXPECT_EQ(ds.ActiveIdsAt(t), expected) << "tick " << t;
+  }
+  EXPECT_TRUE(ds.ActiveIdsAt(-100).empty());
+  EXPECT_TRUE(ds.ActiveIdsAt(100).empty());
+}
+
+TEST(TrajectoryDatasetTest, WidelySeparatedTicksStayCheap) {
+  // The index is keyed by occupied tick, so epoch-scale tick values next
+  // to tick-0 trajectories must not blow up memory (or time).
+  TrajectoryDataset ds;
+  ds.Add(MakeTrajectory(1'700'000'000, 3, 0.0));
+  ds.Add(MakeTrajectory(0, 3, 5.0));
+  EXPECT_EQ(ds.ActiveIdsAt(1'700'000'001), (std::vector<TrajId>{0}));
+  EXPECT_EQ(ds.ActiveIdsAt(1), (std::vector<TrajId>{1}));
+  EXPECT_TRUE(ds.ActiveIdsAt(1'000'000).empty());
+  EXPECT_EQ(ds.SliceAt(0).size(), 1u);
+}
+
+TEST(TrajectoryDatasetTest, ConstructorBuildsTickIndex) {
+  std::vector<Trajectory> trajs;
+  trajs.push_back(MakeTrajectory(0, 3, 0.0));
+  trajs.push_back(MakeTrajectory(2, 3, 5.0));
+  const TrajectoryDataset ds(std::move(trajs));
+  EXPECT_EQ(ds.ActiveIdsAt(2), (std::vector<TrajId>{0, 1}));
+  const TimeSlice slice = ds.SliceAt(2);
+  EXPECT_EQ(slice.ids, (std::vector<TrajId>{0, 1}));
+  EXPECT_EQ(slice.positions[1].x, 5.0);
+}
+
 TEST(TrajectoryDatasetTest, TickBounds) {
   TrajectoryDataset ds;
   ds.Add(MakeTrajectory(3, 4, 0.0));

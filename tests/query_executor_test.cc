@@ -1,0 +1,281 @@
+#include "core/query_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/trajstore.h"
+#include "core/metrics.h"
+#include "core/ppq_trajectory.h"
+#include "core/query_engine.h"
+#include "datagen/generator.h"
+
+/// \file query_executor_test.cc
+/// Executor parity properties: the batched concurrent path (snapshot +
+/// QueryExecutor) must return byte-identical results to the serial
+/// QueryEngine, at 1 thread and at N threads, across every StrqMode and
+/// every member of the MakeMethod family — plus snapshot semantics
+/// (immutability under continued encoding, re-seal, UpdateSnapshot).
+/// These tests are part of the TSan CI job.
+
+namespace ppq::core {
+namespace {
+
+TrajectoryDataset SmallDataset(uint64_t seed = 77) {
+  datagen::GeneratorOptions options;
+  options.num_trajectories = 40;
+  options.horizon = 50;
+  options.min_length = 15;
+  options.max_length = 50;
+  options.seed = seed;
+  return datagen::PortoLikeGenerator(options).Generate();
+}
+
+std::vector<WindowSpec> SampleWindows(const TrajectoryDataset& data,
+                                      size_t count, Rng* rng) {
+  std::vector<WindowSpec> windows;
+  const auto queries = SampleQueries(data, count, rng);
+  for (const QuerySpec& q : queries) {
+    const double half = rng->Uniform(0.0005, 0.01);
+    windows.push_back({Window{q.position.x - half, q.position.y - half,
+                              q.position.x + half, q.position.y + half},
+                       q.tick});
+  }
+  return windows;
+}
+
+/// Evaluate the full mixed workload through the serial engine.
+struct SerialReference {
+  std::vector<StrqResult> strq[3];
+  std::vector<StrqResult> window[3];
+  std::vector<std::vector<Neighbor>> knn;
+};
+
+constexpr StrqMode kAllModes[] = {StrqMode::kApproximate,
+                                  StrqMode::kLocalSearch, StrqMode::kExact};
+
+SerialReference RunSerial(const QueryEngine& engine,
+                          const std::vector<QuerySpec>& queries,
+                          const std::vector<WindowSpec>& windows, size_t k) {
+  SerialReference ref;
+  for (int m = 0; m < 3; ++m) {
+    for (const QuerySpec& q : queries) {
+      ref.strq[m].push_back(engine.Strq(q, kAllModes[m]));
+    }
+    for (const WindowSpec& w : windows) {
+      ref.window[m].push_back(engine.WindowQuery(w.window, w.tick,
+                                                 kAllModes[m]));
+    }
+  }
+  for (const QuerySpec& q : queries) {
+    ref.knn.push_back(engine.NearestTrajectories(q, k));
+  }
+  return ref;
+}
+
+void ExpectExecutorMatches(QueryExecutor& executor,
+                           const SerialReference& ref,
+                           const std::vector<QuerySpec>& queries,
+                           const std::vector<WindowSpec>& windows, size_t k,
+                           const std::string& label) {
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_EQ(executor.StrqBatch(queries, kAllModes[m]), ref.strq[m])
+        << label << ": strq mode " << m;
+    EXPECT_EQ(executor.WindowBatch(windows, kAllModes[m]), ref.window[m])
+        << label << ": window mode " << m;
+  }
+  EXPECT_EQ(executor.KnnBatch(queries, k), ref.knn) << label << ": knn";
+}
+
+/// Full parity sweep for one compressor: serial engine vs executor at 1
+/// and 4 threads, byte-identical across every mode and batch API.
+void CheckParity(const Compressor& method, const TrajectoryDataset& data,
+                 double cell_size, const std::string& label) {
+  Rng rng(17);
+  const auto queries = SampleQueries(data, 60, &rng);
+  const auto windows = SampleWindows(data, 30, &rng);
+  constexpr size_t kK = 5;
+
+  const QueryEngine engine(&method, &data, cell_size);
+  const SerialReference ref = RunSerial(engine, queries, windows, kK);
+
+  const SnapshotPtr snapshot = method.Seal();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->name(), method.name());
+
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    QueryExecutor::Options options;
+    options.num_threads = threads;
+    options.raw = &data;
+    options.cell_size = cell_size;
+    QueryExecutor executor(snapshot, options);
+    ExpectExecutorMatches(executor, ref, queries, windows, kK,
+                          label + " @" + std::to_string(threads) + "t");
+    // Re-run on the warm scratch: memoised prefixes must not change
+    // results.
+    ExpectExecutorMatches(executor, ref, queries, windows, kK,
+                          label + " warm @" + std::to_string(threads) + "t");
+  }
+}
+
+class ExecutorParity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ExecutorParity, BatchesMatchSerialEngineAcrossThreadCounts) {
+  const TrajectoryDataset data = SmallDataset();
+  PpqOptions base;
+  auto method = MakeMethod(GetParam(), base);
+  method->Compress(data);
+  CheckParity(*method, data, base.tpi.pi.cell_size, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(MakeMethodFamily, ExecutorParity,
+                         ::testing::Values("PPQ-A", "PPQ-A-basic", "PPQ-S",
+                                           "PPQ-S-basic", "E-PQ",
+                                           "Q-trajectory"));
+
+TEST(ExecutorParityTest, MaterializedSnapshotTrajStore) {
+  const TrajectoryDataset data = SmallDataset(5);
+  baselines::TrajStore::Options options;
+  options.region = {-9.0, 41.0, -8.0, 41.5};
+  baselines::TrajStore method(options);
+  method.Compress(data);
+  CheckParity(method, data, options.tpi.pi.cell_size, "TrajStore");
+}
+
+TEST(ExecutorParityTest, FixedPerTickModeParity) {
+  const TrajectoryDataset data = SmallDataset(21);
+  PpqOptions options = MakePpqA();
+  options.mode = QuantizationMode::kFixedPerTick;
+  options.fixed_bits = 6;
+  PpqTrajectory method(options);
+  method.Compress(data);
+  CheckParity(method, data, options.tpi.pi.cell_size, "PPQ-A fixed");
+}
+
+TEST(SnapshotTest, MethodWithoutIndexServesEmpty) {
+  const TrajectoryDataset data = SmallDataset();
+  PpqOptions options = MakePpqS();
+  options.enable_index = false;
+  PpqTrajectory method(options);
+  method.Compress(data);
+  const SnapshotPtr snapshot = method.Seal();
+  EXPECT_EQ(snapshot->index(), nullptr);
+
+  QueryExecutor::Options exec_options;
+  exec_options.num_threads = 2;
+  exec_options.raw = &data;
+  exec_options.cell_size = options.tpi.pi.cell_size;
+  QueryExecutor executor(snapshot, exec_options);
+  Rng rng(3);
+  const auto queries = SampleQueries(data, 10, &rng);
+  for (const StrqResult& r : executor.StrqBatch(queries, StrqMode::kExact)) {
+    EXPECT_TRUE(r.ids.empty());
+  }
+}
+
+TEST(SnapshotTest, SealIsImmutableUnderContinuedEncoding) {
+  // Seal mid-stream, keep encoding: the sealed snapshot must keep
+  // answering exactly as it did at seal time.
+  const TrajectoryDataset data = SmallDataset(31);
+  PpqOptions options = MakePpqA();
+  PpqTrajectory method(options);
+
+  const Tick mid = (data.MinTick() + data.MaxTick()) / 2;
+  for (Tick t = data.MinTick(); t < mid; ++t) {
+    const TimeSlice slice = data.SliceAt(t);
+    if (!slice.empty()) method.ObserveSlice(slice);
+  }
+  const SnapshotPtr sealed = method.Seal();
+
+  QueryExecutor::Options exec_options;
+  exec_options.num_threads = 2;
+  exec_options.raw = &data;
+  exec_options.cell_size = options.tpi.pi.cell_size;
+  QueryExecutor executor(sealed, exec_options);
+
+  Rng rng(7);
+  std::vector<QuerySpec> queries;
+  for (const QuerySpec& q : SampleQueries(data, 40, &rng)) {
+    if (q.tick < mid) queries.push_back(q);
+  }
+  ASSERT_FALSE(queries.empty());
+  const auto before = executor.StrqBatch(queries, StrqMode::kLocalSearch);
+
+  // Writer continues: encode the rest of the day and finish.
+  for (Tick t = mid; t < data.MaxTick(); ++t) {
+    const TimeSlice slice = data.SliceAt(t);
+    if (!slice.empty()) method.ObserveSlice(slice);
+  }
+  method.Finish();
+
+  EXPECT_EQ(executor.StrqBatch(queries, StrqMode::kLocalSearch), before);
+
+  // Re-seal and swap: the executor now also sees the later ticks.
+  executor.UpdateSnapshot(method.Seal());
+  Rng rng2(9);
+  std::vector<QuerySpec> late;
+  for (const QuerySpec& q : SampleQueries(data, 60, &rng2)) {
+    if (q.tick >= mid) late.push_back(q);
+  }
+  ASSERT_FALSE(late.empty());
+  size_t hits = 0;
+  for (const StrqResult& r :
+       executor.StrqBatch(late, StrqMode::kLocalSearch)) {
+    hits += r.ids.size();
+  }
+  EXPECT_GT(hits, 0u);
+
+  // And the re-sealed snapshot agrees with the serial engine on the final
+  // state.
+  CheckParity(method, data, options.tpi.pi.cell_size, "post-reseal");
+}
+
+TEST(SnapshotTest, QueryEngineServesSnapshotsToo) {
+  const TrajectoryDataset data = SmallDataset(41);
+  PpqOptions options = MakePpqA();
+  PpqTrajectory method(options);
+  method.Compress(data);
+
+  const QueryEngine live(&method, &data, options.tpi.pi.cell_size);
+  const QueryEngine sealed(method.Seal(), &data, options.tpi.pi.cell_size);
+  Rng rng(11);
+  for (const QuerySpec& q : SampleQueries(data, 40, &rng)) {
+    for (StrqMode mode : kAllModes) {
+      EXPECT_EQ(sealed.Strq(q, mode), live.Strq(q, mode));
+    }
+    EXPECT_EQ(sealed.NearestTrajectories(q, 4),
+              live.NearestTrajectories(q, 4));
+  }
+}
+
+TEST(SnapshotTest, SnapshotOutlivesCompressor) {
+  const TrajectoryDataset data = SmallDataset(51);
+  SnapshotPtr snapshot;
+  size_t expected_records = 0;
+  {
+    PpqOptions options = MakePpqA();
+    PpqTrajectory method(options);
+    method.Compress(data);
+    expected_records = method.summary().NumTrajectories();
+    snapshot = method.Seal();
+  }  // writer destroyed; the seal must be self-contained
+  EXPECT_EQ(snapshot->NumTrajectories(), expected_records);
+  QueryExecutor::Options exec_options;
+  exec_options.num_threads = 2;
+  exec_options.raw = &data;
+  QueryExecutor executor(snapshot, exec_options);
+  Rng rng(13);
+  const auto queries = SampleQueries(data, 20, &rng);
+  size_t hits = 0;
+  for (const StrqResult& r :
+       executor.StrqBatch(queries, StrqMode::kLocalSearch)) {
+    hits += r.ids.size();
+  }
+  EXPECT_GT(hits, 0u);
+}
+
+}  // namespace
+}  // namespace ppq::core
