@@ -1,0 +1,235 @@
+/// \file bench_persist.cc
+/// Durable-repository benchmark for the snapshot container: compress a
+/// Porto-like workload with PPQ-A, Seal(), Save() the snapshot, cold-open
+/// it with OpenSnapshot() (I/O accounted through a storage::PageManager),
+/// and serve a mixed STRQ / window / k-NN workload from the LOADED
+/// snapshot — verified byte-identical against the in-memory seal before
+/// anything is reported.
+///
+/// Output: the shared [throughput] lines (phase=encode/save/open/serve)
+/// plus one [persist] line:
+///   [persist] bytes=… save_ms=… open_ms=… pages_written=… pages_read=…
+///
+/// Two extra flags support the CI format-compatibility gate (a snapshot
+/// written by the previous commit's binary must keep opening):
+///   --save=<path>   compress + seal + Save, then exit
+///   --check=<path>  OpenSnapshot and serve the standard workload from it,
+///                   exit nonzero if the file fails to open or serves
+///                   nothing
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/geo.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/metrics.h"
+#include "core/query_executor.h"
+#include "core/serialization.h"
+#include "storage/page_manager.h"
+
+namespace ppq::bench {
+namespace {
+
+struct Workload {
+  std::vector<core::QuerySpec> strq;
+  std::vector<core::WindowSpec> windows;
+  std::vector<core::QuerySpec> knn;
+};
+
+Workload MakeWorkload(const TrajectoryDataset& data, size_t queries,
+                      uint64_t seed) {
+  Workload w;
+  Rng rng(seed);
+  w.strq = core::SampleQueries(data, queries, &rng);
+  for (const core::QuerySpec& q :
+       core::SampleQueries(data, queries / 2, &rng)) {
+    const double half = rng.Uniform(0.001, 0.01);
+    w.windows.push_back({core::Window{q.position.x - half,
+                                      q.position.y - half,
+                                      q.position.x + half,
+                                      q.position.y + half},
+                         q.tick});
+  }
+  w.knn = core::SampleQueries(data, queries / 4, &rng);
+  return w;
+}
+
+constexpr size_t kKnnK = 8;
+
+struct MixedResults {
+  std::vector<core::StrqResult> strq;
+  std::vector<core::StrqResult> windows;
+  std::vector<std::vector<core::Neighbor>> knn;
+
+  bool operator==(const MixedResults& o) const {
+    return strq == o.strq && windows == o.windows && knn == o.knn;
+  }
+  size_t Hits() const {
+    size_t hits = 0;
+    for (const auto& r : strq) hits += r.ids.size();
+    for (const auto& r : windows) hits += r.ids.size();
+    for (const auto& r : knn) hits += r.size();
+    return hits;
+  }
+};
+
+MixedResults Serve(core::QueryExecutor& executor, const Workload& w) {
+  MixedResults r;
+  r.strq = executor.StrqBatch(w.strq, core::StrqMode::kLocalSearch);
+  r.windows = executor.WindowBatch(w.windows, core::StrqMode::kLocalSearch);
+  r.knn = executor.KnnBatch(w.knn, kKnnK);
+  return r;
+}
+
+core::SnapshotPtr BuildSnapshot(const BenchOptions& options,
+                                DatasetBundle* bundle) {
+  *bundle = MakePortoBundle(options);
+  std::printf("dataset: %s, %zu trajectories, %zu points\n",
+              bundle->name.c_str(), bundle->data.size(),
+              bundle->data.TotalPoints());
+  MethodSetup setup;
+  setup.mode = core::QuantizationMode::kErrorBounded;
+  auto method = MakeCompressor("PPQ-A", *bundle, setup);
+  CompressTimed(*method, bundle->data);
+  return method->Seal();
+}
+
+core::QueryExecutor MakeExecutor(const core::SnapshotPtr& snapshot,
+                                 const TrajectoryDataset& data,
+                                 size_t threads) {
+  core::QueryExecutor::Options exec_options;
+  exec_options.num_threads = threads == 0 ? 1 : threads;
+  exec_options.raw = &data;
+  exec_options.cell_size = 100.0 / kMetersPerDegree;
+  return core::QueryExecutor(snapshot, exec_options);
+}
+
+int RunSaveOnly(const BenchOptions& options, const std::string& path) {
+  DatasetBundle bundle;
+  const core::SnapshotPtr snapshot = BuildSnapshot(options, &bundle);
+  const Status saved = snapshot->Save(path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved snapshot to %s\n", path.c_str());
+  return 0;
+}
+
+int RunCheck(const BenchOptions& options, const std::string& path) {
+  auto snapshot = core::OpenSnapshot(path);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "FORMAT BREAK: cannot open %s: %s\n", path.c_str(),
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("opened %s: method=%s trajectories=%zu codewords=%zu\n",
+              path.c_str(), (*snapshot)->name().c_str(),
+              (*snapshot)->NumTrajectories(), (*snapshot)->NumCodewords());
+  if ((*snapshot)->NumTrajectories() == 0) {
+    std::fprintf(stderr, "FORMAT BREAK: snapshot opened empty\n");
+    return 1;
+  }
+  // Serve the standard workload from the loaded snapshot; the dataset is
+  // regenerated deterministically from the same options, so a healthy
+  // snapshot must produce hits.
+  const DatasetBundle bundle = MakePortoBundle(options);
+  const Workload workload =
+      MakeWorkload(bundle.data, options.queries, options.seed + 7);
+  core::QueryExecutor executor =
+      MakeExecutor(*snapshot, bundle.data, options.threads);
+  const MixedResults results = Serve(executor, workload);
+  std::printf("served %zu hits from the loaded snapshot\n", results.Hits());
+  if (results.Hits() == 0) {
+    std::fprintf(stderr, "FORMAT BREAK: loaded snapshot served nothing\n");
+    return 1;
+  }
+  std::printf("format compatibility check: OK\n");
+  return 0;
+}
+
+int Run(const BenchOptions& options, const std::string& path) {
+  std::printf("=== bench_persist: save + cold open + serve ===\n");
+  DatasetBundle bundle;
+  const core::SnapshotPtr sealed = BuildSnapshot(options, &bundle);
+  const size_t points = bundle.data.TotalPoints();
+
+  // Save, routed through a pager so the on-disk footprint is page-exact.
+  storage::PageManager write_pager;
+  WallTimer save_timer;
+  const Status saved = sealed->Save(path, &write_pager);
+  const double save_seconds = save_timer.ElapsedSeconds();
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  PrintThroughput("PPQ-A", "save", points, save_seconds);
+
+  // Cold open in "another process": nothing shared with the writer but
+  // the file. The pager reports the page-granular read cost.
+  storage::PageManager read_pager;
+  WallTimer open_timer;
+  auto loaded = core::OpenSnapshot(path, &read_pager);
+  const double open_seconds = open_timer.ElapsedSeconds();
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  PrintThroughput("PPQ-A", "open", points, open_seconds);
+  std::printf("[persist] bytes=%zu save_ms=%.3f open_ms=%.3f "
+              "pages_written=%llu pages_read=%llu\n",
+              write_pager.TotalBytes(), save_seconds * 1e3,
+              open_seconds * 1e3,
+              static_cast<unsigned long long>(
+                  write_pager.io_stats().pages_written),
+              static_cast<unsigned long long>(
+                  read_pager.io_stats().pages_read));
+
+  // Serve from the LOADED snapshot and require byte-identical results to
+  // the in-memory seal — cold-start throughput only counts if the answers
+  // are exactly the ones the writer would have served.
+  const Workload workload =
+      MakeWorkload(bundle.data, options.queries, options.seed + 7);
+  core::QueryExecutor sealed_executor =
+      MakeExecutor(sealed, bundle.data, options.threads);
+  core::QueryExecutor loaded_executor =
+      MakeExecutor(*loaded, bundle.data, options.threads);
+  const MixedResults reference = Serve(sealed_executor, workload);
+
+  WallTimer serve_timer;
+  const MixedResults results = Serve(loaded_executor, workload);
+  const double serve_seconds = serve_timer.ElapsedSeconds();
+  const size_t evaluations =
+      workload.strq.size() + workload.windows.size() + workload.knn.size();
+  PrintThroughput("PPQ-A/loaded", "serve", evaluations, serve_seconds);
+
+  if (!(results == reference)) {
+    std::printf("ERROR: loaded snapshot diverged from the in-memory seal\n");
+    return 1;
+  }
+  std::printf("loaded snapshot serves byte-identical results "
+              "(%zu hits)\n", results.Hits());
+  std::remove(path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace ppq::bench
+
+int main(int argc, char** argv) {
+  const ppq::bench::BenchOptions options = ppq::bench::ParseArgs(argc, argv);
+  std::string save_path;
+  std::string check_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--save=", 0) == 0) save_path = arg.substr(7);
+    if (arg.rfind("--check=", 0) == 0) check_path = arg.substr(8);
+  }
+  if (!save_path.empty()) return ppq::bench::RunSaveOnly(options, save_path);
+  if (!check_path.empty()) return ppq::bench::RunCheck(options, check_path);
+  return ppq::bench::Run(options, "/tmp/ppq_bench_persist.snapshot");
+}

@@ -1,27 +1,147 @@
 #pragma once
 
+#include <deque>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/serial.h"
 #include "common/status.h"
+#include "core/snapshot.h"
 #include "core/summary.h"
 
 /// \file serialization.h
-/// Binary persistence for trajectory summaries, so a repository can be
-/// compressed once and queried later (or shipped to another process)
-/// without recompression. The format is a little-endian tagged binary
-/// layout with a magic/version header; everything a decoder needs —
-/// codebooks, per-tick coefficients, per-trajectory code streams, CQC
-/// codes and the codec parameters — round-trips exactly.
+/// Binary persistence for trajectory repositories: compress once, serve
+/// many times, across process restarts.
+///
+/// Two public entry points sit on one shared container layer:
+///
+///  - SaveSummary / LoadSummary round-trip a bare TrajectorySummary (the
+///    decodable compressed form without the index) — the original v1 flat
+///    format stays readable, version-gated by its magic.
+///  - SummarySnapshot::Save / OpenSnapshot round-trip the FULL queryable
+///    state a QueryExecutor serves: summary (or the dense point tables of
+///    materialized baseline snapshots), the temporal partition index, and
+///    the CQC codec parameters. A server restart costs one cold open, not
+///    a recompression.
+///
+/// Container layout (little-endian throughout):
+///
+///   magic "PPQSNAP1" | u32 container_version | u32 section_count
+///   section table: section_count x { u32 tag, u64 length, u32 crc32 }
+///   u32 header_crc32 (over everything above)
+///   section payloads, in table order, packed back to back
+///
+/// Every byte of the file is covered by a CRC (payload bytes by their
+/// section's entry, header and table by header_crc32), the payloads must
+/// tile the file exactly, and all element counts inside payloads are
+/// validated against the bytes actually present — so truncated,
+/// bit-flipped, wrong-magic, or future-version input yields a clean
+/// Status error on every load path, never a crash or an oversized
+/// allocation.
+
+namespace ppq::storage {
+class PageManager;
+}  // namespace ppq::storage
 
 namespace ppq::core {
 
-/// Current on-disk format version.
-constexpr uint32_t kSummaryFormatVersion = 1;
+/// Version of the section container framing.
+constexpr uint32_t kContainerVersion = 1;
+/// Current summary payload version (v2 lives inside a container).
+constexpr uint32_t kSummaryFormatVersion = 2;
+/// The legacy v1 flat summary format ("PPQSUM01"); still readable.
+constexpr uint32_t kLegacySummaryFormatVersion = 1;
 
-/// Write \p summary to \p path (overwrites).
+/// Section tags (ASCII, spelled little-endian in the file).
+constexpr uint32_t kSectionMeta = 0x4154454Du;     // "META"
+constexpr uint32_t kSectionSummary = 0x4D4D5553u;  // "SUMM"
+constexpr uint32_t kSectionTpi = 0x20495054u;      // "TPI "
+constexpr uint32_t kSectionPoints = 0x53544E50u;   // "PNTS"
+
+/// \brief Accumulates tagged sections and writes the framed, checksummed
+/// container. Shared by the summary and snapshot writers.
+class SectionWriter {
+ public:
+  /// Start a new section; returns the writer for its payload. The pointer
+  /// stays valid across further AddSection calls.
+  ByteWriter* AddSection(uint32_t tag);
+
+  /// Write the framed container (header + table + CRCs + payloads,
+  /// streamed section by section) to \p path (overwrites). When \p pager
+  /// is non-null the container's extent is registered with it (one record
+  /// per section,
+  /// sealed onto fresh pages) so pages_written reflects the on-disk
+  /// footprint.
+  Status WriteFile(const std::string& path,
+                   storage::PageManager* pager = nullptr) const;
+
+ private:
+  /// Framing header + section table + header CRC for the current sections.
+  ByteWriter BuildHeader() const;
+
+  /// deque: AddSection must not invalidate previously returned pointers.
+  std::deque<std::pair<uint32_t, ByteWriter>> sections_;
+};
+
+/// \brief Parses and validates a container image; hands out bounds-checked
+/// readers over its CRC-verified sections.
+class SectionReader {
+ public:
+  struct SectionInfo {
+    uint32_t tag = 0;
+    size_t offset = 0;  ///< payload offset within the container image
+    size_t length = 0;
+  };
+
+  /// Validate magic, version, table bounds, header CRC, exact payload
+  /// tiling, and every section CRC. Takes ownership of the bytes.
+  static Result<SectionReader> Parse(std::vector<uint8_t> bytes);
+
+  /// Read \p path fully and Parse it. When \p pager is non-null the file's
+  /// pages are registered and fetched through it, so io_stats().pages_read
+  /// reports the cold-open cost.
+  static Result<SectionReader> Open(const std::string& path,
+                                    storage::PageManager* pager = nullptr);
+
+  bool Has(uint32_t tag) const;
+  /// Reader over one section's payload; Invalid if the tag is absent.
+  Result<ByteReader> Find(uint32_t tag) const;
+
+  const std::vector<SectionInfo>& sections() const { return sections_; }
+  /// Offset of the first payload byte (end of header + table).
+  size_t HeaderBytes() const { return header_bytes_; }
+  size_t FileBytes() const { return bytes_.size(); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  std::vector<SectionInfo> sections_;
+  size_t header_bytes_ = 0;
+};
+
+// --- Summary payloads (shared by both public paths) ----------------------
+
+/// Encode \p summary (codebooks, coefficients, records, CQC parameters)
+/// as a v2 payload. Byte-deterministic for equal summaries.
+void EncodeSummary(const TrajectorySummary& summary, ByteWriter* out);
+
+/// Inverse of EncodeSummary, with all counts validated against the buffer.
+Result<TrajectorySummary> DecodeSummary(ByteReader* in);
+
+// --- Public persistence API ----------------------------------------------
+
+/// Write \p summary to \p path (overwrites) as a summary-only container.
 Status SaveSummary(const TrajectorySummary& summary, const std::string& path);
 
-/// Load a summary previously written by SaveSummary.
+/// Load a summary written by SaveSummary — either the current container
+/// format or the legacy v1 flat file (detected by magic).
 Result<TrajectorySummary> LoadSummary(const std::string& path);
+
+/// \brief Open a snapshot container written by SummarySnapshot::Save and
+/// reconstruct the snapshot it holds, ready to hand to a QueryExecutor —
+/// zero recompression. When \p pager is non-null the read is routed
+/// through it, making the cold-open I/O cost observable via io_stats().
+Result<SnapshotPtr> OpenSnapshot(const std::string& path,
+                                 storage::PageManager* pager = nullptr);
 
 }  // namespace ppq::core

@@ -23,6 +23,17 @@
 /// any number of threads concurrently, PROVIDED each caller passes its own
 /// DecodeMemo to Reconstruct(). The snapshot itself holds no mutable
 /// state; all decode scratch lives with the caller.
+///
+/// Persistence: Save() writes the snapshot into the versioned, checksummed
+/// container documented in serialization.h; core::OpenSnapshot() is the
+/// inverse. A saved snapshot is self-contained — summary (or dense point
+/// tables), temporal partition index, and CQC codec parameters all
+/// round-trip — so a restarted server cold-opens the file and serves
+/// byte-identical results without recompressing anything.
+
+namespace ppq::storage {
+class PageManager;
+}  // namespace ppq::storage
 
 namespace ppq::core {
 
@@ -57,6 +68,13 @@ class SummarySnapshot {
   virtual size_t SummaryBytes() const = 0;
   virtual size_t NumCodewords() const = 0;
   virtual size_t NumTrajectories() const = 0;
+
+  /// \brief Persist this snapshot to \p path (overwrites) in the durable
+  /// container format (serialization.h). The inverse is
+  /// core::OpenSnapshot. When \p pager is non-null the write is routed
+  /// through it so pages_written reflects the on-disk footprint.
+  virtual Status Save(const std::string& path,
+                      storage::PageManager* pager = nullptr) const = 0;
 };
 
 /// \brief Snapshot of a PPQ-family method: deep copies of the decodable
@@ -81,6 +99,8 @@ class PpqSummarySnapshot final : public SummarySnapshot {
   size_t NumTrajectories() const override {
     return summary_.NumTrajectories();
   }
+  Status Save(const std::string& path,
+              storage::PageManager* pager = nullptr) const override;
 
   const TrajectorySummary& summary() const { return summary_; }
 
@@ -119,6 +139,11 @@ class MaterializedSnapshot final : public SummarySnapshot {
   size_t SummaryBytes() const override { return summary_bytes_; }
   size_t NumCodewords() const override { return num_codewords_; }
   size_t NumTrajectories() const override { return points_.size(); }
+  Status Save(const std::string& path,
+              storage::PageManager* pager = nullptr) const override;
+
+  /// The dense per-trajectory decode tables (persistence, introspection).
+  const std::map<TrajId, TrajectoryPoints>& points() const { return points_; }
 
  private:
   std::string name_;

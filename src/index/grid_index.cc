@@ -4,6 +4,21 @@
 #include <cmath>
 
 namespace ppq::index {
+namespace {
+
+/// Clamp a fractional cell coordinate to [0, max_index] in the DOUBLE
+/// domain, before any int cast: float-to-int conversion of an
+/// out-of-range value is UB, so the old cast-then-clamp pattern could
+/// trap on extreme coordinates (a far-away query point, or a grid whose
+/// region a forged-but-checksummed snapshot placed at 1e300). NaN maps
+/// to 0. Equals floor+clamp for every in-range value.
+int ClampCellIndex(double cell, int max_index) {
+  if (!(cell > 0.0)) return 0;
+  if (cell >= static_cast<double>(max_index)) return max_index;
+  return static_cast<int>(cell);
+}
+
+}  // namespace
 
 GridIndex::GridIndex(Rect region, double cell_size)
     : region_(region), cell_size_(cell_size) {
@@ -12,10 +27,10 @@ GridIndex::GridIndex(Rect region, double cell_size)
 }
 
 int64_t GridIndex::CellKey(const Point& p) const {
-  int cx = static_cast<int>(std::floor((p.x - region_.min_x) / cell_size_));
-  int cy = static_cast<int>(std::floor((p.y - region_.min_y) / cell_size_));
-  cx = std::clamp(cx, 0, cells_x_ - 1);
-  cy = std::clamp(cy, 0, cells_y_ - 1);
+  const int cx =
+      ClampCellIndex((p.x - region_.min_x) / cell_size_, cells_x_ - 1);
+  const int cy =
+      ClampCellIndex((p.y - region_.min_y) / cell_size_, cells_y_ - 1);
   return static_cast<int64_t>(cy) * cells_x_ + cx;
 }
 
@@ -52,18 +67,14 @@ std::vector<TrajId> GridIndex::Query(const Point& p, Tick t) const {
 
 void GridIndex::QueryCircle(const Point& center, double radius, Tick t,
                             std::vector<TrajId>* out) const {
-  const int cx_lo = std::clamp(
-      static_cast<int>(std::floor((center.x - radius - region_.min_x) / cell_size_)),
-      0, cells_x_ - 1);
-  const int cx_hi = std::clamp(
-      static_cast<int>(std::floor((center.x + radius - region_.min_x) / cell_size_)),
-      0, cells_x_ - 1);
-  const int cy_lo = std::clamp(
-      static_cast<int>(std::floor((center.y - radius - region_.min_y) / cell_size_)),
-      0, cells_y_ - 1);
-  const int cy_hi = std::clamp(
-      static_cast<int>(std::floor((center.y + radius - region_.min_y) / cell_size_)),
-      0, cells_y_ - 1);
+  const int cx_lo = ClampCellIndex(
+      (center.x - radius - region_.min_x) / cell_size_, cells_x_ - 1);
+  const int cx_hi = ClampCellIndex(
+      (center.x + radius - region_.min_x) / cell_size_, cells_x_ - 1);
+  const int cy_lo = ClampCellIndex(
+      (center.y - radius - region_.min_y) / cell_size_, cells_y_ - 1);
+  const int cy_hi = ClampCellIndex(
+      (center.y + radius - region_.min_y) / cell_size_, cells_y_ - 1);
   for (int cy = cy_lo; cy <= cy_hi; ++cy) {
     for (int cx = cx_lo; cx <= cx_hi; ++cx) {
       // Reject cells whose closest point to the centre is outside the disc.
@@ -102,6 +113,146 @@ void GridIndex::Finalize() {
     cell.raw.clear();
   }
   finalized_ = true;
+}
+
+void GridIndex::SaveTo(ByteWriter* out) const {
+  out->WriteF64(region_.min_x);
+  out->WriteF64(region_.min_y);
+  out->WriteF64(region_.max_x);
+  out->WriteF64(region_.max_y);
+  out->WriteF64(cell_size_);
+  out->WriteU8(finalized_ ? 1 : 0);
+  table_.SaveTo(out);
+
+  out->WriteU64(counts_.size());
+  for (const auto& [tick, count] : counts_) {
+    out->WriteI32(tick);
+    out->WriteU64(count);
+  }
+
+  // cells_ is unordered; emit in key order for byte determinism.
+  std::vector<int64_t> keys;
+  keys.reserve(cells_.size());
+  for (const auto& [key, cell] : cells_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  out->WriteU64(keys.size());
+  for (const int64_t key : keys) {
+    const CellData& cell = cells_.at(key);
+    out->WriteU64(static_cast<uint64_t>(key));
+    out->WriteU64(cell.raw.size());
+    for (const auto& [tick, ids] : cell.raw) {
+      out->WriteI32(tick);
+      out->WriteU64(ids.size());
+      for (const TrajId id : ids) out->WriteI32(id);
+    }
+    out->WriteU64(cell.packed.size());
+    for (const auto& [tick, packed] : cell.packed) {
+      out->WriteI32(tick);
+      packed.SaveTo(out);
+    }
+  }
+}
+
+Result<GridIndex> GridIndex::LoadFrom(ByteReader* in) {
+  Rect region;
+  auto min_x = in->ReadF64();
+  auto min_y = in->ReadF64();
+  auto max_x = in->ReadF64();
+  auto max_y = in->ReadF64();
+  auto cell_size = in->ReadF64();
+  auto finalized = in->ReadU8();
+  if (!min_x.ok() || !min_y.ok() || !max_x.ok() || !max_y.ok() ||
+      !cell_size.ok() || !finalized.ok()) {
+    return Status::IOError("GridIndex: truncated header");
+  }
+  region = Rect{*min_x, *min_y, *max_x, *max_y};
+  // Validate geometry before the constructor computes cell counts: a
+  // forged region/cell_size combination must not overflow the int cast.
+  if (!std::isfinite(region.min_x) || !std::isfinite(region.min_y) ||
+      !std::isfinite(region.max_x) || !std::isfinite(region.max_y) ||
+      !std::isfinite(*cell_size) || *cell_size <= 0.0 ||
+      region.max_x < region.min_x || region.max_y < region.min_y) {
+    return Status::Invalid("GridIndex: malformed region geometry");
+  }
+  // Bound each axis (the int cast in the constructor) AND the product:
+  // two individually-representable axes can still multiply into a grid
+  // whose QueryCircle scan would spin for ~2^60 iterations — a forged
+  // file must not buy a CPU-bound hang on the first local-search query.
+  constexpr double kMaxCellsPerAxis = 1 << 30;
+  constexpr double kMaxTotalCells = 4e9;
+  const double cells_wide = region.width() / *cell_size;
+  const double cells_high = region.height() / *cell_size;
+  if (cells_wide > kMaxCellsPerAxis || cells_high > kMaxCellsPerAxis ||
+      std::max(cells_wide, 1.0) * std::max(cells_high, 1.0) >
+          kMaxTotalCells) {
+    return Status::Invalid("GridIndex: cell count out of range");
+  }
+  GridIndex grid(region, *cell_size);
+  grid.finalized_ = *finalized != 0;
+
+  auto table = HuffmanTable::LoadFrom(in);
+  if (!table.ok()) return table.status();
+  grid.table_ = std::move(*table);
+
+  auto tick_count = in->ReadCount(12);  // i32 tick + u64 count
+  if (!tick_count.ok()) return tick_count.status();
+  for (uint64_t i = 0; i < *tick_count; ++i) {
+    auto tick = in->ReadI32();
+    if (!tick.ok()) return tick.status();
+    auto count = in->ReadU64();
+    if (!count.ok()) return count.status();
+    if (!grid.counts_.emplace(*tick, *count).second) {
+      return Status::Invalid("GridIndex: duplicate count tick");
+    }
+  }
+
+  auto cell_count = in->ReadCount(24);  // key + two map sizes
+  if (!cell_count.ok()) return cell_count.status();
+  grid.cells_.reserve(*cell_count);
+  for (uint64_t i = 0; i < *cell_count; ++i) {
+    auto key = in->ReadU64();
+    if (!key.ok()) return key.status();
+    // Writers emit sorted unique keys/ticks; a duplicate is a forgery and
+    // would silently merge or overwrite lists — reject like every other
+    // decoder does.
+    const auto inserted =
+        grid.cells_.emplace(static_cast<int64_t>(*key), CellData{});
+    if (!inserted.second) {
+      return Status::Invalid("GridIndex: duplicate cell key");
+    }
+    CellData& cell = inserted.first->second;
+    auto raw_ticks = in->ReadCount(12);  // i32 tick + u64 id count
+    if (!raw_ticks.ok()) return raw_ticks.status();
+    for (uint64_t r = 0; r < *raw_ticks; ++r) {
+      auto tick = in->ReadI32();
+      if (!tick.ok()) return tick.status();
+      auto id_count = in->ReadCount(4);  // i32 per id
+      if (!id_count.ok()) return id_count.status();
+      const auto tick_inserted = cell.raw.emplace(*tick, std::vector<TrajId>());
+      if (!tick_inserted.second) {
+        return Status::Invalid("GridIndex: duplicate raw tick");
+      }
+      std::vector<TrajId>& ids = tick_inserted.first->second;
+      ids.reserve(*id_count);
+      for (uint64_t j = 0; j < *id_count; ++j) {
+        auto id = in->ReadI32();
+        if (!id.ok()) return id.status();
+        ids.push_back(*id);
+      }
+    }
+    auto packed_ticks = in->ReadCount(12);  // i32 tick + 8-byte list header
+    if (!packed_ticks.ok()) return packed_ticks.status();
+    for (uint64_t p = 0; p < *packed_ticks; ++p) {
+      auto tick = in->ReadI32();
+      if (!tick.ok()) return tick.status();
+      auto packed = CompressedIdList::LoadFrom(in);
+      if (!packed.ok()) return packed.status();
+      if (!cell.packed.emplace(*tick, std::move(*packed)).second) {
+        return Status::Invalid("GridIndex: duplicate packed tick");
+      }
+    }
+  }
+  return grid;
 }
 
 size_t GridIndex::SizeBytes() const {

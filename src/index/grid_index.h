@@ -61,6 +61,16 @@ class GridIndex {
   /// when finalized, 4 bytes/id otherwise) + the shared Huffman table.
   size_t SizeBytes() const;
 
+  /// Append the full grid state (region, cell lists — raw or packed — and
+  /// the shared Huffman table) to \p out. Cells are written in key order,
+  /// so equal grids serialize to equal bytes.
+  void SaveTo(ByteWriter* out) const;
+
+  /// Inverse of SaveTo. Geometry is validated (finite region, positive
+  /// cell size, bounded cell counts) before any allocation; malformed
+  /// input yields a Status error.
+  static Result<GridIndex> LoadFrom(ByteReader* in);
+
  private:
   struct CellData {
     /// tick -> ascending id list (pre-finalize).

@@ -1,6 +1,7 @@
 #include "index/huffman.h"
 
 #include <algorithm>
+#include <limits>
 #include <queue>
 
 namespace ppq::index {
@@ -92,6 +93,77 @@ void HuffmanTable::AssignCanonicalCodes() {
   }
 }
 
+void HuffmanTable::SaveTo(ByteWriter* out) const {
+  // lengths_ is unordered; sort by symbol so equal tables serialize to
+  // equal bytes (golden-file determinism).
+  std::vector<std::pair<uint32_t, int>> sorted(lengths_.begin(),
+                                               lengths_.end());
+  std::sort(sorted.begin(), sorted.end());
+  out->WriteU32(static_cast<uint32_t>(sorted.size()));
+  for (const auto& [symbol, length] : sorted) {
+    out->WriteU32(symbol);
+    out->WriteU8(static_cast<uint8_t>(length));
+  }
+}
+
+Result<HuffmanTable> HuffmanTable::LoadFrom(ByteReader* in) {
+  auto count = in->ReadU32();
+  if (!count.ok()) return count.status();
+  if (*count > in->Remaining() / 5) {
+    return Status::Invalid("HuffmanTable: entry count exceeds payload");
+  }
+  HuffmanTable table;
+  table.lengths_.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto symbol = in->ReadU32();
+    if (!symbol.ok()) return symbol.status();
+    auto length = in->ReadU8();
+    if (!length.ok()) return length.status();
+    // Canonical codes live in a uint32; lengths outside [1, 32] cannot
+    // have been produced by Build and would shift out of range.
+    if (*length < 1 || *length > 32) {
+      return Status::Invalid("HuffmanTable: code length out of range");
+    }
+    if (!table.lengths_.emplace(*symbol, *length).second) {
+      return Status::Invalid("HuffmanTable: duplicate symbol");
+    }
+  }
+  table.AssignCanonicalCodes();
+  return table;
+}
+
+void CompressedIdList::SaveTo(ByteWriter* out) const {
+  out->WriteU32(count);
+  out->WriteU32(bit_count);
+  out->WriteBytes(bytes.data(), bytes.size());
+}
+
+Result<CompressedIdList> CompressedIdList::LoadFrom(ByteReader* in) {
+  CompressedIdList list;
+  auto count = in->ReadU32();
+  if (!count.ok()) return count.status();
+  auto bit_count = in->ReadU32();
+  if (!bit_count.ok()) return bit_count.status();
+  // Every encoded id consumes at least one bit, so a count beyond
+  // bit_count is forged (and would make DecompressIds over-reserve).
+  if (*count > *bit_count) {
+    return Status::Invalid("CompressedIdList: count exceeds bit count");
+  }
+  // 64-bit on purpose: (bit_count + 7) wraps to 0 in uint32 for forged
+  // values near UINT32_MAX, which would slip past the payload bound below
+  // and leave a bit_count with no bytes behind it (OOB reads at decode).
+  const size_t byte_len =
+      static_cast<size_t>((uint64_t{*bit_count} + 7) / 8);
+  if (byte_len > in->Remaining()) {
+    return Status::Invalid("CompressedIdList: payload exceeds buffer");
+  }
+  list.count = *count;
+  list.bit_count = *bit_count;
+  list.bytes.resize(byte_len);
+  PPQ_RETURN_NOT_OK(in->ReadBytes(list.bytes.data(), byte_len));
+  return list;
+}
+
 Status HuffmanTable::Encode(uint32_t symbol, BitWriter* writer) const {
   const auto it = codes_.find(symbol);
   if (it == codes_.end()) {
@@ -147,12 +219,18 @@ Result<std::vector<int32_t>> DecompressIds(const CompressedIdList& list,
   BitReader reader(list.bytes.data(), list.bit_count);
   std::vector<int32_t> ids;
   ids.reserve(list.count);
-  int32_t previous = 0;
+  // Accumulate in 64-bit and bound-check: CompressIds only ever emits
+  // deltas in [0, INT32_MAX], so an id walking past int32 range means a
+  // forged table/list — adding it in int32 would be signed-overflow UB.
+  int64_t previous = 0;
   for (uint32_t i = 0; i < list.count; ++i) {
     auto delta = table.Decode(&reader);
     if (!delta.ok()) return delta.status();
-    previous += static_cast<int32_t>(*delta);
-    ids.push_back(previous);
+    previous += static_cast<int64_t>(*delta);
+    if (previous > std::numeric_limits<int32_t>::max()) {
+      return Status::Invalid("DecompressIds: id overflows int32");
+    }
+    ids.push_back(static_cast<int32_t>(previous));
   }
   return ids;
 }

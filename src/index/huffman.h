@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/bitstream.h"
+#include "common/serial.h"
 #include "common/status.h"
 
 /// \file huffman.h
@@ -46,6 +47,15 @@ class HuffmanTable {
   /// length per alphabet entry.
   size_t SizeBytes() const { return lengths_.size() * 5; }
 
+  /// Append the canonical form — sorted (symbol, code length) pairs — to
+  /// \p out. Output is byte-deterministic for equal tables.
+  void SaveTo(ByteWriter* out) const;
+
+  /// Inverse of SaveTo. Codes are reassigned canonically from the loaded
+  /// lengths; malformed input (absurd lengths, counts beyond the buffer)
+  /// yields a Status error, never UB.
+  static Result<HuffmanTable> LoadFrom(ByteReader* in);
+
  private:
   struct DecodeEntry {
     uint32_t symbol;
@@ -70,6 +80,9 @@ struct CompressedIdList {
   uint32_t count = 0;
 
   size_t SizeBytes() const { return bytes.size() + sizeof(bit_count) + sizeof(count); }
+
+  void SaveTo(ByteWriter* out) const;
+  static Result<CompressedIdList> LoadFrom(ByteReader* in);
 };
 
 /// Delta-encode \p sorted_ids (ascending; the first entry is stored as a

@@ -130,6 +130,36 @@ void PartitionIndex::Finalize() {
   for (SubRegion& region : regions_) region.grid.Finalize();
 }
 
+void PartitionIndex::SaveTo(ByteWriter* out) const {
+  out->WriteU64(regions_.size());
+  for (const SubRegion& region : regions_) {
+    region.grid.SaveTo(out);
+    out->WriteU64(region.baseline_count);
+    out->WriteI32(region.built_at);
+  }
+}
+
+Result<PartitionIndex> PartitionIndex::LoadFrom(ByteReader* in) {
+  // A serialized grid is at least its fixed header (region + cell size +
+  // flag + empty table/maps).
+  auto region_count = in->ReadCount(8 * 5 + 1 + 4 + 8 * 2 + 8 + 4);
+  if (!region_count.ok()) return region_count.status();
+  PartitionIndex index;
+  index.regions_.reserve(*region_count);
+  for (uint64_t i = 0; i < *region_count; ++i) {
+    auto grid = GridIndex::LoadFrom(in);
+    if (!grid.ok()) return grid.status();
+    auto baseline = in->ReadU64();
+    if (!baseline.ok()) return baseline.status();
+    auto built_at = in->ReadI32();
+    if (!built_at.ok()) return built_at.status();
+    index.regions_.push_back(
+        SubRegion{std::move(*grid), static_cast<size_t>(*baseline),
+                  *built_at});
+  }
+  return index;
+}
+
 size_t PartitionIndex::SizeBytes() const {
   size_t total = 0;
   for (const SubRegion& region : regions_) {

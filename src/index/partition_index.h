@@ -78,6 +78,12 @@ class PartitionIndex {
   const std::vector<SubRegion>& regions() const { return regions_; }
   size_t SizeBytes() const;
 
+  /// Append all subregions (grid + baseline bookkeeping) to \p out;
+  /// byte-deterministic for equal indexes.
+  void SaveTo(ByteWriter* out) const;
+  /// Inverse of SaveTo; malformed input yields a Status error.
+  static Result<PartitionIndex> LoadFrom(ByteReader* in);
+
  private:
   std::vector<SubRegion> regions_;
 };

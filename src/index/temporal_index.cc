@@ -93,6 +93,85 @@ void TemporalPartitionIndex::Finalize() {
   for (Period& period : periods_) period.pi.Finalize();
 }
 
+void TemporalPartitionIndex::SaveTo(ByteWriter* out) const {
+  out->WriteF64(options_.pi.epsilon_s);
+  out->WriteF64(options_.pi.cell_size);
+  out->WriteI32(options_.pi.growth_step);
+  out->WriteI32(options_.pi.kmeans_iterations);
+  out->WriteF64(options_.epsilon_d);
+  out->WriteF64(options_.epsilon_c);
+  out->WriteU64(options_.seed);
+  out->WriteU8(has_open_period_ ? 1 : 0);
+  out->WriteU64(stats_.num_periods);
+  out->WriteU64(stats_.num_insertions);
+  out->WriteU64(stats_.num_rebuilds);
+  out->WriteU64(stats_.points_indexed);
+  out->WriteU64(periods_.size());
+  for (const Period& period : periods_) {
+    out->WriteI32(period.start);
+    out->WriteI32(period.end);
+    period.pi.SaveTo(out);
+  }
+}
+
+Result<TemporalPartitionIndex> TemporalPartitionIndex::LoadFrom(
+    ByteReader* in) {
+  Options options;
+  auto eps_s = in->ReadF64();
+  auto cell_size = in->ReadF64();
+  auto growth_step = in->ReadI32();
+  auto kmeans_iterations = in->ReadI32();
+  auto eps_d = in->ReadF64();
+  auto eps_c = in->ReadF64();
+  auto seed = in->ReadU64();
+  auto has_open = in->ReadU8();
+  if (!eps_s.ok() || !cell_size.ok() || !growth_step.ok() ||
+      !kmeans_iterations.ok() || !eps_d.ok() || !eps_c.ok() || !seed.ok() ||
+      !has_open.ok()) {
+    return Status::IOError("TemporalPartitionIndex: truncated options");
+  }
+  options.pi.epsilon_s = *eps_s;
+  options.pi.cell_size = *cell_size;
+  options.pi.growth_step = *growth_step;
+  options.pi.kmeans_iterations = *kmeans_iterations;
+  options.epsilon_d = *eps_d;
+  options.epsilon_c = *eps_c;
+  options.seed = *seed;
+
+  TemporalPartitionIndex index(options);
+  index.has_open_period_ = *has_open != 0;
+  auto num_periods = in->ReadU64();
+  auto num_insertions = in->ReadU64();
+  auto num_rebuilds = in->ReadU64();
+  auto points_indexed = in->ReadU64();
+  if (!num_periods.ok() || !num_insertions.ok() || !num_rebuilds.ok() ||
+      !points_indexed.ok()) {
+    return Status::IOError("TemporalPartitionIndex: truncated stats");
+  }
+  index.stats_.num_periods = *num_periods;
+  index.stats_.num_insertions = *num_insertions;
+  index.stats_.num_rebuilds = *num_rebuilds;
+  index.stats_.points_indexed = *points_indexed;
+
+  auto period_count = in->ReadCount(4 + 4 + 8);  // ticks + PI region count
+  if (!period_count.ok()) return period_count.status();
+  index.periods_.reserve(*period_count);
+  for (uint64_t i = 0; i < *period_count; ++i) {
+    auto start = in->ReadI32();
+    if (!start.ok()) return start.status();
+    auto end = in->ReadI32();
+    if (!end.ok()) return end.status();
+    auto pi = PartitionIndex::LoadFrom(in);
+    if (!pi.ok()) return pi.status();
+    Period period;
+    period.start = *start;
+    period.end = *end;
+    period.pi = std::move(*pi);
+    index.periods_.push_back(std::move(period));
+  }
+  return index;
+}
+
 size_t TemporalPartitionIndex::SizeBytes() const {
   size_t total = sizeof(Options) + sizeof(TpiStats);
   for (const Period& period : periods_) {

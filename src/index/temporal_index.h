@@ -75,6 +75,16 @@ class TemporalPartitionIndex {
 
   size_t SizeBytes() const;
 
+  /// Append the full index state (options, stats, every period's PI) to
+  /// \p out; byte-deterministic for equal indexes.
+  void SaveTo(ByteWriter* out) const;
+
+  /// Inverse of SaveTo. The RNG is re-seeded from the stored options
+  /// seed, NOT from the live engine state, so a loaded index serves
+  /// queries identically but is read-only by contract: feeding further
+  /// Observe() calls to it is unsupported.
+  static Result<TemporalPartitionIndex> LoadFrom(ByteReader* in);
+
  private:
   Options options_;
   Rng rng_;

@@ -129,5 +129,46 @@ TEST(GridIndexTest, SizeBytesGrowsWithContent) {
   EXPECT_GT(g.SizeBytes(), empty);
 }
 
+TEST(GridIndexTest, ForgedCellProductIsRejectedAtLoad) {
+  // Regression: each axis below passes the per-axis 2^30 bound, but the
+  // grid would hold ~10^18 cells — enough for QueryCircle's scan to hang
+  // a serving thread. The load-time validator bounds the product too.
+  ByteWriter out;
+  out.WriteF64(0.0);
+  out.WriteF64(0.0);
+  out.WriteF64(1e6);   // 1e9 cells wide at gc = 1e-3
+  out.WriteF64(1e6);   // 1e9 cells high
+  out.WriteF64(1e-3);
+  out.WriteU8(0);      // not finalized
+  out.WriteU32(0);     // empty huffman table
+  out.WriteU64(0);     // no per-tick counts
+  out.WriteU64(0);     // no cells
+  ByteReader in(out.buffer());
+  const auto grid = GridIndex::LoadFrom(&in);
+  ASSERT_FALSE(grid.ok());
+  EXPECT_EQ(grid.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GridIndexTest, ExtremeCoordinatesDoNotOverflowCellMath) {
+  // Regression: a grid whose region sits at astronomical coordinates (as
+  // a forged-but-checksummed snapshot can produce), queried at normal
+  // coordinates — or vice versa — used to push the float-to-int cell
+  // cast out of int range, which is UB (UBSan trap). The cell coordinate
+  // is now clamped in the double domain before any cast.
+  GridIndex far(Rect{-1e300, -1e300, -1e300 + 1.0, -1e300 + 1.0}, 1e-3);
+  EXPECT_TRUE(far.Query({0.0, 0.0}, 0).empty());
+  std::vector<TrajId> out;
+  far.QueryCircle({0.0, 0.0}, 1.0, 0, &out);
+  EXPECT_TRUE(out.empty());
+
+  // The far-away probe clamps into the edge cell; surviving the calls
+  // (especially under UBSan) is the point, whatever they return.
+  GridIndex unit = MakeUnitGrid();
+  unit.Insert(0, 7, {0.5, 0.5});
+  (void)unit.Query({1e300, 1e300}, 0);
+  out.clear();
+  unit.QueryCircle({-1e300, 1e300}, 1e280, 0, &out);
+}
+
 }  // namespace
 }  // namespace ppq::index

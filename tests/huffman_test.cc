@@ -166,5 +166,58 @@ TEST_P(SharedTableRoundTrip, ManyLists) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SharedTableRoundTrip,
                          ::testing::Values(10, 20, 30));
 
+TEST(CompressedIdListIoTest, RoundTripsThroughByteWriter) {
+  std::unordered_map<uint32_t, uint64_t> freq;
+  const std::vector<int32_t> ids = {1, 2, 4, 9, 9, 40};
+  AccumulateDeltaFrequencies(ids, &freq);
+  const HuffmanTable table = HuffmanTable::Build(freq);
+  const auto packed = CompressIds(ids, table);
+  ASSERT_TRUE(packed.ok());
+
+  ByteWriter out;
+  packed->SaveTo(&out);
+  ByteReader in(out.buffer());
+  const auto loaded = CompressedIdList::LoadFrom(&in);
+  ASSERT_TRUE(loaded.ok());
+  const auto unpacked = DecompressIds(*loaded, table);
+  ASSERT_TRUE(unpacked.ok());
+  EXPECT_EQ(*unpacked, ids);
+}
+
+TEST(CompressedIdListIoTest, ForgedDeltaOverflowIsRejectedAtDecode) {
+  // Regression: a forged table can legally carry any symbol value (only
+  // code LENGTHS are validated), so decoding delta INT32_MAX twice used
+  // to run the id accumulator into signed int32 overflow — UB. The
+  // accumulator is 64-bit now and walks past int32 into a clean error.
+  std::unordered_map<uint32_t, uint64_t> freq;
+  freq[0x7FFFFFFFu] = 2;
+  const HuffmanTable table = HuffmanTable::Build(freq);
+  BitWriter bits;
+  ASSERT_TRUE(table.Encode(0x7FFFFFFFu, &bits).ok());
+  ASSERT_TRUE(table.Encode(0x7FFFFFFFu, &bits).ok());
+  CompressedIdList list;
+  list.bytes = bits.buffer();
+  list.bit_count = static_cast<uint32_t>(bits.BitCount());
+  list.count = 2;
+  const auto ids = DecompressIds(list, table);
+  ASSERT_FALSE(ids.ok());
+  EXPECT_EQ(ids.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CompressedIdListIoTest, ForgedBitCountNearUint32MaxIsRejected) {
+  // Regression: (bit_count + 7) / 8 evaluated in uint32 wraps to 0 for
+  // bit_count >= 0xFFFFFFF9, which slipped past the payload bound and
+  // left a ~4e9 bit_count backed by zero bytes — an out-of-bounds read
+  // (and a multi-GB reserve) at first decode. The length math is 64-bit
+  // now, so the forged header must die here, at load.
+  ByteWriter out;
+  out.WriteU32(0xFFFFFFFAu);  // count
+  out.WriteU32(0xFFFFFFFAu);  // bit_count
+  ByteReader in(out.buffer());
+  const auto loaded = CompressedIdList::LoadFrom(&in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace ppq::index

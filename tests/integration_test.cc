@@ -9,7 +9,7 @@
 #include "core/metrics.h"
 #include "core/ppq_trajectory.h"
 #include "core/query_engine.h"
-#include "datagen/generator.h"
+#include "tests/test_util.h"
 
 /// \file integration_test.cc
 /// Cross-module behaviour checks that mirror the paper's headline claims
@@ -22,33 +22,15 @@ namespace ppq {
 namespace {
 
 TrajectoryDataset PortoSmall(uint64_t seed = 5150) {
-  datagen::GeneratorOptions options;
-  options.num_trajectories = 80;
-  options.horizon = 80;
-  options.min_length = 30;
-  options.max_length = 80;
-  options.seed = seed;
-  return datagen::PortoLikeGenerator(options).Generate();
+  return test::MakePortoDataset({80, 80, 30, 80, seed});
 }
 
 TrajectoryDataset GeoLifeSmall(uint64_t seed = 6021) {
-  datagen::GeneratorOptions options;
-  options.num_trajectories = 15;
-  options.horizon = 200;
-  options.min_length = 80;
-  options.max_length = 200;
-  options.seed = seed;
-  return datagen::GeoLifeLikeGenerator(options).Generate();
+  return test::MakeGeoLifeDataset({15, 200, 80, 200, seed});
 }
 
 TrajectoryDataset GeoLifeDense(uint64_t seed = 6021) {
-  datagen::GeneratorOptions options;
-  options.num_trajectories = 60;
-  options.horizon = 120;
-  options.min_length = 60;
-  options.max_length = 120;
-  options.seed = seed;
-  return datagen::GeoLifeLikeGenerator(options).Generate();
+  return test::MakeGeoLifeDataset({60, 120, 60, 120, seed});
 }
 
 TEST(IntegrationTest, PredictiveBeatsRawQuantizationOnCodebookSize) {

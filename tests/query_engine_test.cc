@@ -6,18 +6,13 @@
 #include "core/ppq_trajectory.h"
 #include "core/query_engine.h"
 #include "datagen/generator.h"
+#include "tests/test_util.h"
 
 namespace ppq::core {
 namespace {
 
 TrajectoryDataset SmallDataset(uint64_t seed = 77) {
-  datagen::GeneratorOptions options;
-  options.num_trajectories = 50;
-  options.horizon = 60;
-  options.min_length = 20;
-  options.max_length = 60;
-  options.seed = seed;
-  return datagen::PortoLikeGenerator(options).Generate();
+  return test::MakePortoDataset({50, 60, 20, 60, seed});
 }
 
 TEST(QueryEngineTest, GroundTruthUsesGlobalCells) {

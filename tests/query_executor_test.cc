@@ -11,7 +11,7 @@
 #include "core/metrics.h"
 #include "core/ppq_trajectory.h"
 #include "core/query_engine.h"
-#include "datagen/generator.h"
+#include "tests/test_util.h"
 
 /// \file query_executor_test.cc
 /// Executor parity properties: the batched concurrent path (snapshot +
@@ -25,27 +25,10 @@ namespace ppq::core {
 namespace {
 
 TrajectoryDataset SmallDataset(uint64_t seed = 77) {
-  datagen::GeneratorOptions options;
-  options.num_trajectories = 40;
-  options.horizon = 50;
-  options.min_length = 15;
-  options.max_length = 50;
-  options.seed = seed;
-  return datagen::PortoLikeGenerator(options).Generate();
+  return test::MakePortoDataset({40, 50, 15, 50, seed});
 }
 
-std::vector<WindowSpec> SampleWindows(const TrajectoryDataset& data,
-                                      size_t count, Rng* rng) {
-  std::vector<WindowSpec> windows;
-  const auto queries = SampleQueries(data, count, rng);
-  for (const QuerySpec& q : queries) {
-    const double half = rng->Uniform(0.0005, 0.01);
-    windows.push_back({Window{q.position.x - half, q.position.y - half,
-                              q.position.x + half, q.position.y + half},
-                       q.tick});
-  }
-  return windows;
-}
+using test::SampleWindows;
 
 /// Evaluate the full mixed workload through the serial engine.
 struct SerialReference {

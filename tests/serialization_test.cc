@@ -2,27 +2,20 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 
 #include "core/metrics.h"
 #include "core/ppq_trajectory.h"
 #include "core/serialization.h"
-#include "datagen/generator.h"
+#include "tests/test_util.h"
 
 namespace ppq::core {
 namespace {
 
-std::string TempPath(const char* name) {
-  return ::testing::TempDir() + "/" + name;
-}
+using test::TempPath;
 
 TrajectoryDataset SmallDataset() {
-  datagen::GeneratorOptions options;
-  options.num_trajectories = 25;
-  options.horizon = 50;
-  options.min_length = 15;
-  options.max_length = 50;
-  options.seed = 88;
-  return datagen::PortoLikeGenerator(options).Generate();
+  return test::MakePortoDataset({25, 50, 15, 50, 88});
 }
 
 /// Property: a round-tripped summary decodes every point identically, for
@@ -123,6 +116,219 @@ TEST(SerializationTest, RejectsTruncatedFile) {
   }
   const auto loaded = LoadSummary(path);
   EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, LegacyV1GoldenStillLoads) {
+  // tests/golden/legacy_v1.summary was written by the v1 flat-format
+  // writer (before the container refactor). It must keep loading and
+  // decode identically to a freshly compressed summary of the same
+  // deterministic pipeline — the compatibility guarantee documented in
+  // the README.
+  const std::string path =
+      std::string(PPQ_TEST_GOLDEN_DIR) + "/legacy_v1.summary";
+  auto loaded = LoadSummary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const TrajectoryDataset dataset =
+      test::MakePortoDataset({20, 40, 12, 40, 4242});
+  PpqOptions options = MakePpqS();
+  options.enable_index = false;
+  PpqTrajectory method(options);
+  method.Compress(dataset);
+
+  EXPECT_EQ(loaded->NumCodewords(), method.summary().NumCodewords());
+  EXPECT_EQ(loaded->TotalPoints(), method.summary().TotalPoints());
+  EXPECT_EQ(loaded->Size().Total(), method.summary().Size().Total());
+  for (const Trajectory& traj : dataset.trajectories()) {
+    for (size_t i = 0; i < traj.size(); ++i) {
+      const Tick t = traj.start_tick + static_cast<Tick>(i);
+      const auto fresh = method.summary().ReconstructRefined(traj.id, t);
+      const auto golden = loaded->ReconstructRefined(traj.id, t);
+      ASSERT_TRUE(fresh.ok());
+      ASSERT_TRUE(golden.ok());
+      EXPECT_EQ(fresh->x, golden->x);
+      EXPECT_EQ(fresh->y, golden->y);
+    }
+  }
+}
+
+TEST(SerializationTest, HostileElementCountCannotForceHugeAllocation) {
+  // Regression (hostile-header hardening): a v1 file whose codebook count
+  // claims 2^60 entries must be rejected by validating the count against
+  // the bytes actually present — BEFORE any allocation happens. The old
+  // loader looped on reads (no giant alloc for the codebook, but
+  // record.points.reserve() trusted counts); the rewritten decoder
+  // validates every count up front.
+  ByteWriter file;
+  const char magic[8] = {'P', 'P', 'Q', 'S', 'U', 'M', '0', '1'};
+  file.WriteBytes(magic, sizeof(magic));
+  file.WriteU32(kLegacySummaryFormatVersion);
+  file.WriteI32(2);               // prediction order
+  file.WriteU8(0);                // no CQC
+  file.WriteU64(uint64_t{1} << 60);  // forged codebook count
+  const std::string path = TempPath("hostile_codebook.summary");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(file.buffer().data()),
+              static_cast<std::streamsize>(file.size()));
+  }
+  const auto result = LoadSummary(path);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+      << result.status().ToString();
+  std::remove(path.c_str());
+
+  // Same forgery one level deeper: a single record claiming 2^60 points
+  // (this is the exact shape that used to reach reserve() unchecked).
+  ByteWriter record_file;
+  record_file.WriteBytes(magic, sizeof(magic));
+  record_file.WriteU32(kLegacySummaryFormatVersion);
+  record_file.WriteI32(2);   // prediction order
+  record_file.WriteU8(0);    // no CQC
+  record_file.WriteU64(0);   // empty codebook
+  record_file.WriteU64(0);   // no tick codebooks
+  record_file.WriteU64(0);   // no coefficients
+  record_file.WriteU64(1);   // one record
+  record_file.WriteI32(0);   // id
+  record_file.WriteI32(0);   // start tick
+  record_file.WriteU64(uint64_t{1} << 60);  // forged point count
+  const std::string record_path = TempPath("hostile_record.summary");
+  {
+    std::ofstream out(record_path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(record_file.buffer().data()),
+              static_cast<std::streamsize>(record_file.size()));
+  }
+  const auto record_result = LoadSummary(record_path);
+  EXPECT_EQ(record_result.status().code(), StatusCode::kInvalidArgument)
+      << record_result.status().ToString();
+  std::remove(record_path.c_str());
+}
+
+TEST(SerializationTest, HostilePredictionOrderIsRejected) {
+  // Regression: a forged order of -1 used to pass the loader and crash
+  // the process at the first Reconstruct (history.reserve(size_t(-1)));
+  // huge positive orders attempted multi-GB reserves. Both must die at
+  // load time with a clean error.
+  const char magic[8] = {'P', 'P', 'Q', 'S', 'U', 'M', '0', '1'};
+  for (const int32_t order : {int32_t{-1}, int32_t{1} << 30}) {
+    ByteWriter file;
+    file.WriteBytes(magic, sizeof(magic));
+    file.WriteU32(kLegacySummaryFormatVersion);
+    file.WriteI32(order);
+    file.WriteU8(0);   // no CQC
+    file.WriteU64(0);  // empty codebook
+    file.WriteU64(0);  // no tick codebooks
+    file.WriteU64(0);  // no coefficients
+    file.WriteU64(0);  // no records
+    const std::string path = TempPath("hostile_order.summary");
+    {
+      std::ofstream out(path, std::ios::binary);
+      out.write(reinterpret_cast<const char*>(file.buffer().data()),
+                static_cast<std::streamsize>(file.size()));
+    }
+    const auto result = LoadSummary(path);
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+        << "order " << order << ": " << result.status().ToString();
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SerializationTest, HostileRecordStartTickIsRejected) {
+  // Regression: start_tick near INT32_MAX with >= 1 point makes
+  // TrajectoryRecord::ActiveAt overflow signed int at query time (UB);
+  // the span must be validated when the record is decoded.
+  const char magic[8] = {'P', 'P', 'Q', 'S', 'U', 'M', '0', '1'};
+  ByteWriter file;
+  file.WriteBytes(magic, sizeof(magic));
+  file.WriteU32(kLegacySummaryFormatVersion);
+  file.WriteI32(2);  // prediction order
+  file.WriteU8(0);   // no CQC
+  file.WriteU64(0);  // empty codebook
+  file.WriteU64(0);  // no tick codebooks
+  file.WriteU64(0);  // no coefficients
+  file.WriteU64(1);  // one record
+  file.WriteI32(0);  // id
+  file.WriteI32(std::numeric_limits<int32_t>::max());  // forged start tick
+  file.WriteU64(1);  // one point
+  file.WriteI32(-1);  // partition
+  file.WriteI32(0);   // codeword
+  file.WriteU64(0);   // cqc bits
+  file.WriteI32(0);   // cqc length
+  const std::string path = TempPath("hostile_start.summary");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(file.buffer().data()),
+              static_cast<std::streamsize>(file.size()));
+  }
+  const auto result = LoadSummary(path);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+      << result.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, DuplicateTrajectoryIdIsRejected) {
+  // Regression: records serialize from a map, so duplicates only appear
+  // in forged files — and a duplicate used to make GetOrCreate merge two
+  // individually-valid spans (first record's INT32_MAX start, second
+  // record's point) into one that overflows Tick arithmetic in ActiveAt.
+  const char magic[8] = {'P', 'P', 'Q', 'S', 'U', 'M', '0', '1'};
+  ByteWriter file;
+  file.WriteBytes(magic, sizeof(magic));
+  file.WriteU32(kLegacySummaryFormatVersion);
+  file.WriteI32(2);  // prediction order
+  file.WriteU8(0);   // no CQC
+  file.WriteU64(0);  // empty codebook
+  file.WriteU64(0);  // no tick codebooks
+  file.WriteU64(0);  // no coefficients
+  file.WriteU64(2);  // two records, same id
+  file.WriteI32(0);  // id
+  file.WriteI32(std::numeric_limits<int32_t>::max());  // valid alone
+  file.WriteU64(0);  // zero points
+  file.WriteI32(0);  // same id again
+  file.WriteI32(0);  // start 0
+  file.WriteU64(1);  // one point — merged span would overflow
+  file.WriteI32(-1);
+  file.WriteI32(0);
+  file.WriteU64(0);
+  file.WriteI32(0);
+  const std::string path = TempPath("dup_id.summary");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(file.buffer().data()),
+              static_cast<std::streamsize>(file.size()));
+  }
+  const auto result = LoadSummary(path);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+      << result.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, CorruptedContainerKeepsItsDiagnostic) {
+  // A recognised container with a flipped payload bit must report the
+  // checksum mismatch, not be misfiled as "not a PPQ summary file".
+  const TrajectoryDataset dataset = SmallDataset();
+  PpqOptions options = MakePpqSBasic();
+  options.enable_index = false;
+  PpqTrajectory method(options);
+  method.Compress(dataset);
+  const std::string path = TempPath("crc_diag.summary");
+  ASSERT_TRUE(SaveSummary(method.summary(), path).ok());
+  {
+    std::fstream io(path, std::ios::binary | std::ios::in | std::ios::out);
+    io.seekg(0, std::ios::end);
+    const std::streamoff size = io.tellg();
+    io.seekp(size - 1);  // last payload byte
+    char byte = 0;
+    io.seekg(size - 1);
+    io.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    io.seekp(size - 1);
+    io.write(&byte, 1);
+  }
+  const auto result = LoadSummary(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("checksum"), std::string::npos)
+      << result.status().ToString();
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,151 @@
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <functional>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "core/metrics.h"
+#include "core/options.h"
+#include "core/ppq_trajectory.h"
+#include "core/query_engine.h"
+#include "core/query_types.h"
+#include "datagen/generator.h"
+
+/// \file test_util.h
+/// Shared fixture library for the test suites: deterministic dataset
+/// construction, query/window sampling, and the compress-then-query
+/// boilerplate that was previously duplicated across the query and
+/// integration suites. Everything is parameterised by explicit seeds so
+/// each suite keeps the exact workloads it had before the extraction.
+
+namespace ppq::test {
+
+/// Scratch-file path inside gtest's temp directory, made unique per test
+/// instance: ctest runs parameterized instances of one suite as separate
+/// parallel processes, so a bare shared filename (the historical pattern)
+/// races — two instances overwrite each other's scratch file mid-read.
+inline std::string TempPath(const char* name) {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  size_t tag = 0;
+  if (info != nullptr) {
+    tag = std::hash<std::string>{}(std::string(info->test_suite_name()) +
+                                   "." + info->name());
+  }
+  return ::testing::TempDir() + "/" + std::to_string(tag) + "_" + name;
+}
+
+/// Whole-file read for byte-level format assertions.
+inline std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << "cannot open " << path;
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+/// Whole-file overwrite used to plant (possibly corrupted) images.
+inline void WriteFileBytes(const std::string& path,
+                           const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  EXPECT_TRUE(static_cast<bool>(out)) << "cannot write " << path;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// \brief Shape of a synthetic dataset. Defaults match the query suites'
+/// historical "small Porto" workload.
+struct DatasetSpec {
+  int num_trajectories = 40;
+  Tick horizon = 50;
+  int min_length = 15;
+  int max_length = 50;
+  uint64_t seed = 77;
+};
+
+/// Porto-like workload (dense urban trips) for \p spec.
+inline TrajectoryDataset MakePortoDataset(const DatasetSpec& spec) {
+  datagen::GeneratorOptions options;
+  options.num_trajectories = spec.num_trajectories;
+  options.horizon = spec.horizon;
+  options.min_length = spec.min_length;
+  options.max_length = spec.max_length;
+  options.seed = spec.seed;
+  return datagen::PortoLikeGenerator(options).Generate();
+}
+
+/// GeoLife-like workload (long wide-area trajectories) for \p spec.
+inline TrajectoryDataset MakeGeoLifeDataset(const DatasetSpec& spec) {
+  datagen::GeneratorOptions options;
+  options.num_trajectories = spec.num_trajectories;
+  options.horizon = spec.horizon;
+  options.min_length = spec.min_length;
+  options.max_length = spec.max_length;
+  options.seed = spec.seed;
+  return datagen::GeoLifeLikeGenerator(options).Generate();
+}
+
+/// Random query windows centred on sampled query points, with half-width
+/// drawn from [0.0005, 0.01) — the executor suite's historical workload.
+inline std::vector<core::WindowSpec> SampleWindows(
+    const TrajectoryDataset& data, size_t count, Rng* rng) {
+  std::vector<core::WindowSpec> windows;
+  const auto queries = core::SampleQueries(data, count, rng);
+  for (const core::QuerySpec& q : queries) {
+    const double half = rng->Uniform(0.0005, 0.01);
+    windows.push_back(
+        {core::Window{q.position.x - half, q.position.y - half,
+                      q.position.x + half, q.position.y + half},
+         q.tick});
+  }
+  return windows;
+}
+
+/// Axis-aligned square window of half-width \p half around \p center.
+inline core::Window WindowAround(const Point& center, double half) {
+  return {center.x - half, center.y - half, center.x + half,
+          center.y + half};
+}
+
+/// \brief Dataset + compressed method + single-query engine: the
+/// compress-then-query boilerplate shared by the query suites.
+struct MethodFixture {
+  TrajectoryDataset dataset;
+  std::unique_ptr<core::PpqTrajectory> method;
+  std::unique_ptr<core::QueryEngine> engine;
+};
+
+/// Compress \p dataset with explicit \p options and bind a query engine.
+inline MethodFixture MakeFixtureWithOptions(TrajectoryDataset dataset,
+                                            const core::PpqOptions& options) {
+  MethodFixture f;
+  f.dataset = std::move(dataset);
+  f.method = std::make_unique<core::PpqTrajectory>(options);
+  f.method->Compress(f.dataset);
+  f.engine = std::make_unique<core::QueryEngine>(f.method.get(), &f.dataset,
+                                                 options.tpi.pi.cell_size);
+  return f;
+}
+
+/// Compress \p dataset with the named MakeMethod family member (applied
+/// over \p base, like the benches do) and bind a query engine.
+inline MethodFixture MakeMethodFixture(const std::string& method_name,
+                                       TrajectoryDataset dataset,
+                                       core::PpqOptions base = {}) {
+  MethodFixture f;
+  f.dataset = std::move(dataset);
+  f.method = core::MakeMethod(method_name, base);
+  f.method->Compress(f.dataset);
+  f.engine = std::make_unique<core::QueryEngine>(f.method.get(), &f.dataset,
+                                                 base.tpi.pi.cell_size);
+  return f;
+}
+
+}  // namespace ppq::test

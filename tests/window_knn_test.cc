@@ -5,7 +5,7 @@
 #include "core/metrics.h"
 #include "core/ppq_trajectory.h"
 #include "core/query_engine.h"
-#include "datagen/generator.h"
+#include "tests/test_util.h"
 
 /// \file window_knn_test.cc
 /// Tests for the query-engine extensions: rectangular window queries and
@@ -14,32 +14,12 @@
 namespace ppq::core {
 namespace {
 
-struct Fixture {
-  TrajectoryDataset dataset;
-  std::unique_ptr<PpqTrajectory> method;
-  std::unique_ptr<QueryEngine> engine;
-};
+using Fixture = test::MethodFixture;
+using test::WindowAround;
 
 Fixture MakeFixture(uint64_t seed = 9) {
-  Fixture f;
-  datagen::GeneratorOptions gen;
-  gen.num_trajectories = 60;
-  gen.horizon = 60;
-  gen.min_length = 20;
-  gen.max_length = 60;
-  gen.seed = seed;
-  f.dataset = datagen::PortoLikeGenerator(gen).Generate();
-  PpqOptions options = MakePpqA();
-  f.method = std::make_unique<PpqTrajectory>(options);
-  f.method->Compress(f.dataset);
-  f.engine = std::make_unique<QueryEngine>(f.method.get(), &f.dataset,
-                                           options.tpi.pi.cell_size);
-  return f;
-}
-
-QueryEngine::Window WindowAround(const Point& center, double half) {
-  return {center.x - half, center.y - half, center.x + half,
-          center.y + half};
+  return test::MakeFixtureWithOptions(
+      test::MakePortoDataset({60, 60, 20, 60, seed}), MakePpqA());
 }
 
 // ---------------------------------------------------------------------------
@@ -176,11 +156,9 @@ TEST(NearestTrajectoriesTest, ZeroKReturnsEmpty) {
 }
 
 TEST(NearestTrajectoriesTest, NoIndexReturnsEmpty) {
-  datagen::GeneratorOptions gen;
-  gen.num_trajectories = 5;
-  gen.horizon = 20;
+  // GeneratorOptions defaults except the size: 5 trips, 20-tick horizon.
   const TrajectoryDataset dataset =
-      datagen::PortoLikeGenerator(gen).Generate();
+      test::MakePortoDataset({5, 20, 30, 400, 42});
   PpqOptions options = MakePpqA();
   options.enable_index = false;
   PpqTrajectory method(options);
