@@ -19,7 +19,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -98,12 +100,12 @@ core::SnapshotPtr BuildSnapshot(const BenchOptions& options,
   return method->Seal();
 }
 
-core::QueryExecutor MakeExecutor(const core::SnapshotPtr& snapshot,
-                                 const TrajectoryDataset& data,
-                                 size_t threads) {
+core::QueryExecutor MakeExecutor(
+    const core::SnapshotPtr& snapshot,
+    std::shared_ptr<const TrajectoryDataset> data, size_t threads) {
   core::QueryExecutor::Options exec_options;
   exec_options.num_threads = threads == 0 ? 1 : threads;
-  exec_options.raw = &data;
+  exec_options.raw = std::move(data);
   exec_options.cell_size = 100.0 / kMetersPerDegree;
   return core::QueryExecutor(snapshot, exec_options);
 }
@@ -137,11 +139,13 @@ int RunCheck(const BenchOptions& options, const std::string& path) {
   // Serve the standard workload from the loaded snapshot; the dataset is
   // regenerated deterministically from the same options, so a healthy
   // snapshot must produce hits.
-  const DatasetBundle bundle = MakePortoBundle(options);
+  DatasetBundle bundle = MakePortoBundle(options);
   const Workload workload =
       MakeWorkload(bundle.data, options.queries, options.seed + 7);
+  const auto raw = std::make_shared<const TrajectoryDataset>(
+      std::move(bundle.data));
   core::QueryExecutor executor =
-      MakeExecutor(*snapshot, bundle.data, options.threads);
+      MakeExecutor(*snapshot, raw, options.threads);
   const MixedResults results = Serve(executor, workload);
   std::printf("served %zu hits from the loaded snapshot\n", results.Hits());
   if (results.Hits() == 0) {
@@ -194,10 +198,12 @@ int Run(const BenchOptions& options, const std::string& path) {
   // are exactly the ones the writer would have served.
   const Workload workload =
       MakeWorkload(bundle.data, options.queries, options.seed + 7);
+  const auto raw = std::make_shared<const TrajectoryDataset>(
+      std::move(bundle.data));
   core::QueryExecutor sealed_executor =
-      MakeExecutor(sealed, bundle.data, options.threads);
+      MakeExecutor(sealed, raw, options.threads);
   core::QueryExecutor loaded_executor =
-      MakeExecutor(*loaded, bundle.data, options.threads);
+      MakeExecutor(*loaded, raw, options.threads);
   const MixedResults reference = Serve(sealed_executor, workload);
 
   WallTimer serve_timer;

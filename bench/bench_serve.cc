@@ -1,19 +1,37 @@
 /// \file bench_serve.cc
-/// Concurrent serving benchmark for the writer/reader split: compress a
-/// Porto-like workload with PPQ-A, Seal() it into an immutable
-/// SummarySnapshot, and measure queries/sec of the batched QueryExecutor
-/// over a mixed STRQ / window / k-NN workload at 1/2/4/8 threads
-/// (or a single count with --threads=N). Before timing, every batch
-/// result is checked byte-identical against the serial QueryEngine — the
-/// speedup is only worth reporting if the answers are exactly the same.
+/// Concurrent serving benchmark for the async serving stack, two modes:
 ///
-/// Output ends with one [serve] line per thread count:
+/// Default (batch ladder): compress a Porto-like workload with PPQ-A,
+/// Seal() it, and measure queries/sec of the batched QueryExecutor shims
+/// over a mixed STRQ / window / k-NN workload at 1/2/4/8 threads (or a
+/// single count with --threads=N). Before timing, every batch result is
+/// checked byte-identical against the serial QueryEngine. Output ends
+/// with one [serve] line per thread count:
 ///   [serve] threads=4 queries=3500 seconds=0.81 qps=4321 speedup=2.73
-/// plus the shared [throughput] lines (phase=serve) for the perf trail.
+///
+/// --mixed (request stream): the production shape — N submitter threads
+/// (--submitters=N, default 4) drive one futures-based QueryService with
+/// an interleaved STRQ / window / k-NN / TPQ stream (closed loop: each
+/// submitter keeps one request in flight), every response is
+/// parity-checked against the serial engine, and per-request latency is
+/// recorded from submission to future resolution:
+///   [mixed] threads=4 submitters=4 requests=1750 seconds=0.42 qps=4123
+///           identical=yes
+///   [latency] p50_us=812 p95_us=2100 p99_us=3400 max_us=5120
+///
+/// Both modes emit the shared [throughput] lines (phase=serve) for the
+/// perf trail and exit non-zero if any result diverges from the serial
+/// engine.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <thread>
+#include <utility>
+#include <variant>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -22,6 +40,7 @@
 #include "core/metrics.h"
 #include "core/query_engine.h"
 #include "core/query_executor.h"
+#include "core/query_service.h"
 
 namespace ppq::bench {
 namespace {
@@ -65,6 +84,7 @@ struct MixedResults {
 };
 
 constexpr size_t kKnnK = 8;
+constexpr int kTpqLength = 8;
 
 MixedResults RunSerial(const core::QueryEngine& engine, const Workload& w) {
   MixedResults r;
@@ -97,9 +117,172 @@ size_t EvaluationsPerPass(const Workload& w) {
   return 2 * w.strq.size() + w.windows.size() + w.knn.size();
 }
 
+// ---------------------------------------------------------------------------
+// --mixed: interleaved request stream against the QueryService
+// ---------------------------------------------------------------------------
+
+/// The response payload variant, shared by the service and the serial
+/// reference so parity is one == per request.
+using Payload =
+    std::variant<core::StrqResult, std::vector<core::Neighbor>,
+                 core::TpqResult>;
+
+/// All four request kinds interleaved into one deterministic stream.
+std::vector<core::QueryRequest> MakeMixedStream(const TrajectoryDataset& data,
+                                                size_t queries,
+                                                uint64_t seed) {
+  std::vector<core::QueryRequest> stream;
+  Rng rng(seed);
+  for (const auto& q : core::SampleQueries(data, queries / 2, &rng)) {
+    stream.push_back(core::StrqRequest{q, core::StrqMode::kExact});
+  }
+  for (const auto& q : core::SampleQueries(data, queries / 2, &rng)) {
+    stream.push_back(core::StrqRequest{q, core::StrqMode::kLocalSearch});
+  }
+  for (const auto& q : core::SampleQueries(data, queries / 2, &rng)) {
+    const double half = rng.Uniform(0.001, 0.01);
+    stream.push_back(core::WindowRequest{
+        {core::Window{q.position.x - half, q.position.y - half,
+                      q.position.x + half, q.position.y + half},
+         q.tick},
+        core::StrqMode::kExact});
+  }
+  for (const auto& q : core::SampleQueries(data, queries / 4, &rng)) {
+    stream.push_back(core::KnnRequest{q, kKnnK});
+  }
+  for (const auto& q : core::SampleQueries(data, queries / 4, &rng)) {
+    stream.push_back(core::TpqRequest{q, kTpqLength, core::StrqMode::kExact});
+  }
+  std::shuffle(stream.begin(), stream.end(), rng.engine());
+  return stream;
+}
+
+Payload EvalSerial(const core::QueryEngine& engine,
+                   const core::QueryRequest& request) {
+  if (const auto* r = std::get_if<core::StrqRequest>(&request)) {
+    return engine.Strq(r->query, r->mode);
+  }
+  if (const auto* r = std::get_if<core::WindowRequest>(&request)) {
+    return engine.WindowQuery(r->window.window, r->window.tick, r->mode);
+  }
+  if (const auto* r = std::get_if<core::KnnRequest>(&request)) {
+    return engine.NearestTrajectories(r->query, r->k);
+  }
+  const auto& r = std::get<core::TpqRequest>(request);
+  return engine.Tpq(r.query, r.length, r.mode);
+}
+
+int RunMixed(const BenchOptions& options, size_t submitters) {
+  std::printf("=== bench_serve --mixed: async QueryService, %zu submitter "
+              "thread(s) ===\n", submitters);
+  DatasetBundle bundle = MakePortoBundle(options);
+  std::printf("dataset: %s, %zu trajectories, %zu points\n",
+              bundle.name.c_str(), bundle.data.size(),
+              bundle.data.TotalPoints());
+
+  MethodSetup setup;
+  setup.mode = core::QuantizationMode::kErrorBounded;
+  auto method = MakeCompressor("PPQ-A", bundle, setup);
+  CompressTimed(*method, bundle.data);
+  const core::SnapshotPtr snapshot = method->Seal();
+
+  const double cell_size = 100.0 / kMetersPerDegree;
+  const std::vector<core::QueryRequest> stream =
+      MakeMixedStream(bundle.data, options.queries, options.seed + 99);
+  std::printf("stream: %zu interleaved requests (STRQ exact+local, window, "
+              "kNN, TPQ)\n", stream.size());
+
+  // The dataset moves into shared ownership (no copy): the serial
+  // reference engine and the service verify against the same object.
+  const auto raw = std::make_shared<const TrajectoryDataset>(
+      std::move(bundle.data));
+
+  // Serial reference for every request, and the serial-serving baseline.
+  const core::QueryEngine engine(method.get(), raw.get(), cell_size);
+  std::vector<Payload> reference;
+  reference.reserve(stream.size());
+  WallTimer serial_timer;
+  for (const core::QueryRequest& request : stream) {
+    reference.push_back(EvalSerial(engine, request));
+  }
+  PrintThroughput("QueryEngine", "serve", stream.size(),
+                  serial_timer.ElapsedSeconds());
+
+  const size_t threads = options.threads == 0 ? 4 : options.threads;
+  core::QueryService::Options serve_options;
+  serve_options.num_threads = threads;
+  serve_options.raw = raw;
+  serve_options.cell_size = cell_size;
+  core::QueryService service(snapshot, serve_options);
+
+  // Closed-loop submitters: thread s owns request indices s, s+S, s+2S...
+  // and keeps exactly one in flight, so concurrency = #submitters and the
+  // recorded latency spans submission -> future resolution.
+  std::vector<Payload> served(stream.size());
+  std::vector<std::vector<uint64_t>> latencies(submitters);
+  WallTimer stream_timer;
+  std::vector<std::thread> threads_vec;
+  threads_vec.reserve(submitters);
+  for (size_t s = 0; s < submitters; ++s) {
+    threads_vec.emplace_back([&, s] {
+      for (size_t i = s; i < stream.size(); i += submitters) {
+        const auto start = std::chrono::steady_clock::now();
+        core::QueryResponse response = service.Submit(stream[i]).get();
+        latencies[s].push_back(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()));
+        served[i] = std::move(response.result);
+      }
+    });
+  }
+  for (std::thread& t : threads_vec) t.join();
+  const double seconds = stream_timer.ElapsedSeconds();
+
+  bool identical = true;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    if (!(served[i] == reference[i])) {
+      identical = false;
+      break;
+    }
+  }
+
+  std::vector<uint64_t> all;
+  for (const auto& per_thread : latencies) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  std::sort(all.begin(), all.end());
+  const auto percentile = [&](double p) -> uint64_t {
+    if (all.empty()) return 0;
+    const size_t idx = static_cast<size_t>(p * (all.size() - 1) + 0.5);
+    return all[std::min(idx, all.size() - 1)];
+  };
+
+  const double qps =
+      seconds > 0.0 ? static_cast<double>(stream.size()) / seconds : 0.0;
+  PrintThroughput("QueryService/" + std::to_string(threads) + "t", "serve",
+                  stream.size(), seconds);
+  std::printf("[mixed] threads=%zu submitters=%zu requests=%zu "
+              "seconds=%.4f qps=%.0f identical=%s\n",
+              threads, submitters, stream.size(), seconds, qps,
+              identical ? "yes" : "NO");
+  std::printf("[latency] p50_us=%llu p95_us=%llu p99_us=%llu max_us=%llu\n",
+              static_cast<unsigned long long>(percentile(0.50)),
+              static_cast<unsigned long long>(percentile(0.95)),
+              static_cast<unsigned long long>(percentile(0.99)),
+              static_cast<unsigned long long>(all.empty() ? 0 : all.back()));
+
+  if (!identical) {
+    std::printf("ERROR: service responses diverged from the serial "
+                "engine\n");
+    return 1;
+  }
+  return 0;
+}
+
 int Run(const BenchOptions& options) {
   std::printf("=== bench_serve: snapshot + concurrent batched executor ===\n");
-  const DatasetBundle bundle = MakePortoBundle(options);
+  DatasetBundle bundle = MakePortoBundle(options);
   std::printf("dataset: %s, %zu trajectories, %zu points\n",
               bundle.name.c_str(), bundle.data.size(),
               bundle.data.TotalPoints());
@@ -124,8 +307,13 @@ int Run(const BenchOptions& options) {
               workload.strq.size(), workload.windows.size(),
               workload.knn.size(), evaluations);
 
+  // The dataset moves into shared ownership (no copy) for the executor
+  // shims; the serial engine verifies against the same object.
+  const auto raw = std::make_shared<const TrajectoryDataset>(
+      std::move(bundle.data));
+
   // Serial reference: the single-query engine, timed the same way.
-  const core::QueryEngine engine(method.get(), &bundle.data, cell_size);
+  const core::QueryEngine engine(method.get(), raw.get(), cell_size);
   WallTimer serial_timer;
   const MixedResults reference = RunSerial(engine, workload);
   const double serial_seconds = serial_timer.ElapsedSeconds();
@@ -143,7 +331,7 @@ int Run(const BenchOptions& options) {
   for (size_t threads : ladder) {
     core::QueryExecutor::Options exec_options;
     exec_options.num_threads = threads;
-    exec_options.raw = &bundle.data;
+    exec_options.raw = raw;
     exec_options.cell_size = cell_size;
     core::QueryExecutor executor(snapshot, exec_options);
 
@@ -186,13 +374,26 @@ int Run(const BenchOptions& options) {
 
 int main(int argc, char** argv) {
   ppq::bench::BenchOptions options = ppq::bench::ParseArgs(argc, argv);
-  // bench_serve sweeps the thread ladder by default.
   bool threads_given = false;
+  bool mixed = false;
+  size_t submitters = 4;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]).rfind("--threads=", 0) == 0) {
-      threads_given = true;
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) threads_given = true;
+    if (arg == "--mixed") mixed = true;
+    if (arg.rfind("--submitters=", 0) == 0) {
+      submitters = static_cast<size_t>(
+          std::strtoull(arg.substr(13).c_str(), nullptr, 10));
+      if (submitters == 0) submitters = 1;
     }
   }
+  if (mixed) {
+    // --mixed serves with --threads workers (default 4), driven by
+    // --submitters caller threads.
+    if (!threads_given) options.threads = 0;
+    return ppq::bench::RunMixed(options, submitters);
+  }
+  // The batch ladder sweeps 1/2/4/8 threads by default.
   if (!threads_given) options.threads = 0;
   return ppq::bench::Run(options);
 }

@@ -6,18 +6,19 @@
 /// in the next l ticks?" (forecasting over the summary).
 ///
 /// The example runs the stream in two phases to show the writer/reader
-/// split: ingestion never stops; the operator's queries run against
-/// immutable Seal() snapshots that are re-cut (and hot-swapped into the
-/// query executor) as the stream advances.
+/// split: ingestion never stops; the operator's queries are submitted
+/// asynchronously to a QueryService serving immutable Seal() snapshots
+/// that are re-cut (and atomically hot-swapped) as the stream advances.
 
 #include <cstdio>
+#include <future>
+#include <memory>
 
 #include "common/geo.h"
 #include "core/forecast.h"
 #include "core/metrics.h"
 #include "core/ppq_trajectory.h"
-#include "core/query_engine.h"
-#include "core/query_executor.h"
+#include "core/query_service.h"
 #include "datagen/generator.h"
 
 int main() {
@@ -29,7 +30,9 @@ int main() {
   gen.horizon = 300;
   gen.max_length = 250;
   gen.seed = 2026;
-  const TrajectoryDataset fleet = datagen::PortoLikeGenerator(gen).Generate();
+  const auto shared_fleet = std::make_shared<const TrajectoryDataset>(
+      datagen::PortoLikeGenerator(gen).Generate());
+  const TrajectoryDataset& fleet = *shared_fleet;
 
   core::PpqOptions options = core::MakePpqA();
   core::PpqTrajectory monitor(options);
@@ -45,33 +48,37 @@ int main() {
               static_cast<double>(monitor.SummaryBytes()) / 1024.0);
 
   // Mid-stream serving: seal what has been ingested so far into an
-  // immutable snapshot. The monitor keeps encoding; the operator's
-  // queries never touch writer state.
-  core::QueryExecutor::Options exec_options;
-  exec_options.num_threads = 4;
-  exec_options.raw = &fleet;
-  exec_options.cell_size = options.tpi.pi.cell_size;
-  core::QueryExecutor executor(monitor.Seal(), exec_options);
+  // immutable snapshot served by an asynchronous QueryService. The
+  // monitor keeps encoding; the operator's queries never touch writer
+  // state, and submission never blocks the operator's thread.
+  core::QueryService::Options serve_options;
+  serve_options.num_threads = 4;
+  serve_options.raw = shared_fleet;  // owned by the service
+  serve_options.cell_size = options.tpi.pi.cell_size;
+  core::QueryService service(monitor.Seal(), serve_options);
 
   // STRQ: who passed the busiest spot? Probe a vehicle mid-trip (and
-  // inside the ingested phase).
+  // inside the ingested phase). The path query (TPQ) for the same spot
+  // rides the same submission — one request vocabulary for all four
+  // query types.
   const Trajectory& probe = fleet[42];
   const Tick probe_tick = std::min<Tick>(
       probe.start_tick + static_cast<Tick>(probe.size()) / 2, phase1_end - 20);
   const core::QuerySpec mid_query{probe.At(probe_tick), probe_tick};
-  const auto mid_batch =
-      executor.StrqBatch({mid_query}, core::StrqMode::kExact);
-  const auto& mid = mid_batch[0];
-  std::printf("STRQ @t=%d: %zu vehicles in the query cell (%zu candidates "
-              "verified, %zu serving threads)\n",
-              probe_tick, mid.ids.size(), mid.candidates_visited,
-              executor.num_threads());
+  std::future<core::QueryResponse> strq_future =
+      service.Submit(core::StrqRequest{mid_query, core::StrqMode::kExact});
+  std::future<core::QueryResponse> tpq_future = service.Submit(
+      core::TpqRequest{mid_query, /*length=*/15, core::StrqMode::kExact});
 
-  // Path query: where did they go in the following 15 ticks? (TPQ is a
-  // single-query flow; the engine serves it off the same snapshot.)
-  const core::QueryEngine engine(executor.snapshot(), &fleet,
-                                 options.tpi.pi.cell_size);
-  const auto paths = engine.Tpq(mid_query, 15, core::StrqMode::kExact);
+  const core::QueryResponse strq_response = strq_future.get();
+  const core::StrqResult& mid = strq_response.strq();
+  std::printf("STRQ @t=%d: %zu vehicles in the query cell (%zu candidates "
+              "verified, %zu points decoded, %zu serving threads)\n",
+              probe_tick, mid.ids.size(), mid.candidates_visited,
+              strq_response.stats.points_decoded, service.num_threads());
+
+  // Path query answer: where did they go in the following 15 ticks?
+  const core::TpqResult paths = tpq_future.get().tpq();
   for (size_t i = 0; i < paths.ids.size() && i < 3; ++i) {
     const auto& path = paths.paths[i];
     if (path.empty()) continue;
@@ -105,18 +112,23 @@ int main() {
   }
   monitor.Finish();
 
-  // Re-seal and hot-swap: the executor now serves the full day.
-  executor.UpdateSnapshot(monitor.Seal());
+  // Re-seal and hot-swap: an atomic snapshot exchange — queries already
+  // in flight finish on the seal they pinned, new submissions see the
+  // full day.
+  service.UpdateSnapshot(monitor.Seal());
   const Tick evening = phase1_end + 50;
   const auto& active = fleet.ActiveIdsAt(evening);
   if (!active.empty()) {
     const Trajectory& witness = fleet[static_cast<size_t>(active.front())];
-    const auto evening_batch = executor.StrqBatch(
-        {core::QuerySpec{witness.At(evening), evening}},
-        core::StrqMode::kLocalSearch);
+    const core::QueryResponse evening_response =
+        service
+            .Submit(core::StrqRequest{
+                core::QuerySpec{witness.At(evening), evening},
+                core::StrqMode::kLocalSearch})
+            .get();
     std::printf("after re-seal, STRQ @t=%d sees %zu of %zu active "
                 "vehicles in the query cell\n",
-                evening, evening_batch[0].ids.size(), active.size());
+                evening, evening_response.strq().ids.size(), active.size());
   }
 
   std::printf("\nend of day: %zu vehicles, %zu points, ratio %.2fx, "

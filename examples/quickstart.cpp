@@ -4,30 +4,39 @@
 ///   2. compress it online with PPQ-A (autocorrelation partitions + CQC),
 ///   3. inspect the summary (size breakdown, compression ratio, MAE),
 ///   4. run a spatio-temporal range query (STRQ) and a path query (TPQ),
-///   5. seal an immutable snapshot and serve a query batch concurrently.
+///   5. seal an immutable snapshot and serve a mixed asynchronous query
+///      stream through the futures-based QueryService.
 ///
 /// Build & run:
 ///   cmake -B build -G Ninja && cmake --build build
 ///   ./build/examples/quickstart
 
 #include <cstdio>
+#include <future>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "core/metrics.h"
 #include "core/ppq_trajectory.h"
 #include "core/query_engine.h"
-#include "core/query_executor.h"
+#include "core/query_service.h"
 #include "datagen/generator.h"
 
 int main() {
   using namespace ppq;
 
   // 1. A small Porto-like workload: 300 taxi trips on a shared tick grid.
+  //    Held by shared_ptr so the serving stack can own its verification
+  //    data (QueryService::Options::raw).
   datagen::GeneratorOptions gen_options;
   gen_options.num_trajectories = 300;
   gen_options.horizon = 400;
   gen_options.max_length = 200;
   datagen::PortoLikeGenerator generator(gen_options);
-  const TrajectoryDataset dataset = generator.Generate();
+  const auto shared_dataset =
+      std::make_shared<const TrajectoryDataset>(generator.Generate());
+  const TrajectoryDataset& dataset = *shared_dataset;
   std::printf("dataset: %zu trajectories, %zu points\n", dataset.size(),
               dataset.TotalPoints());
 
@@ -74,22 +83,40 @@ int main() {
   }
 
   // 5. Concurrent serving: seal the writer into an immutable snapshot and
-  //    fan a query batch across worker threads. Batch results are
-  //    byte-identical to the serial engine's, whatever the thread count.
-  const core::SnapshotPtr snapshot = ppq.Seal();
-  core::QueryExecutor::Options exec_options;
-  exec_options.num_threads = 4;
-  exec_options.raw = &dataset;
-  exec_options.cell_size = options.tpi.pi.cell_size;
-  core::QueryExecutor executor(snapshot, exec_options);
+  //    submit a mixed asynchronous stream through QueryService. Every
+  //    request kind rides the one QueryRequest vocabulary; each future
+  //    resolves to a QueryResponse whose results are byte-identical to the
+  //    serial engine's, whatever the worker count.
+  core::QueryService::Options serve_options;
+  serve_options.num_threads = 4;
+  serve_options.raw = shared_dataset;  // owned: cannot dangle
+  serve_options.cell_size = options.tpi.pi.cell_size;
+  core::QueryService service(ppq.Seal(), serve_options);
 
   Rng rng(7);
-  const auto batch = core::SampleQueries(dataset, 64, &rng);
-  const auto batch_results =
-      executor.StrqBatch(batch, core::StrqMode::kExact);
-  size_t total_hits = 0;
-  for (const auto& r : batch_results) total_hits += r.ids.size();
-  std::printf("executor: served %zu STRQs on %zu threads, %zu matches\n",
-              batch_results.size(), executor.num_threads(), total_hits);
+  std::vector<core::QueryRequest> requests;
+  for (const auto& q : core::SampleQueries(dataset, 64, &rng)) {
+    requests.push_back(core::StrqRequest{q, core::StrqMode::kExact});
+  }
+  for (const auto& q : core::SampleQueries(dataset, 16, &rng)) {
+    requests.push_back(core::KnnRequest{q, /*k=*/4});
+  }
+  std::vector<std::future<core::QueryResponse>> futures =
+      service.SubmitBatch(std::move(requests));
+
+  size_t total_hits = 0, total_neighbors = 0, points_decoded = 0;
+  for (auto& future : futures) {
+    const core::QueryResponse response = future.get();
+    if (response.kind == core::QueryKind::kStrq) {
+      total_hits += response.strq().ids.size();
+    } else {
+      total_neighbors += response.neighbors().size();
+    }
+    points_decoded += response.stats.points_decoded;
+  }
+  std::printf("service: %zu async queries on %zu workers -> %zu STRQ "
+              "matches, %zu neighbors (%zu points decoded)\n",
+              futures.size(), service.num_threads(), total_hits,
+              total_neighbors, points_decoded);
   return 0;
 }

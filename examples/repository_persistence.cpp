@@ -10,12 +10,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <vector>
 
 #include "common/geo.h"
 #include "core/forecast.h"
 #include "core/metrics.h"
 #include "core/ppq_trajectory.h"
-#include "core/query_executor.h"
+#include "core/query_service.h"
 #include "core/serialization.h"
 #include "datagen/generator.h"
 #include "storage/page_manager.h"
@@ -28,8 +30,9 @@ int main() {
   gen.horizon = 300;
   gen.max_length = 200;
   gen.seed = 99;
-  const TrajectoryDataset dataset =
-      datagen::PortoLikeGenerator(gen).Generate();
+  const auto shared_dataset = std::make_shared<const TrajectoryDataset>(
+      datagen::PortoLikeGenerator(gen).Generate());
+  const TrajectoryDataset& dataset = *shared_dataset;
 
   // Compress with PPQ-S — summary, CQC codes, and the temporal index.
   core::PpqOptions options = core::MakePpqS();
@@ -68,20 +71,24 @@ int main() {
                   read_pager.io_stats().pages_read),
               (*reopened)->NumTrajectories(), (*reopened)->name().c_str());
 
-  // Serve a query batch from the loaded snapshot with zero recompression.
-  core::QueryExecutor::Options exec_options;
-  exec_options.num_threads = 4;
-  exec_options.raw = &dataset;
-  core::QueryExecutor executor(*reopened, exec_options);
+  // Serve an async query stream from the loaded snapshot with zero
+  // recompression.
+  core::QueryService::Options serve_options;
+  serve_options.num_threads = 4;
+  serve_options.raw = shared_dataset;
+  core::QueryService service(*reopened, serve_options);
   Rng rng(5);
-  const auto queries = core::SampleQueries(dataset, 200, &rng);
+  std::vector<core::QueryRequest> requests;
+  for (const auto& q : core::SampleQueries(dataset, 200, &rng)) {
+    requests.push_back(core::StrqRequest{q, core::StrqMode::kLocalSearch});
+  }
+  const size_t num_queries = requests.size();
   size_t hits = 0;
-  for (const core::StrqResult& r :
-       executor.StrqBatch(queries, core::StrqMode::kLocalSearch)) {
-    hits += r.ids.size();
+  for (auto& future : service.SubmitBatch(std::move(requests))) {
+    hits += future.get().strq().ids.size();
   }
   std::printf("served %zu STRQ queries from the file (%zu hits)\n",
-              queries.size(), hits);
+              num_queries, hits);
 
   // --- Decode-only path: the bare summary file ----------------------------
   const char* summary_path = "/tmp/ppq_repository.summary";

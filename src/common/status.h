@@ -20,6 +20,7 @@ enum class StatusCode {
   kAlreadyExists,
   kIOError,
   kInternal,
+  kCancelled,
 };
 
 /// \brief Outcome of a fallible operation: a code plus a human-readable
@@ -50,6 +51,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -73,6 +77,7 @@ class Status {
       case StatusCode::kAlreadyExists: return "Already exists";
       case StatusCode::kIOError: return "I/O error";
       case StatusCode::kInternal: return "Internal error";
+      case StatusCode::kCancelled: return "Cancelled";
     }
     return "Unknown";
   }

@@ -4,25 +4,49 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 /// \file thread_pool.h
-/// A small reusable worker pool built for batched query serving: one
-/// ParallelFor call fans a contiguous index range across persistent worker
-/// threads with dynamic (work-stealing-counter) load balancing. The caller
-/// participates as worker 0, so a pool of size N uses N-1 background
-/// threads and a pool of size 1 degenerates to an inline loop with zero
-/// synchronization — serial and parallel runs share one code path.
+/// A small reusable worker pool built for batched query serving, with two
+/// job shapes over one set of persistent workers:
+///
+///  - ParallelFor: fans a contiguous index range across the workers with
+///    dynamic (work-stealing-counter) load balancing. The caller
+///    participates as worker 0, so a pool of size N uses N-1 background
+///    threads and a pool of size 1 degenerates to an inline loop with zero
+///    synchronization — serial and parallel runs share one code path.
+///  - Post / Submit: enqueue one task for asynchronous execution on a
+///    background worker (Submit additionally returns a std::future for the
+///    task's result). This is the substrate of the futures-based
+///    QueryService: many producer threads Post concurrently, the pool
+///    drains. On a pool of size 1 (no background workers) the task runs
+///    inline in the calling thread — serialized against other inline
+///    work, so two concurrent posters never both execute as worker 0 —
+///    and code written against Post/Submit degenerates to synchronous
+///    execution instead of deadlocking. (Corollary: on a size-1 pool, do
+///    not Post/Submit from inside a task or ParallelFor callback; the
+///    inline serialization would self-deadlock.)
 ///
 /// Thread-safety contract: ParallelFor is NOT reentrant and must not be
-/// called from two threads at once (one executor batch at a time). The
-/// callback receives (worker, index) with worker < size(), letting callers
+/// called from two threads at once (one executor batch at a time). Post
+/// and Submit ARE safe to call from any number of threads concurrently,
+/// including while a ParallelFor is in flight (workers prefer the
+/// ParallelFor job, then drain the task queue). The callback receives
+/// (worker, index) / (worker) with worker < size(), letting callers
 /// maintain per-worker scratch without locks. Indices are each executed
 /// exactly once; completion of ParallelFor happens-after every callback.
+/// Destruction drains: tasks already Posted run to completion before the
+/// workers join, so futures obtained from Submit never dangle — but no new
+/// Post/Submit/ParallelFor may race with the destructor.
 
 namespace ppq {
 
@@ -30,6 +54,8 @@ namespace ppq {
 class ThreadPool {
  public:
   using Task = std::function<void(size_t worker, size_t index)>;
+  /// A single queued task: receives the id of the worker running it.
+  using PostedTask = std::function<void(size_t worker)>;
 
   /// \param num_threads total workers including the caller; 0 means
   ///        std::thread::hardware_concurrency().
@@ -57,6 +83,44 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   size_t size() const { return num_threads_; }
+  /// Background workers available to Post/Submit (0 for a pool of size 1,
+  /// whose queued tasks run inline in the posting thread).
+  size_t num_background() const { return workers_.size(); }
+
+  /// \brief Enqueue \p task for asynchronous execution on a background
+  /// worker. Safe to call from any thread, any number of threads at once.
+  /// With no background workers (pool size 1) the task runs inline before
+  /// Post returns. Tasks posted before destruction are guaranteed to run.
+  /// Posted tasks must not throw (there is nowhere to deliver the
+  /// exception); use Submit when the task can fail.
+  void Post(PostedTask task) {
+    if (workers_.empty()) {
+      // Serialized: concurrent posters must not both run as worker 0
+      // (callers keep per-worker scratch keyed by the id).
+      std::lock_guard<std::mutex> lock(inline_mu_);
+      task(0);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(task));
+    }
+    wake_cv_.notify_one();
+  }
+
+  /// \brief Post \p fn (signature `R(size_t worker)`) and return a
+  /// std::future for its result; exceptions thrown by the task surface
+  /// through the future. Same execution guarantees as Post.
+  template <typename Fn>
+  auto Submit(Fn fn) -> std::future<std::invoke_result_t<Fn&, size_t>> {
+    using R = std::invoke_result_t<Fn&, size_t>;
+    // packaged_task is move-only; PostedTask (std::function) needs a
+    // copyable callable, so the task rides behind a shared_ptr.
+    auto task = std::make_shared<std::packaged_task<R(size_t)>>(std::move(fn));
+    std::future<R> future = task->get_future();
+    Post([task](size_t worker) { (*task)(worker); });
+    return future;
+  }
 
   /// Run fn(worker, i) for every i in [0, count), spread over all workers.
   /// Blocks until every index has been executed. If any callback throws,
@@ -66,7 +130,12 @@ class ThreadPool {
     if (count == 0) return;
     if (workers_.empty() || count == 1) {
       // Inline path: same drain-then-rethrow semantics as the pooled path
-      // so side effects don't depend on the thread count.
+      // so side effects don't depend on the thread count. On a size-1
+      // pool, serialize with inline Post/Submit tasks so worker 0 is
+      // never two threads at once (with background workers present,
+      // queued tasks run as worker >= 1 and cannot collide).
+      std::unique_lock<std::mutex> inline_lock(inline_mu_, std::defer_lock);
+      if (workers_.empty()) inline_lock.lock();
       std::exception_ptr first_error;
       for (size_t i = 0; i < count; ++i) {
         try {
@@ -107,18 +176,31 @@ class ThreadPool {
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
       wake_cv_.wait(lock, [&] {
-        return stop_ || generation_ != seen_generation;
+        return stop_ || generation_ != seen_generation || !queue_.empty();
       });
+      if (generation_ != seen_generation) {
+        seen_generation = generation_;
+        const Task* job = job_;
+        const size_t count = job_count_;
+        if (job == nullptr) continue;  // job already drained before we woke
+        ++runners_;
+        lock.unlock();
+        RunJob(job, count, worker);
+        lock.lock();
+        if (--runners_ == 0) done_cv_.notify_all();
+        continue;
+      }
+      if (!queue_.empty()) {
+        PostedTask task = std::move(queue_.front());
+        queue_.pop_front();
+        lock.unlock();
+        task(worker);
+        lock.lock();
+        continue;
+      }
+      // stop_ is checked only after the queue is empty, so destruction
+      // drains every task already posted.
       if (stop_) return;
-      seen_generation = generation_;
-      const Task* job = job_;
-      const size_t count = job_count_;
-      if (job == nullptr) continue;  // job already drained before we woke
-      ++runners_;
-      lock.unlock();
-      RunJob(job, count, worker);
-      lock.lock();
-      if (--runners_ == 0) done_cv_.notify_all();
     }
   }
 
@@ -143,6 +225,9 @@ class ThreadPool {
   size_t num_threads_ = 1;
   std::vector<std::thread> workers_;
 
+  /// Serializes worker-0 execution on a pool with no background workers
+  /// (inline Post/Submit vs. each other and vs. inline ParallelFor).
+  std::mutex inline_mu_;
   std::mutex mu_;
   std::condition_variable wake_cv_;  ///< workers wait here for a job
   std::condition_variable done_cv_;  ///< ParallelFor waits here for drain
@@ -154,6 +239,7 @@ class ThreadPool {
   size_t runners_ = 0;
   uint64_t generation_ = 0;
   std::exception_ptr first_error_ = nullptr;
+  std::deque<PostedTask> queue_;  ///< single tasks from Post/Submit
   bool stop_ = false;
   std::atomic<size_t> next_{0};
 };

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "core/compressor.h"
@@ -53,6 +55,33 @@ struct SnapshotReader {
     return snapshot->index();
   }
   double LocalSearchRadius() const { return snapshot->LocalSearchRadius(); }
+};
+
+/// Wraps any Reader and accounts every Reconstruct call into a QueryStats
+/// (points decoded + wall time spent decoding). This is how QueryService
+/// fills per-query cost stats without the algorithms knowing: the counting
+/// is a reader concern, so the evaluation templates — and therefore the
+/// results — are bit-for-bit the same with or without it.
+template <typename Inner>
+struct CountingReader {
+  Inner inner;
+  QueryStats* stats;
+  /// Decode time is accumulated in nanos (individual reconstructions are
+  /// sub-microsecond) and converted once by the caller.
+  uint64_t* decode_nanos;
+
+  Result<Point> Reconstruct(TrajId id, Tick t) const {
+    const auto start = std::chrono::steady_clock::now();
+    Result<Point> r = inner.Reconstruct(id, t);
+    *decode_nanos += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    ++stats->points_decoded;
+    return r;
+  }
+  const index::TemporalPartitionIndex* index() const { return inner.index(); }
+  double LocalSearchRadius() const { return inner.LocalSearchRadius(); }
 };
 
 /// \brief The global grid cell containing a point, as [min, max) bounds.
@@ -119,9 +148,10 @@ StrqResult Strq(const Reader& reader, const TrajectoryDataset* raw,
       result.ids.push_back(id);
       continue;
     }
-    // kExact: verify against the raw trajectory.
+    // kExact: verify against the raw trajectory. Ids beyond the dataset
+    // (a mismatched verification set) cannot be verified and are dropped.
     ++result.candidates_visited;
-    if (raw != nullptr) {
+    if (raw != nullptr && static_cast<size_t>(id) < raw->size()) {
       const Trajectory& traj = (*raw)[static_cast<size_t>(id)];
       if (traj.ActiveAt(q.tick) && cell.Contains(traj.At(q.tick))) {
         result.ids.push_back(id);
@@ -168,7 +198,7 @@ StrqResult WindowQuery(const Reader& reader, const TrajectoryDataset* raw,
       continue;
     }
     ++result.candidates_visited;
-    if (raw != nullptr) {
+    if (raw != nullptr && static_cast<size_t>(id) < raw->size()) {
       const Trajectory& traj = (*raw)[static_cast<size_t>(id)];
       if (traj.ActiveAt(t) && window.Contains(traj.At(t))) {
         result.ids.push_back(id);
@@ -227,6 +257,7 @@ TpqResult Tpq(const Reader& reader, const TrajectoryDataset* raw,
               StrqMode mode) {
   TpqResult result;
   const StrqResult strq = Strq(reader, raw, cell_size, q, mode);
+  result.candidates_visited = strq.candidates_visited;
   for (TrajId id : strq.ids) {
     std::vector<Point> path;
     path.reserve(static_cast<size_t>(length));

@@ -1,76 +1,95 @@
 #include "core/query_executor.h"
 
+#include <future>
 #include <utility>
 
-#include "core/query_eval.h"
-
 namespace ppq::core {
+namespace {
 
-using eval::SnapshotReader;
+QueryService::Options ToServiceOptions(QueryExecutor::Options options) {
+  QueryService::Options service_options;
+  service_options.num_threads = options.num_threads;
+  service_options.raw = std::move(options.raw);
+  service_options.cell_size = options.cell_size;
+  service_options.scratch_budget_points = options.scratch_budget_points;
+  return service_options;
+}
+
+/// Submit \p requests and unwrap every future into the payload type \p
+/// Payload extracts from a resolved response.
+template <typename Result, typename Payload>
+std::vector<Result> RunBatch(QueryService& service,
+                             std::vector<QueryRequest> requests,
+                             const Payload& payload) {
+  std::vector<std::future<QueryResponse>> futures =
+      service.SubmitBatch(std::move(requests));
+  std::vector<Result> results;
+  results.reserve(futures.size());
+  for (std::future<QueryResponse>& future : futures) {
+    QueryResponse response = future.get();
+    results.push_back(payload(std::move(response)));
+  }
+  return results;
+}
+
+}  // namespace
 
 QueryExecutor::QueryExecutor(SnapshotPtr snapshot, Options options)
-    : options_(options),
-      snapshot_(std::move(snapshot)),
-      pool_(options.num_threads),
-      scratch_(pool_.size()) {}
-
-template <typename Fn>
-void QueryExecutor::RunBatch(size_t count, const Fn& fn) {
-  const SnapshotPtr pinned = snapshot();
-  pool_.ParallelFor(count, [&](size_t worker, size_t i) {
-    fn(*pinned, scratch_[worker], i);
-  });
-  for (DecodeMemo& memo : scratch_) {
-    if (memo.TotalPoints() > options_.scratch_budget_points) memo.Clear();
-  }
-}
+    : service_(std::move(snapshot), ToServiceOptions(std::move(options))) {}
 
 std::vector<StrqResult> QueryExecutor::StrqBatch(
     const std::vector<QuerySpec>& queries, StrqMode mode) {
-  std::vector<StrqResult> results(queries.size());
-  RunBatch(queries.size(), [&](const SummarySnapshot& snap, DecodeMemo& memo,
-                               size_t i) {
-    results[i] = eval::Strq(SnapshotReader{&snap, &memo}, options_.raw,
-                            options_.cell_size, queries[i], mode);
-  });
-  return results;
+  std::vector<QueryRequest> requests;
+  requests.reserve(queries.size());
+  for (const QuerySpec& q : queries) requests.push_back(StrqRequest{q, mode});
+  return RunBatch<StrqResult>(service_, std::move(requests),
+                              [](QueryResponse response) {
+                                return std::move(
+                                    std::get<StrqResult>(response.result));
+                              });
 }
 
 std::vector<StrqResult> QueryExecutor::WindowBatch(
     const std::vector<WindowSpec>& windows, StrqMode mode) {
-  std::vector<StrqResult> results(windows.size());
-  RunBatch(windows.size(), [&](const SummarySnapshot& snap, DecodeMemo& memo,
-                               size_t i) {
-    results[i] = eval::WindowQuery(SnapshotReader{&snap, &memo}, options_.raw,
-                                   windows[i].window, windows[i].tick, mode);
-  });
-  return results;
+  std::vector<QueryRequest> requests;
+  requests.reserve(windows.size());
+  for (const WindowSpec& w : windows) {
+    requests.push_back(WindowRequest{w, mode});
+  }
+  return RunBatch<StrqResult>(service_, std::move(requests),
+                              [](QueryResponse response) {
+                                return std::move(
+                                    std::get<StrqResult>(response.result));
+                              });
 }
 
 std::vector<std::vector<Neighbor>> QueryExecutor::KnnBatch(
     const std::vector<QuerySpec>& queries, size_t k) {
-  std::vector<std::vector<Neighbor>> results(queries.size());
-  RunBatch(queries.size(), [&](const SummarySnapshot& snap, DecodeMemo& memo,
-                               size_t i) {
-    results[i] = eval::NearestTrajectories(SnapshotReader{&snap, &memo},
-                                           options_.cell_size, queries[i], k);
-  });
-  return results;
+  std::vector<QueryRequest> requests;
+  requests.reserve(queries.size());
+  for (const QuerySpec& q : queries) requests.push_back(KnnRequest{q, k});
+  return RunBatch<std::vector<Neighbor>>(
+      service_, std::move(requests), [](QueryResponse response) {
+        return std::move(std::get<std::vector<Neighbor>>(response.result));
+      });
+}
+
+std::vector<TpqResult> QueryExecutor::TpqBatch(
+    const std::vector<QuerySpec>& queries, int length, StrqMode mode) {
+  std::vector<QueryRequest> requests;
+  requests.reserve(queries.size());
+  for (const QuerySpec& q : queries) {
+    requests.push_back(TpqRequest{q, length, mode});
+  }
+  return RunBatch<TpqResult>(service_, std::move(requests),
+                             [](QueryResponse response) {
+                               return std::move(
+                                   std::get<TpqResult>(response.result));
+                             });
 }
 
 void QueryExecutor::UpdateSnapshot(SnapshotPtr snapshot) {
-  {
-    std::lock_guard<std::mutex> lock(snapshot_mu_);
-    snapshot_ = std::move(snapshot);
-  }
-  // Memoised prefixes decoded the previous summary; drop them. Safe under
-  // the external-synchronization contract (no batch mid-flight here).
-  for (DecodeMemo& memo : scratch_) memo.Clear();
-}
-
-SnapshotPtr QueryExecutor::snapshot() const {
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
-  return snapshot_;
+  service_.UpdateSnapshot(std::move(snapshot));
 }
 
 }  // namespace ppq::core

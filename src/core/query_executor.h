@@ -1,47 +1,47 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
-#include "common/thread_pool.h"
 #include "common/types.h"
+#include "core/query_service.h"
 #include "core/query_types.h"
 #include "core/snapshot.h"
 
 /// \file query_executor.h
-/// The READER side of the serving architecture: a QueryExecutor owns an
-/// immutable SummarySnapshot plus a reusable thread pool and exposes
-/// batched query APIs that fan a vector of specs across workers. Every
-/// worker keeps its own DecodeMemo scratch, so the shared snapshot is only
-/// ever read; results land in a pre-sized vector indexed by query
-/// position, making output ordering deterministic and byte-identical to
-/// the serial QueryEngine regardless of thread count.
+/// DEPRECATED — thin synchronous shims over the futures-based
+/// QueryService (query_service.h), kept working for one deprecation PR so
+/// every existing batch-API test doubles as a parity oracle for the new
+/// serving path. Each batch method translates its specs into the unified
+/// QueryRequest vocabulary, submits them, and blocks on the futures;
+/// result[i] still answers queries[i], byte-identical to the serial
+/// QueryEngine. New code should construct a QueryService directly.
 ///
-/// Thread-safety contract:
-///  - A batch call parallelises internally; the executor itself is
-///    externally synchronized — do not run two batch calls, or a batch
-///    and an UpdateSnapshot, on one executor concurrently (one executor
-///    per serving loop; the writer hands fresh seals to that loop).
-///  - The underlying snapshot is immutable and shared by refcount, so any
-///    number of executors can serve one seal while the writer encodes on.
+/// Differences from the historical executor, both strictly weaker
+/// requirements on callers:
+///  - No external-synchronization contract: batches and UpdateSnapshot
+///    may be issued from any threads concurrently (the service is
+///    internally synchronized; UpdateSnapshot is an atomic snapshot
+///    exchange that never blocks in-flight work).
+///  - Options::raw is an OWNING shared_ptr: exact-mode verification data
+///    can no longer dangle, and it is validated against the snapshot at
+///    construction.
 
 namespace ppq::core {
 
-/// \brief Concurrent, batched query processor over a sealed snapshot.
+/// \brief Deprecated batched facade over QueryService.
 class QueryExecutor {
  public:
   struct Options {
-    /// Worker count (including the calling thread); 0 = hardware threads.
+    /// Serving worker threads; 0 = hardware threads.
     size_t num_threads = 0;
-    /// Raw dataset for StrqMode::kExact verification; may be nullptr, in
-    /// which case exact mode degenerates like the serial engine's.
-    const TrajectoryDataset* raw = nullptr;
+    /// Raw dataset for StrqMode::kExact verification, owned by the
+    /// serving stack; may be null, in which case exact mode degenerates
+    /// like the serial engine's.
+    std::shared_ptr<const TrajectoryDataset> raw;
     /// Evaluation grid cell size gc.
     double cell_size = 0.001;
-    /// Per-worker decode-scratch budget: when a worker's memoised prefixes
-    /// exceed this many points the scratch is cleared, bounding resident
-    /// memory at (num_threads * budget * sizeof(Point)).
+    /// Per-worker decode-scratch budget (see QueryService::Options).
     size_t scratch_budget_points = size_t{1} << 22;
   };
 
@@ -59,33 +59,26 @@ class QueryExecutor {
   std::vector<std::vector<Neighbor>> KnnBatch(
       const std::vector<QuerySpec>& queries, size_t k);
 
-  /// Swap in a fresh seal of the (still-encoding) writer; subsequent
-  /// batches see the new snapshot. Decode scratch is dropped (it indexed
-  /// the old summary), so — per the external-synchronization contract —
-  /// this must NOT be called while a batch is mid-flight on this
-  /// executor: run it from the same serving loop, between batches.
+  /// Batched TPQ: result[i] holds the STRQ matches of queries[i] plus
+  /// each match's next \p length reconstructed positions.
+  std::vector<TpqResult> TpqBatch(const std::vector<QuerySpec>& queries,
+                                  int length, StrqMode mode);
+
+  /// Swap in a fresh seal; forwards to QueryService::UpdateSnapshot
+  /// (atomic, safe against concurrent batches).
   void UpdateSnapshot(SnapshotPtr snapshot);
 
   /// The currently served snapshot.
-  SnapshotPtr snapshot() const;
+  SnapshotPtr snapshot() const { return service_.snapshot(); }
 
-  size_t num_threads() const { return pool_.size(); }
-  double cell_size() const { return options_.cell_size; }
+  size_t num_threads() const { return service_.num_threads(); }
+  double cell_size() const { return service_.cell_size(); }
+
+  /// The service these shims forward to — the migration path.
+  QueryService& service() { return service_; }
 
  private:
-  /// Pin the current snapshot and run fn(snapshot, scratch[w], i) for
-  /// every spec index across the pool.
-  template <typename Fn>
-  void RunBatch(size_t count, const Fn& fn);
-
-  Options options_;
-  mutable std::mutex snapshot_mu_;  ///< guards snapshot_ swaps/reads
-  SnapshotPtr snapshot_;
-  ThreadPool pool_;
-  /// One decode scratch per worker; reused across batches so memoised
-  /// prefixes keep paying off. Guarded by the external-synchronization
-  /// contract (only one batch at a time touches them).
-  std::vector<DecodeMemo> scratch_;
+  QueryService service_;
 };
 
 }  // namespace ppq::core

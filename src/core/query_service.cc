@@ -1,0 +1,210 @@
+#include "core/query_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/query_eval.h"
+
+namespace ppq::core {
+namespace {
+
+size_t ResolveWorkers(size_t requested) {
+  if (requested != 0) return requested;
+  return std::max<size_t>(1, std::thread::hardware_concurrency());
+}
+
+template <class... Ts>
+struct Overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+Overloaded(Ts...) -> Overloaded<Ts...>;
+
+}  // namespace
+
+QueryService::QueryService(SnapshotPtr snapshot, Options options)
+    : options_(std::move(options)),
+      num_workers_(ResolveWorkers(options_.num_threads)),
+      snapshot_(nullptr),
+      worker_state_(num_workers_ + 1),
+      // One caller slot + num_workers_ background workers: the pool's
+      // worker 0 is its (never-submitting) caller, so Post/Submit tasks
+      // always run on the num_workers_ dedicated threads.
+      pool_(num_workers_ + 1) {
+  Validate(snapshot);
+  std::atomic_store_explicit(&snapshot_, std::move(snapshot),
+                             std::memory_order_release);
+}
+
+QueryService::~QueryService() = default;
+
+void QueryService::Validate(const SnapshotPtr& snapshot) const {
+  if (snapshot == nullptr) {
+    throw std::invalid_argument("QueryService: snapshot must not be null");
+  }
+  if (options_.raw != nullptr &&
+      options_.raw->size() < snapshot->NumTrajectories()) {
+    throw std::invalid_argument(
+        "QueryService: verification dataset has fewer trajectories than "
+        "the snapshot serves — it cannot be the dataset this summary was "
+        "compressed from");
+  }
+}
+
+std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
+  std::promise<QueryResponse> promise;
+  std::future<QueryResponse> future = promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    pending_.push_back({std::move(request), std::move(promise)});
+  }
+  pool_.Post([this](size_t worker) { ProcessOne(worker); });
+  return future;
+}
+
+std::vector<std::future<QueryResponse>> QueryService::SubmitBatch(
+    std::vector<QueryRequest> requests) {
+  std::vector<std::future<QueryResponse>> futures;
+  futures.reserve(requests.size());
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    for (QueryRequest& request : requests) {
+      Pending pending;
+      pending.request = std::move(request);
+      futures.push_back(pending.promise.get_future());
+      pending_.push_back(std::move(pending));
+    }
+  }
+  // One pool token per request: a token that loses the race to a
+  // cancellation (or another worker) simply finds the queue empty.
+  for (size_t i = 0; i < futures.size(); ++i) {
+    pool_.Post([this](size_t worker) { ProcessOne(worker); });
+  }
+  return futures;
+}
+
+size_t QueryService::CancelPending() {
+  std::deque<Pending> cancelled;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    cancelled.swap(pending_);
+  }
+  for (Pending& pending : cancelled) {
+    QueryResponse response;
+    response.kind = KindOf(pending.request);
+    response.status =
+        Status::Cancelled("request cancelled before evaluation started");
+    pending.promise.set_value(std::move(response));
+  }
+  return cancelled.size();
+}
+
+void QueryService::UpdateSnapshot(SnapshotPtr snapshot) {
+  Validate(snapshot);
+  // Atomic exchange, never blocking serving: workers that already pinned
+  // the old seal finish on it (their pinned shared_ptr keeps it alive);
+  // every request dispatched after this store pins the new one.
+  std::atomic_store_explicit(&snapshot_, std::move(snapshot),
+                             std::memory_order_release);
+  // Reclaim the retired seal eagerly: sweep every worker's scratch (and
+  // its pinned reference) instead of waiting for traffic to reach that
+  // worker. Each lock waits at most for the worker's current evaluation;
+  // a worker that re-tags concurrently just pins the NEW seal, which the
+  // sweep then harmlessly clears again.
+  for (WorkerState& state : worker_state_) {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.memo.Clear();
+    state.memo_snapshot = nullptr;
+  }
+}
+
+void QueryService::ProcessOne(size_t worker) {
+  Pending pending;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (pending_.empty()) return;  // lost the race to CancelPending
+    pending = std::move(pending_.front());
+    pending_.pop_front();
+  }
+  try {
+    pending.promise.set_value(Evaluate(pending.request,
+                                       worker_state_[worker]));
+  } catch (...) {
+    pending.promise.set_exception(std::current_exception());
+  }
+}
+
+QueryResponse QueryService::Evaluate(const QueryRequest& request,
+                                     WorkerState& state) {
+  QueryResponse response;
+  response.kind = KindOf(request);
+
+  // Owning-worker lock: uncontended except against UpdateSnapshot's
+  // reclamation sweep.
+  std::lock_guard<std::mutex> state_lock(state.mu);
+
+  // Pin the serve seal for the whole evaluation: UpdateSnapshot swaps
+  // under us, but this reference keeps our snapshot (and the summary the
+  // decode scratch indexes) alive and immutable.
+  const SnapshotPtr pinned =
+      std::atomic_load_explicit(&snapshot_, std::memory_order_acquire);
+  if (state.memo_snapshot.get() != pinned.get()) {
+    // First request on a fresh seal for this worker: the memoised decode
+    // prefixes indexed the previous summary, drop them.
+    state.memo.Clear();
+    state.memo_snapshot = pinned;
+  }
+
+  uint64_t decode_nanos = 0;
+  const eval::CountingReader<eval::SnapshotReader> reader{
+      eval::SnapshotReader{pinned.get(), &state.memo}, &response.stats,
+      &decode_nanos};
+  const TrajectoryDataset* raw = options_.raw.get();
+  const double cell_size = options_.cell_size;
+
+  const auto start = std::chrono::steady_clock::now();
+  std::visit(
+      Overloaded{
+          [&](const StrqRequest& r) {
+            StrqResult result =
+                eval::Strq(reader, raw, cell_size, r.query, r.mode);
+            response.stats.candidates_visited = result.candidates_visited;
+            response.result = std::move(result);
+          },
+          [&](const WindowRequest& r) {
+            StrqResult result = eval::WindowQuery(
+                reader, raw, r.window.window, r.window.tick, r.mode);
+            response.stats.candidates_visited = result.candidates_visited;
+            response.result = std::move(result);
+          },
+          [&](const KnnRequest& r) {
+            response.result =
+                eval::NearestTrajectories(reader, cell_size, r.query, r.k);
+            // Every k-NN candidate is visited exactly once, to rank its
+            // reconstruction.
+            response.stats.candidates_visited = response.stats.points_decoded;
+          },
+          [&](const TpqRequest& r) {
+            TpqResult result =
+                eval::Tpq(reader, raw, cell_size, r.query, r.length, r.mode);
+            response.stats.candidates_visited = result.candidates_visited;
+            response.result = std::move(result);
+          },
+      },
+      request);
+  response.stats.eval_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  response.stats.decode_micros = decode_nanos / 1000;
+
+  if (state.memo.TotalPoints() > options_.scratch_budget_points) {
+    state.memo.Clear();
+  }
+  return response;
+}
+
+}  // namespace ppq::core

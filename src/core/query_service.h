@@ -1,0 +1,157 @@
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/types.h"
+#include "core/query_types.h"
+#include "core/snapshot.h"
+
+/// \file query_service.h
+/// The asynchronous serving front-end: QueryService accepts the unified
+/// QueryRequest vocabulary (STRQ / window / k-NN / TPQ, query_types.h)
+/// from any number of caller threads, evaluates each request on a
+/// dedicated worker pool, and resolves a std::future<QueryResponse> per
+/// request. This replaces the three blocking, externally-synchronized
+/// batch methods of QueryExecutor (now thin deprecated shims over this
+/// class) as the one serving surface.
+///
+/// Thread-safety contract — the service is INTERNALLY synchronized:
+///  - Submit / SubmitBatch / CancelPending / UpdateSnapshot / snapshot()
+///    are all safe to call concurrently from any number of threads.
+///  - UpdateSnapshot hot-swaps the served seal via an atomic shared_ptr
+///    exchange: swaps never block queries, and every in-flight query
+///    finishes on the snapshot it pinned at dispatch (requests submitted
+///    before a swap may be answered by either seal — whichever they pin).
+///  - Workers keep per-worker DecodeMemo scratch tagged with the snapshot
+///    it indexes (holding a reference, so the tag can never alias a
+///    recycled allocation). UpdateSnapshot eagerly sweeps every idle
+///    worker's scratch, so the retired seal's memory is reclaimed at swap
+///    time rather than whenever traffic happens to return; a worker
+///    mid-evaluation finishes on its pinned seal and drops its stale
+///    scratch at its next request.
+///  - Exact-mode verification data is OWNED by the service via
+///    shared_ptr (Options::raw) and validated against the snapshot at
+///    construction and at every UpdateSnapshot — the executor's dangling
+///    raw-pointer footgun is structurally gone.
+///  - Destruction drains: every request already submitted is evaluated
+///    and its future resolved before the destructor returns. To shed a
+///    backlog instead, CancelPending() fails queued-but-unstarted
+///    requests with StatusCode::kCancelled.
+
+namespace ppq::core {
+
+/// \brief Futures-based, internally synchronized query serving front-end
+/// over an atomically hot-swappable SummarySnapshot.
+class QueryService {
+ public:
+  struct Options {
+    /// Dedicated serving workers; 0 = hardware concurrency. (Unlike the
+    /// deprecated QueryExecutor, the caller thread never evaluates —
+    /// submission is asynchronous.)
+    size_t num_threads = 0;
+    /// Raw dataset for StrqMode::kExact verification, owned by the
+    /// service. May be null: exact mode then degenerates like the serial
+    /// engine's (candidates counted, none verified).
+    std::shared_ptr<const TrajectoryDataset> raw;
+    /// Evaluation grid cell size gc.
+    double cell_size = 0.001;
+    /// Per-worker decode-scratch budget: when a worker's memoised
+    /// prefixes exceed this many points the scratch is cleared, bounding
+    /// resident memory at (num_threads * budget * sizeof(Point)).
+    size_t scratch_budget_points = size_t{1} << 22;
+  };
+
+  /// \throws std::invalid_argument when \p snapshot is null or \p
+  /// options.raw is inconsistent with it (fewer trajectories than the
+  /// snapshot serves — the old silent-UB misconfiguration).
+  QueryService(SnapshotPtr snapshot, Options options);
+
+  /// Drains: blocks until every submitted request has resolved its
+  /// future. Call CancelPending() first to shed the queue instead.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// \brief Submit one request for asynchronous evaluation. Returns
+  /// immediately; the future resolves when a worker has evaluated the
+  /// request (or it was cancelled). Safe from any thread.
+  std::future<QueryResponse> Submit(QueryRequest request);
+
+  /// \brief Submit a batch; futures[i] answers requests[i]. Equivalent to
+  /// calling Submit per element but enqueues under one lock.
+  std::vector<std::future<QueryResponse>> SubmitBatch(
+      std::vector<QueryRequest> requests);
+
+  /// \brief Fail every queued-but-unstarted request with
+  /// StatusCode::kCancelled (their futures resolve immediately with an
+  /// empty payload). Requests already being evaluated complete normally.
+  /// Returns the number cancelled.
+  size_t CancelPending();
+
+  /// \brief Hot-swap the served seal. The swap itself is an atomic
+  /// shared_ptr exchange that never blocks serving: in-flight queries
+  /// finish on the snapshot they pinned, and every request dispatched
+  /// after the exchange sees the new seal. The calling thread then
+  /// reclaims idle workers' stale decode scratch (waiting at most for
+  /// each worker's current evaluation). Validates \p snapshot against
+  /// Options::raw like the constructor.
+  void UpdateSnapshot(SnapshotPtr snapshot);
+
+  /// The currently served snapshot.
+  SnapshotPtr snapshot() const {
+    return std::atomic_load_explicit(&snapshot_, std::memory_order_acquire);
+  }
+
+  size_t num_threads() const { return num_workers_; }
+  double cell_size() const { return options_.cell_size; }
+  /// The owned verification dataset (may be null).
+  const std::shared_ptr<const TrajectoryDataset>& raw() const {
+    return options_.raw;
+  }
+
+ private:
+  struct Pending {
+    QueryRequest request;
+    std::promise<QueryResponse> promise;
+  };
+  /// Per-worker decode scratch. memo_snapshot pins the seal the memo
+  /// indexes — comparing raw pointers is ABA-safe precisely because the
+  /// reference is held. The mutex is held by the owning worker for the
+  /// duration of each evaluation (uncontended in steady state) and by
+  /// UpdateSnapshot's reclamation sweep.
+  struct WorkerState {
+    std::mutex mu;
+    DecodeMemo memo;
+    SnapshotPtr memo_snapshot;
+  };
+
+  /// Throws std::invalid_argument on null / raw-inconsistent snapshots.
+  void Validate(const SnapshotPtr& snapshot) const;
+  /// Pop one pending request (if any survives cancellation) and resolve
+  /// its promise.
+  void ProcessOne(size_t worker);
+  QueryResponse Evaluate(const QueryRequest& request, WorkerState& state);
+
+  Options options_;
+  size_t num_workers_;
+  /// Accessed only through std::atomic_load/atomic_store (the C++17
+  /// atomic-shared_ptr interface): UpdateSnapshot is one atomic exchange.
+  SnapshotPtr snapshot_;
+
+  std::mutex queue_mu_;  ///< guards pending_
+  std::deque<Pending> pending_;
+
+  std::vector<WorkerState> worker_state_;
+  /// Declared last so it is destroyed FIRST: the pool's drain-on-destroy
+  /// runs ProcessOne against still-alive pending_/worker_state_.
+  ThreadPool pool_;
+};
+
+}  // namespace ppq::core

@@ -1,14 +1,19 @@
 #pragma once
 
+#include <cstdint>
+#include <variant>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 
 /// \file query_types.h
-/// Value types shared by the single-query engine (query_engine.h) and the
-/// batched concurrent executor (query_executor.h): query specifications,
-/// evaluation modes, and result shapes. Kept free of any engine state so
-/// both serving paths speak exactly the same vocabulary.
+/// The one shared query vocabulary of the serving stack: query
+/// specifications, evaluation modes, result shapes, and the closed
+/// QueryRequest / QueryResponse sum types spoken by every serving path —
+/// the single-query QueryEngine, the futures-based QueryService, and the
+/// deprecated QueryExecutor batch shims. Kept free of any engine state so
+/// all paths speak exactly the same types.
 
 namespace ppq::core {
 
@@ -75,6 +80,97 @@ struct Neighbor {
 struct TpqResult {
   std::vector<TrajId> ids;
   std::vector<std::vector<Point>> paths;
+  /// Candidates accessed in the verification step of the underlying STRQ.
+  size_t candidates_visited = 0;
+
+  bool operator==(const TpqResult& o) const {
+    return ids == o.ids && paths == o.paths &&
+           candidates_visited == o.candidates_visited;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// The unified request/response vocabulary (QueryService, executor shims).
+// ---------------------------------------------------------------------------
+
+/// \brief One STRQ (Definition 5.2): grid cell of (x, y) at tick t.
+struct StrqRequest {
+  QuerySpec query;
+  StrqMode mode = StrqMode::kLocalSearch;
+};
+
+/// \brief One window query: arbitrary rectangle at tick t.
+struct WindowRequest {
+  WindowSpec window;
+  StrqMode mode = StrqMode::kLocalSearch;
+};
+
+/// \brief One k-nearest-trajectory query at (x, y, t).
+struct KnnRequest {
+  QuerySpec query;
+  size_t k = 1;
+};
+
+/// \brief One trajectory path query (Definition 5.3): STRQ plus the next
+/// \p length reconstructed positions of every match.
+struct TpqRequest {
+  QuerySpec query;
+  int length = 1;
+  StrqMode mode = StrqMode::kLocalSearch;
+};
+
+/// \brief The closed sum of every query the serving stack answers — all
+/// four of the paper's query types go through this one vocabulary.
+using QueryRequest =
+    std::variant<StrqRequest, WindowRequest, KnnRequest, TpqRequest>;
+
+/// \brief Discriminator of a QueryRequest/QueryResponse. (Strq and Window
+/// responses share the StrqResult payload alternative, so the kind cannot
+/// be derived from the response variant alone.)
+enum class QueryKind { kStrq, kWindow, kKnn, kTpq };
+
+inline QueryKind KindOf(const QueryRequest& request) {
+  switch (request.index()) {
+    case 0: return QueryKind::kStrq;
+    case 1: return QueryKind::kWindow;
+    case 2: return QueryKind::kKnn;
+    default: return QueryKind::kTpq;
+  }
+}
+
+/// \brief Per-query serving cost, filled by QueryService for every
+/// response. The counters come from the evaluation itself (the
+/// CountingReader in query_eval.h), not from sampling.
+struct QueryStats {
+  /// Candidates accessed by the second (verification or ranking) step:
+  /// StrqResult::candidates_visited for STRQ/window/TPQ (the Table 4
+  /// numerator), and the number of reconstructed candidates for k-NN.
+  size_t candidates_visited = 0;
+  /// Summary reconstructions performed (Reconstruct calls).
+  size_t points_decoded = 0;
+  /// Wall micros spent inside Reconstruct (summary decode).
+  uint64_t decode_micros = 0;
+  /// Wall micros for the whole evaluation, decode included.
+  uint64_t eval_micros = 0;
+};
+
+/// \brief Answer to one QueryRequest: the result variant matching the
+/// request kind, plus per-query cost stats. \ref status is non-OK only
+/// when the request never ran (e.g. cancelled while still queued); the
+/// result payload is then empty.
+struct QueryResponse {
+  Status status;
+  QueryKind kind = QueryKind::kStrq;
+  std::variant<StrqResult, std::vector<Neighbor>, TpqResult> result;
+  QueryStats stats;
+
+  bool ok() const { return status.ok(); }
+  /// Payload accessors; valid only for the matching kind.
+  const StrqResult& strq() const { return std::get<StrqResult>(result); }
+  const std::vector<Neighbor>& neighbors() const {
+    return std::get<std::vector<Neighbor>>(result);
+  }
+  const TpqResult& tpq() const { return std::get<TpqResult>(result); }
 };
 
 }  // namespace ppq::core

@@ -34,11 +34,13 @@ using test::SampleWindows;
 struct SerialReference {
   std::vector<StrqResult> strq[3];
   std::vector<StrqResult> window[3];
+  std::vector<TpqResult> tpq[3];
   std::vector<std::vector<Neighbor>> knn;
 };
 
 constexpr StrqMode kAllModes[] = {StrqMode::kApproximate,
                                   StrqMode::kLocalSearch, StrqMode::kExact};
+constexpr int kTpqLength = 8;
 
 SerialReference RunSerial(const QueryEngine& engine,
                           const std::vector<QuerySpec>& queries,
@@ -47,6 +49,7 @@ SerialReference RunSerial(const QueryEngine& engine,
   for (int m = 0; m < 3; ++m) {
     for (const QuerySpec& q : queries) {
       ref.strq[m].push_back(engine.Strq(q, kAllModes[m]));
+      ref.tpq[m].push_back(engine.Tpq(q, kTpqLength, kAllModes[m]));
     }
     for (const WindowSpec& w : windows) {
       ref.window[m].push_back(engine.WindowQuery(w.window, w.tick,
@@ -69,6 +72,9 @@ void ExpectExecutorMatches(QueryExecutor& executor,
         << label << ": strq mode " << m;
     EXPECT_EQ(executor.WindowBatch(windows, kAllModes[m]), ref.window[m])
         << label << ": window mode " << m;
+    EXPECT_EQ(executor.TpqBatch(queries, kTpqLength, kAllModes[m]),
+              ref.tpq[m])
+        << label << ": tpq mode " << m;
   }
   EXPECT_EQ(executor.KnnBatch(queries, k), ref.knn) << label << ": knn";
 }
@@ -89,10 +95,11 @@ void CheckParity(const Compressor& method, const TrajectoryDataset& data,
   ASSERT_NE(snapshot, nullptr);
   EXPECT_EQ(snapshot->name(), method.name());
 
+  const auto raw = std::make_shared<const TrajectoryDataset>(data);
   for (size_t threads : {size_t{1}, size_t{4}}) {
     QueryExecutor::Options options;
     options.num_threads = threads;
-    options.raw = &data;
+    options.raw = raw;
     options.cell_size = cell_size;
     QueryExecutor executor(snapshot, options);
     ExpectExecutorMatches(executor, ref, queries, windows, kK,
@@ -149,7 +156,7 @@ TEST(SnapshotTest, MethodWithoutIndexServesEmpty) {
 
   QueryExecutor::Options exec_options;
   exec_options.num_threads = 2;
-  exec_options.raw = &data;
+  exec_options.raw = std::make_shared<const TrajectoryDataset>(data);
   exec_options.cell_size = options.tpi.pi.cell_size;
   QueryExecutor executor(snapshot, exec_options);
   Rng rng(3);
@@ -175,7 +182,7 @@ TEST(SnapshotTest, SealIsImmutableUnderContinuedEncoding) {
 
   QueryExecutor::Options exec_options;
   exec_options.num_threads = 2;
-  exec_options.raw = &data;
+  exec_options.raw = std::make_shared<const TrajectoryDataset>(data);
   exec_options.cell_size = options.tpi.pi.cell_size;
   QueryExecutor executor(sealed, exec_options);
 
@@ -248,7 +255,7 @@ TEST(SnapshotTest, SnapshotOutlivesCompressor) {
   EXPECT_EQ(snapshot->NumTrajectories(), expected_records);
   QueryExecutor::Options exec_options;
   exec_options.num_threads = 2;
-  exec_options.raw = &data;
+  exec_options.raw = std::make_shared<const TrajectoryDataset>(data);
   QueryExecutor executor(snapshot, exec_options);
   Rng rng(13);
   const auto queries = SampleQueries(data, 20, &rng);

@@ -1,0 +1,429 @@
+#include "core/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "baselines/trajstore.h"
+#include "core/metrics.h"
+#include "core/ppq_trajectory.h"
+#include "core/query_engine.h"
+#include "tests/test_util.h"
+
+/// \file query_service_test.cc
+/// The async serving front-end: every request type of the unified
+/// QueryRequest vocabulary must resolve byte-identical to the serial
+/// QueryEngine at 1 and 4 workers; submission must be safe from many
+/// threads concurrently with UpdateSnapshot hot-swaps (this suite is part
+/// of the TSan CI job); destruction drains; CancelPending fails exactly
+/// the queued requests; and the shared_ptr-owned verification dataset
+/// closes the executor's raw-pointer lifetime footgun.
+
+namespace ppq::core {
+namespace {
+
+TrajectoryDataset SmallDataset(uint64_t seed = 77) {
+  return test::MakePortoDataset({40, 50, 15, 50, seed});
+}
+
+constexpr StrqMode kAllModes[] = {StrqMode::kApproximate,
+                                  StrqMode::kLocalSearch, StrqMode::kExact};
+constexpr int kTpqLength = 8;
+constexpr size_t kK = 5;
+
+/// The full mixed request stream for \p queries/\p windows: every request
+/// type x StrqMode, interleaved.
+std::vector<QueryRequest> MakeRequests(const std::vector<QuerySpec>& queries,
+                                       const std::vector<WindowSpec>& windows) {
+  std::vector<QueryRequest> requests;
+  for (StrqMode mode : kAllModes) {
+    for (const QuerySpec& q : queries) {
+      requests.push_back(StrqRequest{q, mode});
+      requests.push_back(TpqRequest{q, kTpqLength, mode});
+    }
+    for (const WindowSpec& w : windows) {
+      requests.push_back(WindowRequest{w, mode});
+    }
+  }
+  for (const QuerySpec& q : queries) {
+    requests.push_back(KnnRequest{q, kK});
+  }
+  return requests;
+}
+
+/// Serial-engine answer for one request, as the response payload variant.
+std::variant<StrqResult, std::vector<Neighbor>, TpqResult> EvalSerial(
+    const QueryEngine& engine, const QueryRequest& request) {
+  if (const auto* r = std::get_if<StrqRequest>(&request)) {
+    return engine.Strq(r->query, r->mode);
+  }
+  if (const auto* r = std::get_if<WindowRequest>(&request)) {
+    return engine.WindowQuery(r->window.window, r->window.tick, r->mode);
+  }
+  if (const auto* r = std::get_if<KnnRequest>(&request)) {
+    return engine.NearestTrajectories(r->query, r->k);
+  }
+  const auto& r = std::get<TpqRequest>(request);
+  return engine.Tpq(r.query, r.length, r.mode);
+}
+
+/// Submit every request and require byte-parity with the serial engine
+/// plus populated responses (kind, status, stats).
+void ExpectServiceMatchesSerial(QueryService& service,
+                                const QueryEngine& engine,
+                                const std::vector<QueryRequest>& requests,
+                                const std::string& label) {
+  auto futures = service.SubmitBatch(requests);
+  ASSERT_EQ(futures.size(), requests.size());
+  size_t total_decoded = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const QueryResponse response = futures[i].get();
+    EXPECT_TRUE(response.ok()) << label << " request " << i;
+    EXPECT_EQ(response.kind, KindOf(requests[i])) << label << " request " << i;
+    EXPECT_EQ(response.result, EvalSerial(engine, requests[i]))
+        << label << " request " << i;
+    total_decoded += response.stats.points_decoded;
+    EXPECT_GE(response.stats.eval_micros, response.stats.decode_micros)
+        << label << " request " << i;
+  }
+  // The workload reconstructs many candidates; the counters must see them.
+  EXPECT_GT(total_decoded, 0u) << label;
+}
+
+class ServiceParity : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ServiceParity, AllRequestTypesMatchSerialEngine) {
+  const auto data = std::make_shared<const TrajectoryDataset>(SmallDataset());
+  PpqOptions options = MakePpqA();
+  PpqTrajectory method(options);
+  method.Compress(*data);
+
+  const QueryEngine engine(&method, data.get(), options.tpi.pi.cell_size);
+  Rng rng(17);
+  const auto queries = SampleQueries(*data, 40, &rng);
+  const auto windows = test::SampleWindows(*data, 20, &rng);
+  const auto requests = MakeRequests(queries, windows);
+
+  QueryService::Options serve_options;
+  serve_options.num_threads = GetParam();
+  serve_options.raw = data;
+  serve_options.cell_size = options.tpi.pi.cell_size;
+  QueryService service(method.Seal(), serve_options);
+  EXPECT_EQ(service.num_threads(), GetParam());
+
+  ExpectServiceMatchesSerial(service, engine, requests,
+                             "cold @" + std::to_string(GetParam()) + "w");
+  // Warm decode scratch must not change results.
+  ExpectServiceMatchesSerial(service, engine, requests,
+                             "warm @" + std::to_string(GetParam()) + "w");
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, ServiceParity,
+                         ::testing::Values(size_t{1}, size_t{4}));
+
+TEST(QueryServiceTest, MaterializedSnapshotParity) {
+  const auto data =
+      std::make_shared<const TrajectoryDataset>(SmallDataset(5));
+  baselines::TrajStore::Options options;
+  options.region = {-9.0, 41.0, -8.0, 41.5};
+  baselines::TrajStore method(options);
+  method.Compress(*data);
+
+  const QueryEngine engine(&method, data.get(), options.tpi.pi.cell_size);
+  Rng rng(23);
+  const auto queries = SampleQueries(*data, 25, &rng);
+  const auto windows = test::SampleWindows(*data, 12, &rng);
+
+  QueryService::Options serve_options;
+  serve_options.num_threads = 2;
+  serve_options.raw = data;
+  serve_options.cell_size = options.tpi.pi.cell_size;
+  QueryService service(method.Seal(), serve_options);
+  ExpectServiceMatchesSerial(service, engine, MakeRequests(queries, windows),
+                             "TrajStore");
+}
+
+TEST(QueryServiceTest, PerQueryStatsCountVerificationCandidates) {
+  const auto data = std::make_shared<const TrajectoryDataset>(SmallDataset());
+  PpqOptions options = MakePpqA();
+  PpqTrajectory method(options);
+  method.Compress(*data);
+
+  QueryService::Options serve_options;
+  serve_options.num_threads = 1;
+  serve_options.raw = data;
+  serve_options.cell_size = options.tpi.pi.cell_size;
+  QueryService service(method.Seal(), serve_options);
+
+  Rng rng(29);
+  for (const QuerySpec& q : SampleQueries(*data, 20, &rng)) {
+    const QueryResponse response =
+        service.Submit(StrqRequest{q, StrqMode::kExact}).get();
+    // The stats candidate counter is exactly the result's (Table 4).
+    EXPECT_EQ(response.stats.candidates_visited,
+              response.strq().candidates_visited);
+    // Exact STRQ on a populated cell must have decoded something.
+    if (!response.strq().ids.empty()) {
+      EXPECT_GT(response.stats.points_decoded, 0u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: submitters racing UpdateSnapshot (TSan)
+// ---------------------------------------------------------------------------
+
+TEST(QueryServiceConcurrencyTest, SubmittersRaceHotSwap) {
+  const auto data =
+      std::make_shared<const TrajectoryDataset>(SmallDataset(31));
+  PpqOptions options = MakePpqA();
+  PpqTrajectory method(options);
+
+  // Two seals of one stream: snapshot A mid-day, snapshot B end of day.
+  const Tick mid = (data->MinTick() + data->MaxTick()) / 2;
+  for (Tick t = data->MinTick(); t < mid; ++t) {
+    const TimeSlice slice = data->SliceAt(t);
+    if (!slice.empty()) method.ObserveSlice(slice);
+  }
+  const SnapshotPtr seal_a = method.Seal();
+  for (Tick t = mid; t < data->MaxTick(); ++t) {
+    const TimeSlice slice = data->SliceAt(t);
+    if (!slice.empty()) method.ObserveSlice(slice);
+  }
+  method.Finish();
+  const SnapshotPtr seal_b = method.Seal();
+
+  Rng rng(7);
+  const auto queries = SampleQueries(*data, 30, &rng);
+  const auto windows = test::SampleWindows(*data, 15, &rng);
+  const auto requests = MakeRequests(queries, windows);
+
+  // Serial references against BOTH seals: a hot-swapped service must
+  // answer every request from one of them.
+  const QueryEngine engine_a(seal_a, data.get(), options.tpi.pi.cell_size);
+  const QueryEngine engine_b(seal_b, data.get(), options.tpi.pi.cell_size);
+  std::vector<std::variant<StrqResult, std::vector<Neighbor>, TpqResult>>
+      ref_a, ref_b;
+  for (const QueryRequest& request : requests) {
+    ref_a.push_back(EvalSerial(engine_a, request));
+    ref_b.push_back(EvalSerial(engine_b, request));
+  }
+
+  QueryService::Options serve_options;
+  serve_options.num_threads = 4;
+  serve_options.raw = data;
+  serve_options.cell_size = options.tpi.pi.cell_size;
+  QueryService service(seal_a, serve_options);
+
+  constexpr size_t kSubmitters = 4;
+  constexpr int kSwaps = 50;
+  std::vector<std::vector<QueryResponse>> responses(kSubmitters);
+  std::vector<std::thread> submitters;
+  for (size_t s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (const QueryRequest& request : requests) {
+        responses[s].push_back(service.Submit(request).get());
+      }
+    });
+  }
+  for (int i = 0; i < kSwaps; ++i) {
+    service.UpdateSnapshot((i % 2 == 0) ? seal_b : seal_a);
+  }
+  for (std::thread& t : submitters) t.join();
+
+  for (size_t s = 0; s < kSubmitters; ++s) {
+    ASSERT_EQ(responses[s].size(), requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const QueryResponse& response = responses[s][i];
+      EXPECT_TRUE(response.ok());
+      // Which seal served it is a race; that it was exactly ONE seal's
+      // byte-exact answer is not.
+      EXPECT_TRUE(response.result == ref_a[i] || response.result == ref_b[i])
+          << "submitter " << s << " request " << i
+          << " matches neither seal's serial answer";
+    }
+  }
+}
+
+TEST(QueryServiceConcurrencyTest, HotSwapReclaimsRetiredSealEagerly) {
+  const auto data =
+      std::make_shared<const TrajectoryDataset>(SmallDataset(71));
+  PpqOptions options = MakePpqA();
+  PpqTrajectory method(options);
+  method.Compress(*data);
+  SnapshotPtr seal_a = method.Seal();
+  const SnapshotPtr seal_b = method.Seal();
+
+  QueryService::Options serve_options;
+  serve_options.num_threads = 3;
+  serve_options.raw = data;
+  serve_options.cell_size = options.tpi.pi.cell_size;
+  QueryService service(seal_a, serve_options);
+
+  // Serve traffic so every worker may have pinned seal A in its scratch.
+  Rng rng(3);
+  std::vector<QueryRequest> requests;
+  for (const QuerySpec& q : SampleQueries(*data, 60, &rng)) {
+    requests.push_back(StrqRequest{q, StrqMode::kLocalSearch});
+  }
+  for (auto& future : service.SubmitBatch(requests)) future.get();
+
+  // After the swap — with NO further traffic — no worker may still hold
+  // seal A: the only remaining reference is this test's handle.
+  service.UpdateSnapshot(seal_b);
+  EXPECT_EQ(seal_a.use_count(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown semantics: drain and cancellation
+// ---------------------------------------------------------------------------
+
+TEST(QueryServiceShutdownTest, DestructionDrainsSubmittedRequests) {
+  const auto data =
+      std::make_shared<const TrajectoryDataset>(SmallDataset(41));
+  PpqOptions options = MakePpqA();
+  PpqTrajectory method(options);
+  method.Compress(*data);
+  const QueryEngine engine(&method, data.get(), options.tpi.pi.cell_size);
+
+  Rng rng(11);
+  const auto queries = SampleQueries(*data, 60, &rng);
+  std::vector<QueryRequest> requests;
+  for (const QuerySpec& q : queries) {
+    requests.push_back(StrqRequest{q, StrqMode::kExact});
+  }
+
+  std::vector<std::future<QueryResponse>> futures;
+  {
+    QueryService::Options serve_options;
+    serve_options.num_threads = 2;
+    serve_options.raw = data;
+    serve_options.cell_size = options.tpi.pi.cell_size;
+    QueryService service(method.Seal(), serve_options);
+    futures = service.SubmitBatch(requests);
+  }  // destroyed immediately: every future must still resolve, correctly
+
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_TRUE(futures[i].valid());
+    const QueryResponse response = futures[i].get();
+    EXPECT_TRUE(response.ok());
+    EXPECT_EQ(response.result, EvalSerial(engine, requests[i]));
+  }
+}
+
+TEST(QueryServiceShutdownTest, CancelPendingFailsExactlyTheQueued) {
+  const auto data =
+      std::make_shared<const TrajectoryDataset>(SmallDataset(51));
+  PpqOptions options = MakePpqA();
+  PpqTrajectory method(options);
+  method.Compress(*data);
+
+  QueryService::Options serve_options;
+  serve_options.num_threads = 1;
+  serve_options.raw = data;
+  serve_options.cell_size = options.tpi.pi.cell_size;
+  QueryService service(method.Seal(), serve_options);
+
+  Rng rng(13);
+  std::vector<QueryRequest> requests;
+  for (const QuerySpec& q : SampleQueries(*data, 200, &rng)) {
+    requests.push_back(StrqRequest{q, StrqMode::kExact});
+  }
+  auto futures = service.SubmitBatch(std::move(requests));
+  const size_t cancelled = service.CancelPending();
+  ASSERT_LE(cancelled, futures.size());
+
+  size_t observed_cancelled = 0;
+  for (auto& future : futures) {
+    const QueryResponse response = future.get();
+    if (response.ok()) continue;
+    EXPECT_EQ(response.status.code(), StatusCode::kCancelled);
+    EXPECT_EQ(response.kind, QueryKind::kStrq);
+    ++observed_cancelled;
+  }
+  EXPECT_EQ(observed_cancelled, cancelled);
+  // After a cancel, the service still serves.
+  const QueryResponse after = service
+                                  .Submit(StrqRequest{
+                                      SampleQueries(*data, 1, &rng)[0],
+                                      StrqMode::kLocalSearch})
+                                  .get();
+  EXPECT_TRUE(after.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Lifetime: the raw-dataset footgun is structurally closed
+// ---------------------------------------------------------------------------
+
+TEST(QueryServiceLifetimeTest, ServiceOwnsVerificationDataset) {
+  PpqOptions options = MakePpqA();
+  std::unique_ptr<QueryService> service;
+  std::vector<QueryRequest> requests;
+  std::vector<std::variant<StrqResult, std::vector<Neighbor>, TpqResult>>
+      expected;
+  {
+    // The dataset's only named reference dies with this scope; the
+    // service's shared_ptr keeps exact-mode verification alive. (Before
+    // the redesign this was a dangling raw pointer — ASan caught it as a
+    // use-after-free in exactly this shape.)
+    const auto data =
+        std::make_shared<const TrajectoryDataset>(SmallDataset(61));
+    PpqTrajectory method(options);
+    method.Compress(*data);
+    const QueryEngine engine(&method, data.get(), options.tpi.pi.cell_size);
+    Rng rng(19);
+    for (const QuerySpec& q : SampleQueries(*data, 30, &rng)) {
+      requests.push_back(StrqRequest{q, StrqMode::kExact});
+      expected.push_back(EvalSerial(engine, requests.back()));
+    }
+
+    QueryService::Options serve_options;
+    serve_options.num_threads = 2;
+    serve_options.raw = data;
+    serve_options.cell_size = options.tpi.pi.cell_size;
+    service = std::make_unique<QueryService>(method.Seal(), serve_options);
+  }
+
+  auto futures = service->SubmitBatch(requests);
+  for (size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get().result, expected[i]) << "request " << i;
+  }
+}
+
+TEST(QueryServiceLifetimeTest, RejectsMismatchedVerificationDataset) {
+  const auto data = std::make_shared<const TrajectoryDataset>(SmallDataset());
+  PpqOptions options = MakePpqA();
+  PpqTrajectory method(options);
+  method.Compress(*data);
+  const SnapshotPtr snapshot = method.Seal();
+
+  // A dataset with fewer trajectories than the snapshot serves cannot be
+  // the compression source; the old API silently indexed out of bounds.
+  QueryService::Options serve_options;
+  serve_options.num_threads = 1;
+  serve_options.raw = std::make_shared<const TrajectoryDataset>(
+      test::MakePortoDataset({3, 50, 15, 50, 99}));
+  EXPECT_THROW(QueryService(snapshot, serve_options), std::invalid_argument);
+
+  QueryService::Options null_snapshot_options;
+  null_snapshot_options.num_threads = 1;
+  EXPECT_THROW(QueryService(nullptr, null_snapshot_options),
+               std::invalid_argument);
+
+  // UpdateSnapshot validates the same way; the served seal is unchanged
+  // after a rejected swap.
+  serve_options.raw = data;
+  QueryService service(snapshot, serve_options);
+  EXPECT_THROW(service.UpdateSnapshot(nullptr), std::invalid_argument);
+  EXPECT_EQ(service.snapshot().get(), snapshot.get());
+}
+
+}  // namespace
+}  // namespace ppq::core

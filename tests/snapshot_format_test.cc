@@ -58,11 +58,13 @@ void ExpectServesIdentically(const SnapshotPtr& loaded,
   const auto queries = SampleQueries(data, 50, &rng);
   const auto windows = test::SampleWindows(data, 25, &rng);
   constexpr size_t kK = 5;
+  // The serving stack owns its verification data (shared_ptr).
+  const auto raw = std::make_shared<const TrajectoryDataset>(data);
 
   for (const size_t threads : {size_t{1}, size_t{4}}) {
     QueryExecutor::Options options;
     options.num_threads = threads;
-    options.raw = &data;
+    options.raw = raw;
     options.cell_size = cell_size;
     QueryExecutor expected(reference, options);
     QueryExecutor actual(loaded, options);

@@ -3,14 +3,22 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 /// \file thread_pool_test.cc
 /// The ThreadPool contract: every index runs exactly once, worker ids stay
 /// in range, the pool is reusable across jobs, and the size-1 pool
-/// degenerates to an inline loop. These tests are part of the TSan CI job.
+/// degenerates to an inline loop — plus the task-queue mode (Post/Submit
+/// futures) that the async QueryService is built on: concurrent
+/// submission, coexistence with ParallelFor, exception delivery through
+/// futures, and drain-on-destruction. These tests are part of the TSan CI
+/// job.
 
 namespace ppq {
 namespace {
@@ -124,6 +132,113 @@ TEST(ThreadPoolTest, FirstExceptionPropagatesAfterDraining) {
     count.fetch_add(1, std::memory_order_relaxed);
   });
   EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolSubmitTest, SubmitResolvesFutureWithTaskResult) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_background(), 3u);
+  std::future<int> future = pool.Submit([](size_t worker) {
+    EXPECT_GT(worker, 0u);  // queued tasks run on background workers
+    return 41 + 1;
+  });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolSubmitTest, SingleThreadPoolRunsSubmitInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_background(), 0u);
+  const auto caller = std::this_thread::get_id();
+  std::future<std::thread::id> future =
+      pool.Submit([](size_t worker) {
+        EXPECT_EQ(worker, 0u);
+        return std::this_thread::get_id();
+      });
+  // No background workers: the task already ran, in the posting thread.
+  EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(future.get(), caller);
+}
+
+TEST(ThreadPoolSubmitTest, TaskExceptionsSurfaceThroughTheFuture) {
+  ThreadPool pool(2);
+  std::future<int> future = pool.Submit(
+      [](size_t) -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The worker survives a throwing task.
+  EXPECT_EQ(pool.Submit([](size_t) { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolSubmitTest, ManyProducersSubmitConcurrently) {
+  ThreadPool pool(4);
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 200;
+  std::atomic<int> executed{0};
+  std::vector<std::thread> producers;
+  std::vector<std::vector<std::future<int>>> futures(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        futures[p].push_back(pool.Submit([&, p, i](size_t) {
+          executed.fetch_add(1, std::memory_order_relaxed);
+          return p * kPerProducer + i;
+        }));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (int p = 0; p < kProducers; ++p) {
+    for (int i = 0; i < kPerProducer; ++i) {
+      ASSERT_EQ(futures[p][i].get(), p * kPerProducer + i);
+    }
+  }
+  EXPECT_EQ(executed.load(), kProducers * kPerProducer);
+}
+
+TEST(ThreadPoolSubmitTest, PostCoexistsWithParallelFor) {
+  ThreadPool pool(4);
+  std::atomic<int> posted_done{0};
+  // Queue tasks from a side thread while ParallelFor jobs run.
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) {
+      pool.Post([&](size_t) {
+        posted_done.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  });
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    pool.ParallelFor(64, [&](size_t, size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(count.load(), 64) << "round " << round;
+  }
+  producer.join();
+  // Give the queue a synchronization point: destruction drains, but here
+  // we assert the tasks also complete while the pool lives.
+  while (posted_done.load(std::memory_order_relaxed) < 100) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(posted_done.load(), 100);
+}
+
+TEST(ThreadPoolSubmitTest, DestructionDrainsQueuedTasks) {
+  std::vector<std::future<int>> futures;
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 500; ++i) {
+      futures.push_back(pool.Submit([&executed, i](size_t) {
+        executed.fetch_add(1, std::memory_order_relaxed);
+        return i;
+      }));
+    }
+  }  // destructor must run every queued task before joining
+  EXPECT_EQ(executed.load(), 500);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    ASSERT_EQ(futures[i].get(), i);
+  }
 }
 
 }  // namespace
