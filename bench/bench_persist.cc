@@ -22,6 +22,7 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -29,7 +30,7 @@
 #include "common/random.h"
 #include "common/timer.h"
 #include "core/metrics.h"
-#include "core/query_executor.h"
+#include "core/query_service.h"
 #include "core/serialization.h"
 #include "storage/page_manager.h"
 
@@ -79,11 +80,32 @@ struct MixedResults {
   }
 };
 
-MixedResults Serve(core::QueryExecutor& executor, const Workload& w) {
+MixedResults Serve(core::QueryService& service, const Workload& w) {
+  std::vector<core::QueryRequest> requests;
+  requests.reserve(w.strq.size() + w.windows.size() + w.knn.size());
+  for (const auto& q : w.strq) {
+    requests.push_back(core::StrqRequest{q, core::StrqMode::kLocalSearch});
+  }
+  for (const auto& win : w.windows) {
+    requests.push_back(core::WindowRequest{win, core::StrqMode::kLocalSearch});
+  }
+  for (const auto& q : w.knn) requests.push_back(core::KnnRequest{q, kKnnK});
+
+  auto futures = service.SubmitBatch(std::move(requests));
   MixedResults r;
-  r.strq = executor.StrqBatch(w.strq, core::StrqMode::kLocalSearch);
-  r.windows = executor.WindowBatch(w.windows, core::StrqMode::kLocalSearch);
-  r.knn = executor.KnnBatch(w.knn, kKnnK);
+  size_t i = 0;
+  for (size_t n = 0; n < w.strq.size(); ++n) {
+    r.strq.push_back(std::move(
+        std::get<core::StrqResult>(futures[i++].get().result)));
+  }
+  for (size_t n = 0; n < w.windows.size(); ++n) {
+    r.windows.push_back(std::move(
+        std::get<core::StrqResult>(futures[i++].get().result)));
+  }
+  for (size_t n = 0; n < w.knn.size(); ++n) {
+    r.knn.push_back(std::move(
+        std::get<std::vector<core::Neighbor>>(futures[i++].get().result)));
+  }
   return r;
 }
 
@@ -100,14 +122,13 @@ core::SnapshotPtr BuildSnapshot(const BenchOptions& options,
   return method->Seal();
 }
 
-core::QueryExecutor MakeExecutor(
-    const core::SnapshotPtr& snapshot,
+core::QueryService::Options ServeOptions(
     std::shared_ptr<const TrajectoryDataset> data, size_t threads) {
-  core::QueryExecutor::Options exec_options;
-  exec_options.num_threads = threads == 0 ? 1 : threads;
-  exec_options.raw = std::move(data);
-  exec_options.cell_size = 100.0 / kMetersPerDegree;
-  return core::QueryExecutor(snapshot, exec_options);
+  core::QueryService::Options options;
+  options.num_threads = threads == 0 ? 1 : threads;
+  options.raw = std::move(data);
+  options.cell_size = 100.0 / kMetersPerDegree;
+  return options;
 }
 
 int RunSaveOnly(const BenchOptions& options, const std::string& path) {
@@ -144,9 +165,8 @@ int RunCheck(const BenchOptions& options, const std::string& path) {
       MakeWorkload(bundle.data, options.queries, options.seed + 7);
   const auto raw = std::make_shared<const TrajectoryDataset>(
       std::move(bundle.data));
-  core::QueryExecutor executor =
-      MakeExecutor(*snapshot, raw, options.threads);
-  const MixedResults results = Serve(executor, workload);
+  core::QueryService service(*snapshot, ServeOptions(raw, options.threads));
+  const MixedResults results = Serve(service, workload);
   std::printf("served %zu hits from the loaded snapshot\n", results.Hits());
   if (results.Hits() == 0) {
     std::fprintf(stderr, "FORMAT BREAK: loaded snapshot served nothing\n");
@@ -200,14 +220,14 @@ int Run(const BenchOptions& options, const std::string& path) {
       MakeWorkload(bundle.data, options.queries, options.seed + 7);
   const auto raw = std::make_shared<const TrajectoryDataset>(
       std::move(bundle.data));
-  core::QueryExecutor sealed_executor =
-      MakeExecutor(sealed, raw, options.threads);
-  core::QueryExecutor loaded_executor =
-      MakeExecutor(*loaded, raw, options.threads);
-  const MixedResults reference = Serve(sealed_executor, workload);
+  core::QueryService sealed_service(sealed,
+                                    ServeOptions(raw, options.threads));
+  core::QueryService loaded_service(*loaded,
+                                    ServeOptions(raw, options.threads));
+  const MixedResults reference = Serve(sealed_service, workload);
 
   WallTimer serve_timer;
-  const MixedResults results = Serve(loaded_executor, workload);
+  const MixedResults results = Serve(loaded_service, workload);
   const double serve_seconds = serve_timer.ElapsedSeconds();
   const size_t evaluations =
       workload.strq.size() + workload.windows.size() + workload.knn.size();

@@ -2,8 +2,8 @@
 /// Concurrent serving benchmark for the async serving stack, two modes:
 ///
 /// Default (batch ladder): compress a Porto-like workload with PPQ-A,
-/// Seal() it, and measure queries/sec of the batched QueryExecutor shims
-/// over a mixed STRQ / window / k-NN workload at 1/2/4/8 threads (or a
+/// Seal() it, and measure queries/sec of batched QueryService submission
+/// over a mixed STRQ / window / k-NN workload at 1/2/4/8 workers (or a
 /// single count with --threads=N). Before timing, every batch result is
 /// checked byte-identical against the serial QueryEngine. Output ends
 /// with one [serve] line per thread count:
@@ -14,9 +14,13 @@
 /// an interleaved STRQ / window / k-NN / TPQ stream (closed loop: each
 /// submitter keeps one request in flight), every response is
 /// parity-checked against the serial engine, and per-request latency is
-/// recorded from submission to future resolution:
+/// recorded from submission to future resolution — reported both per
+/// request kind and aggregated over the whole stream:
 ///   [mixed] threads=4 submitters=4 requests=1750 seconds=0.42 qps=4123
 ///           identical=yes
+///   [latency] kind=strq requests=700 p50_us=640 p95_us=1800 p99_us=2600
+///             max_us=4100
+///   ... (one line per kind: strq, window, knn, tpq) ...
 ///   [latency] p50_us=812 p95_us=2100 p99_us=3400 max_us=5120
 ///
 /// Both modes emit the shared [throughput] lines (phase=serve) for the
@@ -39,7 +43,6 @@
 #include "common/timer.h"
 #include "core/metrics.h"
 #include "core/query_engine.h"
-#include "core/query_executor.h"
 #include "core/query_service.h"
 
 namespace ppq::bench {
@@ -102,12 +105,39 @@ MixedResults RunSerial(const core::QueryEngine& engine, const Workload& w) {
   return r;
 }
 
-MixedResults RunExecutor(core::QueryExecutor& executor, const Workload& w) {
+MixedResults RunService(core::QueryService& service, const Workload& w) {
+  std::vector<core::QueryRequest> requests;
+  requests.reserve(2 * w.strq.size() + w.windows.size() + w.knn.size());
+  for (const auto& q : w.strq) {
+    requests.push_back(core::StrqRequest{q, core::StrqMode::kExact});
+  }
+  for (const auto& q : w.strq) {
+    requests.push_back(core::StrqRequest{q, core::StrqMode::kLocalSearch});
+  }
+  for (const auto& win : w.windows) {
+    requests.push_back(core::WindowRequest{win, core::StrqMode::kExact});
+  }
+  for (const auto& q : w.knn) requests.push_back(core::KnnRequest{q, kKnnK});
+
+  auto futures = service.SubmitBatch(std::move(requests));
   MixedResults r;
-  r.strq_exact = executor.StrqBatch(w.strq, core::StrqMode::kExact);
-  r.strq_local = executor.StrqBatch(w.strq, core::StrqMode::kLocalSearch);
-  r.windows = executor.WindowBatch(w.windows, core::StrqMode::kExact);
-  r.knn = executor.KnnBatch(w.knn, kKnnK);
+  size_t i = 0;
+  for (size_t n = 0; n < w.strq.size(); ++n) {
+    r.strq_exact.push_back(
+        std::move(std::get<core::StrqResult>(futures[i++].get().result)));
+  }
+  for (size_t n = 0; n < w.strq.size(); ++n) {
+    r.strq_local.push_back(
+        std::move(std::get<core::StrqResult>(futures[i++].get().result)));
+  }
+  for (size_t n = 0; n < w.windows.size(); ++n) {
+    r.windows.push_back(
+        std::move(std::get<core::StrqResult>(futures[i++].get().result)));
+  }
+  for (size_t n = 0; n < w.knn.size(); ++n) {
+    r.knn.push_back(std::move(
+        std::get<std::vector<core::Neighbor>>(futures[i++].get().result)));
+  }
   return r;
 }
 
@@ -217,9 +247,13 @@ int RunMixed(const BenchOptions& options, size_t submitters) {
 
   // Closed-loop submitters: thread s owns request indices s, s+S, s+2S...
   // and keeps exactly one in flight, so concurrency = #submitters and the
-  // recorded latency spans submission -> future resolution.
+  // recorded latency spans submission -> future resolution. Latency is
+  // recorded with the request's kind so the stream decomposes into
+  // per-kind distributions (a slow tail can hide entirely inside one
+  // request kind of a mixed stream).
   std::vector<Payload> served(stream.size());
-  std::vector<std::vector<uint64_t>> latencies(submitters);
+  std::vector<std::vector<std::pair<core::QueryKind, uint64_t>>> latencies(
+      submitters);
   WallTimer stream_timer;
   std::vector<std::thread> threads_vec;
   threads_vec.reserve(submitters);
@@ -228,10 +262,12 @@ int RunMixed(const BenchOptions& options, size_t submitters) {
       for (size_t i = s; i < stream.size(); i += submitters) {
         const auto start = std::chrono::steady_clock::now();
         core::QueryResponse response = service.Submit(stream[i]).get();
-        latencies[s].push_back(static_cast<uint64_t>(
-            std::chrono::duration_cast<std::chrono::microseconds>(
-                std::chrono::steady_clock::now() - start)
-                .count()));
+        latencies[s].emplace_back(
+            core::KindOf(stream[i]),
+            static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count()));
         served[i] = std::move(response.result);
       }
     });
@@ -247,16 +283,23 @@ int RunMixed(const BenchOptions& options, size_t submitters) {
     }
   }
 
+  // Percentiles over a sorted sample (nearest-rank with rounding).
+  const auto percentile = [](const std::vector<uint64_t>& sorted,
+                             double p) -> uint64_t {
+    if (sorted.empty()) return 0;
+    const size_t idx = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+  };
+
   std::vector<uint64_t> all;
+  std::vector<uint64_t> by_kind[4];
   for (const auto& per_thread : latencies) {
-    all.insert(all.end(), per_thread.begin(), per_thread.end());
+    for (const auto& [kind, us] : per_thread) {
+      all.push_back(us);
+      by_kind[static_cast<size_t>(kind)].push_back(us);
+    }
   }
   std::sort(all.begin(), all.end());
-  const auto percentile = [&](double p) -> uint64_t {
-    if (all.empty()) return 0;
-    const size_t idx = static_cast<size_t>(p * (all.size() - 1) + 0.5);
-    return all[std::min(idx, all.size() - 1)];
-  };
 
   const double qps =
       seconds > 0.0 ? static_cast<double>(stream.size()) / seconds : 0.0;
@@ -266,10 +309,25 @@ int RunMixed(const BenchOptions& options, size_t submitters) {
               "seconds=%.4f qps=%.0f identical=%s\n",
               threads, submitters, stream.size(), seconds, qps,
               identical ? "yes" : "NO");
+  // Per-kind breakdown first, aggregate last (tools keyed on the bare
+  // "[latency] p50_us=" line keep parsing the same final line).
+  constexpr const char* kKindNames[4] = {"strq", "window", "knn", "tpq"};
+  for (size_t kind = 0; kind < 4; ++kind) {
+    std::vector<uint64_t>& sample = by_kind[kind];
+    if (sample.empty()) continue;
+    std::sort(sample.begin(), sample.end());
+    std::printf("[latency] kind=%s requests=%zu p50_us=%llu p95_us=%llu "
+                "p99_us=%llu max_us=%llu\n",
+                kKindNames[kind], sample.size(),
+                static_cast<unsigned long long>(percentile(sample, 0.50)),
+                static_cast<unsigned long long>(percentile(sample, 0.95)),
+                static_cast<unsigned long long>(percentile(sample, 0.99)),
+                static_cast<unsigned long long>(sample.back()));
+  }
   std::printf("[latency] p50_us=%llu p95_us=%llu p99_us=%llu max_us=%llu\n",
-              static_cast<unsigned long long>(percentile(0.50)),
-              static_cast<unsigned long long>(percentile(0.95)),
-              static_cast<unsigned long long>(percentile(0.99)),
+              static_cast<unsigned long long>(percentile(all, 0.50)),
+              static_cast<unsigned long long>(percentile(all, 0.95)),
+              static_cast<unsigned long long>(percentile(all, 0.99)),
               static_cast<unsigned long long>(all.empty() ? 0 : all.back()));
 
   if (!identical) {
@@ -281,7 +339,7 @@ int RunMixed(const BenchOptions& options, size_t submitters) {
 }
 
 int Run(const BenchOptions& options) {
-  std::printf("=== bench_serve: snapshot + concurrent batched executor ===\n");
+  std::printf("=== bench_serve: snapshot + batched QueryService ladder ===\n");
   DatasetBundle bundle = MakePortoBundle(options);
   std::printf("dataset: %s, %zu trajectories, %zu points\n",
               bundle.name.c_str(), bundle.data.size(),
@@ -307,8 +365,8 @@ int Run(const BenchOptions& options) {
               workload.strq.size(), workload.windows.size(),
               workload.knn.size(), evaluations);
 
-  // The dataset moves into shared ownership (no copy) for the executor
-  // shims; the serial engine verifies against the same object.
+  // The dataset moves into shared ownership (no copy) for the serving
+  // stack; the serial engine verifies against the same object.
   const auto raw = std::make_shared<const TrajectoryDataset>(
       std::move(bundle.data));
 
@@ -329,32 +387,32 @@ int Run(const BenchOptions& options) {
   bool all_identical = true;
   double qps_at_1 = 0.0;
   for (size_t threads : ladder) {
-    core::QueryExecutor::Options exec_options;
-    exec_options.num_threads = threads;
-    exec_options.raw = raw;
-    exec_options.cell_size = cell_size;
-    core::QueryExecutor executor(snapshot, exec_options);
+    core::QueryService::Options serve_options;
+    serve_options.num_threads = threads;
+    serve_options.raw = raw;
+    serve_options.cell_size = cell_size;
+    core::QueryService service(snapshot, serve_options);
 
     // Correctness pass (also warms per-worker decode scratch the same way
     // every thread count warms it: by running the workload once).
-    const MixedResults check = RunExecutor(executor, workload);
+    const MixedResults check = RunService(service, workload);
     const bool identical = check == reference;
     all_identical = all_identical && identical;
 
     WallTimer timer;
-    const MixedResults timed = RunExecutor(executor, workload);
+    const MixedResults timed = RunService(service, workload);
     const double seconds = timer.ElapsedSeconds();
     all_identical = all_identical && (timed == reference);
 
     const double qps =
         seconds > 0.0 ? static_cast<double>(evaluations) / seconds : 0.0;
     if (threads == 1) qps_at_1 = qps;
-    // Speedup vs the 1-thread executor when the ladder includes it;
+    // Speedup vs the 1-worker service when the ladder includes it;
     // otherwise (explicit --threads=N) vs the serial engine.
     const double baseline = qps_at_1 > 0.0 ? qps_at_1 : serial_qps;
     const double speedup = baseline > 0.0 ? qps / baseline : 0.0;
     const std::string label =
-        "QueryExecutor/" + std::to_string(threads) + "t";
+        "QueryService/" + std::to_string(threads) + "t";
     PrintThroughput(label, "serve", evaluations, seconds);
     std::printf("[serve] threads=%zu queries=%zu seconds=%.4f qps=%.0f "
                 "speedup=%.2f identical=%s\n",
@@ -363,7 +421,7 @@ int Run(const BenchOptions& options) {
   }
 
   if (!all_identical) {
-    std::printf("ERROR: executor results diverged from the serial engine\n");
+    std::printf("ERROR: service results diverged from the serial engine\n");
     return 1;
   }
   return 0;

@@ -1,0 +1,168 @@
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/query_types.h"
+
+/// \file query_dispatch.h
+/// The shared asynchronous dispatch substrate of every serving front-end
+/// (core::QueryService over one snapshot, repo::ShardedQueryService over a
+/// sharded repository): an internally synchronized pending-request queue
+/// drained by a dedicated worker pool, per-worker state handed to a
+/// seal-specific evaluator, cancellation of queued-but-unstarted
+/// requests, and drain-on-destruction. Factoring this out keeps the
+/// subtle parts — the queue-token race with CancelPending, the
+/// destruction ordering that lets the pool drain against still-alive
+/// state, promise exception delivery — in exactly one place; the
+/// front-ends contribute only their evaluator, validation, and hot-swap
+/// bookkeeping.
+///
+/// Thread-safety contract (inherited verbatim by the front-ends):
+/// Submit / SubmitBatch / CancelPending are safe from any number of
+/// threads. Each queued request is evaluated exactly once, on a dedicated
+/// worker (worker 0 is the never-submitting caller slot of the pool, so
+/// evaluation never runs on a submitter thread). Destruction drains:
+/// every submitted future resolves before the destructor returns.
+///
+/// WorkerState must expose a `std::mutex mu`; the evaluator is expected
+/// to hold it for the duration of each evaluation, and
+/// ForEachWorkerState takes it for hot-swap reclamation sweeps.
+
+namespace ppq::core {
+
+/// \brief Internally synchronized request queue + worker pool, generic
+/// over the per-worker scratch a front-end keeps.
+template <typename WorkerState>
+class QueryDispatcher {
+ public:
+  using Evaluator =
+      std::function<QueryResponse(const QueryRequest&, WorkerState&)>;
+
+  /// \param num_workers dedicated evaluation workers (resolved, nonzero).
+  QueryDispatcher(size_t num_workers, Evaluator evaluate)
+      : evaluate_(std::move(evaluate)),
+        worker_state_(num_workers + 1),
+        // One caller slot + num_workers background workers: the pool's
+        // worker 0 is its (never-submitting) caller, so posted requests
+        // always run on the dedicated threads.
+        pool_(num_workers + 1) {}
+
+  QueryDispatcher(const QueryDispatcher&) = delete;
+  QueryDispatcher& operator=(const QueryDispatcher&) = delete;
+
+  /// \brief Queue one request; the future resolves when a worker has
+  /// evaluated it (or it was cancelled).
+  std::future<QueryResponse> Submit(QueryRequest request) {
+    std::promise<QueryResponse> promise;
+    std::future<QueryResponse> future = promise.get_future();
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      pending_.push_back({std::move(request), std::move(promise)});
+    }
+    pool_.Post([this](size_t worker) { ProcessOne(worker); });
+    return future;
+  }
+
+  /// \brief Queue a batch under one lock; futures[i] answers requests[i].
+  std::vector<std::future<QueryResponse>> SubmitBatch(
+      std::vector<QueryRequest> requests) {
+    std::vector<std::future<QueryResponse>> futures;
+    futures.reserve(requests.size());
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      for (QueryRequest& request : requests) {
+        Pending pending;
+        pending.request = std::move(request);
+        futures.push_back(pending.promise.get_future());
+        pending_.push_back(std::move(pending));
+      }
+    }
+    // One pool token per request: a token that loses the race to a
+    // cancellation (or another worker) simply finds the queue empty.
+    for (size_t i = 0; i < futures.size(); ++i) {
+      pool_.Post([this](size_t worker) { ProcessOne(worker); });
+    }
+    return futures;
+  }
+
+  /// \brief Fail every queued-but-unstarted request with
+  /// StatusCode::kCancelled; returns the number cancelled.
+  size_t CancelPending() {
+    std::deque<Pending> cancelled;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      cancelled.swap(pending_);
+    }
+    for (Pending& pending : cancelled) {
+      QueryResponse response;
+      response.kind = KindOf(pending.request);
+      response.status =
+          Status::Cancelled("request cancelled before evaluation started");
+      pending.promise.set_value(std::move(response));
+    }
+    return cancelled.size();
+  }
+
+  /// \brief Run \p fn on every worker's state under that worker's mutex —
+  /// the hot-swap reclamation sweep. Each lock waits at most for the
+  /// worker's current evaluation.
+  template <typename Fn>
+  void ForEachWorkerState(Fn fn) {
+    for (WorkerState& state : worker_state_) {
+      std::lock_guard<std::mutex> lock(state.mu);
+      fn(state);
+    }
+  }
+
+ private:
+  struct Pending {
+    QueryRequest request;
+    std::promise<QueryResponse> promise;
+  };
+
+  /// Pop one pending request (if any survives cancellation) and resolve
+  /// its promise.
+  void ProcessOne(size_t worker) {
+    Pending pending;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (pending_.empty()) return;  // lost the race to CancelPending
+      pending = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    try {
+      pending.promise.set_value(
+          evaluate_(pending.request, worker_state_[worker]));
+    } catch (...) {
+      pending.promise.set_exception(std::current_exception());
+    }
+  }
+
+  Evaluator evaluate_;
+
+  std::mutex queue_mu_;  ///< guards pending_
+  std::deque<Pending> pending_;
+
+  std::vector<WorkerState> worker_state_;
+  /// Declared last so it is destroyed FIRST: the pool's drain-on-destroy
+  /// runs ProcessOne against still-alive pending_/worker_state_ (and an
+  /// evaluator whose captured front-end members outlive this dispatcher).
+  ThreadPool pool_;
+};
+
+/// Resolve a requested worker count: 0 means hardware concurrency.
+inline size_t ResolveServingWorkers(size_t requested) {
+  if (requested != 0) return requested;
+  return std::max<size_t>(1, std::thread::hardware_concurrency());
+}
+
+}  // namespace ppq::core

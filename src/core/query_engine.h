@@ -17,7 +17,7 @@
 /// code in query_eval.h — convenient for tests, examples, and one-off
 /// queries against either a live compressor or a sealed snapshot. It is
 /// not thread-safe (the live-compressor path decodes through the method's
-/// internal memo); concurrent serving goes through QueryExecutor, which
+/// internal memo); concurrent serving goes through QueryService, which
 /// runs the exact same algorithms and therefore returns byte-identical
 /// results.
 ///

@@ -14,9 +14,10 @@
 /// \file query_eval.h
 /// The spatio-temporal query algorithms of Section 5.2 (STRQ local search,
 /// window queries, expanding-ring k-NN), written once as templates over a
-/// minimal Reader concept so that the serial QueryEngine and the batched
-/// QueryExecutor evaluate *the same code* — results are byte-identical by
-/// construction, whichever path (and whichever thread count) served them.
+/// minimal Reader concept so that the serial QueryEngine, the async
+/// QueryService, and the sharded scatter-gather router evaluate *the same
+/// code* — results are byte-identical by construction, whichever path (and
+/// whichever thread count) served them.
 ///
 /// A Reader provides:
 ///   Result<Point> Reconstruct(TrajId id, Tick t) const;
@@ -240,11 +241,7 @@ std::vector<Neighbor> NearestTrajectories(const Reader& reader,
     if (!recon.ok()) continue;
     result.push_back({id, recon->DistanceTo(q.position)});
   }
-  std::sort(result.begin(), result.end(),
-            [](const Neighbor& a, const Neighbor& b) {
-              return a.distance < b.distance ||
-                     (a.distance == b.distance && a.id < b.id);
-            });
+  std::sort(result.begin(), result.end(), NeighborOrder);
   if (result.size() > k) result.resize(k);
   return result;
 }

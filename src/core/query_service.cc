@@ -11,29 +11,18 @@
 namespace ppq::core {
 namespace {
 
-size_t ResolveWorkers(size_t requested) {
-  if (requested != 0) return requested;
-  return std::max<size_t>(1, std::thread::hardware_concurrency());
-}
-
-template <class... Ts>
-struct Overloaded : Ts... {
-  using Ts::operator()...;
-};
-template <class... Ts>
-Overloaded(Ts...) -> Overloaded<Ts...>;
-
 }  // namespace
 
 QueryService::QueryService(SnapshotPtr snapshot, Options options)
     : options_(std::move(options)),
-      num_workers_(ResolveWorkers(options_.num_threads)),
+      num_workers_(ResolveServingWorkers(options_.num_threads)),
       snapshot_(nullptr),
-      worker_state_(num_workers_ + 1),
-      // One caller slot + num_workers_ background workers: the pool's
-      // worker 0 is its (never-submitting) caller, so Post/Submit tasks
-      // always run on the num_workers_ dedicated threads.
-      pool_(num_workers_ + 1) {
+      // The evaluator captures this; the dispatcher is declared last, so
+      // it drains (and stops calling Evaluate) before any member dies.
+      dispatcher_(num_workers_, [this](const QueryRequest& request,
+                                       WorkerState& state) {
+        return Evaluate(request, state);
+      }) {
   Validate(snapshot);
   std::atomic_store_explicit(&snapshot_, std::move(snapshot),
                              std::memory_order_release);
@@ -54,54 +43,6 @@ void QueryService::Validate(const SnapshotPtr& snapshot) const {
   }
 }
 
-std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
-  std::promise<QueryResponse> promise;
-  std::future<QueryResponse> future = promise.get_future();
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    pending_.push_back({std::move(request), std::move(promise)});
-  }
-  pool_.Post([this](size_t worker) { ProcessOne(worker); });
-  return future;
-}
-
-std::vector<std::future<QueryResponse>> QueryService::SubmitBatch(
-    std::vector<QueryRequest> requests) {
-  std::vector<std::future<QueryResponse>> futures;
-  futures.reserve(requests.size());
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    for (QueryRequest& request : requests) {
-      Pending pending;
-      pending.request = std::move(request);
-      futures.push_back(pending.promise.get_future());
-      pending_.push_back(std::move(pending));
-    }
-  }
-  // One pool token per request: a token that loses the race to a
-  // cancellation (or another worker) simply finds the queue empty.
-  for (size_t i = 0; i < futures.size(); ++i) {
-    pool_.Post([this](size_t worker) { ProcessOne(worker); });
-  }
-  return futures;
-}
-
-size_t QueryService::CancelPending() {
-  std::deque<Pending> cancelled;
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    cancelled.swap(pending_);
-  }
-  for (Pending& pending : cancelled) {
-    QueryResponse response;
-    response.kind = KindOf(pending.request);
-    response.status =
-        Status::Cancelled("request cancelled before evaluation started");
-    pending.promise.set_value(std::move(response));
-  }
-  return cancelled.size();
-}
-
 void QueryService::UpdateSnapshot(SnapshotPtr snapshot) {
   Validate(snapshot);
   // Atomic exchange, never blocking serving: workers that already pinned
@@ -114,27 +55,10 @@ void QueryService::UpdateSnapshot(SnapshotPtr snapshot) {
   // worker. Each lock waits at most for the worker's current evaluation;
   // a worker that re-tags concurrently just pins the NEW seal, which the
   // sweep then harmlessly clears again.
-  for (WorkerState& state : worker_state_) {
-    std::lock_guard<std::mutex> lock(state.mu);
+  dispatcher_.ForEachWorkerState([](WorkerState& state) {
     state.memo.Clear();
     state.memo_snapshot = nullptr;
-  }
-}
-
-void QueryService::ProcessOne(size_t worker) {
-  Pending pending;
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    if (pending_.empty()) return;  // lost the race to CancelPending
-    pending = std::move(pending_.front());
-    pending_.pop_front();
-  }
-  try {
-    pending.promise.set_value(Evaluate(pending.request,
-                                       worker_state_[worker]));
-  } catch (...) {
-    pending.promise.set_exception(std::current_exception());
-  }
+  });
 }
 
 QueryResponse QueryService::Evaluate(const QueryRequest& request,

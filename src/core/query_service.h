@@ -1,14 +1,13 @@
 #pragma once
 
 #include <atomic>
-#include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <vector>
 
-#include "common/thread_pool.h"
 #include "common/types.h"
+#include "core/query_dispatch.h"
 #include "core/query_types.h"
 #include "core/snapshot.h"
 
@@ -17,9 +16,9 @@
 /// QueryRequest vocabulary (STRQ / window / k-NN / TPQ, query_types.h)
 /// from any number of caller threads, evaluates each request on a
 /// dedicated worker pool, and resolves a std::future<QueryResponse> per
-/// request. This replaces the three blocking, externally-synchronized
-/// batch methods of QueryExecutor (now thin deprecated shims over this
-/// class) as the one serving surface.
+/// request. This replaced the blocking, externally-synchronized batch
+/// methods of the old QueryExecutor (whose deprecation cycle is complete;
+/// the shims are gone) as the one serving surface.
 ///
 /// Thread-safety contract — the service is INTERNALLY synchronized:
 ///  - Submit / SubmitBatch / CancelPending / UpdateSnapshot / snapshot()
@@ -37,7 +36,7 @@
 ///    scratch at its next request.
 ///  - Exact-mode verification data is OWNED by the service via
 ///    shared_ptr (Options::raw) and validated against the snapshot at
-///    construction and at every UpdateSnapshot — the executor's dangling
+///    construction and at every UpdateSnapshot — the historical dangling
 ///    raw-pointer footgun is structurally gone.
 ///  - Destruction drains: every request already submitted is evaluated
 ///    and its future resolved before the destructor returns. To shed a
@@ -51,9 +50,8 @@ namespace ppq::core {
 class QueryService {
  public:
   struct Options {
-    /// Dedicated serving workers; 0 = hardware concurrency. (Unlike the
-    /// deprecated QueryExecutor, the caller thread never evaluates —
-    /// submission is asynchronous.)
+    /// Dedicated serving workers; 0 = hardware concurrency. (The caller
+    /// thread never evaluates — submission is asynchronous.)
     size_t num_threads = 0;
     /// Raw dataset for StrqMode::kExact verification, owned by the
     /// service. May be null: exact mode then degenerates like the serial
@@ -82,18 +80,22 @@ class QueryService {
   /// \brief Submit one request for asynchronous evaluation. Returns
   /// immediately; the future resolves when a worker has evaluated the
   /// request (or it was cancelled). Safe from any thread.
-  std::future<QueryResponse> Submit(QueryRequest request);
+  std::future<QueryResponse> Submit(QueryRequest request) {
+    return dispatcher_.Submit(std::move(request));
+  }
 
   /// \brief Submit a batch; futures[i] answers requests[i]. Equivalent to
   /// calling Submit per element but enqueues under one lock.
   std::vector<std::future<QueryResponse>> SubmitBatch(
-      std::vector<QueryRequest> requests);
+      std::vector<QueryRequest> requests) {
+    return dispatcher_.SubmitBatch(std::move(requests));
+  }
 
   /// \brief Fail every queued-but-unstarted request with
   /// StatusCode::kCancelled (their futures resolve immediately with an
   /// empty payload). Requests already being evaluated complete normally.
   /// Returns the number cancelled.
-  size_t CancelPending();
+  size_t CancelPending() { return dispatcher_.CancelPending(); }
 
   /// \brief Hot-swap the served seal. The swap itself is an atomic
   /// shared_ptr exchange that never blocks serving: in-flight queries
@@ -117,10 +119,6 @@ class QueryService {
   }
 
  private:
-  struct Pending {
-    QueryRequest request;
-    std::promise<QueryResponse> promise;
-  };
   /// Per-worker decode scratch. memo_snapshot pins the seal the memo
   /// indexes — comparing raw pointers is ABA-safe precisely because the
   /// reference is held. The mutex is held by the owning worker for the
@@ -134,9 +132,6 @@ class QueryService {
 
   /// Throws std::invalid_argument on null / raw-inconsistent snapshots.
   void Validate(const SnapshotPtr& snapshot) const;
-  /// Pop one pending request (if any survives cancellation) and resolve
-  /// its promise.
-  void ProcessOne(size_t worker);
   QueryResponse Evaluate(const QueryRequest& request, WorkerState& state);
 
   Options options_;
@@ -145,13 +140,10 @@ class QueryService {
   /// atomic-shared_ptr interface): UpdateSnapshot is one atomic exchange.
   SnapshotPtr snapshot_;
 
-  std::mutex queue_mu_;  ///< guards pending_
-  std::deque<Pending> pending_;
-
-  std::vector<WorkerState> worker_state_;
-  /// Declared last so it is destroyed FIRST: the pool's drain-on-destroy
-  /// runs ProcessOne against still-alive pending_/worker_state_.
-  ThreadPool pool_;
+  /// Queue + pool + per-worker state; declared last so it is destroyed
+  /// FIRST — its drain-on-destroy evaluates against the still-alive
+  /// members above.
+  QueryDispatcher<WorkerState> dispatcher_;
 };
 
 }  // namespace ppq::core

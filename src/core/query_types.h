@@ -12,8 +12,8 @@
 /// specifications, evaluation modes, result shapes, and the closed
 /// QueryRequest / QueryResponse sum types spoken by every serving path —
 /// the single-query QueryEngine, the futures-based QueryService, and the
-/// deprecated QueryExecutor batch shims. Kept free of any engine state so
-/// all paths speak exactly the same types.
+/// sharded scatter-gather ShardedQueryService. Kept free of any engine
+/// state so all paths speak exactly the same types.
 
 namespace ppq::core {
 
@@ -74,6 +74,16 @@ struct Neighbor {
     return id == o.id && distance == o.distance;
   }
 };
+
+/// The one strict-weak ranking used everywhere neighbors are ordered:
+/// ascending distance, ties broken by ascending id. Both the unsharded
+/// ranking (query_eval.h) and the sharded top-k re-merge sort with THIS
+/// function, so tie-breaks — including ties straddling a shard boundary —
+/// cannot silently diverge between the two paths.
+inline bool NeighborOrder(const Neighbor& a, const Neighbor& b) {
+  return a.distance < b.distance ||
+         (a.distance == b.distance && a.id < b.id);
+}
 
 /// \brief Trajectory path query result: STRQ matches plus the next
 /// reconstructed positions of every match.
@@ -137,6 +147,15 @@ inline QueryKind KindOf(const QueryRequest& request) {
     default: return QueryKind::kTpq;
   }
 }
+
+/// Overload-set visitor for std::visit over QueryRequest — shared by
+/// every front-end that dispatches on the request variant.
+template <class... Ts>
+struct Overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+Overloaded(Ts...) -> Overloaded<Ts...>;
 
 /// \brief Per-query serving cost, filled by QueryService for every
 /// response. The counters come from the evaluation itself (the

@@ -20,7 +20,7 @@
 ///    decodable compressed form without the index) — the original v1 flat
 ///    format stays readable, version-gated by its magic.
 ///  - SummarySnapshot::Save / OpenSnapshot round-trip the FULL queryable
-///    state a QueryExecutor serves: summary (or the dense point tables of
+///    state a QueryService serves: summary (or the dense point tables of
 ///    materialized baseline snapshots), the temporal partition index, and
 ///    the CQC codec parameters. A server restart costs one cold open, not
 ///    a recompression.
@@ -138,7 +138,7 @@ Status SaveSummary(const TrajectorySummary& summary, const std::string& path);
 Result<TrajectorySummary> LoadSummary(const std::string& path);
 
 /// \brief Open a snapshot container written by SummarySnapshot::Save and
-/// reconstruct the snapshot it holds, ready to hand to a QueryExecutor —
+/// reconstruct the snapshot it holds, ready to hand to a QueryService —
 /// zero recompression. When \p pager is non-null the read is routed
 /// through it, making the cold-open I/O cost observable via io_stats().
 Result<SnapshotPtr> OpenSnapshot(const std::string& path,

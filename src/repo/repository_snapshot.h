@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/snapshot.h"
+#include "repo/shard_map.h"
+
+/// \file repository_snapshot.h
+/// The immutable, queryable seal of a whole sharded repository: one
+/// SummarySnapshot per shard plus the ShardMap that routes trajectory ids
+/// to shards. Like core::SummarySnapshot it is shared by const pointer —
+/// readers pin it, the writer drops its reference on re-seal — and every
+/// accessor is safe from any number of threads.
+///
+/// Persistence is directory-based: Save(dir) writes one per-shard
+/// `PPQSNAP1` snapshot container (shard-NNNN.snapshot, the PR 3 format,
+/// unchanged) plus a `MANIFEST` file (magic `PPQMANIF`) recording the
+/// shard map parameters and the shard file list. The manifest is written
+/// LAST, so a crashed save never leaves a directory that opens as a
+/// half-repository. OpenRepository(dir) is the inverse; shard files are
+/// opened in parallel when a ThreadPool is provided.
+///
+/// Hostile-input contract (same bar as the snapshot container): a
+/// truncated, bit-flipped, wrong-magic, or future-version manifest — and a
+/// manifest whose shard-file list disagrees with its shard count, names a
+/// missing file, or tries to escape the repository directory — yields a
+/// clean Status error, never a crash, an oversized allocation, or a read
+/// outside the directory.
+
+namespace ppq::repo {
+
+class RepositorySnapshot;
+/// Repository seals are shared by const pointer, exactly like SnapshotPtr.
+using RepositorySnapshotPtr = std::shared_ptr<const RepositorySnapshot>;
+
+/// Manifest file name inside a repository directory.
+inline constexpr const char* kManifestFileName = "MANIFEST";
+/// Version of the manifest framing.
+inline constexpr uint32_t kManifestVersion = 1;
+/// Upper bound on shards per repository: far above any sane deployment,
+/// tight enough that a forged manifest cannot drive a big allocation or
+/// a 2^32-file open loop.
+inline constexpr uint32_t kMaxShards = 4096;
+
+/// \brief Immutable sealed view of every shard of a repository.
+class RepositorySnapshot {
+ public:
+  /// \p shards must have exactly \p map.num_shards entries, none null
+  /// (an empty shard still seals to an empty snapshot).
+  /// \throws std::invalid_argument otherwise.
+  RepositorySnapshot(ShardMap map, std::vector<core::SnapshotPtr> shards);
+
+  const ShardMap& shard_map() const { return map_; }
+  uint32_t num_shards() const { return map_.num_shards; }
+  const core::SnapshotPtr& shard(size_t i) const { return shards_[i]; }
+  const std::vector<core::SnapshotPtr>& shards() const { return shards_; }
+
+  /// Trajectories across all shards (shards partition ids, so this is the
+  /// repository total).
+  size_t NumTrajectories() const;
+  /// Summed summary footprint across shards.
+  size_t SummaryBytes() const;
+
+  /// \brief Persist this repository seal into directory \p dir
+  /// (created if absent; existing shard files are overwritten). Writes
+  /// every shard's snapshot container first — in parallel on \p pool when
+  /// one is given — and the manifest last. On any shard-save error the
+  /// manifest is not written and the first failing shard's Status (lowest
+  /// index) is returned.
+  Status Save(const std::string& dir, ThreadPool* pool = nullptr) const;
+
+ private:
+  ShardMap map_;
+  std::vector<core::SnapshotPtr> shards_;
+};
+
+/// \brief Open a repository directory written by RepositorySnapshot::Save:
+/// validate the manifest (magic, version, checksum, shard-count/file-list
+/// agreement, hash kind, path-safe file names), then open every shard
+/// snapshot — in parallel on \p pool when one is given. Errors are
+/// deterministic: manifest errors first, then the lowest-index failing
+/// shard's Status.
+Result<RepositorySnapshotPtr> OpenRepository(const std::string& dir,
+                                             ThreadPool* pool = nullptr);
+
+}  // namespace ppq::repo

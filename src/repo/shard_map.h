@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+/// \file shard_map.h
+/// The one routing fact of the sharded repository: which shard owns a
+/// trajectory. Ownership is hash-partitioned by trajectory id with a
+/// fixed, platform-independent mixer, so the assignment is a pure function
+/// of (id, num_shards) — the same on every machine, every run, and every
+/// process that opens the repository from disk. The map travels in the
+/// repository manifest (hash kind + shard count) and OpenRepository
+/// rejects manifests whose hash kind it does not implement, so a future
+/// re-partitioning scheme can never be silently misrouted by an old
+/// binary.
+
+namespace ppq::repo {
+
+/// Identifies the hash function of a ShardMap in the on-disk manifest.
+/// Values are append-only: renumbering would re-route every persisted
+/// repository.
+enum class ShardHashKind : uint32_t {
+  /// splitmix64 finalizer over the zero-extended id, mod num_shards.
+  kSplitMix64 = 1,
+};
+
+/// \brief Hash-partitioned shard assignment: ShardOf(id) is stable across
+/// platforms, processes, and repository open/save cycles.
+struct ShardMap {
+  uint32_t num_shards = 1;
+
+  /// The owning shard of \p id, in [0, num_shards). Uses the splitmix64
+  /// finalizer — cheap, well-mixed (sequential dataset ids spread evenly),
+  /// and defined purely over fixed-width integers.
+  uint32_t ShardOf(TrajId id) const {
+    uint64_t x = static_cast<uint32_t>(id);  // zero-extend, negative-safe
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<uint32_t>(x % num_shards);
+  }
+
+  ShardHashKind hash_kind() const { return ShardHashKind::kSplitMix64; }
+
+  bool operator==(const ShardMap& o) const {
+    return num_shards == o.num_shards;
+  }
+};
+
+}  // namespace ppq::repo

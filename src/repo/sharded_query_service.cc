@@ -1,0 +1,235 @@
+#include "repo/sharded_query_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/query_eval.h"
+
+namespace ppq::repo {
+namespace {
+
+using core::KnnRequest;
+using core::Neighbor;
+using core::QueryRequest;
+using core::QueryResponse;
+using core::QueryStats;
+using core::StrqRequest;
+using core::StrqResult;
+using core::TpqRequest;
+using core::TpqResult;
+using core::WindowRequest;
+
+// --- Deterministic merges --------------------------------------------------
+//
+// Shards partition trajectory ids, so per-shard result sets are disjoint
+// and each shard's ids arrive ascending (the evaluation templates sort
+// their candidate sweep). The merges below therefore reproduce exactly
+// the ordering the unsharded engine emits: ascending id for STRQ, window
+// and TPQ, (distance, id) for k-NN.
+
+/// Union-merge of per-shard STRQ/window results: ids ascending,
+/// verification candidates summed.
+StrqResult MergeStrq(std::vector<StrqResult> parts) {
+  StrqResult merged;
+  for (StrqResult& part : parts) {
+    merged.candidates_visited += part.candidates_visited;
+    merged.ids.insert(merged.ids.end(), part.ids.begin(), part.ids.end());
+  }
+  std::sort(merged.ids.begin(), merged.ids.end());
+  return merged;
+}
+
+/// Re-merge of per-shard top-k lists: the shared core::NeighborOrder
+/// ranking — the SAME function the unsharded ranking sorts with, so
+/// equal distances straddling a shard boundary resolve identically by
+/// construction — then truncate to k.
+std::vector<Neighbor> MergeKnn(std::vector<std::vector<Neighbor>> parts,
+                               size_t k) {
+  std::vector<Neighbor> merged;
+  for (std::vector<Neighbor>& part : parts) {
+    merged.insert(merged.end(), part.begin(), part.end());
+  }
+  std::sort(merged.begin(), merged.end(), core::NeighborOrder);
+  if (merged.size() > k) merged.resize(k);
+  return merged;
+}
+
+/// Re-merge of per-shard TPQ results by id, keeping each id's path
+/// (reconstructed by its owning shard) aligned with it.
+TpqResult MergeTpq(std::vector<TpqResult> parts) {
+  TpqResult merged;
+  size_t total = 0;
+  for (TpqResult& part : parts) {
+    merged.candidates_visited += part.candidates_visited;
+    total += part.ids.size();
+  }
+  std::vector<std::pair<TrajId, std::vector<Point>*>> order;
+  order.reserve(total);
+  for (TpqResult& part : parts) {
+    for (size_t i = 0; i < part.ids.size(); ++i) {
+      order.emplace_back(part.ids[i], &part.paths[i]);
+    }
+  }
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  merged.ids.reserve(total);
+  merged.paths.reserve(total);
+  for (auto& [id, path] : order) {
+    merged.ids.push_back(id);
+    merged.paths.push_back(std::move(*path));
+  }
+  return merged;
+}
+
+}  // namespace
+
+ShardedQueryService::ShardedQueryService(RepositorySnapshotPtr repository,
+                                         Options options)
+    : options_(std::move(options)),
+      num_workers_(core::ResolveServingWorkers(options_.num_threads)),
+      repository_(nullptr),
+      // The evaluator captures this; the dispatcher is declared last, so
+      // it drains (and stops calling Evaluate) before any member dies.
+      dispatcher_(num_workers_, [this](const QueryRequest& request,
+                                       WorkerState& state) {
+        return Evaluate(request, state);
+      }) {
+  Validate(repository);
+  std::atomic_store_explicit(&repository_, std::move(repository),
+                             std::memory_order_release);
+}
+
+ShardedQueryService::~ShardedQueryService() = default;
+
+void ShardedQueryService::Validate(
+    const RepositorySnapshotPtr& repository) const {
+  if (repository == nullptr) {
+    throw std::invalid_argument(
+        "ShardedQueryService: repository must not be null");
+  }
+  if (options_.raw != nullptr &&
+      options_.raw->size() < repository->NumTrajectories()) {
+    throw std::invalid_argument(
+        "ShardedQueryService: verification dataset has fewer trajectories "
+        "than the repository serves across its shards — it cannot be the "
+        "dataset this repository was compressed from");
+  }
+}
+
+void ShardedQueryService::UpdateRepository(RepositorySnapshotPtr repository) {
+  Validate(repository);
+  std::atomic_store_explicit(&repository_, std::move(repository),
+                             std::memory_order_release);
+  // Eager reclamation, as in QueryService: sweep every worker's per-shard
+  // scratch (and its pinned repository reference) instead of waiting for
+  // traffic to reach that worker.
+  dispatcher_.ForEachWorkerState([](WorkerState& state) {
+    state.memos.clear();
+    state.memo_repository = nullptr;
+  });
+}
+
+QueryResponse ShardedQueryService::Evaluate(const QueryRequest& request,
+                                            WorkerState& state) {
+  QueryResponse response;
+  response.kind = KindOf(request);
+
+  std::lock_guard<std::mutex> state_lock(state.mu);
+
+  // Pin the WHOLE repository seal with one atomic load: every shard this
+  // request touches comes from the same seal, so a response can never
+  // observe a half-applied UpdateRepository.
+  const RepositorySnapshotPtr pinned =
+      std::atomic_load_explicit(&repository_, std::memory_order_acquire);
+  if (state.memo_repository.get() != pinned.get()) {
+    state.memos.clear();
+    state.memos.resize(pinned->num_shards());
+    state.memo_repository = pinned;
+  }
+
+  uint64_t decode_nanos = 0;
+  const TrajectoryDataset* raw = options_.raw.get();
+  const double cell_size = options_.cell_size;
+  const size_t num_shards = pinned->num_shards();
+
+  // One counting reader per shard, all accounting into the one response:
+  // the aggregated stats are the sums across the scatter.
+  const auto reader = [&](size_t shard) {
+    return core::eval::CountingReader<core::eval::SnapshotReader>{
+        core::eval::SnapshotReader{pinned->shard(shard).get(),
+                                   &state.memos[shard]},
+        &response.stats, &decode_nanos};
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  std::visit(
+      core::Overloaded{
+          [&](const StrqRequest& r) {
+            std::vector<StrqResult> parts;
+            parts.reserve(num_shards);
+            for (size_t shard = 0; shard < num_shards; ++shard) {
+              parts.push_back(core::eval::Strq(reader(shard), raw, cell_size,
+                                               r.query, r.mode));
+            }
+            StrqResult merged = MergeStrq(std::move(parts));
+            response.stats.candidates_visited = merged.candidates_visited;
+            response.result = std::move(merged);
+          },
+          [&](const WindowRequest& r) {
+            std::vector<StrqResult> parts;
+            parts.reserve(num_shards);
+            for (size_t shard = 0; shard < num_shards; ++shard) {
+              parts.push_back(core::eval::WindowQuery(
+                  reader(shard), raw, r.window.window, r.window.tick,
+                  r.mode));
+            }
+            StrqResult merged = MergeStrq(std::move(parts));
+            response.stats.candidates_visited = merged.candidates_visited;
+            response.result = std::move(merged);
+          },
+          [&](const KnnRequest& r) {
+            std::vector<std::vector<Neighbor>> parts;
+            parts.reserve(num_shards);
+            for (size_t shard = 0; shard < num_shards; ++shard) {
+              parts.push_back(core::eval::NearestTrajectories(
+                  reader(shard), cell_size, r.query, r.k));
+            }
+            response.result = MergeKnn(std::move(parts), r.k);
+            // Every k-NN candidate is visited exactly once (per shard),
+            // to rank its reconstruction.
+            response.stats.candidates_visited = response.stats.points_decoded;
+          },
+          [&](const TpqRequest& r) {
+            std::vector<TpqResult> parts;
+            parts.reserve(num_shards);
+            for (size_t shard = 0; shard < num_shards; ++shard) {
+              parts.push_back(core::eval::Tpq(reader(shard), raw, cell_size,
+                                              r.query, r.length, r.mode));
+            }
+            TpqResult merged = MergeTpq(std::move(parts));
+            response.stats.candidates_visited = merged.candidates_visited;
+            response.result = std::move(merged);
+          },
+      },
+      request);
+  response.stats.eval_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  response.stats.decode_micros = decode_nanos / 1000;
+
+  size_t scratch_points = 0;
+  for (const core::DecodeMemo& memo : state.memos) {
+    scratch_points += memo.TotalPoints();
+  }
+  if (scratch_points > options_.scratch_budget_points) {
+    for (core::DecodeMemo& memo : state.memos) memo.Clear();
+  }
+  return response;
+}
+
+}  // namespace ppq::repo

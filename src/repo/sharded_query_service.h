@@ -1,0 +1,145 @@
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+#include "core/query_dispatch.h"
+#include "core/query_types.h"
+#include "core/summary.h"
+#include "repo/repository_snapshot.h"
+
+/// \file sharded_query_service.h
+/// The scatter-gather query router over a sharded repository, exposing
+/// exactly the serving surface of core::QueryService —
+/// Submit(QueryRequest) -> std::future<QueryResponse> — so callers cannot
+/// tell one snapshot from N shards apart except by throughput:
+///
+///  - STRQ / window scatter to every shard's index and union-merge the
+///    per-shard matches in ascending trajectory id (shards partition ids,
+///    so the union is disjoint and the merged ordering is exactly the
+///    unsharded engine's).
+///  - k-NN scatter-gathers each shard's top-k and re-merges by
+///    (distance, id) — the same deterministic tie-break the unsharded
+///    ranking uses, so ties at shard boundaries resolve identically — and
+///    truncates to k.
+///  - TPQ scatters its underlying STRQ; each matched trajectory's path is
+///    reconstructed on the shard that owns the id (only the owning shard
+///    holds its summary), and the (id, path) pairs re-merge by id.
+///  - QueryStats aggregate across shards: candidates_visited and
+///    points_decoded are summed (each equals the unsharded count for the
+///    same snapshots), decode/eval micros cover the whole scatter-gather.
+///
+/// Every response is byte-identical to evaluating the same request
+/// per shard with the serial QueryEngine and merging serially — enforced
+/// at N in {1, 2, 4} shards by tests/sharded_query_service_test.cc — and
+/// a 1-shard repository answers byte-identically to the unsharded
+/// QueryService.
+///
+/// Concurrency model: one internally synchronized worker pool; each
+/// request is evaluated by one worker, which pins the WHOLE repository
+/// seal with a single atomic load before touching any shard. Parallelism
+/// comes from concurrent requests across workers; a single request walks
+/// its shards sequentially on one worker (per-shard index probes are
+/// cheap, and cross-request throughput is what a serving fleet buys —
+/// per-request shard fan-out is a listed ROADMAP follow-on). Pinning the
+/// repository atomically, rather than per shard, is what makes
+/// UpdateRepository semantics exact: every response is computed entirely
+/// against ONE repository seal, never a mix of old and new shards (the
+/// TSan suite races submitters against hot swaps and checks exactly
+/// that). Workers keep one DecodeMemo per shard, tagged by the pinned
+/// repository seal; UpdateRepository eagerly sweeps idle workers' scratch
+/// like QueryService does.
+
+namespace ppq::repo {
+
+/// \brief Futures-based scatter-gather serving front-end over an
+/// atomically hot-swappable RepositorySnapshot.
+class ShardedQueryService {
+ public:
+  struct Options {
+    /// Dedicated serving workers; 0 = hardware concurrency.
+    size_t num_threads = 0;
+    /// Raw dataset for StrqMode::kExact verification, owned by the
+    /// service; ids are global, so one dataset serves every shard. May be
+    /// null (exact mode then degenerates like the serial engine's).
+    std::shared_ptr<const TrajectoryDataset> raw;
+    /// Evaluation grid cell size gc.
+    double cell_size = 0.001;
+    /// Per-worker decode-scratch budget across all shards, in points.
+    size_t scratch_budget_points = size_t{1} << 22;
+  };
+
+  /// \throws std::invalid_argument when \p repository is null or
+  /// options.raw holds fewer trajectories than the repository serves
+  /// across its shards.
+  ShardedQueryService(RepositorySnapshotPtr repository, Options options);
+
+  /// Drains: blocks until every submitted request has resolved.
+  ~ShardedQueryService();
+
+  ShardedQueryService(const ShardedQueryService&) = delete;
+  ShardedQueryService& operator=(const ShardedQueryService&) = delete;
+
+  /// \brief Submit one request for asynchronous scatter-gather
+  /// evaluation. Safe from any number of threads.
+  std::future<core::QueryResponse> Submit(core::QueryRequest request) {
+    return dispatcher_.Submit(std::move(request));
+  }
+
+  /// \brief Submit a batch; futures[i] answers requests[i].
+  std::vector<std::future<core::QueryResponse>> SubmitBatch(
+      std::vector<core::QueryRequest> requests) {
+    return dispatcher_.SubmitBatch(std::move(requests));
+  }
+
+  /// \brief Fail every queued-but-unstarted request with
+  /// StatusCode::kCancelled. Returns the number cancelled.
+  size_t CancelPending() { return dispatcher_.CancelPending(); }
+
+  /// \brief Hot-swap the served repository seal — one atomic shared_ptr
+  /// exchange, so in-flight requests finish entirely on the seal they
+  /// pinned and later dispatches see the new one; no response ever mixes
+  /// shards from two seals. Then eagerly sweeps idle workers' stale
+  /// per-shard scratch. Validates like the constructor.
+  void UpdateRepository(RepositorySnapshotPtr repository);
+
+  /// The currently served repository seal.
+  RepositorySnapshotPtr repository() const {
+    return std::atomic_load_explicit(&repository_, std::memory_order_acquire);
+  }
+
+  size_t num_threads() const { return num_workers_; }
+  double cell_size() const { return options_.cell_size; }
+  const std::shared_ptr<const TrajectoryDataset>& raw() const {
+    return options_.raw;
+  }
+
+ private:
+  /// Per-worker decode scratch: one memo per shard, all tagged by the one
+  /// repository seal they index (held, so the tag is ABA-safe).
+  struct WorkerState {
+    std::mutex mu;
+    std::vector<core::DecodeMemo> memos;
+    RepositorySnapshotPtr memo_repository;
+  };
+
+  void Validate(const RepositorySnapshotPtr& repository) const;
+  core::QueryResponse Evaluate(const core::QueryRequest& request,
+                               WorkerState& state);
+
+  Options options_;
+  size_t num_workers_;
+  /// Accessed only through std::atomic_load/atomic_store.
+  RepositorySnapshotPtr repository_;
+
+  /// Queue + pool + per-worker state (core::QueryDispatcher — the exact
+  /// substrate QueryService runs on); declared last so it is destroyed
+  /// FIRST and drains against the still-alive members above.
+  core::QueryDispatcher<WorkerState> dispatcher_;
+};
+
+}  // namespace ppq::repo

@@ -1,0 +1,90 @@
+#include "repo/sharded_repository.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ppq::repo {
+namespace {
+
+/// Range-checked in a helper so the check runs BEFORE any member sized
+/// by the shard count is allocated (a hostile count must throw the
+/// documented std::invalid_argument, not std::bad_alloc).
+uint32_t ValidatedShardCount(uint32_t num_shards) {
+  if (num_shards == 0 || num_shards > kMaxShards) {
+    throw std::invalid_argument("ShardedRepository: shard count out of range");
+  }
+  return num_shards;
+}
+
+}  // namespace
+
+ShardedRepository::ShardedRepository(CompressorFactory factory,
+                                     Options options)
+    : map_{ValidatedShardCount(options.num_shards)},
+      split_(map_.num_shards),
+      pool_(options.num_threads) {
+  shards_.reserve(options.num_shards);
+  for (uint32_t shard = 0; shard < options.num_shards; ++shard) {
+    shards_.push_back(factory(shard));
+    if (shards_.back() == nullptr) {
+      throw std::invalid_argument(
+          "ShardedRepository: compressor factory returned null for shard " +
+          std::to_string(shard));
+    }
+  }
+}
+
+void ShardedRepository::ObserveSlice(const TimeSlice& slice) {
+  if (map_.num_shards == 1) {
+    // Unsplit fast path — and the bit-for-bit unsharded pipeline.
+    shards_[0]->ObserveSlice(slice);
+    return;
+  }
+  for (TimeSlice& sub : split_) {
+    sub.tick = slice.tick;
+    sub.ids.clear();
+    sub.positions.clear();
+  }
+  for (size_t i = 0; i < slice.ids.size(); ++i) {
+    TimeSlice& sub = split_[map_.ShardOf(slice.ids[i])];
+    sub.ids.push_back(slice.ids[i]);
+    sub.positions.push_back(slice.positions[i]);
+  }
+  // Every shard sees only its own (ascending-id, tick-ordered) stream; a
+  // shard whose sub-slice is empty skips the tick, exactly as a
+  // standalone compressor over just that shard's trajectories would
+  // (Compressor::Compress skips empty slices).
+  pool_.ParallelFor(map_.num_shards, [&](size_t /*worker*/, size_t shard) {
+    if (!split_[shard].empty()) shards_[shard]->ObserveSlice(split_[shard]);
+  });
+}
+
+void ShardedRepository::Finish() {
+  pool_.ParallelFor(map_.num_shards, [&](size_t /*worker*/, size_t shard) {
+    shards_[shard]->Finish();
+  });
+}
+
+void ShardedRepository::Compress(const TrajectoryDataset& dataset) {
+  const Tick lo = dataset.MinTick();
+  const Tick hi = dataset.MaxTick();
+  for (Tick t = lo; t < hi; ++t) {
+    const TimeSlice slice = dataset.SliceAt(t);
+    if (!slice.empty()) ObserveSlice(slice);
+  }
+  Finish();
+}
+
+RepositorySnapshotPtr ShardedRepository::SealAll() {
+  std::vector<core::SnapshotPtr> seals(map_.num_shards);
+  pool_.ParallelFor(map_.num_shards, [&](size_t /*worker*/, size_t shard) {
+    seals[shard] = shards_[shard]->Seal();
+  });
+  return std::make_shared<const RepositorySnapshot>(map_, std::move(seals));
+}
+
+Status ShardedRepository::SaveAll(const std::string& dir) {
+  return SealAll()->Save(dir, &pool_);
+}
+
+}  // namespace ppq::repo

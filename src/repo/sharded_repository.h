@@ -1,0 +1,101 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/types.h"
+#include "core/compressor.h"
+#include "repo/repository_snapshot.h"
+#include "repo/shard_map.h"
+
+/// \file sharded_repository.h
+/// The writer side of the sharded repository: trajectories are
+/// hash-partitioned by id (shard_map.h) across N shards, each shard
+/// owning its own single-threaded core::Compressor. One repository-level
+/// ObserveSlice splits the tick's points by owning shard and fans the
+/// sub-slices out across a shared ThreadPool — the per-shard encoders stay
+/// strictly single-threaded (each shard's slices arrive in tick order, on
+/// one shard at a time), but N shards encode concurrently, so ingest
+/// throughput scales with cores instead of being capped by one encoder.
+/// SealAll() seals every shard in parallel into an immutable
+/// RepositorySnapshot; SaveAll(dir) persists that seal through the
+/// manifest format of repository_snapshot.h.
+///
+/// Thread-safety contract: like Compressor, the repository is the WRITER
+/// side — ObserveSlice / Finish / SealAll / SaveAll must be called from
+/// one writer thread (the fan-out inside them uses the internal pool;
+/// callers never see partial state). Snapshots returned by SealAll are
+/// safe for any number of concurrent readers.
+///
+/// A 1-shard repository is bit-for-bit the unsharded pipeline: every
+/// slice reaches shard 0 unsplit, so the sealed snapshot — and its saved
+/// container — is byte-identical to Compressor::Seal()/Save() on the same
+/// stream (enforced by tests/sharded_repo_test.cc).
+
+namespace ppq::repo {
+
+/// \brief Hash-partitioned multi-compressor ingest front-end.
+class ShardedRepository {
+ public:
+  /// Builds one shard's compressor. Called num_shards times at
+  /// construction; every shard must get an identically configured (but
+  /// distinct) instance, or reconstructions will depend on the shard
+  /// count in ways the query layer cannot see.
+  using CompressorFactory =
+      std::function<std::unique_ptr<core::Compressor>(uint32_t shard)>;
+
+  struct Options {
+    /// Number of hash partitions. Pick ~the number of cores the ingest
+    /// and seal paths may use; more shards than active trajectories just
+    /// produces empty shards (harmless, queried as empty).
+    uint32_t num_shards = 4;
+    /// Threads of the shared fan-out pool (ingest, seal, save); 0 means
+    /// hardware concurrency.
+    size_t num_threads = 0;
+  };
+
+  /// \throws std::invalid_argument when num_shards is 0 (or beyond
+  /// kMaxShards) or the factory returns null for any shard.
+  ShardedRepository(CompressorFactory factory, Options options);
+
+  const ShardMap& shard_map() const { return map_; }
+  uint32_t num_shards() const { return map_.num_shards; }
+
+  /// The shard's live compressor (introspection, tests).
+  const core::Compressor& shard(size_t i) const { return *shards_[i]; }
+
+  /// \brief Consume the next time slice: split by owning shard, then
+  /// encode the non-empty sub-slices in parallel (one task per shard).
+  /// Returns when every shard has absorbed its part.
+  void ObserveSlice(const TimeSlice& slice);
+
+  /// Flush/finalize every shard after the last slice (parallel).
+  void Finish();
+
+  /// Convenience mirror of Compressor::Compress: stream \p dataset tick
+  /// by tick (skipping empty global slices, exactly like the unsharded
+  /// path), then Finish().
+  void Compress(const TrajectoryDataset& dataset);
+
+  /// \brief Seal every shard in parallel into one immutable repository
+  /// snapshot. Like Compressor::Seal this may be called mid-stream;
+  /// encoding can continue and readers keep the sealed state.
+  RepositorySnapshotPtr SealAll();
+
+  /// SealAll() + RepositorySnapshot::Save(dir) on the shared pool.
+  Status SaveAll(const std::string& dir);
+
+ private:
+  ShardMap map_;
+  std::vector<std::unique_ptr<core::Compressor>> shards_;
+  /// Scratch sub-slices, reused across ObserveSlice calls so steady-state
+  /// ingest does not reallocate per tick.
+  std::vector<TimeSlice> split_;
+  ThreadPool pool_;
+};
+
+}  // namespace ppq::repo

@@ -20,11 +20,15 @@
 /// \file query_service_test.cc
 /// The async serving front-end: every request type of the unified
 /// QueryRequest vocabulary must resolve byte-identical to the serial
-/// QueryEngine at 1 and 4 workers; submission must be safe from many
+/// QueryEngine at 1 and 4 workers — across the whole MakeMethod family,
+/// materialized (TrajStore) snapshots, and fixed-per-tick mode (the
+/// parity oracles formerly living in query_executor_test.cc; the
+/// deprecated executor shims are gone). Submission must be safe from many
 /// threads concurrently with UpdateSnapshot hot-swaps (this suite is part
 /// of the TSan CI job); destruction drains; CancelPending fails exactly
-/// the queued requests; and the shared_ptr-owned verification dataset
-/// closes the executor's raw-pointer lifetime footgun.
+/// the queued requests; the shared_ptr-owned verification dataset closes
+/// the old raw-pointer lifetime footgun; and seals stay immutable under
+/// continued encoding / outlive their compressor.
 
 namespace ppq::core {
 namespace {
@@ -127,6 +131,64 @@ TEST_P(ServiceParity, AllRequestTypesMatchSerialEngine) {
 
 INSTANTIATE_TEST_SUITE_P(WorkerCounts, ServiceParity,
                          ::testing::Values(size_t{1}, size_t{4}));
+
+/// Full parity sweep for one sealed compressor: serial engine vs service
+/// at 1 and 4 workers, cold and warm scratch (the former executor-suite
+/// oracle, now speaking the request vocabulary directly).
+void CheckServiceParity(const Compressor& method,
+                        const std::shared_ptr<const TrajectoryDataset>& data,
+                        double cell_size, const std::string& label) {
+  const QueryEngine engine(&method, data.get(), cell_size);
+  Rng rng(17);
+  const auto queries = SampleQueries(*data, 40, &rng);
+  const auto windows = test::SampleWindows(*data, 20, &rng);
+  const auto requests = MakeRequests(queries, windows);
+
+  const SnapshotPtr snapshot = method.Seal();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->name(), method.name());
+
+  for (size_t workers : {size_t{1}, size_t{4}}) {
+    QueryService::Options options;
+    options.num_threads = workers;
+    options.raw = data;
+    options.cell_size = cell_size;
+    QueryService service(snapshot, options);
+    ExpectServiceMatchesSerial(service, engine, requests,
+                               label + " @" + std::to_string(workers) + "w");
+    // Re-run on the warm scratch: memoised prefixes must not change
+    // results.
+    ExpectServiceMatchesSerial(
+        service, engine, requests,
+        label + " warm @" + std::to_string(workers) + "w");
+  }
+}
+
+class ServiceParityFamily : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ServiceParityFamily, MatchesSerialEngineAcrossWorkerCounts) {
+  const auto data = std::make_shared<const TrajectoryDataset>(SmallDataset());
+  PpqOptions base;
+  auto method = MakeMethod(GetParam(), base);
+  method->Compress(*data);
+  CheckServiceParity(*method, data, base.tpi.pi.cell_size, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(MakeMethodFamily, ServiceParityFamily,
+                         ::testing::Values("PPQ-A", "PPQ-A-basic", "PPQ-S",
+                                           "PPQ-S-basic", "E-PQ",
+                                           "Q-trajectory"));
+
+TEST(QueryServiceTest, FixedPerTickModeParity) {
+  const auto data =
+      std::make_shared<const TrajectoryDataset>(SmallDataset(21));
+  PpqOptions options = MakePpqA();
+  options.mode = QuantizationMode::kFixedPerTick;
+  options.fixed_bits = 6;
+  PpqTrajectory method(options);
+  method.Compress(*data);
+  CheckServiceParity(method, data, options.tpi.pi.cell_size, "PPQ-A fixed");
+}
 
 TEST(QueryServiceTest, MaterializedSnapshotParity) {
   const auto data =
@@ -423,6 +485,153 @@ TEST(QueryServiceLifetimeTest, RejectsMismatchedVerificationDataset) {
   QueryService service(snapshot, serve_options);
   EXPECT_THROW(service.UpdateSnapshot(nullptr), std::invalid_argument);
   EXPECT_EQ(service.snapshot().get(), snapshot.get());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot semantics through the service (formerly query_executor_test.cc)
+// ---------------------------------------------------------------------------
+
+/// Submit one StrqRequest per query and collect the StrqResult payloads.
+std::vector<StrqResult> ServeStrq(QueryService& service,
+                                  const std::vector<QuerySpec>& queries,
+                                  StrqMode mode) {
+  std::vector<QueryRequest> requests;
+  requests.reserve(queries.size());
+  for (const QuerySpec& q : queries) requests.push_back(StrqRequest{q, mode});
+  std::vector<StrqResult> results;
+  results.reserve(queries.size());
+  for (auto& future : service.SubmitBatch(std::move(requests))) {
+    QueryResponse response = future.get();
+    EXPECT_TRUE(response.ok());
+    results.push_back(std::move(std::get<StrqResult>(response.result)));
+  }
+  return results;
+}
+
+TEST(SnapshotTest, MethodWithoutIndexServesEmpty) {
+  const auto data = std::make_shared<const TrajectoryDataset>(SmallDataset());
+  PpqOptions options = MakePpqS();
+  options.enable_index = false;
+  PpqTrajectory method(options);
+  method.Compress(*data);
+  const SnapshotPtr snapshot = method.Seal();
+  EXPECT_EQ(snapshot->index(), nullptr);
+
+  QueryService::Options serve_options;
+  serve_options.num_threads = 2;
+  serve_options.raw = data;
+  serve_options.cell_size = options.tpi.pi.cell_size;
+  QueryService service(snapshot, serve_options);
+  Rng rng(3);
+  const auto queries = SampleQueries(*data, 10, &rng);
+  for (const StrqResult& r : ServeStrq(service, queries, StrqMode::kExact)) {
+    EXPECT_TRUE(r.ids.empty());
+  }
+}
+
+TEST(SnapshotTest, SealIsImmutableUnderContinuedEncoding) {
+  // Seal mid-stream, keep encoding: the sealed snapshot must keep
+  // answering exactly as it did at seal time.
+  const auto data =
+      std::make_shared<const TrajectoryDataset>(SmallDataset(31));
+  PpqOptions options = MakePpqA();
+  PpqTrajectory method(options);
+
+  const Tick mid = (data->MinTick() + data->MaxTick()) / 2;
+  for (Tick t = data->MinTick(); t < mid; ++t) {
+    const TimeSlice slice = data->SliceAt(t);
+    if (!slice.empty()) method.ObserveSlice(slice);
+  }
+  const SnapshotPtr sealed = method.Seal();
+
+  QueryService::Options serve_options;
+  serve_options.num_threads = 2;
+  serve_options.raw = data;
+  serve_options.cell_size = options.tpi.pi.cell_size;
+  QueryService service(sealed, serve_options);
+
+  Rng rng(7);
+  std::vector<QuerySpec> queries;
+  for (const QuerySpec& q : SampleQueries(*data, 40, &rng)) {
+    if (q.tick < mid) queries.push_back(q);
+  }
+  ASSERT_FALSE(queries.empty());
+  const auto before = ServeStrq(service, queries, StrqMode::kLocalSearch);
+
+  // Writer continues: encode the rest of the day and finish.
+  for (Tick t = mid; t < data->MaxTick(); ++t) {
+    const TimeSlice slice = data->SliceAt(t);
+    if (!slice.empty()) method.ObserveSlice(slice);
+  }
+  method.Finish();
+
+  EXPECT_EQ(ServeStrq(service, queries, StrqMode::kLocalSearch), before);
+
+  // Re-seal and swap: the service now also sees the later ticks.
+  service.UpdateSnapshot(method.Seal());
+  Rng rng2(9);
+  std::vector<QuerySpec> late;
+  for (const QuerySpec& q : SampleQueries(*data, 60, &rng2)) {
+    if (q.tick >= mid) late.push_back(q);
+  }
+  ASSERT_FALSE(late.empty());
+  size_t hits = 0;
+  for (const StrqResult& r :
+       ServeStrq(service, late, StrqMode::kLocalSearch)) {
+    hits += r.ids.size();
+  }
+  EXPECT_GT(hits, 0u);
+
+  // And the re-sealed snapshot agrees with the serial engine on the final
+  // state.
+  CheckServiceParity(method, data, options.tpi.pi.cell_size, "post-reseal");
+}
+
+TEST(SnapshotTest, QueryEngineServesSnapshotsToo) {
+  const auto data =
+      std::make_shared<const TrajectoryDataset>(SmallDataset(41));
+  PpqOptions options = MakePpqA();
+  PpqTrajectory method(options);
+  method.Compress(*data);
+
+  const QueryEngine live(&method, data.get(), options.tpi.pi.cell_size);
+  const QueryEngine sealed(method.Seal(), data.get(),
+                           options.tpi.pi.cell_size);
+  Rng rng(11);
+  for (const QuerySpec& q : SampleQueries(*data, 40, &rng)) {
+    for (StrqMode mode : kAllModes) {
+      EXPECT_EQ(sealed.Strq(q, mode), live.Strq(q, mode));
+    }
+    EXPECT_EQ(sealed.NearestTrajectories(q, 4),
+              live.NearestTrajectories(q, 4));
+  }
+}
+
+TEST(SnapshotTest, SnapshotOutlivesCompressor) {
+  const auto data =
+      std::make_shared<const TrajectoryDataset>(SmallDataset(51));
+  SnapshotPtr snapshot;
+  size_t expected_records = 0;
+  {
+    PpqOptions options = MakePpqA();
+    PpqTrajectory method(options);
+    method.Compress(*data);
+    expected_records = method.summary().NumTrajectories();
+    snapshot = method.Seal();
+  }  // writer destroyed; the seal must be self-contained
+  EXPECT_EQ(snapshot->NumTrajectories(), expected_records);
+  QueryService::Options serve_options;
+  serve_options.num_threads = 2;
+  serve_options.raw = data;
+  QueryService service(snapshot, serve_options);
+  Rng rng(13);
+  const auto queries = SampleQueries(*data, 20, &rng);
+  size_t hits = 0;
+  for (const StrqResult& r :
+       ServeStrq(service, queries, StrqMode::kLocalSearch)) {
+    hits += r.ids.size();
+  }
+  EXPECT_GT(hits, 0u);
 }
 
 }  // namespace

@@ -7,7 +7,6 @@
 #include <vector>
 
 #include "core/ppq_trajectory.h"
-#include "core/query_executor.h"
 #include "core/serialization.h"
 #include "tests/test_util.h"
 

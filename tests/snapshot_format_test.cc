@@ -9,7 +9,7 @@
 
 #include "baselines/trajstore.h"
 #include "core/query_engine.h"
-#include "core/query_executor.h"
+#include "core/query_service.h"
 #include "core/serialization.h"
 #include "storage/page_manager.h"
 #include "tests/test_util.h"
@@ -61,23 +61,33 @@ void ExpectServesIdentically(const SnapshotPtr& loaded,
   // The serving stack owns its verification data (shared_ptr).
   const auto raw = std::make_shared<const TrajectoryDataset>(data);
 
+  // The full mixed request stream: every request type x StrqMode.
+  std::vector<QueryRequest> requests;
+  for (const StrqMode mode : kAllModes) {
+    for (const QuerySpec& q : queries) requests.push_back(StrqRequest{q, mode});
+    for (const WindowSpec& w : windows) {
+      requests.push_back(WindowRequest{w, mode});
+    }
+  }
+  for (const QuerySpec& q : queries) requests.push_back(KnnRequest{q, kK});
+
   for (const size_t threads : {size_t{1}, size_t{4}}) {
-    QueryExecutor::Options options;
+    QueryService::Options options;
     options.num_threads = threads;
     options.raw = raw;
     options.cell_size = cell_size;
-    QueryExecutor expected(reference, options);
-    QueryExecutor actual(loaded, options);
-    for (const StrqMode mode : kAllModes) {
-      EXPECT_EQ(actual.StrqBatch(queries, mode),
-                expected.StrqBatch(queries, mode))
-          << label << ": strq @" << threads << "t";
-      EXPECT_EQ(actual.WindowBatch(windows, mode),
-                expected.WindowBatch(windows, mode))
-          << label << ": window @" << threads << "t";
+    QueryService expected(reference, options);
+    QueryService actual(loaded, options);
+    auto expected_futures = expected.SubmitBatch(requests);
+    auto actual_futures = actual.SubmitBatch(requests);
+    ASSERT_EQ(expected_futures.size(), actual_futures.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const QueryResponse want = expected_futures[i].get();
+      const QueryResponse got = actual_futures[i].get();
+      EXPECT_TRUE(got.ok()) << label << ": request " << i;
+      EXPECT_EQ(got.result, want.result)
+          << label << ": request " << i << " @" << threads << "t";
     }
-    EXPECT_EQ(actual.KnnBatch(queries, kK), expected.KnnBatch(queries, kK))
-        << label << ": knn @" << threads << "t";
   }
 }
 
