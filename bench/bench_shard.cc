@@ -36,6 +36,7 @@
 #include "common/random.h"
 #include "common/timer.h"
 #include "core/metrics.h"
+#include "core/query_backend.h"
 #include "core/query_engine.h"
 #include "repo/sharded_query_service.h"
 #include "repo/sharded_repository.h"
@@ -111,8 +112,9 @@ std::unique_ptr<repo::ShardedRepository> BuildRepository(
   return repository;
 }
 
-/// Serve the whole workload through \p service (timed); returns payloads.
-std::vector<Payload> Serve(repo::ShardedQueryService& service,
+/// Serve the whole workload through any \p service backend (timed);
+/// returns payloads.
+std::vector<Payload> Serve(core::QueryBackend& service,
                            const Workload& workload, double* seconds) {
   WallTimer timer;
   auto futures = service.SubmitBatch(workload.requests);

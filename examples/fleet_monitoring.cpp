@@ -112,10 +112,10 @@ int main() {
   }
   monitor.Finish();
 
-  // Re-seal and hot-swap: an atomic snapshot exchange — queries already
-  // in flight finish on the seal they pinned, new submissions see the
-  // full day.
-  service.UpdateSnapshot(monitor.Seal());
+  // Re-seal and hot-swap through the QueryBackend verb: an atomic view
+  // exchange — queries already in flight finish on the seal they pinned,
+  // new submissions see the full day.
+  service.UpdateView(monitor.Seal());
   const Tick evening = phase1_end + 50;
   const auto& active = fleet.ActiveIdsAt(evening);
   if (!active.empty()) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <limits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 /// \file types.h
@@ -102,6 +103,38 @@ struct TimeSlice {
   bool empty() const { return ids.empty(); }
 };
 
+/// \brief One batch of same-tick appended points — the ingest vocabulary
+/// shared by the phased repo::ShardedRepository and the streaming
+/// repo::LiveRepository (both accept Append(const PointBatch&)).
+/// Structurally a TimeSlice — tick plus parallel id/position arrays — so
+/// a batch passes anywhere a slice does at zero cost; the distinct type
+/// marks the producer->repository direction and carries the builder
+/// helpers streaming producers need, replacing the hand-rolled per-tick
+/// slice plumbing benches and examples used to repeat.
+struct PointBatch : TimeSlice {
+  PointBatch() = default;
+  explicit PointBatch(Tick t) { tick = t; }
+
+  /// Adopt an existing slice (e.g. TrajectoryDataset::SliceAt) as a batch.
+  static PointBatch FromSlice(TimeSlice slice) {
+    PointBatch batch;
+    static_cast<TimeSlice&>(batch) = std::move(slice);
+    return batch;
+  }
+
+  void Reserve(size_t n) {
+    ids.reserve(n);
+    positions.reserve(n);
+  }
+
+  /// Append one device reading. One point per (id, tick): a trajectory
+  /// may appear at most once per batch/tick.
+  void Add(TrajId id, const Point& position) {
+    ids.push_back(id);
+    positions.push_back(position);
+  }
+};
+
 /// \brief Axis-aligned bounding box of a point set.
 struct BoundingBox {
   double min_x = std::numeric_limits<double>::infinity();
@@ -180,6 +213,10 @@ class TrajectoryDataset {
     const auto it = active_ids_.find(t);
     return it != active_ids_.end() ? it->second : kEmpty;
   }
+
+  /// SliceAt as an appendable PointBatch — the replay convenience for
+  /// feeding a recorded dataset into a live repository tick by tick.
+  PointBatch BatchAt(Tick t) const { return PointBatch::FromSlice(SliceAt(t)); }
 
   /// All points active at tick \p t (the {T^t} of the paper).
   /// O(active at t) via the per-tick index.

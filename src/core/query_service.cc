@@ -9,14 +9,11 @@
 #include "core/query_eval.h"
 
 namespace ppq::core {
-namespace {
-
-}  // namespace
 
 QueryService::QueryService(SnapshotPtr snapshot, Options options)
     : options_(std::move(options)),
       num_workers_(ResolveServingWorkers(options_.num_threads)),
-      snapshot_(nullptr),
+      served_(nullptr),
       // The evaluator captures this; the dispatcher is declared last, so
       // it drains (and stops calling Evaluate) before any member dies.
       dispatcher_(num_workers_, [this](const QueryRequest& request,
@@ -24,7 +21,10 @@ QueryService::QueryService(SnapshotPtr snapshot, Options options)
         return Evaluate(request, state);
       }) {
   Validate(snapshot);
-  std::atomic_store_explicit(&snapshot_, std::move(snapshot),
+  auto served = std::make_shared<ServedSeal>();
+  served->snapshot = std::move(snapshot);
+  served->epoch = 0;
+  std::atomic_store_explicit(&served_, ServedSealPtr(std::move(served)),
                              std::memory_order_release);
 }
 
@@ -43,12 +43,20 @@ void QueryService::Validate(const SnapshotPtr& snapshot) const {
   }
 }
 
-void QueryService::UpdateSnapshot(SnapshotPtr snapshot) {
+void QueryService::UpdateView(ServingView view) {
+  if (!view.Holds<SummarySnapshot>()) {
+    throw std::invalid_argument(
+        "QueryService: UpdateView requires a SummarySnapshot serving view");
+  }
+  SnapshotPtr snapshot = view.As<SummarySnapshot>();
   Validate(snapshot);
+  auto served = std::make_shared<ServedSeal>();
+  served->snapshot = std::move(snapshot);
+  served->epoch = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
   // Atomic exchange, never blocking serving: workers that already pinned
   // the old seal finish on it (their pinned shared_ptr keeps it alive);
   // every request dispatched after this store pins the new one.
-  std::atomic_store_explicit(&snapshot_, std::move(snapshot),
+  std::atomic_store_explicit(&served_, ServedSealPtr(std::move(served)),
                              std::memory_order_release);
   // Reclaim the retired seal eagerly: sweep every worker's scratch (and
   // its pinned reference) instead of waiting for traffic to reach that
@@ -66,15 +74,17 @@ QueryResponse QueryService::Evaluate(const QueryRequest& request,
   QueryResponse response;
   response.kind = KindOf(request);
 
-  // Owning-worker lock: uncontended except against UpdateSnapshot's
+  // Owning-worker lock: uncontended except against UpdateView's
   // reclamation sweep.
   std::lock_guard<std::mutex> state_lock(state.mu);
 
-  // Pin the serve seal for the whole evaluation: UpdateSnapshot swaps
-  // under us, but this reference keeps our snapshot (and the summary the
-  // decode scratch indexes) alive and immutable.
-  const SnapshotPtr pinned =
-      std::atomic_load_explicit(&snapshot_, std::memory_order_acquire);
+  // Pin the serve seal (and its epoch) for the whole evaluation:
+  // UpdateView swaps under us, but this reference keeps our snapshot (and
+  // the summary the decode scratch indexes) alive and immutable.
+  const ServedSealPtr served =
+      std::atomic_load_explicit(&served_, std::memory_order_acquire);
+  const SnapshotPtr& pinned = served->snapshot;
+  response.stats.seal_epoch = served->epoch;
   if (state.memo_snapshot.get() != pinned.get()) {
     // First request on a fresh seal for this worker: the memoised decode
     // prefixes indexed the previous summary, drop them.

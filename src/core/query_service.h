@@ -7,36 +7,39 @@
 #include <vector>
 
 #include "common/types.h"
+#include "core/query_backend.h"
 #include "core/query_dispatch.h"
 #include "core/query_types.h"
 #include "core/snapshot.h"
 
 /// \file query_service.h
-/// The asynchronous serving front-end: QueryService accepts the unified
-/// QueryRequest vocabulary (STRQ / window / k-NN / TPQ, query_types.h)
-/// from any number of caller threads, evaluates each request on a
-/// dedicated worker pool, and resolves a std::future<QueryResponse> per
-/// request. This replaced the blocking, externally-synchronized batch
-/// methods of the old QueryExecutor (whose deprecation cycle is complete;
-/// the shims are gone) as the one serving surface.
+/// The asynchronous serving front-end over ONE sealed snapshot:
+/// QueryService accepts the unified QueryRequest vocabulary (STRQ /
+/// window / k-NN / TPQ, query_types.h) from any number of caller threads,
+/// evaluates each request on a dedicated worker pool, and resolves a
+/// std::future<QueryResponse> per request. It is the single-snapshot
+/// implementation of core::QueryBackend (query_backend.h); the sharded
+/// and live repositories implement the same interface in the repo layer.
 ///
 /// Thread-safety contract — the service is INTERNALLY synchronized:
-///  - Submit / SubmitBatch / CancelPending / UpdateSnapshot / snapshot()
+///  - Submit / SubmitBatch / CancelPending / UpdateView / snapshot()
 ///    are all safe to call concurrently from any number of threads.
-///  - UpdateSnapshot hot-swaps the served seal via an atomic shared_ptr
+///  - UpdateView hot-swaps the served seal via an atomic shared_ptr
 ///    exchange: swaps never block queries, and every in-flight query
 ///    finishes on the snapshot it pinned at dispatch (requests submitted
 ///    before a swap may be answered by either seal — whichever they pin).
+///    Each swap advances the seal epoch reported in
+///    QueryStats::seal_epoch.
 ///  - Workers keep per-worker DecodeMemo scratch tagged with the snapshot
 ///    it indexes (holding a reference, so the tag can never alias a
-///    recycled allocation). UpdateSnapshot eagerly sweeps every idle
+///    recycled allocation). UpdateView eagerly sweeps every idle
 ///    worker's scratch, so the retired seal's memory is reclaimed at swap
 ///    time rather than whenever traffic happens to return; a worker
 ///    mid-evaluation finishes on its pinned seal and drops its stale
 ///    scratch at its next request.
 ///  - Exact-mode verification data is OWNED by the service via
 ///    shared_ptr (Options::raw) and validated against the snapshot at
-///    construction and at every UpdateSnapshot — the historical dangling
+///    construction and at every UpdateView — the historical dangling
 ///    raw-pointer footgun is structurally gone.
 ///  - Destruction drains: every request already submitted is evaluated
 ///    and its future resolved before the destructor returns. To shed a
@@ -47,7 +50,7 @@ namespace ppq::core {
 
 /// \brief Futures-based, internally synchronized query serving front-end
 /// over an atomically hot-swappable SummarySnapshot.
-class QueryService {
+class QueryService : public QueryBackend {
  public:
   struct Options {
     /// Dedicated serving workers; 0 = hardware concurrency. (The caller
@@ -72,46 +75,54 @@ class QueryService {
 
   /// Drains: blocks until every submitted request has resolved its
   /// future. Call CancelPending() first to shed the queue instead.
-  ~QueryService();
+  ~QueryService() override;
 
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  /// \brief Submit one request for asynchronous evaluation. Returns
-  /// immediately; the future resolves when a worker has evaluated the
-  /// request (or it was cancelled). Safe from any thread.
-  std::future<QueryResponse> Submit(QueryRequest request) {
+  std::future<QueryResponse> Submit(QueryRequest request) override {
     return dispatcher_.Submit(std::move(request));
   }
 
-  /// \brief Submit a batch; futures[i] answers requests[i]. Equivalent to
-  /// calling Submit per element but enqueues under one lock.
   std::vector<std::future<QueryResponse>> SubmitBatch(
-      std::vector<QueryRequest> requests) {
+      std::vector<QueryRequest> requests) override {
     return dispatcher_.SubmitBatch(std::move(requests));
   }
 
-  /// \brief Fail every queued-but-unstarted request with
-  /// StatusCode::kCancelled (their futures resolve immediately with an
-  /// empty payload). Requests already being evaluated complete normally.
-  /// Returns the number cancelled.
-  size_t CancelPending() { return dispatcher_.CancelPending(); }
+  size_t CancelPending() override { return dispatcher_.CancelPending(); }
 
-  /// \brief Hot-swap the served seal. The swap itself is an atomic
-  /// shared_ptr exchange that never blocks serving: in-flight queries
-  /// finish on the snapshot they pinned, and every request dispatched
-  /// after the exchange sees the new seal. The calling thread then
-  /// reclaims idle workers' stale decode scratch (waiting at most for
-  /// each worker's current evaluation). Validates \p snapshot against
-  /// Options::raw like the constructor.
-  void UpdateSnapshot(SnapshotPtr snapshot);
+  /// \brief Hot-swap the served seal (QueryBackend::UpdateView). \p view
+  /// must hold a SummarySnapshot. The swap itself is an atomic shared_ptr
+  /// exchange that never blocks serving: in-flight queries finish on the
+  /// snapshot they pinned, and every request dispatched after the
+  /// exchange sees the new seal (and reports the advanced seal epoch).
+  /// The calling thread then reclaims idle workers' stale decode scratch
+  /// (waiting at most for each worker's current evaluation). Validates
+  /// against Options::raw like the constructor.
+  void UpdateView(ServingView view) override;
+
+  /// Deprecated spelling of UpdateView from before the QueryBackend
+  /// extraction; kept for one PR (see the README migration table).
+  [[deprecated(
+      "use UpdateView(snapshot) — the one swap verb of "
+      "core::QueryBackend")]]
+  void UpdateSnapshot(SnapshotPtr snapshot) {
+    UpdateView(ServingView(std::move(snapshot)));
+  }
 
   /// The currently served snapshot.
   SnapshotPtr snapshot() const {
-    return std::atomic_load_explicit(&snapshot_, std::memory_order_acquire);
+    return std::atomic_load_explicit(&served_, std::memory_order_acquire)
+        ->snapshot;
   }
 
-  size_t num_threads() const { return num_workers_; }
+  /// The current seal epoch: the number of UpdateView swaps applied.
+  uint64_t seal_epoch() const {
+    return std::atomic_load_explicit(&served_, std::memory_order_acquire)
+        ->epoch;
+  }
+
+  size_t num_threads() const override { return num_workers_; }
   double cell_size() const { return options_.cell_size; }
   /// The owned verification dataset (may be null).
   const std::shared_ptr<const TrajectoryDataset>& raw() const {
@@ -119,11 +130,20 @@ class QueryService {
   }
 
  private:
+  /// The served seal boxed with its epoch so one atomic load pins both:
+  /// a response's seal_epoch is exactly the swap count of the snapshot it
+  /// was evaluated against, never a neighbouring swap's.
+  struct ServedSeal {
+    SnapshotPtr snapshot;
+    uint64_t epoch = 0;
+  };
+  using ServedSealPtr = std::shared_ptr<const ServedSeal>;
+
   /// Per-worker decode scratch. memo_snapshot pins the seal the memo
   /// indexes — comparing raw pointers is ABA-safe precisely because the
   /// reference is held. The mutex is held by the owning worker for the
   /// duration of each evaluation (uncontended in steady state) and by
-  /// UpdateSnapshot's reclamation sweep.
+  /// UpdateView's reclamation sweep.
   struct WorkerState {
     std::mutex mu;
     DecodeMemo memo;
@@ -137,8 +157,10 @@ class QueryService {
   Options options_;
   size_t num_workers_;
   /// Accessed only through std::atomic_load/atomic_store (the C++17
-  /// atomic-shared_ptr interface): UpdateSnapshot is one atomic exchange.
-  SnapshotPtr snapshot_;
+  /// atomic-shared_ptr interface): UpdateView is one atomic exchange.
+  ServedSealPtr served_;
+  /// Monotonic swap counter; the next swap publishes epoch_+1.
+  std::atomic<uint64_t> epoch_{0};
 
   /// Queue + pool + per-worker state; declared last so it is destroyed
   /// FIRST — its drain-on-destroy evaluates against the still-alive

@@ -171,6 +171,13 @@ struct QueryStats {
   uint64_t decode_micros = 0;
   /// Wall micros for the whole evaluation, decode included.
   uint64_t eval_micros = 0;
+  /// Freshness: the seal epoch this response was served from.
+  /// QueryService / ShardedQueryService report the number of UpdateView
+  /// swaps applied to the view they pinned (0 = the construction view);
+  /// LiveQueryService reports the oldest per-shard seal generation the
+  /// response drew on — under live ingest a response is therefore never
+  /// staler than the one watermark separating epoch N from N+1.
+  uint64_t seal_epoch = 0;
 };
 
 /// \brief Answer to one QueryRequest: the result variant matching the

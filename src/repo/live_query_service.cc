@@ -1,0 +1,270 @@
+#include "repo/live_query_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "core/query_eval.h"
+#include "repo/result_merge.h"
+
+namespace ppq::repo {
+namespace {
+
+using core::KnnRequest;
+using core::Neighbor;
+using core::QueryRequest;
+using core::QueryResponse;
+using core::StrqMode;
+using core::StrqRequest;
+using core::StrqResult;
+using core::TpqRequest;
+using core::TpqResult;
+using core::WindowRequest;
+
+/// Scan one pinned tail for points at \p tick matching \p contains. Tail
+/// points are raw device readings, so membership is decided directly on
+/// the position for every mode — approximate, local-search, and exact
+/// coincide (the deviation of a raw point is zero). In exact mode each
+/// match counts as a verified candidate, mirroring the sealed side's
+/// Table 4 accounting.
+template <typename Contains>
+StrqResult TailMatches(const LiveShardView& view, Tick tick,
+                       const Contains& contains, StrqMode mode) {
+  StrqResult part;
+  // Chain ticks are non-increasing newest-first: stop at the first chunk
+  // older than the query tick.
+  for (const LiveTailChunk* c = view.tail.get(); c != nullptr;
+       c = c->prev.get()) {
+    if (c->slice.tick < tick) break;
+    if (c->slice.tick != tick) continue;
+    for (size_t i = 0; i < c->slice.size(); ++i) {
+      if (contains(c->slice.positions[i])) {
+        if (mode == StrqMode::kExact) ++part.candidates_visited;
+        part.ids.push_back(c->slice.ids[i]);
+      }
+    }
+  }
+  return part;
+}
+
+/// The raw position of (id, tick) in one pinned tail, or nullptr.
+const Point* TailPointOf(const LiveShardView& view, TrajId id, Tick tick) {
+  for (const LiveTailChunk* c = view.tail.get(); c != nullptr;
+       c = c->prev.get()) {
+    if (c->slice.tick < tick) break;
+    if (c->slice.tick != tick) continue;
+    for (size_t i = 0; i < c->slice.size(); ++i) {
+      if (c->slice.ids[i] == id) return &c->slice.positions[i];
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+LiveQueryService::LiveQueryService(
+    std::shared_ptr<const LiveRepository> repository, Options options)
+    : options_(std::move(options)),
+      num_workers_(core::ResolveServingWorkers(options_.num_threads)),
+      repository_(nullptr),
+      // The evaluator captures this; the dispatcher is declared last, so
+      // it drains (and stops calling Evaluate) before any member dies.
+      dispatcher_(num_workers_, [this](const QueryRequest& request,
+                                       WorkerState& state) {
+        return Evaluate(request, state);
+      }) {
+  if (repository == nullptr) {
+    throw std::invalid_argument(
+        "LiveQueryService: repository must not be null");
+  }
+  std::atomic_store_explicit(&repository_, std::move(repository),
+                             std::memory_order_release);
+}
+
+LiveQueryService::~LiveQueryService() = default;
+
+void LiveQueryService::UpdateView(core::ServingView view) {
+  if (!view.Holds<LiveRepository>()) {
+    throw std::invalid_argument(
+        "LiveQueryService: UpdateView requires a LiveRepository serving "
+        "view");
+  }
+  std::shared_ptr<const LiveRepository> repository =
+      view.As<LiveRepository>();
+  if (repository == nullptr) {
+    throw std::invalid_argument(
+        "LiveQueryService: repository must not be null");
+  }
+  std::atomic_store_explicit(&repository_, std::move(repository),
+                             std::memory_order_release);
+  // Sweep idle workers' per-shard scratch: it indexed the old
+  // repository's seals.
+  dispatcher_.ForEachWorkerState([](WorkerState& state) {
+    state.memos.clear();
+    state.memo_seals.clear();
+  });
+}
+
+QueryResponse LiveQueryService::Evaluate(const QueryRequest& request,
+                                         WorkerState& state) {
+  QueryResponse response;
+  response.kind = KindOf(request);
+
+  std::lock_guard<std::mutex> state_lock(state.mu);
+
+  const std::shared_ptr<const LiveRepository> repo =
+      std::atomic_load_explicit(&repository_, std::memory_order_acquire);
+  const size_t num_shards = repo->num_shards();
+
+  // Pin every shard's view once, up front: each view is immutable, so the
+  // whole evaluation reads a frozen (seal, cut, tail) triple per shard.
+  // Shards roll independently — per-point disjointness around each
+  // shard's own cut is what keeps the union exact (see header).
+  std::vector<LiveShardViewPtr> views(num_shards);
+  uint64_t min_epoch = std::numeric_limits<uint64_t>::max();
+  for (size_t s = 0; s < num_shards; ++s) {
+    views[s] = repo->ShardView(s);
+    min_epoch = std::min(min_epoch, views[s]->seal_epoch);
+  }
+  response.stats.seal_epoch = min_epoch;
+
+  // Re-tag decode scratch per shard: appends leave a shard's seal (and
+  // therefore its memo) intact; only that shard's roll resets it.
+  if (state.memos.size() != num_shards) {
+    state.memos.clear();
+    state.memos.resize(num_shards);
+    state.memo_seals.assign(num_shards, nullptr);
+  }
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (state.memo_seals[s].get() != views[s]->sealed.get()) {
+      state.memos[s].Clear();
+      state.memo_seals[s] = views[s]->sealed;
+    }
+  }
+
+  uint64_t decode_nanos = 0;
+  const TrajectoryDataset* raw = options_.raw.get();
+  const double cell_size = options_.cell_size;
+
+  const auto reader = [&](size_t shard) {
+    return core::eval::CountingReader<core::eval::SnapshotReader>{
+        core::eval::SnapshotReader{views[shard]->sealed.get(),
+                                   &state.memos[shard]},
+        &response.stats, &decode_nanos};
+  };
+
+  // Sealed \cup tail STRQ over every shard — the shared core of the
+  // STRQ, window, and TPQ handlers.
+  const auto live_strq = [&](const core::QuerySpec& q,
+                             StrqMode mode) -> StrqResult {
+    const core::eval::GridCell cell =
+        core::eval::CellOf(q.position, cell_size);
+    std::vector<StrqResult> parts;
+    parts.reserve(num_shards * 2);
+    for (size_t s = 0; s < num_shards; ++s) {
+      parts.push_back(
+          core::eval::Strq(reader(s), raw, cell_size, q, mode));
+      parts.push_back(TailMatches(
+          *views[s], q.tick,
+          [&](const Point& p) { return cell.Contains(p); }, mode));
+    }
+    return MergeStrq(std::move(parts));
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  std::visit(
+      core::Overloaded{
+          [&](const StrqRequest& r) {
+            StrqResult merged = live_strq(r.query, r.mode);
+            response.stats.candidates_visited = merged.candidates_visited;
+            response.result = std::move(merged);
+          },
+          [&](const WindowRequest& r) {
+            std::vector<StrqResult> parts;
+            parts.reserve(num_shards * 2);
+            for (size_t s = 0; s < num_shards; ++s) {
+              parts.push_back(core::eval::WindowQuery(
+                  reader(s), raw, r.window.window, r.window.tick, r.mode));
+              parts.push_back(TailMatches(
+                  *views[s], r.window.tick,
+                  [&](const Point& p) { return r.window.window.Contains(p); },
+                  r.mode));
+            }
+            StrqResult merged = MergeStrq(std::move(parts));
+            response.stats.candidates_visited = merged.candidates_visited;
+            response.result = std::move(merged);
+          },
+          [&](const KnnRequest& r) {
+            std::vector<std::vector<Neighbor>> parts;
+            parts.reserve(num_shards * 2);
+            for (size_t s = 0; s < num_shards; ++s) {
+              parts.push_back(core::eval::NearestTrajectories(
+                  reader(s), cell_size, r.query, r.k));
+              // Tail candidates: every raw point at the query tick, at
+              // its exact distance (a full scan of one watermark's worth
+              // of points — the tail is small by construction).
+              std::vector<Neighbor> tail_part;
+              const StrqResult at_tick = TailMatches(
+                  *views[s], r.query.tick, [](const Point&) { return true; },
+                  StrqMode::kApproximate);
+              tail_part.reserve(at_tick.ids.size());
+              for (TrajId id : at_tick.ids) {
+                const Point* p = TailPointOf(*views[s], id, r.query.tick);
+                tail_part.push_back({id, p->DistanceTo(r.query.position)});
+              }
+              parts.push_back(std::move(tail_part));
+            }
+            response.result = MergeKnn(std::move(parts), r.k);
+            response.stats.candidates_visited = response.stats.points_decoded;
+          },
+          [&](const TpqRequest& r) {
+            const StrqResult base = live_strq(r.query, r.mode);
+            TpqResult result;
+            result.candidates_visited = base.candidates_visited;
+            // Each matched id's forward path walks tick by tick, reading
+            // each tick from whichever side of its owning shard's cut
+            // holds it (the cut can sit mid-path: sealed prefix, raw
+            // tail suffix).
+            for (TrajId id : base.ids) {
+              const size_t s = repo->shard_map().ShardOf(id);
+              std::vector<Point> path;
+              path.reserve(static_cast<size_t>(r.length));
+              for (int i = 0; i < r.length; ++i) {
+                const Tick t = r.query.tick + static_cast<Tick>(i);
+                if (t <= views[s]->sealed_through) {
+                  const auto p = reader(s).Reconstruct(id, t);
+                  if (!p.ok()) break;  // trajectory ended
+                  path.push_back(*p);
+                } else {
+                  const Point* p = TailPointOf(*views[s], id, t);
+                  if (p == nullptr) break;  // not (yet) appended
+                  path.push_back(*p);
+                }
+              }
+              result.ids.push_back(id);
+              result.paths.push_back(std::move(path));
+            }
+            response.stats.candidates_visited = result.candidates_visited;
+            response.result = std::move(result);
+          },
+      },
+      request);
+  response.stats.eval_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  response.stats.decode_micros = decode_nanos / 1000;
+
+  size_t scratch_points = 0;
+  for (const core::DecodeMemo& memo : state.memos) {
+    scratch_points += memo.TotalPoints();
+  }
+  if (scratch_points > options_.scratch_budget_points) {
+    for (core::DecodeMemo& memo : state.memos) memo.Clear();
+  }
+  return response;
+}
+
+}  // namespace ppq::repo

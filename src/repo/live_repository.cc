@@ -1,0 +1,300 @@
+#include "repo/live_repository.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace ppq::repo {
+namespace {
+
+/// Background seal workers: the seal task MUST run off the appender
+/// thread (it is posted while a shard lock is held, and re-takes that
+/// lock to publish), so the pool always keeps at least one background
+/// worker — ThreadPool(n) provides n-1.
+size_t ResolveSealPool(size_t requested) {
+  if (requested == 0) {
+    return std::max<size_t>(2, std::thread::hardware_concurrency());
+  }
+  return requested + 1;
+}
+
+uint32_t ValidateShardCount(uint32_t num_shards) {
+  if (num_shards == 0 || num_shards > kMaxShards) {
+    throw std::invalid_argument(
+        "LiveRepository: num_shards must be in [1, " +
+        std::to_string(kMaxShards) + "], got " + std::to_string(num_shards));
+  }
+  return num_shards;
+}
+
+/// Sort a slice's parallel arrays by ascending id, preserving the
+/// relative order of equal ids. Flushed slices then match the ascending-id
+/// order TrajectoryDataset::SliceAt feeds the phased pipeline, so a
+/// 1-shard live stream seals byte-identically to the batch path.
+void SortSliceById(TimeSlice& slice) {
+  if (std::is_sorted(slice.ids.begin(), slice.ids.end())) return;
+  std::vector<size_t> order(slice.ids.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return slice.ids[a] < slice.ids[b];
+  });
+  std::vector<TrajId> ids;
+  std::vector<Point> positions;
+  ids.reserve(order.size());
+  positions.reserve(order.size());
+  for (size_t i : order) {
+    ids.push_back(slice.ids[i]);
+    positions.push_back(slice.positions[i]);
+  }
+  slice.ids = std::move(ids);
+  slice.positions = std::move(positions);
+}
+
+}  // namespace
+
+LiveRepository::LiveRepository(CompressorFactory factory, Options options)
+    : options_(options),
+      map_{ValidateShardCount(options.num_shards)},
+      pool_(ResolveSealPool(options.num_threads)) {
+  shards_.reserve(map_.num_shards);
+  for (uint32_t i = 0; i < map_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->compressor = factory(i);
+    if (shard->compressor == nullptr) {
+      throw std::invalid_argument(
+          "LiveRepository: factory returned null for shard " +
+          std::to_string(i));
+    }
+    // Publish the empty epoch-0 view up front: `sealed` is never null, so
+    // readers need no special case before the first watermark roll.
+    auto view = std::make_shared<LiveShardView>();
+    view->sealed = shard->compressor->Seal();
+    std::atomic_store_explicit(&shard->view, LiveShardViewPtr(std::move(view)),
+                               std::memory_order_release);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+// The implicit member order does the shutdown work: pool_ (declared last)
+// destructs first and drains queued seal tasks while every shard is alive.
+LiveRepository::~LiveRepository() = default;
+
+Status LiveRepository::Append(const PointBatch& batch) {
+  if (batch.ids.size() != batch.positions.size()) {
+    return Status::Invalid(
+        "LiveRepository: batch ids/positions size mismatch");
+  }
+  if (batch.empty()) return Status::OK();
+
+  // Split by owning shard into per-shard sub-slices (local buffers: many
+  // producer threads append concurrently, so there is no reusable
+  // repository-level scratch like the phased path keeps).
+  std::vector<TimeSlice> split(map_.num_shards);
+  for (size_t i = 0; i < batch.ids.size(); ++i) {
+    TimeSlice& sub = split[map_.ShardOf(batch.ids[i])];
+    sub.tick = batch.tick;
+    sub.ids.push_back(batch.ids[i]);
+    sub.positions.push_back(batch.positions[i]);
+  }
+
+  Status first_error = Status::OK();
+  for (uint32_t s = 0; s < map_.num_shards; ++s) {
+    TimeSlice& sub = split[s];
+    if (sub.empty()) continue;
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+
+    // Per-shard tick monotonicity: merge into the staging tick, advance
+    // past it, or reject a regression (the tick was already flushed).
+    if (shard.staging_active) {
+      if (sub.tick < shard.staging.tick) {
+        if (first_error.ok()) {
+          first_error = Status::Invalid(
+              "LiveRepository: batch tick " + std::to_string(sub.tick) +
+              " regresses behind shard " + std::to_string(s) +
+              " staging tick " + std::to_string(shard.staging.tick));
+        }
+        continue;
+      }
+      if (sub.tick > shard.staging.tick) {
+        FlushStagingLocked(shard);
+        MaybeRollLocked(s, shard);
+      }
+    } else if (shard.flushed != kNoTickYet && sub.tick <= shard.flushed) {
+      if (first_error.ok()) {
+        first_error = Status::Invalid(
+            "LiveRepository: batch tick " + std::to_string(sub.tick) +
+            " already flushed by shard " + std::to_string(s) +
+            " (flushed through " + std::to_string(shard.flushed) + ")");
+      }
+      continue;
+    }
+    if (!shard.staging_active) {
+      shard.staging = TimeSlice{};
+      shard.staging.tick = sub.tick;
+      shard.staging_active = true;
+    }
+    shard.staging.ids.insert(shard.staging.ids.end(), sub.ids.begin(),
+                             sub.ids.end());
+    shard.staging.positions.insert(shard.staging.positions.end(),
+                                   sub.positions.begin(),
+                                   sub.positions.end());
+
+    // Publish the sub-batch into the tail chain: queryable the moment the
+    // new view lands, long before the tick flushes or seals.
+    const LiveShardViewPtr old =
+        std::atomic_load_explicit(&shard.view, std::memory_order_acquire);
+    auto chunk = std::make_shared<LiveTailChunk>();
+    const size_t added = sub.size();
+    chunk->slice = std::move(sub);
+    chunk->prev = old->tail;
+    auto next = std::make_shared<LiveShardView>(*old);
+    next->tail = std::move(chunk);
+    next->tail_points = old->tail_points + added;
+    std::atomic_store_explicit(&shard.view, LiveShardViewPtr(std::move(next)),
+                               std::memory_order_release);
+    points_appended_.fetch_add(added, std::memory_order_relaxed);
+  }
+  return first_error;
+}
+
+void LiveRepository::FlushStagingLocked(Shard& shard) {
+  if (!shard.staging_active) return;
+  SortSliceById(shard.staging);
+  shard.flushed = shard.staging.tick;
+  if (shard.segment_first == kNoTickYet) {
+    shard.segment_first = shard.staging.tick;
+  }
+  shard.segment_points += shard.staging.size();
+  if (shard.sealing) {
+    // Seal in flight: the compressor belongs to the seal task. Divert;
+    // SealShard drains the queue when the cut lands.
+    shard.pending.push_back(std::move(shard.staging));
+  } else {
+    shard.compressor->ObserveSlice(shard.staging);
+  }
+  shard.staging = TimeSlice{};
+  shard.staging_active = false;
+}
+
+void LiveRepository::MaybeRollLocked(size_t index, Shard& shard) {
+  if (shard.sealing || shard.segment_first == kNoTickYet) return;
+  const bool tick_trip =
+      options_.watermark_ticks > 0 &&
+      shard.flushed - shard.segment_first + 1 >= options_.watermark_ticks;
+  const bool point_trip = options_.watermark_points > 0 &&
+                          shard.segment_points >= options_.watermark_points;
+  if (tick_trip || point_trip) TriggerSealLocked(index, shard);
+}
+
+void LiveRepository::TriggerSealLocked(size_t index, Shard& shard) {
+  shard.sealing = true;
+  shard.seal_cut = shard.flushed;
+  shard.segment_first = kNoTickYet;
+  shard.segment_points = 0;
+  // The pool always has background workers (ResolveSealPool), so the task
+  // never runs inline here under shard.mu. The mutex hand-off through the
+  // pool queue also publishes every compressor write to the seal task.
+  pool_.Post([this, index](size_t) { SealShard(index); });
+}
+
+void LiveRepository::SealShard(size_t index) {
+  Shard& shard = *shards_[index];
+  // Unlocked on purpose: `sealing` diverts every append to the pending
+  // queue, so the compressor is exclusively the seal task's until the
+  // publish below — Append never stalls behind the cut.
+  core::SnapshotPtr sealed = shard.compressor->Seal();
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const Tick cut = shard.seal_cut;
+  const LiveShardViewPtr old =
+      std::atomic_load_explicit(&shard.view, std::memory_order_acquire);
+
+  // Truncate the tail to ticks the new seal does not cover. Chain ticks
+  // are non-increasing newest-first, so the kept chunks are a prefix —
+  // rebuilt (the prev links of the prefix reach into dropped chunks),
+  // preserving order; O(one watermark of chunks).
+  std::vector<const TimeSlice*> kept;
+  size_t kept_points = 0;
+  for (const LiveTailChunk* c = old->tail.get(); c != nullptr;
+       c = c->prev.get()) {
+    if (c->slice.tick <= cut) break;
+    kept.push_back(&c->slice);
+    kept_points += c->slice.size();
+  }
+  LiveTailPtr chain;
+  for (auto it = kept.rbegin(); it != kept.rend(); ++it) {
+    auto chunk = std::make_shared<LiveTailChunk>();
+    chunk->slice = **it;
+    chunk->prev = std::move(chain);
+    chain = std::move(chunk);
+  }
+
+  auto next = std::make_shared<LiveShardView>();
+  next->sealed = std::move(sealed);
+  next->sealed_through = cut;
+  next->tail = std::move(chain);
+  next->tail_points = kept_points;
+  next->seal_epoch = old->seal_epoch + 1;
+  std::atomic_store_explicit(&shard.view, LiveShardViewPtr(std::move(next)),
+                             std::memory_order_release);
+
+  // Drain the diverted ticks into the (again active) segment, restoring
+  // watermark accounting; a backlog past the watermark rolls again on the
+  // next tick advance.
+  for (TimeSlice& slice : shard.pending) {
+    if (shard.segment_first == kNoTickYet) shard.segment_first = slice.tick;
+    shard.segment_points += slice.size();
+    shard.compressor->ObserveSlice(slice);
+  }
+  shard.pending.clear();
+  shard.sealing = false;
+  shard.seal_done.notify_all();
+}
+
+void LiveRepository::RollAll() {
+  for (uint32_t s = 0; s < map_.num_shards; ++s) {
+    Shard& shard = *shards_[s];
+    std::unique_lock<std::mutex> lock(shard.mu);
+    FlushStagingLocked(shard);
+    // Let an in-flight seal land first (its drain re-fills the segment
+    // from pending), then cut whatever the segment holds.
+    shard.seal_done.wait(lock, [&] { return !shard.sealing; });
+    if (shard.segment_first != kNoTickYet) TriggerSealLocked(s, shard);
+  }
+}
+
+void LiveRepository::Quiesce() {
+  for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::unique_lock<std::mutex> lock(shard.mu);
+    shard.seal_done.wait(lock, [&] { return !shard.sealing; });
+  }
+}
+
+LiveShardViewPtr LiveRepository::ShardView(size_t shard) const {
+  return std::atomic_load_explicit(&shards_[shard]->view,
+                                   std::memory_order_acquire);
+}
+
+RepositorySnapshotPtr LiveRepository::SealedSnapshot() const {
+  std::vector<core::SnapshotPtr> seals;
+  seals.reserve(map_.num_shards);
+  for (uint32_t s = 0; s < map_.num_shards; ++s) {
+    seals.push_back(ShardView(s)->sealed);
+  }
+  return std::make_shared<const RepositorySnapshot>(map_, std::move(seals));
+}
+
+uint64_t LiveRepository::MinSealEpoch() const {
+  uint64_t min_epoch = std::numeric_limits<uint64_t>::max();
+  for (uint32_t s = 0; s < map_.num_shards; ++s) {
+    min_epoch = std::min(min_epoch, ShardView(s)->seal_epoch);
+  }
+  return min_epoch;
+}
+
+}  // namespace ppq::repo

@@ -1,0 +1,225 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/types.h"
+#include "core/compressor.h"
+#include "repo/repository_snapshot.h"
+#include "repo/shard_map.h"
+
+/// \file live_repository.h
+/// The streaming, ingest-while-serving repository: the paper's quantizer
+/// is explicitly incremental, and this is where the pipeline stops being
+/// phased (ingest -> Finish -> SealAll -> serve) and starts absorbing a
+/// live stream while every point stays queryable.
+///
+/// Each shard runs a DOUBLE-BUFFERED compressor:
+///
+///   - The ACTIVE segment is the shard's single-threaded core::Compressor
+///     absorbing flushed ticks, plus a staging slice accumulating the
+///     current tick (so any number of producer threads can Append
+///     same-tick batches concurrently; the slice is sorted by id and
+///     handed to the compressor when the stream advances past the tick).
+///   - When the active segment crosses a WATERMARK — it spans
+///     Options::watermark_ticks ticks or holds watermark_points points —
+///     the shard flips to SEALING: a background task on the shared pool
+///     cuts the segment with Compressor::Seal() while appends divert to a
+///     pending queue (Seal is not thread-safe against ObserveSlice; the
+///     diversion is what makes the cut race-free). When the seal lands,
+///     the pending queue drains into the compressor and the shard is
+///     ACTIVE again. Ingest never blocks on sealing.
+///
+/// Every shard atomically publishes a LiveShardView — the last sealed
+/// snapshot (covering ticks <= sealed_through), the raw queryable TAIL
+/// (every appended point with tick > sealed_through, held as an immutable
+/// chunk chain so Append is O(1) publish), and the seal epoch. A point is
+/// queryable from the moment Append returns: first from the tail, then,
+/// after at most one watermark roll, from the sealed summary — the
+/// freshness bound LiveQueryService's union serves under (each response
+/// reports the epoch it drew on via QueryStats::seal_epoch).
+///
+/// Thread-safety contract: Append is safe from ANY number of producer
+/// threads concurrently (per shard, per tick, batches merge; across
+/// ticks, each shard requires non-decreasing batch ticks — a batch older
+/// than a tick the shard has already flushed is rejected with a Status
+/// error, other shards of the same batch still absorb theirs).
+/// RollAll/Quiesce are coordination verbs for shutdown, compaction, and
+/// deterministic tests. ShardView/SealedSnapshot are safe from any
+/// thread, any time. Destruction waits for in-flight background seals.
+
+namespace ppq::repo {
+
+/// Sentinel for "no tick yet" (also the initial sealed_through: every
+/// real tick is newer, so the whole stream starts in the tail).
+inline constexpr Tick kNoTickYet = std::numeric_limits<Tick>::min();
+
+/// \brief One immutable link of a shard's queryable tail: the points of
+/// one Append (one tick, one shard), chained newest-first. Chains are
+/// persistent — publishing a new chunk never mutates older ones — so a
+/// reader that pinned a view scans a frozen tail while appends continue.
+struct LiveTailChunk {
+  TimeSlice slice;
+  std::shared_ptr<const LiveTailChunk> prev;
+};
+using LiveTailPtr = std::shared_ptr<const LiveTailChunk>;
+
+/// \brief A shard's atomically-published serving view: the summary seal
+/// for ticks <= sealed_through, the raw tail for ticks > sealed_through
+/// (disjoint by construction — the seal cut moves, points do not), and
+/// the seal generation. Immutable; swapped wholesale on every append and
+/// every seal, so readers can never observe a half-rolled shard.
+struct LiveShardView {
+  /// Never null: a fresh shard publishes its compressor's empty seal.
+  core::SnapshotPtr sealed;
+  /// Inclusive: every tick <= sealed_through is answered by `sealed`.
+  Tick sealed_through = kNoTickYet;
+  /// Newest-first chunk chain; ticks non-increasing along the chain and
+  /// all > sealed_through.
+  LiveTailPtr tail;
+  size_t tail_points = 0;
+  /// Seal generation: +1 per completed background seal of this shard.
+  uint64_t seal_epoch = 0;
+};
+using LiveShardViewPtr = std::shared_ptr<const LiveShardView>;
+
+/// \brief Hash-partitioned streaming repository: double-buffered per-shard
+/// segments, watermark-triggered background seals, always-queryable tail.
+class LiveRepository {
+ public:
+  /// Builds one shard's compressor; same contract as ShardedRepository
+  /// (identically configured, distinct instances).
+  using CompressorFactory =
+      std::function<std::unique_ptr<core::Compressor>(uint32_t shard)>;
+
+  struct Options {
+    /// Number of hash partitions (same routing as ShardedRepository).
+    uint32_t num_shards = 4;
+    /// Background workers sealing segments; 0 = hardware concurrency.
+    /// At least one background thread is always kept so a seal can never
+    /// run inline under an appender's shard lock.
+    size_t num_threads = 0;
+    /// Roll a shard's active segment once it spans this many ticks
+    /// (0 disables the tick watermark). Watermarks are evaluated when a
+    /// shard's stream advances to a new tick, so one tick's concurrent
+    /// same-tick appenders never straddle a cut.
+    Tick watermark_ticks = 32;
+    /// ... or once it holds this many points (0 disables).
+    size_t watermark_points = size_t{1} << 20;
+  };
+
+  /// \throws std::invalid_argument when num_shards is 0 (or beyond
+  /// kMaxShards) or the factory returns null for any shard.
+  LiveRepository(CompressorFactory factory, Options options);
+
+  /// Waits for in-flight background seals (the internal pool drains
+  /// before any shard state dies).
+  ~LiveRepository();
+
+  LiveRepository(const LiveRepository&) = delete;
+  LiveRepository& operator=(const LiveRepository&) = delete;
+
+  const ShardMap& shard_map() const { return map_; }
+  uint32_t num_shards() const { return map_.num_shards; }
+  const Options& options() const { return options_; }
+
+  /// \brief Absorb one batch of same-tick points, from any thread. The
+  /// batch is split by owning shard; each sub-batch becomes queryable
+  /// (via the shard's tail) before Append returns. Per shard, ticks must
+  /// be non-decreasing across batches: a sub-batch at a tick the shard
+  /// has already flushed past is dropped and reported in the returned
+  /// Status (other shards still absorb theirs — the error is per-shard
+  /// monotonicity, not batch atomicity). ids/positions size mismatches
+  /// reject the whole batch.
+  Status Append(const PointBatch& batch);
+
+  /// \brief Force every shard to flush its staging tick and roll its
+  /// active segment into a background seal (waiting out any seal already
+  /// in flight first). Returns once every roll is SCHEDULED; pair with
+  /// Quiesce() to wait for the seals to land. Deterministic-test and
+  /// shutdown/compaction verb — steady-state streams roll on watermarks.
+  void RollAll();
+
+  /// Block until no background seal is in flight on any shard.
+  void Quiesce();
+
+  /// The shard's current serving view (one atomic load; never null).
+  LiveShardViewPtr ShardView(size_t shard) const;
+
+  /// \brief Assemble the last sealed state of every shard into a phased
+  /// RepositorySnapshot (persistable via RepositorySnapshot::Save). Tail
+  /// points not yet sealed are NOT included — RollAll()+Quiesce() first
+  /// for a full cut.
+  RepositorySnapshotPtr SealedSnapshot() const;
+
+  /// The oldest per-shard seal generation — the freshness floor every
+  /// LiveQueryService response is stamped with.
+  uint64_t MinSealEpoch() const;
+
+  /// Total points accepted since construction (monotonic, approximate
+  /// ordering only — concurrent appenders).
+  size_t TotalPointsAppended() const {
+    return points_appended_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    /// Signalled when a background seal lands (sealing -> false).
+    std::condition_variable seal_done;
+
+    /// The active segment's encoder. Touched only under mu while
+    /// ACTIVE; touched only by the seal task (without mu) while SEALING
+    /// — appends divert to `pending`, so the two never overlap.
+    std::unique_ptr<core::Compressor> compressor;
+    bool sealing = false;
+
+    /// Staging slice for the tick currently being accumulated.
+    TimeSlice staging;
+    bool staging_active = false;
+    /// Newest tick flushed out of staging (into compressor or pending).
+    Tick flushed = kNoTickYet;
+    /// Ticks diverted while a seal is in flight, in flush order.
+    std::deque<TimeSlice> pending;
+
+    /// Active-segment watermark accounting (reset when a roll triggers).
+    Tick segment_first = kNoTickYet;
+    size_t segment_points = 0;
+    /// The cut recorded when the in-flight seal was triggered.
+    Tick seal_cut = kNoTickYet;
+
+    /// The published view; accessed only via atomic_load/atomic_store.
+    LiveShardViewPtr view;
+  };
+
+  /// Sort staging by id and hand it to the compressor (ACTIVE) or the
+  /// pending queue (SEALING). Requires mu.
+  void FlushStagingLocked(Shard& shard);
+  /// Trigger a background seal of the active segment. Requires mu,
+  /// !sealing, and a non-empty segment.
+  void TriggerSealLocked(size_t index, Shard& shard);
+  /// Roll when the active segment crossed a watermark. Requires mu.
+  void MaybeRollLocked(size_t index, Shard& shard);
+  /// The background seal task: cut the compressor (unlocked — appends
+  /// are diverted), publish the new view, drain pending, resume ACTIVE.
+  void SealShard(size_t index);
+
+  Options options_;
+  ShardMap map_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<size_t> points_appended_{0};
+
+  /// Background seal pool; declared LAST so its destructor runs FIRST
+  /// and drains queued seal tasks against still-alive shard state.
+  ThreadPool pool_;
+};
+
+}  // namespace ppq::repo

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/query_types.h"
+
+/// \file result_merge.h
+/// The deterministic result merges of the scatter-gather routers, shared
+/// by ShardedQueryService (per-shard parts) and LiveQueryService (per-
+/// shard sealed parts plus per-shard tail parts). The parts a caller
+/// hands in must be id-disjoint — shards partition trajectory ids, and
+/// within a live shard a point at tick t lives on exactly one side of the
+/// seal cut — and each part's ids must arrive ascending (the evaluation
+/// templates sort their candidate sweep). The merges then reproduce
+/// exactly the ordering the unsharded engine emits: ascending id for
+/// STRQ, window and TPQ, (distance, id) for k-NN.
+
+namespace ppq::repo {
+
+/// Union-merge of disjoint STRQ/window results: ids ascending,
+/// verification candidates summed.
+inline core::StrqResult MergeStrq(std::vector<core::StrqResult> parts) {
+  core::StrqResult merged;
+  for (core::StrqResult& part : parts) {
+    merged.candidates_visited += part.candidates_visited;
+    merged.ids.insert(merged.ids.end(), part.ids.begin(), part.ids.end());
+  }
+  std::sort(merged.ids.begin(), merged.ids.end());
+  return merged;
+}
+
+/// Re-merge of per-part top-k lists: the shared core::NeighborOrder
+/// ranking — the SAME function the unsharded ranking sorts with, so
+/// equal distances straddling a part boundary resolve identically by
+/// construction — then truncate to k.
+inline std::vector<core::Neighbor> MergeKnn(
+    std::vector<std::vector<core::Neighbor>> parts, size_t k) {
+  std::vector<core::Neighbor> merged;
+  for (std::vector<core::Neighbor>& part : parts) {
+    merged.insert(merged.end(), part.begin(), part.end());
+  }
+  std::sort(merged.begin(), merged.end(), core::NeighborOrder);
+  if (merged.size() > k) merged.resize(k);
+  return merged;
+}
+
+/// Re-merge of disjoint TPQ results by id, keeping each id's path
+/// (reconstructed by its owning part) aligned with it.
+inline core::TpqResult MergeTpq(std::vector<core::TpqResult> parts) {
+  core::TpqResult merged;
+  size_t total = 0;
+  for (core::TpqResult& part : parts) {
+    merged.candidates_visited += part.candidates_visited;
+    total += part.ids.size();
+  }
+  std::vector<std::pair<TrajId, std::vector<Point>*>> order;
+  order.reserve(total);
+  for (core::TpqResult& part : parts) {
+    for (size_t i = 0; i < part.ids.size(); ++i) {
+      order.emplace_back(part.ids[i], &part.paths[i]);
+    }
+  }
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  merged.ids.reserve(total);
+  merged.paths.reserve(total);
+  for (auto& [id, path] : order) {
+    merged.ids.push_back(id);
+    merged.paths.push_back(std::move(*path));
+  }
+  return merged;
+}
+
+}  // namespace ppq::repo

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/query_eval.h"
+#include "repo/result_merge.h"
 
 namespace ppq::repo {
 namespace {
@@ -23,75 +24,13 @@ using core::TpqRequest;
 using core::TpqResult;
 using core::WindowRequest;
 
-// --- Deterministic merges --------------------------------------------------
-//
-// Shards partition trajectory ids, so per-shard result sets are disjoint
-// and each shard's ids arrive ascending (the evaluation templates sort
-// their candidate sweep). The merges below therefore reproduce exactly
-// the ordering the unsharded engine emits: ascending id for STRQ, window
-// and TPQ, (distance, id) for k-NN.
-
-/// Union-merge of per-shard STRQ/window results: ids ascending,
-/// verification candidates summed.
-StrqResult MergeStrq(std::vector<StrqResult> parts) {
-  StrqResult merged;
-  for (StrqResult& part : parts) {
-    merged.candidates_visited += part.candidates_visited;
-    merged.ids.insert(merged.ids.end(), part.ids.begin(), part.ids.end());
-  }
-  std::sort(merged.ids.begin(), merged.ids.end());
-  return merged;
-}
-
-/// Re-merge of per-shard top-k lists: the shared core::NeighborOrder
-/// ranking — the SAME function the unsharded ranking sorts with, so
-/// equal distances straddling a shard boundary resolve identically by
-/// construction — then truncate to k.
-std::vector<Neighbor> MergeKnn(std::vector<std::vector<Neighbor>> parts,
-                               size_t k) {
-  std::vector<Neighbor> merged;
-  for (std::vector<Neighbor>& part : parts) {
-    merged.insert(merged.end(), part.begin(), part.end());
-  }
-  std::sort(merged.begin(), merged.end(), core::NeighborOrder);
-  if (merged.size() > k) merged.resize(k);
-  return merged;
-}
-
-/// Re-merge of per-shard TPQ results by id, keeping each id's path
-/// (reconstructed by its owning shard) aligned with it.
-TpqResult MergeTpq(std::vector<TpqResult> parts) {
-  TpqResult merged;
-  size_t total = 0;
-  for (TpqResult& part : parts) {
-    merged.candidates_visited += part.candidates_visited;
-    total += part.ids.size();
-  }
-  std::vector<std::pair<TrajId, std::vector<Point>*>> order;
-  order.reserve(total);
-  for (TpqResult& part : parts) {
-    for (size_t i = 0; i < part.ids.size(); ++i) {
-      order.emplace_back(part.ids[i], &part.paths[i]);
-    }
-  }
-  std::sort(order.begin(), order.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  merged.ids.reserve(total);
-  merged.paths.reserve(total);
-  for (auto& [id, path] : order) {
-    merged.ids.push_back(id);
-    merged.paths.push_back(std::move(*path));
-  }
-  return merged;
-}
-
 }  // namespace
 
 ShardedQueryService::ShardedQueryService(RepositorySnapshotPtr repository,
                                          Options options)
     : options_(std::move(options)),
       num_workers_(core::ResolveServingWorkers(options_.num_threads)),
-      repository_(nullptr),
+      served_(nullptr),
       // The evaluator captures this; the dispatcher is declared last, so
       // it drains (and stops calling Evaluate) before any member dies.
       dispatcher_(num_workers_, [this](const QueryRequest& request,
@@ -99,7 +38,10 @@ ShardedQueryService::ShardedQueryService(RepositorySnapshotPtr repository,
         return Evaluate(request, state);
       }) {
   Validate(repository);
-  std::atomic_store_explicit(&repository_, std::move(repository),
+  auto served = std::make_shared<ServedRepository>();
+  served->repository = std::move(repository);
+  served->epoch = 0;
+  std::atomic_store_explicit(&served_, ServedRepositoryPtr(std::move(served)),
                              std::memory_order_release);
 }
 
@@ -120,9 +62,18 @@ void ShardedQueryService::Validate(
   }
 }
 
-void ShardedQueryService::UpdateRepository(RepositorySnapshotPtr repository) {
+void ShardedQueryService::UpdateView(core::ServingView view) {
+  if (!view.Holds<RepositorySnapshot>()) {
+    throw std::invalid_argument(
+        "ShardedQueryService: UpdateView requires a RepositorySnapshot "
+        "serving view");
+  }
+  RepositorySnapshotPtr repository = view.As<RepositorySnapshot>();
   Validate(repository);
-  std::atomic_store_explicit(&repository_, std::move(repository),
+  auto served = std::make_shared<ServedRepository>();
+  served->repository = std::move(repository);
+  served->epoch = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::atomic_store_explicit(&served_, ServedRepositoryPtr(std::move(served)),
                              std::memory_order_release);
   // Eager reclamation, as in QueryService: sweep every worker's per-shard
   // scratch (and its pinned repository reference) instead of waiting for
@@ -140,11 +91,13 @@ QueryResponse ShardedQueryService::Evaluate(const QueryRequest& request,
 
   std::lock_guard<std::mutex> state_lock(state.mu);
 
-  // Pin the WHOLE repository seal with one atomic load: every shard this
-  // request touches comes from the same seal, so a response can never
-  // observe a half-applied UpdateRepository.
-  const RepositorySnapshotPtr pinned =
-      std::atomic_load_explicit(&repository_, std::memory_order_acquire);
+  // Pin the WHOLE repository seal (and its epoch) with one atomic load:
+  // every shard this request touches comes from the same seal, so a
+  // response can never observe a half-applied UpdateView.
+  const ServedRepositoryPtr served =
+      std::atomic_load_explicit(&served_, std::memory_order_acquire);
+  const RepositorySnapshotPtr& pinned = served->repository;
+  response.stats.seal_epoch = served->epoch;
   if (state.memo_repository.get() != pinned.get()) {
     state.memos.clear();
     state.memos.resize(pinned->num_shards());

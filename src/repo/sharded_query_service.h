@@ -7,16 +7,16 @@
 #include <vector>
 
 #include "common/types.h"
+#include "core/query_backend.h"
 #include "core/query_dispatch.h"
 #include "core/query_types.h"
 #include "core/summary.h"
 #include "repo/repository_snapshot.h"
 
 /// \file sharded_query_service.h
-/// The scatter-gather query router over a sharded repository, exposing
-/// exactly the serving surface of core::QueryService —
-/// Submit(QueryRequest) -> std::future<QueryResponse> — so callers cannot
-/// tell one snapshot from N shards apart except by throughput:
+/// The scatter-gather query router over a sharded repository — the
+/// RepositorySnapshot implementation of core::QueryBackend, so callers
+/// cannot tell one snapshot from N shards apart except by throughput:
 ///
 ///  - STRQ / window scatter to every shard's index and union-merge the
 ///    per-shard matches in ascending trajectory id (shards partition ids,
@@ -29,9 +29,13 @@
 ///  - TPQ scatters its underlying STRQ; each matched trajectory's path is
 ///    reconstructed on the shard that owns the id (only the owning shard
 ///    holds its summary), and the (id, path) pairs re-merge by id.
+///    (The merges themselves live in result_merge.h, shared with the
+///    live router's seal/tail union.)
 ///  - QueryStats aggregate across shards: candidates_visited and
 ///    points_decoded are summed (each equals the unsharded count for the
-///    same snapshots), decode/eval micros cover the whole scatter-gather.
+///    same snapshots), decode/eval micros cover the whole scatter-gather,
+///    and seal_epoch is the number of UpdateView swaps applied to the
+///    pinned repository seal.
 ///
 /// Every response is byte-identical to evaluating the same request
 /// per shard with the serial QueryEngine and merging serially — enforced
@@ -47,18 +51,18 @@
 /// cheap, and cross-request throughput is what a serving fleet buys —
 /// per-request shard fan-out is a listed ROADMAP follow-on). Pinning the
 /// repository atomically, rather than per shard, is what makes
-/// UpdateRepository semantics exact: every response is computed entirely
+/// UpdateView semantics exact: every response is computed entirely
 /// against ONE repository seal, never a mix of old and new shards (the
 /// TSan suite races submitters against hot swaps and checks exactly
 /// that). Workers keep one DecodeMemo per shard, tagged by the pinned
-/// repository seal; UpdateRepository eagerly sweeps idle workers' scratch
+/// repository seal; UpdateView eagerly sweeps idle workers' scratch
 /// like QueryService does.
 
 namespace ppq::repo {
 
 /// \brief Futures-based scatter-gather serving front-end over an
 /// atomically hot-swappable RepositorySnapshot.
-class ShardedQueryService {
+class ShardedQueryService : public core::QueryBackend {
  public:
   struct Options {
     /// Dedicated serving workers; 0 = hardware concurrency.
@@ -79,46 +83,66 @@ class ShardedQueryService {
   ShardedQueryService(RepositorySnapshotPtr repository, Options options);
 
   /// Drains: blocks until every submitted request has resolved.
-  ~ShardedQueryService();
+  ~ShardedQueryService() override;
 
   ShardedQueryService(const ShardedQueryService&) = delete;
   ShardedQueryService& operator=(const ShardedQueryService&) = delete;
 
-  /// \brief Submit one request for asynchronous scatter-gather
-  /// evaluation. Safe from any number of threads.
-  std::future<core::QueryResponse> Submit(core::QueryRequest request) {
+  std::future<core::QueryResponse> Submit(core::QueryRequest request) override {
     return dispatcher_.Submit(std::move(request));
   }
 
-  /// \brief Submit a batch; futures[i] answers requests[i].
   std::vector<std::future<core::QueryResponse>> SubmitBatch(
-      std::vector<core::QueryRequest> requests) {
+      std::vector<core::QueryRequest> requests) override {
     return dispatcher_.SubmitBatch(std::move(requests));
   }
 
-  /// \brief Fail every queued-but-unstarted request with
-  /// StatusCode::kCancelled. Returns the number cancelled.
-  size_t CancelPending() { return dispatcher_.CancelPending(); }
+  size_t CancelPending() override { return dispatcher_.CancelPending(); }
 
-  /// \brief Hot-swap the served repository seal — one atomic shared_ptr
-  /// exchange, so in-flight requests finish entirely on the seal they
-  /// pinned and later dispatches see the new one; no response ever mixes
-  /// shards from two seals. Then eagerly sweeps idle workers' stale
-  /// per-shard scratch. Validates like the constructor.
-  void UpdateRepository(RepositorySnapshotPtr repository);
+  /// \brief Hot-swap the served repository seal
+  /// (core::QueryBackend::UpdateView; \p view must hold a
+  /// RepositorySnapshot) — one atomic shared_ptr exchange, so in-flight
+  /// requests finish entirely on the seal they pinned and later
+  /// dispatches see the new one; no response ever mixes shards from two
+  /// seals. Then eagerly sweeps idle workers' stale per-shard scratch.
+  /// Validates like the constructor.
+  void UpdateView(core::ServingView view) override;
+
+  /// Deprecated spelling of UpdateView from before the QueryBackend
+  /// extraction; kept for one PR (see the README migration table).
+  [[deprecated(
+      "use UpdateView(repository) — the one swap verb of "
+      "core::QueryBackend")]]
+  void UpdateRepository(RepositorySnapshotPtr repository) {
+    UpdateView(core::ServingView(std::move(repository)));
+  }
 
   /// The currently served repository seal.
   RepositorySnapshotPtr repository() const {
-    return std::atomic_load_explicit(&repository_, std::memory_order_acquire);
+    return std::atomic_load_explicit(&served_, std::memory_order_acquire)
+        ->repository;
   }
 
-  size_t num_threads() const { return num_workers_; }
+  /// The current seal epoch: the number of UpdateView swaps applied.
+  uint64_t seal_epoch() const {
+    return std::atomic_load_explicit(&served_, std::memory_order_acquire)
+        ->epoch;
+  }
+
+  size_t num_threads() const override { return num_workers_; }
   double cell_size() const { return options_.cell_size; }
   const std::shared_ptr<const TrajectoryDataset>& raw() const {
     return options_.raw;
   }
 
  private:
+  /// The served seal boxed with its epoch so one atomic load pins both.
+  struct ServedRepository {
+    RepositorySnapshotPtr repository;
+    uint64_t epoch = 0;
+  };
+  using ServedRepositoryPtr = std::shared_ptr<const ServedRepository>;
+
   /// Per-worker decode scratch: one memo per shard, all tagged by the one
   /// repository seal they index (held, so the tag is ABA-safe).
   struct WorkerState {
@@ -134,7 +158,9 @@ class ShardedQueryService {
   Options options_;
   size_t num_workers_;
   /// Accessed only through std::atomic_load/atomic_store.
-  RepositorySnapshotPtr repository_;
+  ServedRepositoryPtr served_;
+  /// Monotonic swap counter; the next swap publishes epoch_+1.
+  std::atomic<uint64_t> epoch_{0};
 
   /// Queue + pool + per-worker state (core::QueryDispatcher — the exact
   /// substrate QueryService runs on); declared last so it is destroyed

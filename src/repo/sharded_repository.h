@@ -73,6 +73,13 @@ class ShardedRepository {
   /// Returns when every shard has absorbed its part.
   void ObserveSlice(const TimeSlice& slice);
 
+  /// \brief The shared ingest vocabulary (PointBatch, common/types.h):
+  /// the phased spelling of the same verb LiveRepository accepts while
+  /// serving. Batches must arrive in non-decreasing tick order, from the
+  /// one writer thread, exactly like ObserveSlice (which this forwards
+  /// to — a batch IS a slice structurally).
+  void Append(const PointBatch& batch) { ObserveSlice(batch); }
+
   /// Flush/finalize every shard after the last slice (parallel).
   void Finish();
 

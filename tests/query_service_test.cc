@@ -23,12 +23,15 @@
 /// QueryEngine at 1 and 4 workers — across the whole MakeMethod family,
 /// materialized (TrajStore) snapshots, and fixed-per-tick mode (the
 /// parity oracles formerly living in query_executor_test.cc; the
-/// deprecated executor shims are gone). Submission must be safe from many
-/// threads concurrently with UpdateSnapshot hot-swaps (this suite is part
-/// of the TSan CI job); destruction drains; CancelPending fails exactly
-/// the queued requests; the shared_ptr-owned verification dataset closes
-/// the old raw-pointer lifetime footgun; and seals stay immutable under
-/// continued encoding / outlive their compressor.
+/// deprecated executor shims are gone). The hot-swap race, drain-on-
+/// destruction, and cancellation-accounting contracts are now covered for
+/// ALL core::QueryBackend implementations at once by the conformance
+/// suite (query_backend_test.cc); this suite keeps what is specific to
+/// single-snapshot serving — eager scratch reclamation on swap, the
+/// shared_ptr-owned verification dataset that closes the old raw-pointer
+/// lifetime footgun, the deprecated UpdateSnapshot alias, and seals
+/// staying immutable under continued encoding / outliving their
+/// compressor.
 
 namespace ppq::core {
 namespace {
@@ -239,80 +242,9 @@ TEST(QueryServiceTest, PerQueryStatsCountVerificationCandidates) {
 }
 
 // ---------------------------------------------------------------------------
-// Concurrency: submitters racing UpdateSnapshot (TSan)
+// Swap semantics specific to the single-snapshot backend
+// (the generic hot-swap race lives in query_backend_test.cc)
 // ---------------------------------------------------------------------------
-
-TEST(QueryServiceConcurrencyTest, SubmittersRaceHotSwap) {
-  const auto data =
-      std::make_shared<const TrajectoryDataset>(SmallDataset(31));
-  PpqOptions options = MakePpqA();
-  PpqTrajectory method(options);
-
-  // Two seals of one stream: snapshot A mid-day, snapshot B end of day.
-  const Tick mid = (data->MinTick() + data->MaxTick()) / 2;
-  for (Tick t = data->MinTick(); t < mid; ++t) {
-    const TimeSlice slice = data->SliceAt(t);
-    if (!slice.empty()) method.ObserveSlice(slice);
-  }
-  const SnapshotPtr seal_a = method.Seal();
-  for (Tick t = mid; t < data->MaxTick(); ++t) {
-    const TimeSlice slice = data->SliceAt(t);
-    if (!slice.empty()) method.ObserveSlice(slice);
-  }
-  method.Finish();
-  const SnapshotPtr seal_b = method.Seal();
-
-  Rng rng(7);
-  const auto queries = SampleQueries(*data, 30, &rng);
-  const auto windows = test::SampleWindows(*data, 15, &rng);
-  const auto requests = MakeRequests(queries, windows);
-
-  // Serial references against BOTH seals: a hot-swapped service must
-  // answer every request from one of them.
-  const QueryEngine engine_a(seal_a, data.get(), options.tpi.pi.cell_size);
-  const QueryEngine engine_b(seal_b, data.get(), options.tpi.pi.cell_size);
-  std::vector<std::variant<StrqResult, std::vector<Neighbor>, TpqResult>>
-      ref_a, ref_b;
-  for (const QueryRequest& request : requests) {
-    ref_a.push_back(EvalSerial(engine_a, request));
-    ref_b.push_back(EvalSerial(engine_b, request));
-  }
-
-  QueryService::Options serve_options;
-  serve_options.num_threads = 4;
-  serve_options.raw = data;
-  serve_options.cell_size = options.tpi.pi.cell_size;
-  QueryService service(seal_a, serve_options);
-
-  constexpr size_t kSubmitters = 4;
-  constexpr int kSwaps = 50;
-  std::vector<std::vector<QueryResponse>> responses(kSubmitters);
-  std::vector<std::thread> submitters;
-  for (size_t s = 0; s < kSubmitters; ++s) {
-    submitters.emplace_back([&, s] {
-      for (const QueryRequest& request : requests) {
-        responses[s].push_back(service.Submit(request).get());
-      }
-    });
-  }
-  for (int i = 0; i < kSwaps; ++i) {
-    service.UpdateSnapshot((i % 2 == 0) ? seal_b : seal_a);
-  }
-  for (std::thread& t : submitters) t.join();
-
-  for (size_t s = 0; s < kSubmitters; ++s) {
-    ASSERT_EQ(responses[s].size(), requests.size());
-    for (size_t i = 0; i < requests.size(); ++i) {
-      const QueryResponse& response = responses[s][i];
-      EXPECT_TRUE(response.ok());
-      // Which seal served it is a race; that it was exactly ONE seal's
-      // byte-exact answer is not.
-      EXPECT_TRUE(response.result == ref_a[i] || response.result == ref_b[i])
-          << "submitter " << s << " request " << i
-          << " matches neither seal's serial answer";
-    }
-  }
-}
 
 TEST(QueryServiceConcurrencyTest, HotSwapReclaimsRetiredSealEagerly) {
   const auto data =
@@ -339,85 +271,37 @@ TEST(QueryServiceConcurrencyTest, HotSwapReclaimsRetiredSealEagerly) {
 
   // After the swap — with NO further traffic — no worker may still hold
   // seal A: the only remaining reference is this test's handle.
-  service.UpdateSnapshot(seal_b);
+  service.UpdateView(seal_b);
   EXPECT_EQ(seal_a.use_count(), 1);
 }
 
 // ---------------------------------------------------------------------------
-// Shutdown semantics: drain and cancellation
+// Deprecated alias: UpdateSnapshot forwards to UpdateView (one more PR)
 // ---------------------------------------------------------------------------
 
-TEST(QueryServiceShutdownTest, DestructionDrainsSubmittedRequests) {
+TEST(QueryServiceCompatTest, DeprecatedUpdateSnapshotAliasStillSwaps) {
   const auto data =
       std::make_shared<const TrajectoryDataset>(SmallDataset(41));
   PpqOptions options = MakePpqA();
   PpqTrajectory method(options);
   method.Compress(*data);
-  const QueryEngine engine(&method, data.get(), options.tpi.pi.cell_size);
-
-  Rng rng(11);
-  const auto queries = SampleQueries(*data, 60, &rng);
-  std::vector<QueryRequest> requests;
-  for (const QuerySpec& q : queries) {
-    requests.push_back(StrqRequest{q, StrqMode::kExact});
-  }
-
-  std::vector<std::future<QueryResponse>> futures;
-  {
-    QueryService::Options serve_options;
-    serve_options.num_threads = 2;
-    serve_options.raw = data;
-    serve_options.cell_size = options.tpi.pi.cell_size;
-    QueryService service(method.Seal(), serve_options);
-    futures = service.SubmitBatch(requests);
-  }  // destroyed immediately: every future must still resolve, correctly
-
-  for (size_t i = 0; i < futures.size(); ++i) {
-    ASSERT_TRUE(futures[i].valid());
-    const QueryResponse response = futures[i].get();
-    EXPECT_TRUE(response.ok());
-    EXPECT_EQ(response.result, EvalSerial(engine, requests[i]));
-  }
-}
-
-TEST(QueryServiceShutdownTest, CancelPendingFailsExactlyTheQueued) {
-  const auto data =
-      std::make_shared<const TrajectoryDataset>(SmallDataset(51));
-  PpqOptions options = MakePpqA();
-  PpqTrajectory method(options);
-  method.Compress(*data);
+  const SnapshotPtr seal_a = method.Seal();
+  const SnapshotPtr seal_b = method.Seal();
 
   QueryService::Options serve_options;
   serve_options.num_threads = 1;
   serve_options.raw = data;
   serve_options.cell_size = options.tpi.pi.cell_size;
-  QueryService service(method.Seal(), serve_options);
-
-  Rng rng(13);
-  std::vector<QueryRequest> requests;
-  for (const QuerySpec& q : SampleQueries(*data, 200, &rng)) {
-    requests.push_back(StrqRequest{q, StrqMode::kExact});
-  }
-  auto futures = service.SubmitBatch(std::move(requests));
-  const size_t cancelled = service.CancelPending();
-  ASSERT_LE(cancelled, futures.size());
-
-  size_t observed_cancelled = 0;
-  for (auto& future : futures) {
-    const QueryResponse response = future.get();
-    if (response.ok()) continue;
-    EXPECT_EQ(response.status.code(), StatusCode::kCancelled);
-    EXPECT_EQ(response.kind, QueryKind::kStrq);
-    ++observed_cancelled;
-  }
-  EXPECT_EQ(observed_cancelled, cancelled);
-  // After a cancel, the service still serves.
-  const QueryResponse after = service
-                                  .Submit(StrqRequest{
-                                      SampleQueries(*data, 1, &rng)[0],
-                                      StrqMode::kLocalSearch})
-                                  .get();
-  EXPECT_TRUE(after.ok());
+  QueryService service(seal_a, serve_options);
+  EXPECT_EQ(service.seal_epoch(), 0u);
+  // The pre-QueryBackend spelling must keep swapping (and advancing the
+  // epoch) until its removal PR; see the README migration table.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  service.UpdateSnapshot(seal_b);
+#pragma GCC diagnostic pop
+  EXPECT_EQ(service.snapshot().get(), seal_b.get());
+  EXPECT_EQ(service.seal_epoch(), 1u);
 }
 
 // ---------------------------------------------------------------------------
@@ -479,11 +363,11 @@ TEST(QueryServiceLifetimeTest, RejectsMismatchedVerificationDataset) {
   EXPECT_THROW(QueryService(nullptr, null_snapshot_options),
                std::invalid_argument);
 
-  // UpdateSnapshot validates the same way; the served seal is unchanged
+  // UpdateView validates the same way; the served seal is unchanged
   // after a rejected swap.
   serve_options.raw = data;
   QueryService service(snapshot, serve_options);
-  EXPECT_THROW(service.UpdateSnapshot(nullptr), std::invalid_argument);
+  EXPECT_THROW(service.UpdateView(SnapshotPtr{}), std::invalid_argument);
   EXPECT_EQ(service.snapshot().get(), snapshot.get());
 }
 
@@ -568,7 +452,7 @@ TEST(SnapshotTest, SealIsImmutableUnderContinuedEncoding) {
   EXPECT_EQ(ServeStrq(service, queries, StrqMode::kLocalSearch), before);
 
   // Re-seal and swap: the service now also sees the later ticks.
-  service.UpdateSnapshot(method.Seal());
+  service.UpdateView(method.Seal());
   Rng rng2(9);
   std::vector<QuerySpec> late;
   for (const QuerySpec& q : SampleQueries(*data, 60, &rng2)) {
