@@ -34,10 +34,80 @@ BenchOptions ParseArgs(int argc, char** argv) {
       options.threads = static_cast<size_t>(value);
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
-          "flags: --scale=<f> --queries=<n> --seed=<n> --threads=<n>\n");
+          "flags: --scale=<f> --queries=<n> --seed=<n> --threads=<n> "
+          "--json=<path>\n");
     }
   }
   return options;
+}
+
+std::string ParseJsonPath(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) return argv[i] + 7;
+  }
+  return "";
+}
+
+void PerfJson::Begin(const std::string& name) {
+  records_.push_back(Record{name, {}});
+}
+
+void PerfJson::Field(const std::string& key, double value) {
+  Entry e;
+  e.key = key;
+  e.number = value;
+  records_.back().entries.push_back(std::move(e));
+}
+
+void PerfJson::Text(const std::string& key, const std::string& value) {
+  Entry e;
+  e.key = key;
+  e.is_text = true;
+  e.text = value;
+  records_.back().entries.push_back(std::move(e));
+}
+
+namespace {
+
+/// Minimal string escaping — keys/values here are code-controlled
+/// identifiers, but quotes and backslashes must never corrupt the file.
+void WriteJsonString(std::FILE* f, const std::string& s) {
+  std::fputc('"', f);
+  for (char c : s) {
+    if (c == '"' || c == '\\') std::fputc('\\', f);
+    std::fputc(c, f);
+  }
+  std::fputc('"', f);
+}
+
+}  // namespace
+
+bool PerfJson::Write(const std::string& path, const std::string& bench) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs("{\"bench\": ", f);
+  WriteJsonString(f, bench);
+  std::fputs(", \"records\": [", f);
+  for (size_t r = 0; r < records_.size(); ++r) {
+    if (r > 0) std::fputc(',', f);
+    std::fputs("\n  {\"name\": ", f);
+    WriteJsonString(f, records_[r].name);
+    for (const Entry& e : records_[r].entries) {
+      std::fputs(", ", f);
+      WriteJsonString(f, e.key);
+      std::fputs(": ", f);
+      if (e.is_text) {
+        WriteJsonString(f, e.text);
+      } else if (std::isfinite(e.number)) {
+        std::fprintf(f, "%.17g", e.number);
+      } else {
+        std::fputs("null", f);  // JSON has no NaN/inf
+      }
+    }
+    std::fputc('}', f);
+  }
+  std::fputs("\n]}\n", f);
+  return std::fclose(f) == 0;
 }
 
 void PrintThroughput(const std::string& method, const char* phase,

@@ -38,6 +38,42 @@ struct BenchOptions {
 /// flags are ignored.
 BenchOptions ParseArgs(int argc, char** argv);
 
+/// The value of a --json=<path> flag, or "" when absent. Every bench that
+/// supports it writes its machine-readable perf record there (a
+/// BENCH_<name>.json in CI, uploaded as an artifact so future PRs can
+/// diff against this baseline).
+std::string ParseJsonPath(int argc, char** argv);
+
+/// \brief Accumulates named metric records and writes them as one JSON
+/// document: {"bench": <name>, "records": [{"name": ..., <field>: <num>,
+/// ...}, ...]}. Field order is preserved; values print with %.17g so the
+/// file round-trips doubles exactly. No external JSON dependency.
+class PerfJson {
+ public:
+  /// Start a new record; subsequent Field() calls attach to it.
+  void Begin(const std::string& name);
+  void Field(const std::string& key, double value);
+  /// Convenience for string-valued fields (kernel level, workload name).
+  void Text(const std::string& key, const std::string& value);
+
+  bool empty() const { return records_.empty(); }
+  /// Write the document to \p path (overwrites); false on I/O failure.
+  bool Write(const std::string& path, const std::string& bench) const;
+
+ private:
+  struct Entry {
+    std::string key;
+    bool is_text = false;
+    double number = 0.0;
+    std::string text;
+  };
+  struct Record {
+    std::string name;
+    std::vector<Entry> entries;
+  };
+  std::vector<Record> records_;
+};
+
 /// \brief Print one machine-parseable throughput line:
 ///   [throughput] method=<name> phase=<phase> items=<n> seconds=<s> rate=<r>
 /// Phases in use: "encode" (points/sec) and "serve" (queries/sec). The

@@ -25,7 +25,9 @@
 ///
 /// Both modes emit the shared [throughput] lines (phase=serve) for the
 /// perf trail and exit non-zero if any result diverges from the serial
-/// engine.
+/// engine. --json=<path> additionally writes the run's records (ladder
+/// rungs, or the mixed qps + per-kind/aggregate latency percentiles) as
+/// a BENCH_serve.json via bench::PerfJson.
 
 #include <algorithm>
 #include <chrono>
@@ -203,7 +205,8 @@ Payload EvalSerial(const core::QueryEngine& engine,
   return engine.Tpq(r.query, r.length, r.mode);
 }
 
-int RunMixed(const BenchOptions& options, size_t submitters) {
+int RunMixed(const BenchOptions& options, size_t submitters,
+             const std::string& json_path) {
   std::printf("=== bench_serve --mixed: async QueryService, %zu submitter "
               "thread(s) ===\n", submitters);
   DatasetBundle bundle = MakePortoBundle(options);
@@ -310,8 +313,28 @@ int RunMixed(const BenchOptions& options, size_t submitters) {
               "seconds=%.4f qps=%.0f identical=%s\n",
               threads, submitters, stream.size(), seconds, qps,
               identical ? "yes" : "NO");
+
+  PerfJson json;
+  json.Begin("mixed");
+  json.Field("threads", static_cast<double>(threads));
+  json.Field("submitters", static_cast<double>(submitters));
+  json.Field("requests", static_cast<double>(stream.size()));
+  json.Field("seconds", seconds);
+  json.Field("qps", qps);
+  json.Text("identical", identical ? "yes" : "no");
+
   // Per-kind breakdown first, aggregate last (tools keyed on the bare
   // "[latency] p50_us=" line keep parsing the same final line).
+  const auto latency_record = [&](const std::string& name,
+                                  const std::vector<uint64_t>& sorted) {
+    json.Begin(name);
+    json.Field("requests", static_cast<double>(sorted.size()));
+    json.Field("p50_us", static_cast<double>(percentile(sorted, 0.50)));
+    json.Field("p95_us", static_cast<double>(percentile(sorted, 0.95)));
+    json.Field("p99_us", static_cast<double>(percentile(sorted, 0.99)));
+    json.Field("max_us",
+               static_cast<double>(sorted.empty() ? 0 : sorted.back()));
+  };
   constexpr const char* kKindNames[4] = {"strq", "window", "knn", "tpq"};
   for (size_t kind = 0; kind < 4; ++kind) {
     std::vector<uint64_t>& sample = by_kind[kind];
@@ -324,13 +347,20 @@ int RunMixed(const BenchOptions& options, size_t submitters) {
                 static_cast<unsigned long long>(percentile(sample, 0.95)),
                 static_cast<unsigned long long>(percentile(sample, 0.99)),
                 static_cast<unsigned long long>(sample.back()));
+    latency_record(std::string("latency_") + kKindNames[kind], sample);
   }
   std::printf("[latency] p50_us=%llu p95_us=%llu p99_us=%llu max_us=%llu\n",
               static_cast<unsigned long long>(percentile(all, 0.50)),
               static_cast<unsigned long long>(percentile(all, 0.95)),
               static_cast<unsigned long long>(percentile(all, 0.99)),
               static_cast<unsigned long long>(all.empty() ? 0 : all.back()));
+  latency_record("latency", all);
 
+  if (!json_path.empty() && !json.Write(json_path, "serve")) {
+    std::fprintf(stderr, "bench_serve: could not write %s\n",
+                 json_path.c_str());
+    return 2;
+  }
   if (!identical) {
     std::printf("ERROR: service responses diverged from the serial "
                 "engine\n");
@@ -339,7 +369,7 @@ int RunMixed(const BenchOptions& options, size_t submitters) {
   return 0;
 }
 
-int Run(const BenchOptions& options) {
+int Run(const BenchOptions& options, const std::string& json_path) {
   std::printf("=== bench_serve: snapshot + batched QueryService ladder ===\n");
   DatasetBundle bundle = MakePortoBundle(options);
   std::printf("dataset: %s, %zu trajectories, %zu points\n",
@@ -387,6 +417,7 @@ int Run(const BenchOptions& options) {
 
   bool all_identical = true;
   double qps_at_1 = 0.0;
+  PerfJson json;
   for (size_t threads : ladder) {
     core::QueryService::Options serve_options;
     serve_options.num_threads = threads;
@@ -419,8 +450,20 @@ int Run(const BenchOptions& options) {
                 "speedup=%.2f identical=%s\n",
                 threads, evaluations, seconds, qps, speedup,
                 identical ? "yes" : "NO");
+    json.Begin("serve_" + std::to_string(threads) + "t");
+    json.Field("threads", static_cast<double>(threads));
+    json.Field("queries", static_cast<double>(evaluations));
+    json.Field("seconds", seconds);
+    json.Field("qps", qps);
+    json.Field("speedup", speedup);
+    json.Text("identical", identical ? "yes" : "no");
   }
 
+  if (!json_path.empty() && !json.Write(json_path, "serve")) {
+    std::fprintf(stderr, "bench_serve: could not write %s\n",
+                 json_path.c_str());
+    return 2;
+  }
   if (!all_identical) {
     std::printf("ERROR: service results diverged from the serial engine\n");
     return 1;
@@ -433,6 +476,7 @@ int Run(const BenchOptions& options) {
 
 int main(int argc, char** argv) {
   ppq::bench::BenchOptions options = ppq::bench::ParseArgs(argc, argv);
+  const std::string json_path = ppq::bench::ParseJsonPath(argc, argv);
   bool threads_given = false;
   bool mixed = false;
   size_t submitters = 4;
@@ -450,9 +494,9 @@ int main(int argc, char** argv) {
     // --mixed serves with --threads workers (default 4), driven by
     // --submitters caller threads.
     if (!threads_given) options.threads = 0;
-    return ppq::bench::RunMixed(options, submitters);
+    return ppq::bench::RunMixed(options, submitters, json_path);
   }
   // The batch ladder sweeps 1/2/4/8 threads by default.
   if (!threads_given) options.threads = 0;
-  return ppq::bench::Run(options);
+  return ppq::bench::Run(options, json_path);
 }

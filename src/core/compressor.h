@@ -51,6 +51,21 @@ class Compressor {
   /// Best reconstruction of T_i^t the method can produce.
   virtual Result<Point> Reconstruct(TrajId id, Tick t) const = 0;
 
+  /// Batched reconstruction of [tick_begin, tick_begin + n), bit-identical
+  /// to n Reconstruct calls. Returns the number of points written to
+  /// \p out (the decodable prefix of the span; 0 for an unknown id or a
+  /// tick outside the record). The base implementation loops per point;
+  /// methods with a span-decodable summary (the PPQ family) override it.
+  virtual size_t ReconstructSpan(TrajId id, Tick tick_begin, size_t n,
+                                 Point* out) const {
+    for (size_t i = 0; i < n; ++i) {
+      const auto p = Reconstruct(id, tick_begin + static_cast<Tick>(i));
+      if (!p.ok()) return i;
+      out[i] = *p;
+    }
+    return n;
+  }
+
   /// Total summary footprint in bytes (codebooks + codes + side data).
   virtual size_t SummaryBytes() const = 0;
 

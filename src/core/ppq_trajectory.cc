@@ -256,6 +256,11 @@ Result<Point> PpqTrajectory::Reconstruct(TrajId id, Tick t) const {
   return summary_.ReconstructRefined(id, t);
 }
 
+size_t PpqTrajectory::ReconstructSpan(TrajId id, Tick tick_begin, size_t n,
+                                      Point* out) const {
+  return summary_.ReconstructSpan(id, tick_begin, n, out);
+}
+
 std::vector<RecordSpan> PpqTrajectory::RecordSpans() const {
   std::vector<RecordSpan> spans;
   spans.reserve(summary_.records().size());

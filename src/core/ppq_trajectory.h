@@ -43,6 +43,10 @@ class PpqTrajectory : public Compressor {
   /// CQC-refined reconstruction when CQC is enabled, plain otherwise.
   Result<Point> Reconstruct(TrajId id, Tick t) const override;
 
+  /// Vectorized span decode straight off the live summary.
+  size_t ReconstructSpan(TrajId id, Tick tick_begin, size_t n,
+                         Point* out) const override;
+
   size_t SummaryBytes() const override { return summary_.Size().Total(); }
   size_t NumCodewords() const override { return summary_.NumCodewords(); }
   const index::TemporalPartitionIndex* index() const override {

@@ -22,9 +22,9 @@
 ///   CancelPending()             -> fail queued-but-unstarted requests
 ///   UpdateView(ServingView)     -> hot-swap what is being served
 ///
-/// UpdateView replaces the per-backend swap verbs (UpdateSnapshot /
-/// UpdateRepository, kept one more PR as deprecated aliases). Each backend
-/// serves exactly one view type — a SummarySnapshot, a
+/// UpdateView replaced the per-backend swap verbs (UpdateSnapshot /
+/// UpdateRepository, removed after their one-PR deprecation cycle). Each
+/// backend serves exactly one view type — a SummarySnapshot, a
 /// RepositorySnapshot, a LiveRepository — and the view travels through the
 /// type-erased ServingView so the interface can live in core without core
 /// depending on the repo layer. Handing a backend the wrong view type

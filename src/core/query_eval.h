@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/simd.h"
 #include "core/compressor.h"
 #include "core/query_types.h"
 #include "core/snapshot.h"
@@ -21,8 +22,17 @@
 ///
 /// A Reader provides:
 ///   Result<Point> Reconstruct(TrajId id, Tick t) const;
+///   size_t ReconstructSpan(TrajId id, Tick tick_begin, size_t n,
+///                          Point* out) const;
 ///   const index::TemporalPartitionIndex* index() const;
 ///   double LocalSearchRadius() const;
+/// ReconstructSpan writes the decodable prefix of [tick_begin,
+/// tick_begin + n) and returns how many points it wrote — the batched form
+/// the evaluation loops below prefer: candidates are decoded into compact
+/// arrays and the geometry (containment, rectangle distance, kNN scoring)
+/// runs through the simd.h kernels, whose scalar references keep answers
+/// bit-identical to the historical per-point loops.
+///
 /// It is the Reader that decides where decode scratch lives: the serial
 /// engine uses the compressor's internal memo, the executor hands every
 /// worker thread its own DecodeMemo.
@@ -36,6 +46,10 @@ struct CompressorReader {
 
   Result<Point> Reconstruct(TrajId id, Tick t) const {
     return method->Reconstruct(id, t);
+  }
+  size_t ReconstructSpan(TrajId id, Tick tick_begin, size_t n,
+                         Point* out) const {
+    return method->ReconstructSpan(id, tick_begin, n, out);
   }
   const index::TemporalPartitionIndex* index() const {
     return method->index();
@@ -51,6 +65,10 @@ struct SnapshotReader {
 
   Result<Point> Reconstruct(TrajId id, Tick t) const {
     return snapshot->Reconstruct(id, t, scratch);
+  }
+  size_t ReconstructSpan(TrajId id, Tick tick_begin, size_t n,
+                         Point* out) const {
+    return snapshot->ReconstructSpan(id, tick_begin, n, out, scratch);
   }
   const index::TemporalPartitionIndex* index() const {
     return snapshot->index();
@@ -80,6 +98,21 @@ struct CountingReader {
             .count());
     ++stats->points_decoded;
     return r;
+  }
+  /// One timing sample per span (not per point), so decode_micros stays
+  /// comparable with the pre-batching numbers. points_decoded counts what
+  /// an equivalent per-point loop would have: every written point, plus
+  /// the one failed attempt that would have ended a cut-short span.
+  size_t ReconstructSpan(TrajId id, Tick tick_begin, size_t n,
+                         Point* out) const {
+    const auto start = std::chrono::steady_clock::now();
+    const size_t m = inner.ReconstructSpan(id, tick_begin, n, out);
+    *decode_nanos += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    stats->points_decoded += (m == n) ? n : m + 1;
+    return m;
   }
   const index::TemporalPartitionIndex* index() const { return inner.index(); }
   double LocalSearchRadius() const { return inner.LocalSearchRadius(); }
@@ -116,6 +149,33 @@ inline double WindowDistance(const Window& window, const Point& p) {
   return std::sqrt(dx * dx + dy * dy);
 }
 
+/// \brief Decoded candidate set at one tick: parallel id/position arrays,
+/// compact so the geometry kernels can run over the positions directly.
+struct DecodedCandidates {
+  std::vector<TrajId> ids;
+  std::vector<Point> positions;
+};
+
+/// Decode every candidate's position at tick \p t. Candidates that fail to
+/// decode (expired id, tick outside the record) are dropped, exactly like
+/// the historical `if (!recon.ok()) continue;`. Goes through the span API
+/// (n = 1) so CountingReader attributes cost identically either way.
+template <typename Reader>
+DecodedCandidates DecodeAt(const Reader& reader,
+                           const std::vector<TrajId>& candidates, Tick t) {
+  DecodedCandidates out;
+  out.ids.reserve(candidates.size());
+  out.positions.reserve(candidates.size());
+  Point p;
+  for (TrajId id : candidates) {
+    if (reader.ReconstructSpan(id, t, 1, &p) == 1) {
+      out.ids.push_back(id);
+      out.positions.push_back(p);
+    }
+  }
+  return out;
+}
+
 /// Spatio-temporal range query at (q.position, q.tick).
 template <typename Reader>
 StrqResult Strq(const Reader& reader, const TrajectoryDataset* raw,
@@ -136,15 +196,25 @@ StrqResult Strq(const Reader& reader, const TrajectoryDataset* raw,
   std::sort(coarse.begin(), coarse.end());
   coarse.erase(std::unique(coarse.begin(), coarse.end()), coarse.end());
 
-  for (TrajId id : coarse) {
-    const auto recon = reader.Reconstruct(id, q.tick);
-    if (!recon.ok()) continue;
-    const double dist = cell.Distance(*recon);
-    if (mode == StrqMode::kApproximate) {
-      if (cell.Contains(*recon)) result.ids.push_back(id);
-      continue;
+  const DecodedCandidates decoded = DecodeAt(reader, coarse, q.tick);
+  const size_t n = decoded.positions.size();
+
+  if (mode == StrqMode::kApproximate) {
+    std::vector<uint8_t> mask(n);
+    simd::ContainsMask(decoded.positions.data(), n, cell.min_x, cell.min_y,
+                       cell.max_x, cell.max_y, mask.data());
+    for (size_t i = 0; i < n; ++i) {
+      if (mask[i]) result.ids.push_back(decoded.ids[i]);
     }
-    if (dist > radius) continue;  // cannot be in the cell by Lemma 3
+    return result;
+  }
+
+  std::vector<double> dist(n);
+  simd::RegionDistances(decoded.positions.data(), n, cell.min_x, cell.min_y,
+                        cell.max_x, cell.max_y, dist.data());
+  for (size_t i = 0; i < n; ++i) {
+    if (dist[i] > radius) continue;  // cannot be in the cell by Lemma 3
+    const TrajId id = decoded.ids[i];
     if (mode == StrqMode::kLocalSearch) {
       result.ids.push_back(id);
       continue;
@@ -186,14 +256,25 @@ StrqResult WindowQuery(const Reader& reader, const TrajectoryDataset* raw,
   std::sort(coarse.begin(), coarse.end());
   coarse.erase(std::unique(coarse.begin(), coarse.end()), coarse.end());
 
-  for (TrajId id : coarse) {
-    const auto recon = reader.Reconstruct(id, t);
-    if (!recon.ok()) continue;
-    if (mode == StrqMode::kApproximate) {
-      if (window.Contains(*recon)) result.ids.push_back(id);
-      continue;
+  const DecodedCandidates decoded = DecodeAt(reader, coarse, t);
+  const size_t n = decoded.positions.size();
+
+  if (mode == StrqMode::kApproximate) {
+    std::vector<uint8_t> mask(n);
+    simd::ContainsMask(decoded.positions.data(), n, window.min_x,
+                       window.min_y, window.max_x, window.max_y, mask.data());
+    for (size_t i = 0; i < n; ++i) {
+      if (mask[i]) result.ids.push_back(decoded.ids[i]);
     }
-    if (WindowDistance(window, *recon) > radius) continue;
+    return result;
+  }
+
+  std::vector<double> dist(n);
+  simd::RegionDistances(decoded.positions.data(), n, window.min_x,
+                        window.min_y, window.max_x, window.max_y, dist.data());
+  for (size_t i = 0; i < n; ++i) {
+    if (dist[i] > radius) continue;
+    const TrajId id = decoded.ids[i];
     if (mode == StrqMode::kLocalSearch) {
       result.ids.push_back(id);
       continue;
@@ -235,11 +316,14 @@ std::vector<Neighbor> NearestTrajectories(const Reader& reader,
     radius *= 2.0;
   }
 
-  result.reserve(coarse.size());
-  for (TrajId id : coarse) {
-    const auto recon = reader.Reconstruct(id, q.tick);
-    if (!recon.ok()) continue;
-    result.push_back({id, recon->DistanceTo(q.position)});
+  const DecodedCandidates decoded = DecodeAt(reader, coarse, q.tick);
+  const size_t n = decoded.positions.size();
+  std::vector<double> dist(n);
+  simd::Distances(decoded.positions.data(), n, q.position, dist.data());
+
+  result.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    result.push_back({decoded.ids[i], dist[i]});
   }
   std::sort(result.begin(), result.end(), NeighborOrder);
   if (result.size() > k) result.resize(k);
@@ -255,14 +339,13 @@ TpqResult Tpq(const Reader& reader, const TrajectoryDataset* raw,
   TpqResult result;
   const StrqResult strq = Strq(reader, raw, cell_size, q, mode);
   result.candidates_visited = strq.candidates_visited;
+  const size_t want = length > 0 ? static_cast<size_t>(length) : 0;
   for (TrajId id : strq.ids) {
-    std::vector<Point> path;
-    path.reserve(static_cast<size_t>(length));
-    for (int i = 0; i < length; ++i) {
-      const auto p = reader.Reconstruct(id, q.tick + static_cast<Tick>(i));
-      if (!p.ok()) break;  // trajectory ended
-      path.push_back(*p);
-    }
+    // One span decode per matching trajectory; the decodable prefix is the
+    // path (shorter than `length` when the trajectory ends first).
+    std::vector<Point> path(want);
+    const size_t got = reader.ReconstructSpan(id, q.tick, want, path.data());
+    path.resize(got);
     result.ids.push_back(id);
     result.paths.push_back(std::move(path));
   }

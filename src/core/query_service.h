@@ -101,15 +101,6 @@ class QueryService : public QueryBackend {
   /// against Options::raw like the constructor.
   void UpdateView(ServingView view) override;
 
-  /// Deprecated spelling of UpdateView from before the QueryBackend
-  /// extraction; kept for one PR (see the README migration table).
-  [[deprecated(
-      "use UpdateView(snapshot) — the one swap verb of "
-      "core::QueryBackend")]]
-  void UpdateSnapshot(SnapshotPtr snapshot) {
-    UpdateView(ServingView(std::move(snapshot)));
-  }
-
   /// The currently served snapshot.
   SnapshotPtr snapshot() const {
     return std::atomic_load_explicit(&served_, std::memory_order_acquire)

@@ -1,5 +1,7 @@
 #include "core/snapshot.h"
 
+#include <algorithm>
+#include <cstddef>
 #include <utility>
 
 #include "core/compressor.h"
@@ -23,6 +25,12 @@ PpqSummarySnapshot::PpqSummarySnapshot(
 Result<Point> PpqSummarySnapshot::Reconstruct(TrajId id, Tick t,
                                               DecodeMemo* scratch) const {
   return summary_.ReconstructRefined(id, t, scratch);
+}
+
+size_t PpqSummarySnapshot::ReconstructSpan(TrajId id, Tick tick_begin,
+                                           size_t n, Point* out,
+                                           DecodeMemo* scratch) const {
+  return summary_.ReconstructSpan(id, tick_begin, n, out, scratch);
 }
 
 // ---------------------------------------------------------------------------
@@ -52,6 +60,25 @@ Result<Point> MaterializedSnapshot::Reconstruct(TrajId id, Tick t,
     return Status::OutOfRange("trajectory has no sample at requested tick");
   }
   return traj.points[static_cast<size_t>(t - traj.start_tick)];
+}
+
+size_t MaterializedSnapshot::ReconstructSpan(TrajId id, Tick tick_begin,
+                                             size_t n, Point* out,
+                                             DecodeMemo* /*scratch*/) const {
+  if (n == 0) return 0;
+  const auto it = points_.find(id);
+  if (it == points_.end()) return 0;
+  const TrajectoryPoints& traj = it->second;
+  if (tick_begin < traj.start_tick ||
+      tick_begin >=
+          traj.start_tick + static_cast<Tick>(traj.points.size())) {
+    return 0;
+  }
+  const size_t first = static_cast<size_t>(tick_begin - traj.start_tick);
+  const size_t count = std::min(n, traj.points.size() - first);
+  std::copy(traj.points.begin() + static_cast<ptrdiff_t>(first),
+            traj.points.begin() + static_cast<ptrdiff_t>(first + count), out);
+  return count;
 }
 
 // ---------------------------------------------------------------------------

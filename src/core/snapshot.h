@@ -57,6 +57,24 @@ class SummarySnapshot {
   virtual Result<Point> Reconstruct(TrajId id, Tick t,
                                     DecodeMemo* scratch) const = 0;
 
+  /// Batched reconstruction of the span [tick_begin, tick_begin + n),
+  /// bit-identical to n Reconstruct calls. Returns the number of points
+  /// written to \p out: n when the whole span is decodable, fewer when the
+  /// trajectory ends first, 0 for an unknown id or a tick before the
+  /// record. Same scratch contract as Reconstruct(). The base
+  /// implementation loops per point; summary-backed snapshots override it
+  /// with the vectorized span decode.
+  virtual size_t ReconstructSpan(TrajId id, Tick tick_begin, size_t n,
+                                 Point* out, DecodeMemo* scratch) const {
+    for (size_t i = 0; i < n; ++i) {
+      const auto p =
+          Reconstruct(id, tick_begin + static_cast<Tick>(i), scratch);
+      if (!p.ok()) return i;
+      out[i] = *p;
+    }
+    return n;
+  }
+
   /// The sealed temporal index, or nullptr when the method was built
   /// without one (queries then return empty, like the live engine).
   virtual const index::TemporalPartitionIndex* index() const = 0;
@@ -90,6 +108,8 @@ class PpqSummarySnapshot final : public SummarySnapshot {
   std::string name() const override { return name_; }
   Result<Point> Reconstruct(TrajId id, Tick t,
                             DecodeMemo* scratch) const override;
+  size_t ReconstructSpan(TrajId id, Tick tick_begin, size_t n, Point* out,
+                         DecodeMemo* scratch) const override;
   const index::TemporalPartitionIndex* index() const override {
     return tpi_.get();
   }
@@ -132,6 +152,8 @@ class MaterializedSnapshot final : public SummarySnapshot {
   std::string name() const override { return name_; }
   Result<Point> Reconstruct(TrajId id, Tick t,
                             DecodeMemo* scratch) const override;
+  size_t ReconstructSpan(TrajId id, Tick tick_begin, size_t n, Point* out,
+                         DecodeMemo* scratch) const override;
   const index::TemporalPartitionIndex* index() const override {
     return tpi_.get();
   }

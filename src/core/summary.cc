@@ -1,6 +1,8 @@
 #include "core/summary.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 
 namespace ppq::core {
 
@@ -53,21 +55,9 @@ const quantizer::Codebook& TrajectorySummary::CodebookAt(Tick t) const {
   return codebook_;
 }
 
-Result<Point> TrajectorySummary::ReconstructInternal(TrajId id, Tick t,
-                                                     bool refined,
-                                                     DecodeMemo* scratch) const {
-  const auto rit = records_.find(id);
-  if (rit == records_.end()) {
-    return Status::NotFound("unknown trajectory id");
-  }
-  const TrajectoryRecord& record = rit->second;
-  if (!record.ActiveAt(t)) {
-    return Status::OutOfRange("trajectory has no sample at requested tick");
-  }
-
-  // Extend the memoised reconstruction prefix up to t.
-  std::vector<Point>& memo = scratch->prefix[id];
-  const size_t needed = static_cast<size_t>(t - record.start_tick) + 1;
+Status TrajectorySummary::ExtendPrefix(const TrajectoryRecord& record,
+                                       std::vector<Point>& memo,
+                                       size_t needed) const {
   while (memo.size() < needed) {
     const Tick tick = record.start_tick + static_cast<Tick>(memo.size());
     const PointRecord& pr = record.points[memo.size()];
@@ -99,10 +89,70 @@ Result<Point> TrajectorySummary::ReconstructInternal(TrajId id, Tick t,
     }
     memo.push_back(prediction + codebook[pr.codeword]);
   }
+  return Status::OK();
+}
+
+Result<Point> TrajectorySummary::ReconstructInternal(TrajId id, Tick t,
+                                                     bool refined,
+                                                     DecodeMemo* scratch) const {
+  const auto rit = records_.find(id);
+  if (rit == records_.end()) {
+    return Status::NotFound("unknown trajectory id");
+  }
+  const TrajectoryRecord& record = rit->second;
+  if (!record.ActiveAt(t)) {
+    return Status::OutOfRange("trajectory has no sample at requested tick");
+  }
+
+  // Extend the memoised reconstruction prefix up to t.
+  std::vector<Point>& memo = scratch->prefix[id];
+  const size_t needed = static_cast<size_t>(t - record.start_tick) + 1;
+  PPQ_RETURN_NOT_OK(ExtendPrefix(record, memo, needed));
 
   const Point base = memo[needed - 1];
   if (!refined || !has_cqc_ || !codec_.has_value()) return base;
   return codec_->Refine(base, record.At(t).cqc);
+}
+
+size_t TrajectorySummary::ReconstructSpan(TrajId id, Tick from, size_t n,
+                                          Point* out,
+                                          DecodeMemo* scratch) const {
+  if (n == 0) return 0;
+  const auto rit = records_.find(id);
+  if (rit == records_.end()) return 0;
+  const TrajectoryRecord& record = rit->second;
+  if (!record.ActiveAt(from)) return 0;
+
+  const size_t first = static_cast<size_t>(from - record.start_tick);
+  size_t count = std::min(n, record.points.size() - first);
+
+  std::vector<Point>& memo =
+      (scratch != nullptr ? scratch : &memo_)->prefix[id];
+  if (memo.size() < first + count &&
+      !ExtendPrefix(record, memo, first + count).ok()) {
+    // Freeze at the decodable prefix — exactly the ticks the per-point
+    // path can serve.
+    count = memo.size() > first ? memo.size() - first : 0;
+  }
+  std::copy(memo.begin() + static_cast<ptrdiff_t>(first),
+            memo.begin() + static_cast<ptrdiff_t>(first + count), out);
+  if (!has_cqc_ || !codec_.has_value()) return count;
+
+  // Refine in chunks through the span kernel; stack buffers gather the
+  // packed code words out of the 24-byte PointRecord stride.
+  constexpr size_t kChunk = 256;
+  uint64_t bits[kChunk];
+  int32_t lens[kChunk];
+  for (size_t done = 0; done < count; done += kChunk) {
+    const size_t m = std::min(kChunk, count - done);
+    for (size_t i = 0; i < m; ++i) {
+      const cqc::CqcCode& code = record.points[first + done + i].cqc;
+      bits[i] = code.bits;
+      lens[i] = static_cast<int32_t>(code.length);
+    }
+    codec_->RefineSpan(out + done, bits, lens, m, out + done);
+  }
+  return count;
 }
 
 Result<Point> TrajectorySummary::Reconstruct(TrajId id, Tick t,

@@ -127,6 +127,18 @@ class TrajectorySummary {
   Result<std::vector<Point>> ReconstructRange(TrajId id, Tick from,
                                               int count) const;
 
+  /// Batched refined reconstruction of the span [from, from + n): extends
+  /// the decode prefix once, copies the base points out, and applies CQC
+  /// refinement through the vectorized span kernel (CqcCodec::RefineSpan).
+  /// Bit-identical to n calls of ReconstructRefined.
+  ///
+  /// Returns the number of points written to \p out: n when the whole span
+  /// is resident, fewer when the trajectory ends (or the decodable prefix
+  /// stops) before the span does, and 0 when \p id is unknown or \p from
+  /// precedes the record. Same memo contract as Reconstruct().
+  size_t ReconstructSpan(TrajId id, Tick from, size_t n, Point* out,
+                         DecodeMemo* memo = nullptr) const;
+
   /// Deep copy of the decodable state (codebooks, coefficients, records,
   /// codec) WITHOUT the internal decode memo — the copy Seal() takes.
   /// Skipping the memo keeps seals at summary scale even when the live
@@ -167,6 +179,10 @@ class TrajectorySummary {
   const quantizer::Codebook& CodebookAt(Tick t) const;
   Result<Point> ReconstructInternal(TrajId id, Tick t, bool refined,
                                     DecodeMemo* memo) const;
+  /// Run the closed-loop recursion (Equations 2 and 4) until \p memo holds
+  /// at least \p needed points of \p record's reconstruction prefix.
+  Status ExtendPrefix(const TrajectoryRecord& record,
+                      std::vector<Point>& memo, size_t needed) const;
 
   int prediction_order_;
   bool has_cqc_;

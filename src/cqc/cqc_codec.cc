@@ -1,6 +1,9 @@
 #include "cqc/cqc_codec.h"
 
 #include <algorithm>
+#include <limits>
+
+#include "common/simd.h"
 
 namespace ppq::cqc {
 
@@ -16,7 +19,48 @@ CqcCodec::CqcCodec(double epsilon, double grid_size)
       grid_size_(grid_size),
       cells_(CellsPerSide(epsilon, grid_size)),
       half_span_(cells_ * grid_size / 2.0),
-      tree_(cells_, cells_) {}
+      tree_(cells_, cells_) {
+  BuildRefineLut();
+}
+
+void CqcCodec::BuildRefineLut() {
+  // Tabulating the code space needs 16 bytes per code; cap at 16 code bits
+  // (a 256x256 grid, 1 MiB) — templates beyond that refine per point.
+  if (tree_.code_bits() > 16) return;
+  const size_t size = size_t{1} << tree_.code_bits();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  refine_lut_.assign(size, Point{nan, nan});
+  for (size_t j = 0; j < size; ++j) {
+    const auto cell =
+        tree_.Decode(CqcCode{j, tree_.code_bits()});
+    if (!cell.ok()) continue;  // padding cell: keep the NaN sentinel
+    const auto [cx, cy] = *cell;
+    // Exactly Refine()'s offset expression, so LUT and tree-walk refinement
+    // are bitwise interchangeable.
+    const Point off{(cx + 0.5) * grid_size_ - half_span_,
+                    (cy + 0.5) * grid_size_ - half_span_};
+    // A non-finite template (degenerate eps/gs) would make the NaN
+    // sentinel ambiguous — refine per point instead.
+    if (!std::isfinite(off.x) || !std::isfinite(off.y)) {
+      refine_lut_.clear();
+      return;
+    }
+    refine_lut_[j] = off;
+  }
+}
+
+void CqcCodec::RefineSpan(const Point* base, const uint64_t* bits,
+                          const int32_t* lengths, size_t n,
+                          Point* out) const {
+  if (!refine_lut_.empty()) {
+    simd::CqcRefineSpan(base, bits, lengths, n, refine_lut_.data(),
+                        refine_lut_.size(), tree_.code_bits(), out);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = Refine(base[i], CqcCode{bits[i], static_cast<int>(lengths[i])});
+  }
+}
 
 CqcCode CqcCodec::Encode(const Point& original,
                          const Point& reconstructed) const {

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "common/types.h"
 #include "cqc/coordinate_quadtree.h"
@@ -47,6 +49,23 @@ class CqcCodec {
   /// (x^', y^') of Equation 11.
   Point Refine(const Point& reconstructed, const CqcCode& code) const;
 
+  /// Batched Refine over a span: out[i] = Refine(base[i], {bits[i],
+  /// lengths[i]}) for i in [0, n), bit-identical to the per-point call.
+  /// Runs the simd::CqcRefineSpan kernel against the precomputed offset
+  /// table when one is available (see has_refine_lut()), and falls back to
+  /// per-point Refine otherwise. \p base and \p out may alias exactly.
+  void RefineSpan(const Point* base, const uint64_t* bits,
+                  const int32_t* lengths, size_t n, Point* out) const;
+
+  /// Whether the codec enumerated its code space into the span-refinement
+  /// offset table (true whenever code_bits() is small enough to tabulate,
+  /// which covers every realistic template).
+  bool has_refine_lut() const { return !refine_lut_.empty(); }
+  /// The table: entry j is the Equation 11 offset for code bits j, or NaN
+  /// in both coordinates when j decodes to a padding cell (the invalid-code
+  /// sentinel simd::CqcRefineSpan keys on). Size 1 << code_bits().
+  const std::vector<Point>& refine_lut() const { return refine_lut_; }
+
   /// The underlying quadtree template.
   const CoordinateQuadtree& tree() const { return tree_; }
 
@@ -57,12 +76,14 @@ class CqcCodec {
 
  private:
   static int CellsPerSide(double epsilon, double grid_size);
+  void BuildRefineLut();
 
   double epsilon_;
   double grid_size_;
   int cells_;
   double half_span_;  ///< half the gridded square's side: cells * gs / 2
   CoordinateQuadtree tree_;
+  std::vector<Point> refine_lut_;  ///< see refine_lut(); empty = no table
 };
 
 }  // namespace ppq::cqc

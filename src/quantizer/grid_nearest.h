@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -8,6 +9,7 @@
 #include <vector>
 
 #include "common/grid_key.h"
+#include "common/simd.h"
 #include "common/types.h"
 
 /// \file grid_nearest.h
@@ -33,7 +35,10 @@ class GridNearest {
   size_t size() const { return count_; }
 
   void Add(const Point& p, int32_t index) {
-    buckets_[KeyOf(p)].push_back({p, index});
+    Bucket& bucket = buckets_[KeyOf(p)];
+    bucket.xs.push_back(p.x);
+    bucket.ys.push_back(p.y);
+    bucket.idx.push_back(index);
     ++count_;
   }
 
@@ -43,22 +48,34 @@ class GridNearest {
   }
 
   /// Exact nearest indexed point within \p radius (<= cell_size) of \p p;
-  /// {-1, inf} when none exists.
+  /// {-1, inf} when none exists. Squared distances run through the SoA
+  /// kernel per bucket; the argmin scan stays scalar with strict `<`
+  /// first-wins, so ties resolve to the earliest-added point exactly like
+  /// the historical AoS loop — the encoder emits identical codewords on
+  /// every dispatch level.
   std::pair<int32_t, double> NearestWithin(const Point& p,
                                            double radius) const {
     const int64_t cx = CellCoord(p.x);
     const int64_t cy = CellCoord(p.y);
     int32_t best = -1;
     double best_d2 = std::numeric_limits<double>::infinity();
+    constexpr size_t kChunk = 128;
+    double d2[kChunk];
     for (int64_t dy = -1; dy <= 1; ++dy) {
       for (int64_t dx = -1; dx <= 1; ++dx) {
         const auto it = buckets_.find(Key(cx + dx, cy + dy));
         if (it == buckets_.end()) continue;
-        for (const auto& [q, index] : it->second) {
-          const double d2 = (q - p).SquaredNorm();
-          if (d2 < best_d2) {
-            best_d2 = d2;
-            best = index;
+        const Bucket& bucket = it->second;
+        const size_t n = bucket.xs.size();
+        for (size_t off = 0; off < n; off += kChunk) {
+          const size_t m = std::min(kChunk, n - off);
+          simd::SquaredDistancesSoa(bucket.xs.data() + off,
+                                    bucket.ys.data() + off, m, p, d2);
+          for (size_t i = 0; i < m; ++i) {
+            if (d2[i] < best_d2) {
+              best_d2 = d2[i];
+              best = bucket.idx[off + i];
+            }
           }
         }
       }
@@ -70,6 +87,13 @@ class GridNearest {
   }
 
  private:
+  /// Bucket points live as parallel coordinate arrays (SoA) so the squared
+  /// -distance kernel can stream them at full vector width.
+  struct Bucket {
+    std::vector<double> xs, ys;
+    std::vector<int32_t> idx;
+  };
+
   int64_t CellCoord(double v) const {
     return static_cast<int64_t>(std::floor(v / cell_));
   }
@@ -79,7 +103,7 @@ class GridNearest {
   }
 
   double cell_;
-  std::unordered_map<int64_t, std::vector<std::pair<Point, int32_t>>> buckets_;
+  std::unordered_map<int64_t, Bucket> buckets_;
   size_t count_ = 0;
 };
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/simd.h"
 #include "core/query_eval.h"
 #include "repo/result_merge.h"
 
@@ -23,30 +24,58 @@ using core::TpqRequest;
 using core::TpqResult;
 using core::WindowRequest;
 
-/// Scan one pinned tail for points at \p tick matching \p contains. Tail
-/// points are raw device readings, so membership is decided directly on
-/// the position for every mode — approximate, local-search, and exact
-/// coincide (the deviation of a raw point is zero). In exact mode each
-/// match counts as a verified candidate, mirroring the sealed side's
-/// Table 4 accounting.
-template <typename Contains>
-StrqResult TailMatches(const LiveShardView& view, Tick tick,
-                       const Contains& contains, StrqMode mode) {
+/// Scan one pinned tail for points at \p tick inside the half-open
+/// rectangle [min_x, max_x) x [min_y, max_y) — the containment kernel runs
+/// over each chunk's contiguous position array. Tail points are raw device
+/// readings, so membership is decided directly on the position for every
+/// mode — approximate, local-search, and exact coincide (the deviation of
+/// a raw point is zero). In exact mode each match counts as a verified
+/// candidate, mirroring the sealed side's Table 4 accounting.
+StrqResult TailMatches(const LiveShardView& view, Tick tick, double min_x,
+                       double min_y, double max_x, double max_y,
+                       StrqMode mode) {
   StrqResult part;
+  std::vector<uint8_t> mask;
   // Chain ticks are non-increasing newest-first: stop at the first chunk
   // older than the query tick.
   for (const LiveTailChunk* c = view.tail.get(); c != nullptr;
        c = c->prev.get()) {
     if (c->slice.tick < tick) break;
     if (c->slice.tick != tick) continue;
-    for (size_t i = 0; i < c->slice.size(); ++i) {
-      if (contains(c->slice.positions[i])) {
+    const size_t n = c->slice.size();
+    mask.resize(n);
+    simd::ContainsMask(c->slice.positions.data(), n, min_x, min_y, max_x,
+                       max_y, mask.data());
+    for (size_t i = 0; i < n; ++i) {
+      if (mask[i]) {
         if (mode == StrqMode::kExact) ++part.candidates_visited;
         part.ids.push_back(c->slice.ids[i]);
       }
     }
   }
   return part;
+}
+
+/// Every raw tail point at \p tick, scored at its exact distance to \p q —
+/// one kernel pass per chunk (the former collect-matches-then-rescan pair
+/// of loops was quadratic in the slice size).
+std::vector<Neighbor> TailNeighbors(const LiveShardView& view, Tick tick,
+                                    const Point& q) {
+  std::vector<Neighbor> out;
+  std::vector<double> dist;
+  for (const LiveTailChunk* c = view.tail.get(); c != nullptr;
+       c = c->prev.get()) {
+    if (c->slice.tick < tick) break;
+    if (c->slice.tick != tick) continue;
+    const size_t n = c->slice.size();
+    dist.resize(n);
+    simd::Distances(c->slice.positions.data(), n, q, dist.data());
+    out.reserve(out.size() + n);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back({c->slice.ids[i], dist[i]});
+    }
+  }
+  return out;
 }
 
 /// The raw position of (id, tick) in one pinned tail, or nullptr.
@@ -166,9 +195,8 @@ QueryResponse LiveQueryService::Evaluate(const QueryRequest& request,
     for (size_t s = 0; s < num_shards; ++s) {
       parts.push_back(
           core::eval::Strq(reader(s), raw, cell_size, q, mode));
-      parts.push_back(TailMatches(
-          *views[s], q.tick,
-          [&](const Point& p) { return cell.Contains(p); }, mode));
+      parts.push_back(TailMatches(*views[s], q.tick, cell.min_x, cell.min_y,
+                                  cell.max_x, cell.max_y, mode));
     }
     return MergeStrq(std::move(parts));
   };
@@ -188,9 +216,9 @@ QueryResponse LiveQueryService::Evaluate(const QueryRequest& request,
               parts.push_back(core::eval::WindowQuery(
                   reader(s), raw, r.window.window, r.window.tick, r.mode));
               parts.push_back(TailMatches(
-                  *views[s], r.window.tick,
-                  [&](const Point& p) { return r.window.window.Contains(p); },
-                  r.mode));
+                  *views[s], r.window.tick, r.window.window.min_x,
+                  r.window.window.min_y, r.window.window.max_x,
+                  r.window.window.max_y, r.mode));
             }
             StrqResult merged = MergeStrq(std::move(parts));
             response.stats.candidates_visited = merged.candidates_visited;
@@ -205,16 +233,8 @@ QueryResponse LiveQueryService::Evaluate(const QueryRequest& request,
               // Tail candidates: every raw point at the query tick, at
               // its exact distance (a full scan of one watermark's worth
               // of points — the tail is small by construction).
-              std::vector<Neighbor> tail_part;
-              const StrqResult at_tick = TailMatches(
-                  *views[s], r.query.tick, [](const Point&) { return true; },
-                  StrqMode::kApproximate);
-              tail_part.reserve(at_tick.ids.size());
-              for (TrajId id : at_tick.ids) {
-                const Point* p = TailPointOf(*views[s], id, r.query.tick);
-                tail_part.push_back({id, p->DistanceTo(r.query.position)});
-              }
-              parts.push_back(std::move(tail_part));
+              parts.push_back(
+                  TailNeighbors(*views[s], r.query.tick, r.query.position));
             }
             response.result = MergeKnn(std::move(parts), r.k);
             response.stats.candidates_visited = response.stats.points_decoded;
@@ -223,26 +243,33 @@ QueryResponse LiveQueryService::Evaluate(const QueryRequest& request,
             const StrqResult base = live_strq(r.query, r.mode);
             TpqResult result;
             result.candidates_visited = base.candidates_visited;
-            // Each matched id's forward path walks tick by tick, reading
-            // each tick from whichever side of its owning shard's cut
-            // holds it (the cut can sit mid-path: sealed prefix, raw
-            // tail suffix).
+            // Each matched id's forward path splits at its owning shard's
+            // cut: the sealed prefix decodes as one span, the raw tail
+            // suffix continues tick by tick (the cut can sit mid-path).
+            const size_t want =
+                r.length > 0 ? static_cast<size_t>(r.length) : 0;
             for (TrajId id : base.ids) {
               const size_t s = repo->shard_map().ShardOf(id);
-              std::vector<Point> path;
-              path.reserve(static_cast<size_t>(r.length));
-              for (int i = 0; i < r.length; ++i) {
-                const Tick t = r.query.tick + static_cast<Tick>(i);
-                if (t <= views[s]->sealed_through) {
-                  const auto p = reader(s).Reconstruct(id, t);
-                  if (!p.ok()) break;  // trajectory ended
-                  path.push_back(*p);
-                } else {
-                  const Point* p = TailPointOf(*views[s], id, t);
+              const Tick cut = views[s]->sealed_through;
+              std::vector<Point> path(want);
+              size_t sealed_want = 0;
+              if (want > 0 && r.query.tick <= cut) {
+                sealed_want = std::min(
+                    want, static_cast<size_t>(cut - r.query.tick) + 1);
+              }
+              size_t got = reader(s).ReconstructSpan(id, r.query.tick,
+                                                     sealed_want, path.data());
+              // The tail only extends a path that reached the cut intact.
+              if (got == sealed_want) {
+                for (size_t i = got; i < want; ++i) {
+                  const Point* p = TailPointOf(
+                      *views[s], id, r.query.tick + static_cast<Tick>(i));
                   if (p == nullptr) break;  // not (yet) appended
-                  path.push_back(*p);
+                  path[i] = *p;
+                  ++got;
                 }
               }
+              path.resize(got);
               result.ids.push_back(id);
               result.paths.push_back(std::move(path));
             }

@@ -108,15 +108,6 @@ class ShardedQueryService : public core::QueryBackend {
   /// Validates like the constructor.
   void UpdateView(core::ServingView view) override;
 
-  /// Deprecated spelling of UpdateView from before the QueryBackend
-  /// extraction; kept for one PR (see the README migration table).
-  [[deprecated(
-      "use UpdateView(repository) — the one swap verb of "
-      "core::QueryBackend")]]
-  void UpdateRepository(RepositorySnapshotPtr repository) {
-    UpdateView(core::ServingView(std::move(repository)));
-  }
-
   /// The currently served repository seal.
   RepositorySnapshotPtr repository() const {
     return std::atomic_load_explicit(&served_, std::memory_order_acquire)

@@ -29,9 +29,8 @@
 /// suite (query_backend_test.cc); this suite keeps what is specific to
 /// single-snapshot serving — eager scratch reclamation on swap, the
 /// shared_ptr-owned verification dataset that closes the old raw-pointer
-/// lifetime footgun, the deprecated UpdateSnapshot alias, and seals
-/// staying immutable under continued encoding / outliving their
-/// compressor.
+/// lifetime footgun, and seals staying immutable under continued
+/// encoding / outliving their compressor.
 
 namespace ppq::core {
 namespace {
@@ -273,35 +272,6 @@ TEST(QueryServiceConcurrencyTest, HotSwapReclaimsRetiredSealEagerly) {
   // seal A: the only remaining reference is this test's handle.
   service.UpdateView(seal_b);
   EXPECT_EQ(seal_a.use_count(), 1);
-}
-
-// ---------------------------------------------------------------------------
-// Deprecated alias: UpdateSnapshot forwards to UpdateView (one more PR)
-// ---------------------------------------------------------------------------
-
-TEST(QueryServiceCompatTest, DeprecatedUpdateSnapshotAliasStillSwaps) {
-  const auto data =
-      std::make_shared<const TrajectoryDataset>(SmallDataset(41));
-  PpqOptions options = MakePpqA();
-  PpqTrajectory method(options);
-  method.Compress(*data);
-  const SnapshotPtr seal_a = method.Seal();
-  const SnapshotPtr seal_b = method.Seal();
-
-  QueryService::Options serve_options;
-  serve_options.num_threads = 1;
-  serve_options.raw = data;
-  serve_options.cell_size = options.tpi.pi.cell_size;
-  QueryService service(seal_a, serve_options);
-  EXPECT_EQ(service.seal_epoch(), 0u);
-  // The pre-QueryBackend spelling must keep swapping (and advancing the
-  // epoch) until its removal PR; see the README migration table.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  service.UpdateSnapshot(seal_b);
-#pragma GCC diagnostic pop
-  EXPECT_EQ(service.snapshot().get(), seal_b.get());
-  EXPECT_EQ(service.seal_epoch(), 1u);
 }
 
 // ---------------------------------------------------------------------------

@@ -414,29 +414,8 @@ TEST(ShardedMergeTest, ExactModeAnswersAreShardCountInvariant) {
 }
 
 // -------------------------------------------------------------------------
-// Validation and the deprecated swap alias
+// Validation
 // -------------------------------------------------------------------------
-
-TEST(ShardedServiceCompatTest, DeprecatedUpdateRepositoryAliasStillSwaps) {
-  const auto data = std::make_shared<const TrajectoryDataset>(SmallDataset());
-  const RepositorySnapshotPtr repo_a = BuildRepository(*data, 2);
-  const RepositorySnapshotPtr repo_b = BuildRepository(*data, 2);
-
-  ShardedQueryService::Options options;
-  options.num_threads = 1;
-  options.raw = data;
-  options.cell_size = core::PpqOptions{}.tpi.pi.cell_size;
-  ShardedQueryService service(repo_a, options);
-  EXPECT_EQ(service.seal_epoch(), 0u);
-  // The pre-QueryBackend spelling must keep swapping (and advancing the
-  // epoch) until its removal PR; see the README migration table.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  service.UpdateRepository(repo_b);
-#pragma GCC diagnostic pop
-  EXPECT_EQ(service.repository().get(), repo_b.get());
-  EXPECT_EQ(service.seal_epoch(), 1u);
-}
 
 TEST(ShardedServiceLifetimeTest, RejectsInvalidConstructionAndSwap) {
   const auto data = std::make_shared<const TrajectoryDataset>(SmallDataset());
