@@ -26,6 +26,21 @@
 ///          seals=12 checked=2600 identical=yes
 /// The process exits non-zero if any gated response diverges from ground
 /// truth (or no gated response was ever checked).
+///
+/// Durable modes (--dir=PATH):
+///   --dir alone          run the full bench against a durable (WAL-backed)
+///                        repository rooted at PATH (freshly initialised).
+///   --crash-after-ticks=N  ingest ticks [0, N], SyncWal, then _Exit(2) —
+///                        no shutdown, no destructors, background seals
+///                        killed mid-flight: a process-kill crash image.
+///   --recover            reopen PATH, verify the recovered frontier
+///                        (point counts + exact-mode gates vs ground
+///                        truth), resume ingest past N, cut, re-gate the
+///                        whole workload, and print the CI gate line:
+///                        [recover] ... identical=yes
+/// The crash/recover pair must be invoked with identical dataset flags
+/// (and the same --crash-after-ticks) so both runs derive the same
+/// deterministic stream and workload.
 
 #include <algorithm>
 #include <atomic>
@@ -33,6 +48,7 @@
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -157,7 +173,187 @@ struct LiveFlags {
   size_t ingestors = 2;
   size_t submitters = 4;
   Tick watermark_ticks = 16;
+  /// Durable mode: backing directory (empty = memory-only).
+  std::string dir;
+  /// >= 0: ingest ticks [0, crash_after] then _Exit without shutdown.
+  Tick crash_after = -1;
+  /// Reopen --dir, verify recovery, resume, and print the gate line.
+  bool recover = false;
+  /// Override Options::wal_sync_interval (0 = library default).
+  size_t wal_sync = 0;
 };
+
+repo::LiveRepository::Options MakeLiveOptions(const LiveFlags& flags,
+                                              size_t threads) {
+  repo::LiveRepository::Options live_options;
+  live_options.num_shards = flags.shards;
+  live_options.num_threads = threads;
+  live_options.watermark_ticks = flags.watermark_ticks;
+  if (flags.wal_sync != 0) live_options.wal_sync_interval = flags.wal_sync;
+  return live_options;
+}
+
+/// Ingest the deterministic stream through `--crash-after-ticks`, sync the
+/// logs, then die the hard way: no Quiesce, no destructors, background
+/// seals killed wherever they happen to be. The directory left behind is
+/// the crash image `--recover` must resurrect.
+int RunCrash(const BenchOptions& options, const LiveFlags& flags) {
+  std::printf("=== bench_live --crash-after-ticks: durable ingest, then "
+              "process kill ===\n");
+  DatasetBundle bundle = MakePortoBundle(options);
+  const Tick max_tick = bundle.data.MaxTick();
+  const Tick stop = std::min(flags.crash_after, max_tick);
+  const size_t threads = options.threads == 0 ? 4 : options.threads;
+
+  MethodSetup setup;
+  setup.mode = core::QuantizationMode::kErrorBounded;
+  std::filesystem::remove_all(flags.dir);
+  auto opened = repo::LiveRepository::Open(
+      flags.dir,
+      [&bundle, &setup](uint32_t) {
+        return MakeCompressor("PPQ-A", bundle, setup);
+      },
+      MakeLiveOptions(flags, threads));
+  if (!opened.ok()) {
+    std::fprintf(stderr, "ERROR: open %s: %s\n", flags.dir.c_str(),
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  const auto live = *opened;
+
+  WallTimer timer;
+  for (Tick t = 0; t <= stop; ++t) {
+    const PointBatch batch = bundle.data.BatchAt(t);
+    if (batch.empty()) continue;
+    if (!live->Append(batch).ok()) {
+      std::fprintf(stderr, "ERROR: Append rejected tick %lld\n",
+                   static_cast<long long>(t));
+      return 1;
+    }
+  }
+  if (!live->SyncWal().ok() || !live->DurabilityError().ok()) {
+    std::fprintf(stderr, "ERROR: durability failure before the crash: %s\n",
+                 live->DurabilityError().ToString().c_str());
+    return 1;
+  }
+  PrintThroughput("LiveRepo/" + std::to_string(flags.shards) + "s", "ingest",
+                  live->TotalPointsAppended(), timer.ElapsedSeconds());
+  std::printf("[crash] shards=%u crash_after_ticks=%lld points=%zu "
+              "synced=yes\n",
+              flags.shards, static_cast<long long>(stop),
+              live->TotalPointsAppended());
+  std::fflush(stdout);
+  // The crash: skip every destructor (WAL close, pool drain, in-flight
+  // seal completion). Exit 2 so a wrapper can tell "crashed as asked"
+  // from a real failure.
+  std::_Exit(2);
+}
+
+/// Reopen the crash image, prove the recovered frontier answers exactly,
+/// resume the stream past the crash tick, cut, and re-gate everything.
+int RunRecover(const BenchOptions& options, const LiveFlags& flags) {
+  std::printf("=== bench_live --recover: reopen, verify, resume ===\n");
+  DatasetBundle bundle = MakePortoBundle(options);
+  const double cell_size = 100.0 / kMetersPerDegree;
+  const size_t threads = options.threads == 0 ? 4 : options.threads;
+  const Tick max_tick = bundle.data.MaxTick();
+  const Tick frontier =
+      flags.crash_after >= 0 ? std::min(flags.crash_after, max_tick)
+                             : max_tick;
+
+  const LiveWorkload workload =
+      MakeWorkload(bundle.data, options.queries, options.seed + 99,
+                   cell_size);
+
+  MethodSetup setup;
+  setup.mode = core::QuantizationMode::kErrorBounded;
+  WallTimer open_timer;
+  auto opened = repo::OpenLiveRepository(
+      flags.dir,
+      [&bundle, &setup](uint32_t) {
+        return MakeCompressor("PPQ-A", bundle, setup);
+      },
+      MakeLiveOptions(flags, threads));
+  if (!opened.ok()) {
+    std::fprintf(stderr, "ERROR: recover %s: %s\n", flags.dir.c_str(),
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  const auto live = *opened;
+  const double open_seconds = open_timer.ElapsedSeconds();
+
+  // Every synced point at or behind the crash tick must have survived.
+  size_t expected = 0;
+  for (Tick t = 0; t <= frontier; ++t) {
+    expected += bundle.data.BatchAt(t).size();
+  }
+  const size_t recovered_points = live->TotalPointsAppended();
+  bool identical = recovered_points == expected;
+  if (!identical) {
+    std::fprintf(stderr,
+                 "ERROR: recovered %zu points, expected %zu at tick %lld\n",
+                 recovered_points, expected,
+                 static_cast<long long>(frontier));
+  }
+
+  const auto raw =
+      std::make_shared<const TrajectoryDataset>(std::move(bundle.data));
+  repo::LiveQueryService::Options serve_options;
+  serve_options.num_threads = threads;
+  serve_options.raw = raw;
+  serve_options.cell_size = cell_size;
+  repo::LiveQueryService service(
+      std::static_pointer_cast<const repo::LiveRepository>(live),
+      serve_options);
+
+  // Gate the recovered frontier: exact answers straight out of replay.
+  size_t checked = 0;
+  for (const LiveWorkload::Item& item : workload.items) {
+    if (item.truth == kNoTruth || item.tick > frontier) continue;
+    const core::QueryResponse response = service.Submit(item.request).get();
+    ++checked;
+    if (!CheckGate(workload, item, response)) identical = false;
+  }
+  const size_t recovered_checked = checked;
+
+  // Recovery resumes: finish the stream, cut, and re-gate everything —
+  // the replayed encoder must behave exactly like the one that died.
+  for (Tick t = frontier + 1; t <= max_tick; ++t) {
+    const PointBatch batch = raw->BatchAt(t);
+    if (batch.empty()) continue;
+    if (!live->Append(batch).ok()) identical = false;
+  }
+  live->RollAll();
+  live->Quiesce();
+  for (const LiveWorkload::Item& item : workload.items) {
+    if (item.truth == kNoTruth) continue;
+    const core::QueryResponse response = service.Submit(item.request).get();
+    ++checked;
+    if (!CheckGate(workload, item, response)) identical = false;
+  }
+  if (!live->DurabilityError().ok()) {
+    std::fprintf(stderr, "ERROR: durability error after resume: %s\n",
+                 live->DurabilityError().ToString().c_str());
+    identical = false;
+  }
+
+  const bool ok = identical && checked > 0;
+  std::printf("[recover] shards=%u crash_after_ticks=%lld open_ms=%.1f "
+              "recovered_points=%zu resumed_points=%zu "
+              "recovered_checked=%zu checked=%zu identical=%s\n",
+              flags.shards, static_cast<long long>(frontier),
+              open_seconds * 1e3, recovered_points,
+              live->TotalPointsAppended(), recovered_checked, checked,
+              ok ? "yes" : "NO");
+  if (!identical) {
+    std::fprintf(stderr, "ERROR: recovered state diverged from ground "
+                         "truth\n");
+  }
+  if (checked == 0) {
+    std::fprintf(stderr, "ERROR: no gated response was checked\n");
+  }
+  return ok ? 0 : 1;
+}
 
 int Run(const BenchOptions& options, const LiveFlags& flags) {
   std::printf("=== bench_live: concurrent ingest + mixed serving over a "
@@ -199,15 +395,27 @@ int Run(const BenchOptions& options, const LiveFlags& flags) {
 
   MethodSetup setup;
   setup.mode = core::QuantizationMode::kErrorBounded;
-  repo::LiveRepository::Options live_options;
-  live_options.num_shards = flags.shards;
-  live_options.num_threads = threads;
-  live_options.watermark_ticks = flags.watermark_ticks;
-  auto live = std::make_shared<repo::LiveRepository>(
-      [&bundle, &setup](uint32_t) {
-        return MakeCompressor("PPQ-A", bundle, setup);
-      },
-      live_options);
+  const auto factory = [&bundle, &setup](uint32_t) {
+    return MakeCompressor("PPQ-A", bundle, setup);
+  };
+  std::shared_ptr<repo::LiveRepository> live;
+  if (flags.dir.empty()) {
+    live = std::make_shared<repo::LiveRepository>(
+        factory, MakeLiveOptions(flags, threads));
+  } else {
+    // Durable bench: fresh directory, WAL on the ingest path, containers
+    // persisted at every seal — the end-to-end durability overhead shows
+    // up in the [throughput] ingest line.
+    std::filesystem::remove_all(flags.dir);
+    auto opened = repo::LiveRepository::Open(flags.dir, factory,
+                                            MakeLiveOptions(flags, threads));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "ERROR: open %s: %s\n", flags.dir.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    live = *opened;
+  }
 
   const auto raw =
       std::make_shared<const TrajectoryDataset>(std::move(bundle.data));
@@ -351,7 +559,13 @@ int Run(const BenchOptions& options, const LiveFlags& flags) {
                     sweep_timer.ElapsedSeconds());
   }
 
-  const bool ok = identical.load() && append_ok.load() && checked.load() > 0;
+  const bool durable_ok = flags.dir.empty() || live->DurabilityError().ok();
+  if (!durable_ok) {
+    std::fprintf(stderr, "ERROR: durability error: %s\n",
+                 live->DurabilityError().ToString().c_str());
+  }
+  const bool ok = identical.load() && append_ok.load() &&
+                  checked.load() > 0 && durable_ok;
   const double points_per_sec =
       ingest_seconds > 0.0
           ? static_cast<double>(total_points) / ingest_seconds
@@ -413,8 +627,29 @@ int main(int argc, char** argv) {
           std::strtoll(arg.substr(12).c_str(), nullptr, 10));
       if (flags.watermark_ticks <= 0) flags.watermark_ticks = 1;
     }
+    if (arg.rfind("--dir=", 0) == 0) {
+      flags.dir = arg.substr(6);
+    }
+    if (arg.rfind("--crash-after-ticks=", 0) == 0) {
+      flags.crash_after = static_cast<ppq::Tick>(
+          std::strtoll(arg.substr(20).c_str(), nullptr, 10));
+    }
+    if (arg == "--recover") {
+      flags.recover = true;
+    }
+    if (arg.rfind("--wal-sync=", 0) == 0) {
+      flags.wal_sync = static_cast<size_t>(
+          std::strtoull(arg.substr(11).c_str(), nullptr, 10));
+    }
   }
   // Serving workers default to 4 (like bench_serve --mixed).
   if (!threads_given) options.threads = 4;
+  if ((flags.crash_after >= 0 || flags.recover) && flags.dir.empty()) {
+    std::fprintf(stderr,
+                 "--crash-after-ticks/--recover require --dir=PATH\n");
+    return 1;
+  }
+  if (flags.recover) return ppq::bench::RunRecover(options, flags);
+  if (flags.crash_after >= 0) return ppq::bench::RunCrash(options, flags);
   return ppq::bench::Run(options, flags);
 }

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file fsio.h
+/// Durable file I/O primitives shared by every on-disk writer (snapshot
+/// containers, repository manifests, write-ahead logs):
+///
+///   - AtomicFileWriter: all-or-nothing file replacement. Bytes stream
+///     into `<path>.tmp`; Commit() fsyncs the data, closes (checking the
+///     close itself — a failed flush at close is an error, not silence),
+///     rename(2)s over the target, and fsyncs the parent directory so the
+///     new name survives a crash. A writer that errors or dies mid-stream
+///     leaves the previous file byte-identical; the stray `.tmp` is
+///     removed by the destructor (or ignored by readers after a crash).
+///   - LogFile: an append-only fd with an explicit Datasync() — the
+///     group-commit primitive under repo::WriteAheadLog.
+///   - SyncDirectory / RenameFile / ReadAllBytes: the POSIX shims the two
+///     classes are built from, exported for the callers (log rotation)
+///     that need the pieces individually.
+///
+/// On non-POSIX builds the shims degrade to the C++ standard library
+/// without durability barriers (documented best-effort; every supported
+/// CI target is POSIX).
+///
+/// Fault injection (tests only): SetWriteFaultBudgetForTesting makes
+/// writes start failing after N more bytes, and
+/// SetCommitFaultForTesting(true) makes the next AtomicFileWriter::Commit
+/// fail its close-flush — simulating torn writes and ENOSPC-at-close
+/// without a real full disk. Not for production code paths.
+
+namespace ppq {
+
+/// fsync the directory itself so a freshly created/renamed entry inside
+/// it survives a crash. No-op (OK) on platforms without directory fds.
+Status SyncDirectory(const std::string& dir);
+
+/// rename(2): atomically replace \p to with \p from (same filesystem).
+/// Callers that need the new name to be crash-durable follow up with
+/// SyncDirectory on the parent.
+Status RenameFile(const std::string& from, const std::string& to);
+
+/// Slurp a whole file. IOError when missing/unreadable.
+Result<std::vector<uint8_t>> ReadAllBytes(const std::string& path);
+
+/// \brief Write-a-new-file-then-swap: the atomic save primitive.
+/// Open() -> Append()* -> Commit(); any failure (or destruction without
+/// Commit) leaves the target untouched and removes the temp file.
+class AtomicFileWriter {
+ public:
+  /// \p path is the FINAL name; bytes stream into `path + ".tmp"`.
+  explicit AtomicFileWriter(std::string path);
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  Status Open();
+  Status Append(const void* data, size_t size);
+  /// fsync + close (checked) + rename over the target + parent-dir fsync.
+  Status Commit();
+
+  const std::string& path() const { return path_; }
+  const std::string& tmp_path() const { return tmp_path_; }
+
+ private:
+  void Abandon();  ///< close + unlink the temp file, best effort
+
+  std::string path_;
+  std::string tmp_path_;
+  int fd_ = -1;
+  bool committed_ = false;
+};
+
+/// One-shot convenience over AtomicFileWriter for small buffers.
+Status AtomicWriteFile(const std::string& path, const void* data, size_t size);
+
+/// \brief Append-only log fd. Append() is a buffered (page-cache) write;
+/// Datasync() is the durability barrier (fdatasync where available).
+class LogFile {
+ public:
+  LogFile() = default;
+  ~LogFile();
+
+  LogFile(const LogFile&) = delete;
+  LogFile& operator=(const LogFile&) = delete;
+
+  /// \p truncate starts the file empty (fresh log); otherwise appends.
+  Status Open(const std::string& path, bool truncate);
+  Status Append(const void* data, size_t size);
+  Status Datasync();
+  /// Datasync + close; safe to call twice. The destructor calls it (best
+  /// effort, errors dropped) so a dropped log still lands its tail.
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Test hook: after \p bytes more successfully written bytes, every
+/// AtomicFileWriter/LogFile write fails with IOError (simulating a torn
+/// write / full disk). Negative disables (the default). Global; tests
+/// must reset it.
+void SetWriteFaultBudgetForTesting(long long bytes);
+
+/// Test hook: when true, the next AtomicFileWriter::Commit fails at the
+/// close-flush step (ENOSPC-at-close simulation) and clears the flag.
+void SetCommitFaultForTesting(bool fail);
+
+}  // namespace ppq

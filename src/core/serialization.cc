@@ -5,6 +5,7 @@
 #include <limits>
 #include <memory>
 
+#include "common/fsio.h"
 #include "index/temporal_index.h"
 #include "storage/page_manager.h"
 
@@ -318,16 +319,20 @@ Status SectionWriter::WriteFile(const std::string& path,
   // Stream header then payloads straight from the per-section buffers:
   // the sections already hold the whole snapshot, so concatenating them
   // first (Serialize) would transiently double peak memory on every save.
+  //
+  // The write is atomic and durable (common/fsio.h): bytes go to
+  // `<path>.tmp`, Commit fsyncs + renames over the target + fsyncs the
+  // parent directory. A save that crashes or fails mid-stream — or whose
+  // final flush at close fails (ENOSPC) — leaves a previously valid
+  // container byte-identical instead of truncating it in place.
   const ByteWriter header = BuildHeader();
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for writing: " + path);
-  out.write(reinterpret_cast<const char*>(header.buffer().data()),
-            static_cast<std::streamsize>(header.size()));
+  AtomicFileWriter out(path);
+  PPQ_RETURN_NOT_OK(out.Open());
+  PPQ_RETURN_NOT_OK(out.Append(header.buffer().data(), header.size()));
   for (const auto& [tag, payload] : sections_) {
-    out.write(reinterpret_cast<const char*>(payload.buffer().data()),
-              static_cast<std::streamsize>(payload.size()));
+    PPQ_RETURN_NOT_OK(out.Append(payload.buffer().data(), payload.size()));
   }
-  if (!out) return Status::IOError("write failed: " + path);
+  PPQ_RETURN_NOT_OK(out.Commit());
   if (pager != nullptr) {
     // Containers start on fresh pages (a snapshot never shares a page
     // with unrelated records), one record per section mirrors the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <limits>
 #include <utility>
 
 #include "core/compressor.h"
@@ -31,6 +32,17 @@ size_t PpqSummarySnapshot::ReconstructSpan(TrajId id, Tick tick_begin,
                                            size_t n, Point* out,
                                            DecodeMemo* scratch) const {
   return summary_.ReconstructSpan(id, tick_begin, n, out, scratch);
+}
+
+Tick PpqSummarySnapshot::MaxCoveredTick() const {
+  Tick covered = std::numeric_limits<Tick>::min();
+  for (const auto& [id, record] : summary_.records()) {
+    if (record.points.empty()) continue;
+    covered = std::max(
+        covered,
+        record.start_tick + static_cast<Tick>(record.points.size()) - 1);
+  }
+  return covered;
 }
 
 // ---------------------------------------------------------------------------
@@ -79,6 +91,16 @@ size_t MaterializedSnapshot::ReconstructSpan(TrajId id, Tick tick_begin,
   std::copy(traj.points.begin() + static_cast<ptrdiff_t>(first),
             traj.points.begin() + static_cast<ptrdiff_t>(first + count), out);
   return count;
+}
+
+Tick MaterializedSnapshot::MaxCoveredTick() const {
+  Tick covered = std::numeric_limits<Tick>::min();
+  for (const auto& [id, traj] : points_) {
+    if (traj.points.empty()) continue;
+    covered = std::max(
+        covered, traj.start_tick + static_cast<Tick>(traj.points.size()) - 1);
+  }
+  return covered;
 }
 
 // ---------------------------------------------------------------------------

@@ -87,6 +87,12 @@ class SummarySnapshot {
   virtual size_t NumCodewords() const = 0;
   virtual size_t NumTrajectories() const = 0;
 
+  /// The largest tick any sealed record covers (inclusive), or
+  /// std::numeric_limits<Tick>::min() for an empty snapshot. Live
+  /// recovery derives a reopened shard's sealed_through frontier from
+  /// this: WAL records at or below it are already answered by the seal.
+  virtual Tick MaxCoveredTick() const = 0;
+
   /// \brief Persist this snapshot to \p path (overwrites) in the durable
   /// container format (serialization.h). The inverse is
   /// core::OpenSnapshot. When \p pager is non-null the write is routed
@@ -119,6 +125,7 @@ class PpqSummarySnapshot final : public SummarySnapshot {
   size_t NumTrajectories() const override {
     return summary_.NumTrajectories();
   }
+  Tick MaxCoveredTick() const override;
   Status Save(const std::string& path,
               storage::PageManager* pager = nullptr) const override;
 
@@ -161,6 +168,7 @@ class MaterializedSnapshot final : public SummarySnapshot {
   size_t SummaryBytes() const override { return summary_bytes_; }
   size_t NumCodewords() const override { return num_codewords_; }
   size_t NumTrajectories() const override { return points_.size(); }
+  Tick MaxCoveredTick() const override;
   Status Save(const std::string& path,
               storage::PageManager* pager = nullptr) const override;
 

@@ -20,6 +20,12 @@ Status SaveCsv(const TrajectoryDataset& dataset, const std::string& path) {
     }
   }
   if (!out) return Status::IOError("write failed: " + path);
+  // The buffered tail flushes at close; check it explicitly — an ENOSPC
+  // hit there would otherwise report OK over a truncated file.
+  out.close();
+  if (out.fail()) {
+    return Status::IOError("close failed (flush error): " + path);
+  }
   return Status::OK();
 }
 
@@ -54,6 +60,9 @@ Result<TrajectoryDataset> LoadCsv(const std::string& path) {
     }
     traj.points.push_back({x, y});
   }
+  // getline stops on read errors as well as EOF; distinguishing them is
+  // what keeps an I/O error from silently truncating the dataset.
+  if (in.bad()) return Status::IOError("read failed: " + path);
 
   std::vector<Trajectory> trajectories;
   trajectories.reserve(by_id.size());

@@ -1,11 +1,14 @@
 #include "repo/live_repository.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <numeric>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <utility>
+
+#include "common/fsio.h"
 
 namespace ppq::repo {
 namespace {
@@ -106,49 +109,70 @@ Status LiveRepository::Append(const PointBatch& batch) {
     if (sub.empty()) continue;
     Shard& shard = *shards_[s];
     std::lock_guard<std::mutex> lock(shard.mu);
+    const Status status =
+        AppendShardLocked(s, shard, std::move(sub), /*replay=*/false);
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  return first_error;
+}
 
-    // Per-shard tick monotonicity: merge into the staging tick, advance
-    // past it, or reject a regression (the tick was already flushed).
-    if (shard.staging_active) {
-      if (sub.tick < shard.staging.tick) {
-        if (first_error.ok()) {
-          first_error = Status::Invalid(
-              "LiveRepository: batch tick " + std::to_string(sub.tick) +
-              " regresses behind shard " + std::to_string(s) +
-              " staging tick " + std::to_string(shard.staging.tick));
-        }
-        continue;
-      }
-      if (sub.tick > shard.staging.tick) {
-        FlushStagingLocked(shard);
-        MaybeRollLocked(s, shard);
-      }
-    } else if (shard.flushed != kNoTickYet && sub.tick <= shard.flushed) {
-      if (first_error.ok()) {
-        first_error = Status::Invalid(
-            "LiveRepository: batch tick " + std::to_string(sub.tick) +
-            " already flushed by shard " + std::to_string(s) +
-            " (flushed through " + std::to_string(shard.flushed) + ")");
-      }
-      continue;
+Status LiveRepository::AppendShardLocked(size_t index, Shard& shard,
+                                         TimeSlice&& sub, bool replay) {
+  // Per-shard tick monotonicity: merge into the staging tick, advance
+  // past it, or reject a regression (the tick was already flushed).
+  if (shard.staging_active) {
+    if (sub.tick < shard.staging.tick) {
+      return Status::Invalid(
+          "LiveRepository: batch tick " + std::to_string(sub.tick) +
+          " regresses behind shard " + std::to_string(index) +
+          " staging tick " + std::to_string(shard.staging.tick));
     }
-    if (!shard.staging_active) {
-      shard.staging = TimeSlice{};
-      shard.staging.tick = sub.tick;
-      shard.staging_active = true;
+    if (sub.tick > shard.staging.tick) {
+      FlushStagingLocked(shard);
+      if (!replay) MaybeRollLocked(index, shard);
     }
-    shard.staging.ids.insert(shard.staging.ids.end(), sub.ids.begin(),
-                             sub.ids.end());
-    shard.staging.positions.insert(shard.staging.positions.end(),
-                                   sub.positions.begin(),
-                                   sub.positions.end());
+  } else if (shard.flushed != kNoTickYet && sub.tick <= shard.flushed) {
+    return Status::Invalid(
+        "LiveRepository: batch tick " + std::to_string(sub.tick) +
+        " already flushed by shard " + std::to_string(index) +
+        " (flushed through " + std::to_string(shard.flushed) + ")");
+  }
 
-    // Publish the sub-batch into the tail chain: queryable the moment the
-    // new view lands, long before the tick flushes or seals.
-    const LiveShardViewPtr old =
-        std::atomic_load_explicit(&shard.view, std::memory_order_acquire);
+  // Durable mode: log the record BEFORE the tail chunk is published, so
+  // the in-memory state is never ahead of the log by more than the
+  // group-commit window. A log failure is surfaced (and sticky in
+  // DurabilityError) but the batch still lands in memory — serving keeps
+  // the availability contract even on a dying disk.
+  Status wal_status = Status::OK();
+  if (!replay && shard.wal != nullptr) {
+    wal_status = shard.wal->Append(shard.epoch, sub);
+    if (wal_status.ok() && options_.wal_sync_interval > 0 &&
+        ++shard.wal_unsynced >= options_.wal_sync_interval) {
+      wal_status = shard.wal->Sync();
+      shard.wal_unsynced = 0;
+    }
+    if (!wal_status.ok()) RecordDurabilityError(wal_status);
+  }
+
+  if (!shard.staging_active) {
+    shard.staging = TimeSlice{};
+    shard.staging.tick = sub.tick;
+    shard.staging_active = true;
+  }
+  shard.staging.ids.insert(shard.staging.ids.end(), sub.ids.begin(),
+                           sub.ids.end());
+  shard.staging.positions.insert(shard.staging.positions.end(),
+                                 sub.positions.begin(), sub.positions.end());
+
+  // Publish the sub-batch into the tail chain: queryable the moment the
+  // new view lands, long before the tick flushes or seals. Replay skips
+  // ticks the reopened seal already answers (tick <= sealed_through);
+  // live appends always pass this test (ticks advance past the cut).
+  const LiveShardViewPtr old =
+      std::atomic_load_explicit(&shard.view, std::memory_order_acquire);
+  const size_t added = sub.size();
+  if (sub.tick > old->sealed_through) {
     auto chunk = std::make_shared<LiveTailChunk>();
-    const size_t added = sub.size();
     chunk->slice = std::move(sub);
     chunk->prev = old->tail;
     auto next = std::make_shared<LiveShardView>(*old);
@@ -156,19 +180,24 @@ Status LiveRepository::Append(const PointBatch& batch) {
     next->tail_points = old->tail_points + added;
     std::atomic_store_explicit(&shard.view, LiveShardViewPtr(std::move(next)),
                                std::memory_order_release);
-    points_appended_.fetch_add(added, std::memory_order_relaxed);
   }
-  return first_error;
+  points_appended_.fetch_add(added, std::memory_order_relaxed);
+  return wal_status;
 }
 
 void LiveRepository::FlushStagingLocked(Shard& shard) {
   if (!shard.staging_active) return;
   SortSliceById(shard.staging);
   shard.flushed = shard.staging.tick;
-  if (shard.segment_first == kNoTickYet) {
-    shard.segment_first = shard.staging.tick;
+  // Replayed ticks at or below the reopened seal's frontier are already
+  // sealed — they feed the (cumulative) compressor but must not count
+  // toward a new watermark segment.
+  if (shard.staging.tick > shard.base_covered) {
+    if (shard.segment_first == kNoTickYet) {
+      shard.segment_first = shard.staging.tick;
+    }
+    shard.segment_points += shard.staging.size();
   }
-  shard.segment_points += shard.staging.size();
   if (shard.sealing) {
     // Seal in flight: the compressor belongs to the seal task. Divert;
     // SealShard drains the queue when the cut lands.
@@ -208,6 +237,29 @@ void LiveRepository::SealShard(size_t index) {
   // publish below — Append never stalls behind the cut.
   core::SnapshotPtr sealed = shard.compressor->Seal();
 
+  if (!dir_.empty()) {
+    // Durability ordering: the WAL must be synced BEFORE the container
+    // commit. The container's atomic rename is its commit point; once a
+    // container covering tick <= cut is visible, every record that fed it
+    // must already be on stable storage — recovery trusts the log as the
+    // superset of any container it finds.
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (shard.wal != nullptr) {
+        const Status synced = shard.wal->Sync();
+        shard.wal_unsynced = 0;
+        if (!synced.ok()) RecordDurabilityError(synced);
+      }
+    }
+    // Persist the shard's container (atomic: tmp + fsync + rename), off
+    // the shard lock — appends keep flowing while the file writes. A
+    // persist failure is sticky but non-fatal: the retained WAL
+    // generations still hold every point, so recovery loses nothing.
+    const Status persisted = sealed->Save(
+        dir_ + "/" + ShardSnapshotFileName(static_cast<uint32_t>(index)));
+    if (!persisted.ok()) RecordDurabilityError(persisted);
+  }
+
   std::lock_guard<std::mutex> lock(shard.mu);
   const Tick cut = shard.seal_cut;
   const LiveShardViewPtr old =
@@ -239,8 +291,19 @@ void LiveRepository::SealShard(size_t index) {
   next->tail = std::move(chain);
   next->tail_points = kept_points;
   next->seal_epoch = old->seal_epoch + 1;
+  shard.epoch = next->seal_epoch;
   std::atomic_store_explicit(&shard.view, LiveShardViewPtr(std::move(next)),
                              std::memory_order_release);
+
+  // Rotate the log under the new epoch: the retired file keeps every
+  // record written while the old epoch was active (including ticks past
+  // the cut that arrived mid-seal — replay order is preserved across the
+  // generation boundary).
+  if (shard.wal != nullptr) {
+    const Status rotated =
+        RotateWalLocked(static_cast<uint32_t>(index), shard, cut);
+    if (!rotated.ok()) RecordDurabilityError(rotated);
+  }
 
   // Drain the diverted ticks into the (again active) segment, restoring
   // watermark accounting; a backlog past the watermark rolls again on the
@@ -295,6 +358,263 @@ uint64_t LiveRepository::MinSealEpoch() const {
     min_epoch = std::min(min_epoch, ShardView(s)->seal_epoch);
   }
   return min_epoch;
+}
+
+// ---------------------------------------------------------------------------
+// Durable mode: WAL plumbing + crash recovery
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Move the shard's active log to the next free generation slot for the
+/// epoch its records were written under. Repeated crash/open cycles at
+/// the same epoch each retire another file, hence the seq counter —
+/// creation order equals (epoch, seq) order, which is replay order.
+Status RetireActiveLog(const std::string& dir, uint32_t index,
+                       uint64_t retired_epoch) {
+  auto gens = ListWalGenerations(dir, index);
+  if (!gens.ok()) return gens.status();
+  uint32_t seq = 0;
+  for (const WalGenerationFile& gen : *gens) {
+    if (gen.epoch == retired_epoch && gen.seq >= seq) seq = gen.seq + 1;
+  }
+  return RenameFile(
+      dir + "/" + WalFileName(index),
+      dir + "/" + WalGenerationFileName(index, retired_epoch, seq));
+}
+
+}  // namespace
+
+void LiveRepository::RecordDurabilityError(const Status& status) {
+  std::lock_guard<std::mutex> lock(durability_mu_);
+  if (durability_error_.ok()) durability_error_ = status;
+}
+
+Status LiveRepository::DurabilityError() const {
+  std::lock_guard<std::mutex> lock(durability_mu_);
+  return durability_error_;
+}
+
+Status LiveRepository::SyncWal() {
+  Status first_error = Status::OK();
+  for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.wal == nullptr) continue;
+    const Status status = shard.wal->Sync();
+    shard.wal_unsynced = 0;
+    if (!status.ok()) {
+      RecordDurabilityError(status);
+      if (first_error.ok()) first_error = status;
+    }
+  }
+  return first_error;
+}
+
+Status LiveRepository::RotateWalLocked(uint32_t index, Shard& shard,
+                                       Tick sealed_through) {
+  // Close (final sync), retire to a generation file, restart at the new
+  // epoch. On failure the shard stops logging (wal stays null) — the
+  // sticky durability error is the operator's signal; in-memory serving
+  // is unaffected.
+  PPQ_RETURN_NOT_OK(shard.wal->Close());
+  shard.wal.reset();
+  shard.wal_unsynced = 0;
+  PPQ_RETURN_NOT_OK(RetireActiveLog(dir_, index, shard.epoch - 1));
+  WalHeader header;
+  header.shard = index;
+  header.seal_epoch = shard.epoch;
+  header.sealed_through = sealed_through;
+  // Create syncs the directory, which also makes the rename durable.
+  auto fresh = WriteAheadLog::Create(dir_ + "/" + WalFileName(index), header);
+  if (!fresh.ok()) return fresh.status();
+  shard.wal = std::move(*fresh);
+  return Status::OK();
+}
+
+Status LiveRepository::RecoverShard(uint32_t index, core::SnapshotPtr base) {
+  namespace fs = std::filesystem;
+  Shard& shard = *shards_[index];
+  // No concurrent users yet (Open publishes the repository only after
+  // every shard recovered), but the locked helpers require mu.
+  std::lock_guard<std::mutex> lock(shard.mu);
+
+  // The reopened seal's frontier is authoritative: every tick it covers
+  // is served from it, and the proof that its WAL records are on disk is
+  // the seal-before-persist sync ordering in SealShard.
+  const Tick covered = base != nullptr ? base->MaxCoveredTick() : kNoTickYet;
+  shard.base_covered = covered;
+  if (base != nullptr) {
+    auto view = std::make_shared<LiveShardView>();
+    view->sealed = std::move(base);
+    view->sealed_through = covered;
+    std::atomic_store_explicit(&shard.view, LiveShardViewPtr(std::move(view)),
+                               std::memory_order_release);
+  }
+
+  // Replay order: rotated generations by (epoch, seq), then the active
+  // log. The compressor is cumulative and the encode deterministic, so
+  // feeding the full record history through the normal append path
+  // rebuilds the exact pre-crash encoder state; ticks <= covered skip
+  // tail publication (the seal answers them).
+  auto gens = ListWalGenerations(dir_, index);
+  if (!gens.ok()) return gens.status();
+  std::vector<std::pair<std::string, bool>> files;  // (path, is_active)
+  files.reserve(gens->size() + 1);
+  for (const WalGenerationFile& gen : *gens) {
+    files.emplace_back(dir_ + "/" + gen.name, false);
+  }
+  const std::string active = dir_ + "/" + WalFileName(index);
+  std::error_code ec;
+  const bool have_active = fs::exists(active, ec);
+  if (have_active) files.emplace_back(active, true);
+
+  uint64_t max_epoch = 0;
+  uint64_t active_epoch = 0;
+  Tick last_tick = kNoTickYet;
+  for (auto& [path, is_active] : files) {
+    auto contents = ReadWalFile(path, index);
+    if (!contents.ok()) return contents.status();
+    if (contents->torn && !is_active) {
+      // Generations are fully synced before their rename: a tear here is
+      // bit rot in committed data, not a crash frontier — fail the open
+      // rather than silently dropping acknowledged points.
+      return Status::IOError(
+          "wal: torn record in a rotated generation (synced data "
+          "corrupted): " +
+          path);
+    }
+    max_epoch = std::max(max_epoch, contents->header.seal_epoch);
+    if (is_active) active_epoch = contents->header.seal_epoch;
+    for (WalRecord& record : contents->records) {
+      if (record.slice.tick < last_tick) {
+        return Status::Invalid("wal: tick regression across log files: " +
+                               path);
+      }
+      last_tick = record.slice.tick;
+      for (TrajId id : record.slice.ids) {
+        // A CRC-valid record naming a foreign id would silently serve
+        // points from the wrong shard — forgery, not a tear.
+        if (map_.ShardOf(id) != index) {
+          return Status::Invalid("wal: record routed to the wrong shard: " +
+                                 path);
+        }
+      }
+      PPQ_RETURN_NOT_OK(AppendShardLocked(index, shard,
+                                          std::move(record.slice),
+                                          /*replay=*/true));
+    }
+  }
+
+  // Restore the pre-crash flush frontier: everything at or below the cut
+  // was flushed before the seal, so post-recovery appends at those ticks
+  // must be rejected exactly like they were pre-crash.
+  if (shard.staging_active && shard.staging.tick <= covered) {
+    FlushStagingLocked(shard);
+  }
+  shard.flushed = std::max(shard.flushed, covered);
+  shard.epoch = max_epoch;
+  {
+    const LiveShardViewPtr old =
+        std::atomic_load_explicit(&shard.view, std::memory_order_acquire);
+    auto next = std::make_shared<LiveShardView>(*old);
+    next->seal_epoch = max_epoch;
+    std::atomic_store_explicit(&shard.view, LiveShardViewPtr(std::move(next)),
+                               std::memory_order_release);
+  }
+
+  // New-log-on-open: retire the crash image of the active log (it
+  // replays again if we crash before the next rotation) and start fresh.
+  if (have_active) {
+    PPQ_RETURN_NOT_OK(RetireActiveLog(dir_, index, active_epoch));
+  }
+  WalHeader header;
+  header.shard = index;
+  header.seal_epoch = shard.epoch;
+  header.sealed_through = covered;
+  auto fresh = WriteAheadLog::Create(active, header);
+  if (!fresh.ok()) return fresh.status();
+  shard.wal = std::move(*fresh);
+  shard.wal_unsynced = 0;
+  return Status::OK();
+}
+
+Result<std::shared_ptr<LiveRepository>> LiveRepository::Open(
+    const std::string& dir, CompressorFactory factory, Options options) {
+  namespace fs = std::filesystem;
+  if (dir.empty()) {
+    return Status::Invalid("LiveRepository::Open: empty directory path");
+  }
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create repository directory " + dir +
+                           ": " + ec.message());
+  }
+
+  std::shared_ptr<LiveRepository> live;
+  try {
+    live.reset(new LiveRepository(std::move(factory), options));
+  } catch (const std::invalid_argument& e) {
+    return Status::Invalid(e.what());
+  }
+  live->dir_ = dir;
+
+  // Sweep temp files of atomic saves whose commit never happened (a
+  // crash mid-persist leaves `*.tmp`; committed files never do).
+  fs::directory_iterator it(dir, ec);
+  if (!ec) {
+    for (const auto& entry : it) {
+      if (entry.path().extension() == ".tmp") {
+        std::error_code remove_ec;
+        fs::remove(entry.path(), remove_ec);
+      }
+    }
+  }
+
+  // The sealed base, when a manifest exists. A directory with WALs but no
+  // manifest (a first-open that crashed before initialisation finished)
+  // recovers from the logs alone.
+  RepositorySnapshotPtr base;
+  const std::string manifest_path = dir + "/" + kManifestFileName;
+  if (fs::exists(manifest_path, ec)) {
+    auto opened = OpenRepository(dir, &live->pool_);
+    if (!opened.ok()) return opened.status();
+    if ((*opened)->num_shards() != live->num_shards()) {
+      return Status::Invalid(
+          "LiveRepository::Open: directory has " +
+          std::to_string((*opened)->num_shards()) +
+          " shards but options ask for " +
+          std::to_string(live->num_shards()) +
+          " (resharding is an offline pass, not an open-time option)");
+    }
+    base = std::move(*opened);
+  }
+
+  // Shards recover independently — fan out on the seal pool.
+  std::vector<Status> statuses(live->num_shards());
+  live->pool_.ParallelFor(live->num_shards(), [&](size_t, size_t s) {
+    statuses[s] =
+        live->RecoverShard(static_cast<uint32_t>(s),
+                           base != nullptr ? base->shard(s) : nullptr);
+  });
+  for (const Status& status : statuses) {
+    PPQ_RETURN_NOT_OK(status);
+  }
+
+  // First open of a fresh directory: write the empty container set and
+  // manifest now, so the directory is a valid repository before the
+  // first seal and seal-time persists have a manifest naming their file.
+  if (base == nullptr) {
+    PPQ_RETURN_NOT_OK(live->SealedSnapshot()->Save(dir, &live->pool_));
+  }
+  return live;
+}
+
+Result<std::shared_ptr<LiveRepository>> OpenLiveRepository(
+    const std::string& dir, LiveRepository::CompressorFactory factory,
+    LiveRepository::Options options) {
+  return LiveRepository::Open(dir, std::move(factory), options);
 }
 
 }  // namespace ppq::repo

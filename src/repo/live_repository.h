@@ -7,6 +7,7 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -15,6 +16,7 @@
 #include "core/compressor.h"
 #include "repo/repository_snapshot.h"
 #include "repo/shard_map.h"
+#include "repo/wal.h"
 
 /// \file live_repository.h
 /// The streaming, ingest-while-serving repository: the paper's quantizer
@@ -55,6 +57,20 @@
 /// RollAll/Quiesce are coordination verbs for shutdown, compaction, and
 /// deterministic tests. ShardView/SealedSnapshot are safe from any
 /// thread, any time. Destruction waits for in-flight background seals.
+///
+/// DURABLE MODE (LiveRepository::Open / OpenLiveRepository): the
+/// repository is backed by a directory. Every Append logs each shard
+/// sub-batch to that shard's write-ahead log (wal.h) BEFORE publishing
+/// the tail chunk, group-committed every Options::wal_sync_interval
+/// records; each background seal fdatasyncs the WAL, persists the
+/// shard's container atomically, and rotates the log. Reopening the
+/// directory replays the retained log generations through the normal
+/// append path — the compressor is cumulative and the encode is
+/// deterministic, so the rebuilt shard state (and therefore exact-mode
+/// answers) matches pre-crash ground truth for every record whose
+/// covering sync returned. Durability failures (dying disk) never stall
+/// ingest or serving: the error is sticky in DurabilityError() and also
+/// surfaced by the failing Append.
 
 namespace ppq::repo {
 
@@ -114,11 +130,32 @@ class LiveRepository {
     Tick watermark_ticks = 32;
     /// ... or once it holds this many points (0 disables).
     size_t watermark_points = size_t{1} << 20;
+    /// Durable mode: fdatasync a shard's WAL after this many appended
+    /// records (group commit). 1 syncs every append (lowest loss bound,
+    /// slowest ingest); 0 never syncs on append — only seals, SyncWal()
+    /// and clean shutdown do. A crash can lose at most the records since
+    /// the last completed sync.
+    size_t wal_sync_interval = 32;
   };
 
   /// \throws std::invalid_argument when num_shards is 0 (or beyond
   /// kMaxShards) or the factory returns null for any shard.
+  /// Memory-only: nothing is logged or persisted (use Open for that).
   LiveRepository(CompressorFactory factory, Options options);
+
+  /// \brief Open-or-create a durable repository at \p dir: load the
+  /// sealed RepositorySnapshot (if a manifest exists), replay every
+  /// shard's retained WAL generations and active log — tolerating a torn
+  /// final record and discarding tail records already covered by the
+  /// reopened seal's frontier — and resume a fully queryable repository
+  /// that keeps logging/persisting to \p dir. A fresh directory is
+  /// initialised (empty containers + manifest + per-shard logs). The
+  /// options must structurally match what wrote the directory: a shard
+  /// count mismatch is an error, and \p factory must produce compressors
+  /// configured like the originals (this is not validated — same
+  /// contract as ShardedRepository).
+  static Result<std::shared_ptr<LiveRepository>> Open(
+      const std::string& dir, CompressorFactory factory, Options options);
 
   /// Waits for in-flight background seals (the internal pool drains
   /// before any shard state dies).
@@ -150,6 +187,22 @@ class LiveRepository {
 
   /// Block until no background seal is in flight on any shard.
   void Quiesce();
+
+  /// \brief Durable mode: fdatasync every shard's active WAL now. After
+  /// this returns OK, every previously returned Append is crash-durable
+  /// regardless of wal_sync_interval. No-op (OK) when memory-only.
+  Status SyncWal();
+
+  /// The first error the durability machinery recorded (WAL append/sync,
+  /// seal-time container persist, log rotation) — sticky until process
+  /// exit. Ingest and serving continue past durability errors (the
+  /// in-memory tail stays correct), so operators must check this (or
+  /// Append's return) to notice a dying disk. OK when healthy or
+  /// memory-only.
+  Status DurabilityError() const;
+
+  /// The backing directory; empty when memory-only.
+  const std::string& dir() const { return dir_; }
 
   /// The shard's current serving view (one atomic load; never null).
   LiveShardViewPtr ShardView(size_t shard) const;
@@ -196,10 +249,30 @@ class LiveRepository {
     /// The cut recorded when the in-flight seal was triggered.
     Tick seal_cut = kNoTickYet;
 
+    /// Durable mode: the shard's active write-ahead log (null when
+    /// memory-only) and its group-commit counter. Guarded by mu.
+    std::unique_ptr<WriteAheadLog> wal;
+    size_t wal_unsynced = 0;
+    /// Mirrors view->seal_epoch (plain field so Append can stamp WAL
+    /// records without an atomic view load). Guarded by mu.
+    uint64_t epoch = 0;
+    /// Recovery: ticks <= base_covered were answered by the reopened
+    /// seal, so replay feeds them to the compressor but neither republishes
+    /// them as tail nor counts them toward the watermark segment.
+    /// kNoTickYet for fresh shards.
+    Tick base_covered = kNoTickYet;
+
     /// The published view; accessed only via atomic_load/atomic_store.
     LiveShardViewPtr view;
   };
 
+  /// The per-shard Append body: monotonicity check, WAL record (live
+  /// appends only), staging merge, tail publish. Requires mu. Replay
+  /// (\p replay = true) suppresses the WAL write (the record came FROM
+  /// the log) and watermark rolls (a replay-time seal could regress the
+  /// frontier below the reopened seal's).
+  Status AppendShardLocked(size_t index, Shard& shard, TimeSlice&& sub,
+                           bool replay);
   /// Sort staging by id and hand it to the compressor (ACTIVE) or the
   /// pending queue (SEALING). Requires mu.
   void FlushStagingLocked(Shard& shard);
@@ -209,17 +282,39 @@ class LiveRepository {
   /// Roll when the active segment crossed a watermark. Requires mu.
   void MaybeRollLocked(size_t index, Shard& shard);
   /// The background seal task: cut the compressor (unlocked — appends
-  /// are diverted), publish the new view, drain pending, resume ACTIVE.
+  /// are diverted), persist + sync in durable mode, publish the new
+  /// view, rotate the WAL, drain pending, resume ACTIVE.
   void SealShard(size_t index);
+
+  /// Recovery (durable open only; no concurrency yet): seed the view
+  /// from the reopened seal, replay this shard's logs, rotate the old
+  /// active log out, start a fresh one.
+  Status RecoverShard(uint32_t index, core::SnapshotPtr base);
+  /// Retire the active log to the next free generation name and start a
+  /// fresh log at the current epoch/frontier. Requires mu.
+  Status RotateWalLocked(uint32_t index, Shard& shard, Tick sealed_through);
+  void RecordDurabilityError(const Status& status);
 
   Options options_;
   ShardMap map_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<size_t> points_appended_{0};
+  /// Durable mode state; dir_ is empty when memory-only.
+  std::string dir_;
+  mutable std::mutex durability_mu_;
+  Status durability_error_;
 
   /// Background seal pool; declared LAST so its destructor runs FIRST
-  /// and drains queued seal tasks against still-alive shard state.
+  /// and drains queued seal tasks against still-alive shard state (and
+  /// before the shards' WALs close-and-sync in ~Shard).
   ThreadPool pool_;
 };
+
+/// Free-function alias for LiveRepository::Open — the crash-recovery
+/// entry point: open the sealed snapshot (if any), replay each shard's
+/// WAL, resume a fully queryable durable LiveRepository.
+Result<std::shared_ptr<LiveRepository>> OpenLiveRepository(
+    const std::string& dir, LiveRepository::CompressorFactory factory,
+    LiveRepository::Options options);
 
 }  // namespace ppq::repo

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/fsio.h"
 #include "common/serial.h"
 #include "core/serialization.h"
 
@@ -21,12 +22,6 @@ constexpr char kManifestMagic[8] = {'P', 'P', 'Q', 'M', 'A', 'N', 'I', 'F'};
 /// prelude or the payload — and any bit flip is a clean Status error.
 constexpr size_t kManifestPrelude = sizeof(kManifestMagic) + 4 + 8 + 4;
 
-std::string ShardFileName(uint32_t shard) {
-  char name[32];
-  std::snprintf(name, sizeof(name), "shard-%04u.snapshot", shard);
-  return name;
-}
-
 /// A manifest-listed file name must be a plain basename: a forged
 /// manifest must not be able to read or overwrite anything outside the
 /// repository directory.
@@ -36,19 +31,6 @@ bool SafeShardFileName(const std::string& name) {
   if (name.find('\\') != std::string::npos) return false;
   if (name == "." || name == "..") return false;
   return true;
-}
-
-Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) return Status::IOError("cannot open for reading: " + path);
-  const std::streamoff size = in.tellg();
-  if (size < 0) return Status::IOError("cannot stat: " + path);
-  in.seekg(0);
-  std::vector<uint8_t> bytes(static_cast<size_t>(size));
-  if (size > 0 && !in.read(reinterpret_cast<char*>(bytes.data()), size)) {
-    return Status::IOError("short read: " + path);
-  }
-  return bytes;
 }
 
 struct Manifest {
@@ -173,6 +155,12 @@ Status FirstError(const std::vector<Status>& statuses) {
 
 }  // namespace
 
+std::string ShardSnapshotFileName(uint32_t shard) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "shard-%04u.snapshot", shard);
+  return name;
+}
+
 RepositorySnapshot::RepositorySnapshot(ShardMap map,
                                        std::vector<core::SnapshotPtr> shards)
     : map_(map), shards_(std::move(shards)) {
@@ -225,7 +213,7 @@ Status RepositorySnapshot::Save(const std::string& dir,
   manifest.map = map_;
   manifest.shard_files.reserve(shards_.size());
   for (uint32_t shard = 0; shard < map_.num_shards; ++shard) {
-    manifest.shard_files.push_back(ShardFileName(shard));
+    manifest.shard_files.push_back(ShardSnapshotFileName(shard));
   }
 
   // Shard containers first (fan out across the pool; each shard writes
@@ -238,21 +226,16 @@ Status RepositorySnapshot::Save(const std::string& dir,
   PPQ_RETURN_NOT_OK(FirstError(statuses));
 
   // ...manifest last: a save that dies above leaves no manifest, so the
-  // directory can never open as a half-written repository.
+  // directory can never open as a half-written repository. The manifest
+  // itself is written atomically (tmp + fsync + rename + parent fsync):
+  // a crash mid-manifest-write leaves no manifest, never a torn one.
   const std::vector<uint8_t> bytes = EncodeManifest(manifest);
-  std::ofstream out(manifest_path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::IOError("cannot open for writing: " + manifest_path);
-  }
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  if (!out) return Status::IOError("write failed: " + manifest_path);
-  return Status::OK();
+  return AtomicWriteFile(manifest_path, bytes.data(), bytes.size());
 }
 
 Result<RepositorySnapshotPtr> OpenRepository(const std::string& dir,
                                              ThreadPool* pool) {
-  auto bytes = ReadFileBytes(dir + "/" + kManifestFileName);
+  auto bytes = ReadAllBytes(dir + "/" + kManifestFileName);
   if (!bytes.ok()) return bytes.status();
   auto manifest = DecodeManifest(*bytes, dir + "/" + kManifestFileName);
   if (!manifest.ok()) return manifest.status();

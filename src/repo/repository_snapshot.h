@@ -47,6 +47,12 @@ inline constexpr uint32_t kManifestVersion = 1;
 /// a 2^32-file open loop.
 inline constexpr uint32_t kMaxShards = 4096;
 
+/// Shard container file name inside a repository directory
+/// ("shard-NNNN.snapshot"). Shared by RepositorySnapshot::Save and the
+/// live seal-persist path, which rewrites one shard's container in place
+/// (atomically) while the manifest keeps naming it.
+std::string ShardSnapshotFileName(uint32_t shard);
+
 /// \brief Immutable sealed view of every shard of a repository.
 class RepositorySnapshot {
  public:

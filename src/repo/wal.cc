@@ -1,0 +1,232 @@
+#include "repo/wal.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <utility>
+
+#include "common/serial.h"
+
+namespace ppq::repo {
+namespace {
+
+/// payload = u64 epoch + i32 tick + u32 count (+ 20 bytes per point).
+constexpr size_t kRecordFixedPayload = 8 + 4 + 4;
+constexpr size_t kBytesPerPoint = 4 + 8 + 8;
+
+std::vector<uint8_t> EncodeHeader(const WalHeader& header) {
+  ByteWriter out;
+  out.WriteBytes(kWalMagic, sizeof(kWalMagic));
+  out.WriteU32(kWalVersion);
+  out.WriteU32(header.shard);
+  out.WriteU64(header.seal_epoch);
+  out.WriteI32(header.sealed_through);
+  out.WriteU32(Crc32(out.buffer().data(), out.size()));
+  return out.buffer();
+}
+
+}  // namespace
+
+std::string WalFileName(uint32_t shard) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "wal-%04u.log", shard);
+  return name;
+}
+
+std::string WalGenerationFileName(uint32_t shard, uint64_t epoch,
+                                  uint32_t seq) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "wal-%04u.gen-%llu-%u.log", shard,
+                static_cast<unsigned long long>(epoch), seq);
+  return name;
+}
+
+Result<WalContents> ReadWalFile(const std::string& path,
+                                uint32_t expected_shard) {
+  auto bytes = ReadAllBytes(path);
+  if (!bytes.ok()) return bytes.status();
+
+  WalContents contents;
+  contents.header.shard = expected_shard;
+  contents.header.sealed_through = std::numeric_limits<Tick>::min();
+  if (bytes->size() < kWalHeaderBytes) {
+    // A create that never landed (crash between open and header write):
+    // no record can have committed, so the file is safely empty.
+    contents.torn = true;
+    return contents;
+  }
+  if (std::memcmp(bytes->data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    return Status::Invalid("wal: bad magic (not a PPQ write-ahead log): " +
+                           path);
+  }
+  const uint32_t header_crc =
+      Crc32(bytes->data(), kWalHeaderBytes - 4);
+
+  ByteReader in(bytes->data(), bytes->size());
+  uint8_t magic[sizeof(kWalMagic)];
+  PPQ_RETURN_NOT_OK(in.ReadBytes(magic, sizeof(magic)));
+  auto version = in.ReadU32();
+  if (!version.ok()) return version.status();
+  if (*version != kWalVersion) {
+    return Status::Invalid("wal: unsupported version " +
+                           std::to_string(*version) + ": " + path);
+  }
+  auto shard = in.ReadU32();
+  if (!shard.ok()) return shard.status();
+  auto epoch = in.ReadU64();
+  if (!epoch.ok()) return epoch.status();
+  auto sealed_through = in.ReadI32();
+  if (!sealed_through.ok()) return sealed_through.status();
+  auto stored_crc = in.ReadU32();
+  if (!stored_crc.ok()) return stored_crc.status();
+  if (*stored_crc != header_crc) {
+    return Status::Invalid("wal: header checksum mismatch: " + path);
+  }
+  if (*shard != expected_shard) {
+    return Status::Invalid("wal: file claims shard " + std::to_string(*shard) +
+                           ", expected " + std::to_string(expected_shard) +
+                           ": " + path);
+  }
+  contents.header.shard = *shard;
+  contents.header.seal_epoch = *epoch;
+  contents.header.sealed_through = *sealed_through;
+
+  // Record loop over raw offsets (the frame length drives the cursor).
+  // Anything that fails from here on is a torn/corrupt suffix — keep the
+  // valid prefix, flag it, stop.
+  const uint8_t* data = bytes->data();
+  const size_t size = bytes->size();
+  size_t pos = kWalHeaderBytes;
+  Tick last_tick = std::numeric_limits<Tick>::min();
+  while (pos < size) {
+    if (size - pos < 8) {
+      contents.torn = true;
+      return contents;
+    }
+    ByteReader frame(data + pos, 8);
+    const uint32_t len = *frame.ReadU32();
+    const uint32_t crc = *frame.ReadU32();
+    if (len < kRecordFixedPayload || len > size - pos - 8 ||
+        (len - kRecordFixedPayload) % kBytesPerPoint != 0) {
+      contents.torn = true;
+      return contents;
+    }
+    const uint8_t* payload = data + pos + 8;
+    if (Crc32(payload, len) != crc) {
+      contents.torn = true;
+      return contents;
+    }
+    ByteReader body(payload, len);
+    const uint64_t rec_epoch = *body.ReadU64();
+    const Tick tick = *body.ReadI32();
+    const uint32_t count = *body.ReadU32();
+    if (count > kMaxWalRecordPoints ||
+        static_cast<size_t>(count) * kBytesPerPoint != body.Remaining()) {
+      contents.torn = true;
+      return contents;
+    }
+    if (rec_epoch > contents.header.seal_epoch) {
+      // Records are only ever appended under the file's header epoch; a
+      // CRC-valid future epoch is corruption or forgery, not a tail tear.
+      contents.torn = true;
+      return contents;
+    }
+    pos += 8 + len;
+    if (rec_epoch < contents.header.seal_epoch) {
+      ++contents.stale_records;
+      continue;
+    }
+    if (tick < last_tick) {
+      return Status::Invalid("wal: tick regression inside log: " + path);
+    }
+    last_tick = tick;
+
+    WalRecord record;
+    record.seal_epoch = rec_epoch;
+    record.slice.tick = tick;
+    record.slice.ids.reserve(count);
+    record.slice.positions.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      record.slice.ids.push_back(*body.ReadI32());
+      const double x = *body.ReadF64();
+      const double y = *body.ReadF64();
+      record.slice.positions.push_back({x, y});
+    }
+    contents.records.push_back(std::move(record));
+  }
+  return contents;
+}
+
+Result<std::vector<WalGenerationFile>> ListWalGenerations(
+    const std::string& dir, uint32_t shard) {
+  char prefix[32];
+  std::snprintf(prefix, sizeof(prefix), "wal-%04u.gen-", shard);
+
+  std::vector<WalGenerationFile> files;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot list repository directory " + dir + ": " +
+                           ec.message());
+  }
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) != 0) continue;
+    unsigned long long epoch = 0;
+    unsigned seq = 0;
+    char tail[8] = {0};
+    if (std::sscanf(name.c_str() + std::strlen(prefix), "%llu-%u.lo%1s",
+                    &epoch, &seq, tail) != 3 ||
+        std::strcmp(tail, "g") != 0) {
+      continue;  // unrelated file that happens to share the prefix
+    }
+    files.push_back({static_cast<uint64_t>(epoch), seq, name});
+  }
+  std::sort(files.begin(), files.end(),
+            [](const WalGenerationFile& a, const WalGenerationFile& b) {
+              if (a.epoch != b.epoch) return a.epoch < b.epoch;
+              return a.seq < b.seq;
+            });
+  return files;
+}
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Create(
+    const std::string& path, const WalHeader& header) {
+  std::unique_ptr<WriteAheadLog> wal(new WriteAheadLog());
+  PPQ_RETURN_NOT_OK(wal->file_.Open(path, /*truncate=*/true));
+  const std::vector<uint8_t> bytes = EncodeHeader(header);
+  PPQ_RETURN_NOT_OK(wal->file_.Append(bytes.data(), bytes.size()));
+  // The log's existence (and empty-but-valid header) must itself survive
+  // a crash: sync the data, then the directory entry.
+  PPQ_RETURN_NOT_OK(wal->file_.Datasync());
+  const size_t slash = path.find_last_of('/');
+  const std::string parent =
+      slash == std::string::npos ? "." : path.substr(0, std::max<size_t>(slash, 1));
+  PPQ_RETURN_NOT_OK(SyncDirectory(parent));
+  return wal;
+}
+
+Status WriteAheadLog::Append(uint64_t seal_epoch, const TimeSlice& slice) {
+  ByteWriter payload;
+  payload.WriteU64(seal_epoch);
+  payload.WriteI32(slice.tick);
+  payload.WriteU32(static_cast<uint32_t>(slice.ids.size()));
+  for (size_t i = 0; i < slice.ids.size(); ++i) {
+    payload.WriteI32(slice.ids[i]);
+    payload.WriteF64(slice.positions[i].x);
+    payload.WriteF64(slice.positions[i].y);
+  }
+  ByteWriter frame;
+  frame.WriteU32(static_cast<uint32_t>(payload.size()));
+  frame.WriteU32(Crc32(payload.buffer().data(), payload.size()));
+  frame.WriteBytes(payload.buffer().data(), payload.size());
+  return file_.Append(frame.buffer().data(), frame.size());
+}
+
+Status WriteAheadLog::Sync() { return file_.Datasync(); }
+
+Status WriteAheadLog::Close() { return file_.Close(); }
+
+}  // namespace ppq::repo

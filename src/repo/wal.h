@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fsio.h"
+#include "common/status.h"
+#include "common/types.h"
+
+/// \file wal.h
+/// Per-shard write-ahead log for LiveRepository's queryable tail: the
+/// redo log that makes a crash lose at most the records since the last
+/// fdatasync (the Options::wal_sync_interval group-commit bound) instead
+/// of everything since the last watermark seal.
+///
+/// On-disk layout (all integers little-endian via common/serial.h):
+///
+///   header  := magic "PPQWAL01" | u32 version | u32 shard
+///            | u64 seal_epoch | i32 sealed_through | u32 crc(header)
+///   record  := u32 payload_len | u32 crc(payload) | payload
+///   payload := u64 seal_epoch | i32 tick | u32 count
+///            | count x { i32 id, f64 x, f64 y }
+///
+/// One record is appended per (shard, sub-batch) inside
+/// LiveRepository::Append, BEFORE the tail chunk is published, so the
+/// in-memory tail is never ahead of the log by more than the group-commit
+/// window. Ticks are non-decreasing within a file (append order).
+///
+/// Lifecycle: the shard's ACTIVE log is `wal-NNNN.log`. When a background
+/// seal lands, the active log is synced, closed, and renamed to a
+/// GENERATION file `wal-NNNN.gen-<epoch>-<seq>.log` (epoch = the seal
+/// epoch its records were written under; seq disambiguates repeated
+/// crash/open cycles at the same epoch), and a fresh active log starts at
+/// the new epoch. Generations are retained, never deleted: the live
+/// compressor is cumulative (each seal re-covers the shard's whole
+/// history), so recovery replays every generation in (epoch, seq) order,
+/// then the active log, to rebuild the exact pre-crash encoder state.
+/// Garbage-collecting generations belongs to the future compaction pass.
+///
+/// Hostile-input contract (same bar as the PPQSNAP1 readers): every byte
+/// of every record is CRC-covered and length-framed; a torn or corrupt
+/// suffix stops the parse at the last valid record (`torn` flag) instead
+/// of crashing or over-allocating; a record whose epoch is OLDER than the
+/// file header's is skipped as stale; a record with a FUTURE epoch, a
+/// tick regression, a bad magic/version/shard header, or a forged count
+/// is rejected or truncated deterministically — never trusted.
+
+namespace ppq::repo {
+
+inline constexpr char kWalMagic[8] = {'P', 'P', 'Q', 'W', 'A', 'L', '0', '1'};
+inline constexpr uint32_t kWalVersion = 1;
+/// magic + u32 version + u32 shard + u64 epoch + i32 sealed_through +
+/// u32 crc.
+inline constexpr size_t kWalHeaderBytes = sizeof(kWalMagic) + 4 + 4 + 8 + 4 + 4;
+/// Upper bound on points per record: far above what one Append sub-batch
+/// carries, tight enough that a forged count cannot drive a big
+/// allocation (20 bytes/point caps a record payload at ~320 MiB framed,
+/// but the length check against the actual file size bites first).
+inline constexpr uint32_t kMaxWalRecordPoints = 1u << 24;
+
+/// The shard's active log file name, `wal-NNNN.log`.
+std::string WalFileName(uint32_t shard);
+/// A rotated generation, `wal-NNNN.gen-<epoch>-<seq>.log`.
+std::string WalGenerationFileName(uint32_t shard, uint64_t epoch,
+                                  uint32_t seq);
+
+/// Immutable header state a log file was created with.
+struct WalHeader {
+  uint32_t shard = 0;
+  /// The seal epoch every record in this file was appended under.
+  uint64_t seal_epoch = 0;
+  /// The shard's sealed frontier when the file was created (metadata;
+  /// recovery derives the authoritative frontier from the shard
+  /// container's MaxCoveredTick).
+  Tick sealed_through;
+};
+
+struct WalRecord {
+  uint64_t seal_epoch = 0;
+  TimeSlice slice;
+};
+
+/// The validated contents of one log file.
+struct WalContents {
+  WalHeader header;
+  /// The valid record prefix, in append (= replay) order.
+  std::vector<WalRecord> records;
+  /// CRC-valid records skipped because their epoch predates the header's.
+  size_t stale_records = 0;
+  /// True when the parse stopped before end-of-file: a torn or corrupt
+  /// suffix (tolerated on the ACTIVE log — it is the crash write
+  /// frontier — but corruption in a rotated, fully-synced generation).
+  bool torn = false;
+};
+
+/// \brief Read and validate one WAL file. A file shorter than the header
+/// (including zero bytes: a create that never landed) parses as empty
+/// with `torn = true`. A full-size header with a bad magic, version,
+/// checksum, or a shard other than \p expected_shard is a Status error.
+Result<WalContents> ReadWalFile(const std::string& path,
+                                uint32_t expected_shard);
+
+/// A rotated generation file found on disk.
+struct WalGenerationFile {
+  uint64_t epoch = 0;
+  uint32_t seq = 0;
+  std::string name;  ///< basename inside the repository directory
+};
+
+/// \brief List shard \p shard's rotated generations in \p dir, sorted by
+/// (epoch, seq) — the replay order. Unrelated files are ignored.
+Result<std::vector<WalGenerationFile>> ListWalGenerations(
+    const std::string& dir, uint32_t shard);
+
+/// \brief Append-only writer for one shard's active log. Append() is a
+/// buffered write; Sync() is the group-commit barrier callers schedule
+/// per Options::wal_sync_interval.
+class WriteAheadLog {
+ public:
+  /// Create a fresh log at \p path (truncating any leftover), write its
+  /// header, and make the creation itself durable (file datasync +
+  /// parent-directory fsync).
+  static Result<std::unique_ptr<WriteAheadLog>> Create(
+      const std::string& path, const WalHeader& header);
+
+  /// Append one record (one shard sub-batch). Buffered: durable only
+  /// after the next Sync()/Close().
+  Status Append(uint64_t seal_epoch, const TimeSlice& slice);
+
+  /// fdatasync the log — every previously appended record is durable
+  /// once this returns.
+  Status Sync();
+
+  /// Sync + close. Safe to call twice; the destructor closes best-effort.
+  Status Close();
+
+  const std::string& path() const { return file_.path(); }
+
+ private:
+  WriteAheadLog() = default;
+
+  LogFile file_;
+};
+
+}  // namespace ppq::repo

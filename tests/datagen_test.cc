@@ -179,5 +179,31 @@ TEST(CsvTest, NonConsecutiveTicksRejected) {
   std::remove(path.c_str());
 }
 
+TEST(CsvTest, FullDeviceSaveReportsAnError) {
+  // /dev/full accepts every buffered write and fails the flush: the
+  // historical SaveCsv checked the stream BEFORE close, so this exact
+  // shape reported OK over a zero-byte "file".
+  {
+    std::FILE* probe = std::fopen("/dev/full", "w");
+    if (probe == nullptr) GTEST_SKIP() << "/dev/full not available";
+    std::fclose(probe);
+  }
+  GeneratorOptions options;
+  options.num_trajectories = 4;
+  options.horizon = 20;
+  options.min_length = 5;
+  options.max_length = 10;
+  const TrajectoryDataset ds = PortoLikeGenerator(options).Generate();
+  EXPECT_FALSE(SaveCsv(ds, "/dev/full").ok());
+}
+
+TEST(CsvTest, ReadErrorIsNotSilentEof) {
+  // Reading a directory opens but every getline fails with badbit on
+  // Linux: LoadCsv used to treat that as a clean EOF and return an
+  // EMPTY dataset. It must be an error.
+  const auto loaded = LoadCsv(::testing::TempDir());
+  EXPECT_FALSE(loaded.ok());
+}
+
 }  // namespace
 }  // namespace ppq::datagen

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fsio.h"
 #include "core/ppq_trajectory.h"
 #include "core/serialization.h"
 #include "tests/test_util.h"
@@ -181,6 +182,69 @@ TEST(SnapshotCorruptionTest, EmptyAndTinyFilesFailCleanly) {
     WriteFileBytes(path, std::vector<uint8_t>(size, 0xAB));
     EXPECT_FALSE(OpenSnapshot(path).ok()) << size << "-byte file";
   }
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------------------------------
+// Crash-safe saves: a failed re-save must never destroy the valid file
+// -------------------------------------------------------------------------
+
+/// Clears the fsio fault hooks on every exit path (including assertion
+/// bail-outs) so one failing test cannot poison the rest of the process.
+struct FaultHookGuard {
+  ~FaultHookGuard() {
+    SetWriteFaultBudgetForTesting(-1);
+    SetCommitFaultForTesting(false);
+  }
+};
+
+TEST(SnapshotCorruptionTest, PartialWriteCannotDestroyAValidSnapshot) {
+  FaultHookGuard guard;
+  const std::vector<uint8_t> intact = MakeSnapshotBytes();
+  const std::string path = TempPath("atomic_save.snapshot");
+  WriteFileBytes(path, intact);
+  ASSERT_TRUE(OpenSnapshot(path).ok());
+
+  // Re-save over the valid file with the write budget exhausted partway:
+  // the historical code streamed straight into `path`, so this exact
+  // fault left a truncated, unopenable file behind. The atomic protocol
+  // (tmp + fsync + rename) must fail the save and leave `path` alone.
+  const TrajectoryDataset data = test::MakePortoDataset({20, 30, 10, 30, 6});
+  auto method = MakeMethod("PPQ-A", PpqOptions{});
+  method->Compress(data);
+  for (const long long budget : {0LL, 1LL, 64LL,
+                                 static_cast<long long>(intact.size() / 2)}) {
+    SetWriteFaultBudgetForTesting(budget);
+    const Status save = method->Seal()->Save(path);
+    SetWriteFaultBudgetForTesting(-1);
+    EXPECT_FALSE(save.ok()) << "budget " << budget;
+    EXPECT_EQ(ReadFileBytes(path), intact)
+        << "budget " << budget << ": partial save mutated the target";
+    EXPECT_TRUE(OpenSnapshot(path).ok());
+  }
+  // No tmp debris left behind either.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotCorruptionTest, FailedCloseFlushIsAnErrorNotSilentTruncation) {
+  FaultHookGuard guard;
+  const std::vector<uint8_t> intact = MakeSnapshotBytes();
+  const std::string path = TempPath("enospc_close.snapshot");
+  WriteFileBytes(path, intact);
+
+  // The /dev/full shape: every write() succeeds into the page cache, the
+  // final flush at close fails. Both writers used to check `if (!out)`
+  // BEFORE close, reporting OK over a truncated file.
+  const TrajectoryDataset data = test::MakePortoDataset({20, 30, 10, 30, 6});
+  auto method = MakeMethod("PPQ-A", PpqOptions{});
+  method->Compress(data);
+  SetCommitFaultForTesting(true);
+  const Status save = method->Seal()->Save(path);
+  SetCommitFaultForTesting(false);
+  EXPECT_FALSE(save.ok());
+  EXPECT_EQ(ReadFileBytes(path), intact) << "failed close mutated the target";
+  EXPECT_TRUE(OpenSnapshot(path).ok());
   std::remove(path.c_str());
 }
 
