@@ -5,6 +5,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <utility>
 
@@ -21,6 +22,7 @@ namespace {
 /// Fault-injection state (tests only; see header). `budget < 0` disables.
 std::atomic<long long> g_write_fault_budget{-1};
 std::atomic<bool> g_commit_fault{false};
+std::atomic<bool> g_sync_fault{false};
 
 /// Returns how many of \p size bytes the fault budget allows (all of them
 /// when injection is disabled) and burns the budget.
@@ -70,6 +72,9 @@ Status WriteAll(int fd, const uint8_t* data, size_t size,
 }
 
 Status DatasyncFd(int fd, const std::string& path) {
+  if (g_sync_fault.load(std::memory_order_relaxed)) {
+    return Status::IOError("fdatasync failed (injected fault): " + path);
+  }
 #if defined(__linux__)
   if (::fdatasync(fd) != 0) return ErrnoError("fdatasync failed", path);
 #else
@@ -87,6 +92,10 @@ void SetWriteFaultBudgetForTesting(long long bytes) {
 
 void SetCommitFaultForTesting(bool fail) {
   g_commit_fault.store(fail, std::memory_order_relaxed);
+}
+
+void SetSyncFaultForTesting(bool fail) {
+  g_sync_fault.store(fail, std::memory_order_relaxed);
 }
 
 Status SyncDirectory(const std::string& dir) {
@@ -121,6 +130,31 @@ Result<std::vector<uint8_t>> ReadAllBytes(const std::string& path) {
     return Status::IOError("short read: " + path);
   }
   return bytes;
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+#ifdef PPQ_FSIO_POSIX
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return ErrnoError("cannot open for truncation", path);
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    const Status status = ErrnoError("ftruncate failed", path);
+    ::close(fd);
+    return status;
+  }
+  // The dropped suffix must STAY dropped across a crash: sync the new
+  // length before the caller renames the file into a fully-synced role.
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return ErrnoError("fsync failed", path);
+  return Status::OK();
+#else
+  std::error_code ec;
+  std::filesystem::resize_file(path, size, ec);
+  if (ec) {
+    return Status::IOError("resize failed: " + path + ": " + ec.message());
+  }
+  return Status::OK();  // best effort: no durability barrier (see header)
+#endif
 }
 
 // ---------------------------------------------------------------------------

@@ -48,6 +48,13 @@ Status RenameFile(const std::string& from, const std::string& to);
 /// Slurp a whole file. IOError when missing/unreadable.
 Result<std::vector<uint8_t>> ReadAllBytes(const std::string& path);
 
+/// Truncate \p path to \p size bytes and fsync the result, so the
+/// dropped suffix cannot resurrect after a crash. Used by WAL recovery to
+/// cut a torn active log back to its valid record prefix before the file
+/// is retired into a role (generation) whose readers treat a tear as
+/// unrecoverable bit rot.
+Status TruncateFile(const std::string& path, uint64_t size);
+
 /// \brief Write-a-new-file-then-swap: the atomic save primitive.
 /// Open() -> Append()* -> Commit(); any failure (or destruction without
 /// Commit) leaves the target untouched and removes the temp file.
@@ -115,5 +122,10 @@ void SetWriteFaultBudgetForTesting(long long bytes);
 /// Test hook: when true, the next AtomicFileWriter::Commit fails at the
 /// close-flush step (ENOSPC-at-close simulation) and clears the flag.
 void SetCommitFaultForTesting(bool fail);
+
+/// Test hook: while true, every LogFile::Datasync (including the sync
+/// inside Close) fails with an injected IOError — simulating a dying
+/// disk under the WAL group-commit barrier. Global; tests must reset it.
+void SetSyncFaultForTesting(bool fail);
 
 }  // namespace ppq

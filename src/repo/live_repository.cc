@@ -242,22 +242,33 @@ void LiveRepository::SealShard(size_t index) {
     // commit. The container's atomic rename is its commit point; once a
     // container covering tick <= cut is visible, every record that fed it
     // must already be on stable storage — recovery trusts the log as the
-    // superset of any container it finds.
+    // superset of any container it finds. So when the covering sync fails
+    // (or logging already stopped after an earlier rotation failure), the
+    // container commit is SKIPPED: recovery then falls back to the
+    // previous container plus the retained generations, instead of a
+    // container that silently claims ticks whose records never hit disk.
+    bool log_covers_cut = false;
     {
       std::lock_guard<std::mutex> lock(shard.mu);
       if (shard.wal != nullptr) {
         const Status synced = shard.wal->Sync();
         shard.wal_unsynced = 0;
-        if (!synced.ok()) RecordDurabilityError(synced);
+        if (synced.ok()) {
+          log_covers_cut = true;
+        } else {
+          RecordDurabilityError(synced);
+        }
       }
     }
-    // Persist the shard's container (atomic: tmp + fsync + rename), off
-    // the shard lock — appends keep flowing while the file writes. A
-    // persist failure is sticky but non-fatal: the retained WAL
-    // generations still hold every point, so recovery loses nothing.
-    const Status persisted = sealed->Save(
-        dir_ + "/" + ShardSnapshotFileName(static_cast<uint32_t>(index)));
-    if (!persisted.ok()) RecordDurabilityError(persisted);
+    if (log_covers_cut) {
+      // Persist the shard's container (atomic: tmp + fsync + rename), off
+      // the shard lock — appends keep flowing while the file writes. A
+      // persist failure is sticky but non-fatal: the retained WAL
+      // generations still hold every point, so recovery loses nothing.
+      const Status persisted = sealed->Save(
+          dir_ + "/" + ShardSnapshotFileName(static_cast<uint32_t>(index)));
+      if (!persisted.ok()) RecordDurabilityError(persisted);
+    }
   }
 
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -471,6 +482,8 @@ Status LiveRepository::RecoverShard(uint32_t index, core::SnapshotPtr base) {
 
   uint64_t max_epoch = 0;
   uint64_t active_epoch = 0;
+  bool active_torn = false;
+  size_t active_valid_bytes = 0;
   Tick last_tick = kNoTickYet;
   for (auto& [path, is_active] : files) {
     auto contents = ReadWalFile(path, index);
@@ -485,7 +498,11 @@ Status LiveRepository::RecoverShard(uint32_t index, core::SnapshotPtr base) {
           path);
     }
     max_epoch = std::max(max_epoch, contents->header.seal_epoch);
-    if (is_active) active_epoch = contents->header.seal_epoch;
+    if (is_active) {
+      active_epoch = contents->header.seal_epoch;
+      active_torn = contents->torn;
+      active_valid_bytes = contents->valid_bytes;
+    }
     for (WalRecord& record : contents->records) {
       if (record.slice.tick < last_tick) {
         return Status::Invalid("wal: tick regression across log files: " +
@@ -525,8 +542,26 @@ Status LiveRepository::RecoverShard(uint32_t index, core::SnapshotPtr base) {
 
   // New-log-on-open: retire the crash image of the active log (it
   // replays again if we crash before the next rotation) and start fresh.
+  // A torn image is first cut back to its valid record prefix — exactly
+  // the bytes replayed above — because generation readers treat a tear as
+  // bit rot, and retiring the torn suffix verbatim would fail every
+  // subsequent open of the directory.
   if (have_active) {
-    PPQ_RETURN_NOT_OK(RetireActiveLog(dir_, index, active_epoch));
+    if (active_valid_bytes < kWalHeaderBytes) {
+      // The create never landed (zero-byte or sub-header crash image): no
+      // record can have committed, so there is nothing worth retiring.
+      std::error_code remove_ec;
+      fs::remove(active, remove_ec);
+      if (remove_ec) {
+        return Status::IOError("cannot remove torn wal create: " + active +
+                               ": " + remove_ec.message());
+      }
+    } else {
+      if (active_torn) {
+        PPQ_RETURN_NOT_OK(TruncateFile(active, active_valid_bytes));
+      }
+      PPQ_RETURN_NOT_OK(RetireActiveLog(dir_, index, active_epoch));
+    }
   }
   WalHeader header;
   header.shard = index;

@@ -92,6 +92,7 @@ Result<WalContents> ReadWalFile(const std::string& path,
   contents.header.shard = *shard;
   contents.header.seal_epoch = *epoch;
   contents.header.sealed_through = *sealed_through;
+  contents.valid_bytes = kWalHeaderBytes;
 
   // Record loop over raw offsets (the frame length drives the cursor).
   // Anything that fails from here on is a torn/corrupt suffix — keep the
@@ -134,6 +135,7 @@ Result<WalContents> ReadWalFile(const std::string& path,
       return contents;
     }
     pos += 8 + len;
+    contents.valid_bytes = pos;
     if (rec_epoch < contents.header.seal_epoch) {
       ++contents.stale_records;
       continue;
@@ -176,11 +178,13 @@ Result<std::vector<WalGenerationFile>> ListWalGenerations(
     if (name.rfind(prefix, 0) != 0) continue;
     unsigned long long epoch = 0;
     unsigned seq = 0;
-    char tail[8] = {0};
-    if (std::sscanf(name.c_str() + std::strlen(prefix), "%llu-%u.lo%1s",
-                    &epoch, &seq, tail) != 3 ||
-        std::strcmp(tail, "g") != 0) {
-      continue;  // unrelated file that happens to share the prefix
+    if (std::sscanf(name.c_str() + std::strlen(prefix), "%llu-%u.log", &epoch,
+                    &seq) != 2 ||
+        name != WalGenerationFileName(shard, epoch, seq)) {
+      // The round-trip compare anchors the parse: lookalikes with a
+      // trailing suffix (`.logx`, `.log.bak`) or non-canonical digits
+      // (`gen-01-0`) are unrelated files, not generations to replay.
+      continue;
     }
     files.push_back({static_cast<uint64_t>(epoch), seq, name});
   }

@@ -93,6 +93,12 @@ struct WalContents {
   /// suffix (tolerated on the ACTIVE log — it is the crash write
   /// frontier — but corruption in a rotated, fully-synced generation).
   bool torn = false;
+  /// Byte length of the valid prefix: the end of the last frame that
+  /// passed every check (header only = kWalHeaderBytes; 0 when even the
+  /// header is short). Recovery truncates a torn active log to this
+  /// length before retiring it as a generation, so the torn suffix never
+  /// rides into a file whose readers treat a tear as bit rot.
+  size_t valid_bytes = 0;
 };
 
 /// \brief Read and validate one WAL file. A file shorter than the header

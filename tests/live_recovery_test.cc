@@ -380,6 +380,16 @@ TEST(LiveRecoveryTest, TornFinalRecordKeepsTheValidPrefix) {
   EXPECT_EQ((*recovered)->TotalPointsAppended(),
             fx.total_points - fx.record_counts.back());
   EXPECT_TRUE((*recovered)->DurabilityError().ok());
+
+  // The recovery retired the torn log as a generation: it must have been
+  // cut back to its valid prefix, or every later open of this directory
+  // would reject the generation as bit rot. Close cleanly and reopen.
+  recovered->reset();
+  auto reopened = OpenLiveRepository(fx.dir, PpqAFactory(), fx.options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  EXPECT_EQ((*reopened)->TotalPointsAppended(),
+            fx.total_points - fx.record_counts.back());
+  EXPECT_TRUE((*reopened)->DurabilityError().ok());
 }
 
 TEST(LiveRecoveryTest, BitFlippedRecordStopsReplayAtTheValidPrefix) {
@@ -402,6 +412,13 @@ TEST(LiveRecoveryTest, BitFlippedRecordStopsReplayAtTheValidPrefix) {
   auto recovered = OpenLiveRepository(fx.dir, PpqAFactory(), fx.options);
   ASSERT_TRUE(recovered.ok()) << recovered.status().message();
   EXPECT_EQ((*recovered)->TotalPointsAppended(), surviving);
+
+  // Reopen after the recovery: the corrupt suffix was truncated away when
+  // the log was retired, so the directory stays openable forever.
+  recovered->reset();
+  auto reopened = OpenLiveRepository(fx.dir, PpqAFactory(), fx.options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  EXPECT_EQ((*reopened)->TotalPointsAppended(), surviving);
 }
 
 TEST(LiveRecoveryTest, ZeroByteActiveLogIsATolerableTornCreate) {
@@ -412,6 +429,13 @@ TEST(LiveRecoveryTest, ZeroByteActiveLogIsATolerableTornCreate) {
   auto recovered = OpenLiveRepository(fx.dir, PpqAFactory(), fx.options);
   ASSERT_TRUE(recovered.ok()) << recovered.status().message();
   EXPECT_EQ((*recovered)->TotalPointsAppended(), 0u);
+
+  // The zero-byte crash image holds nothing to retire: recovery drops it
+  // instead of minting an unreadable generation, so reopening works.
+  recovered->reset();
+  auto reopened = OpenLiveRepository(fx.dir, PpqAFactory(), fx.options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  EXPECT_EQ((*reopened)->TotalPointsAppended(), 0u);
 }
 
 TEST(LiveRecoveryTest, GarbageActiveLogHeaderIsARealError) {
@@ -462,6 +486,76 @@ TEST(LiveRecoveryTest, MissingActiveLogAfterSealLosesOnlyTheTail) {
   // no records, so deleting it loses nothing.
   EXPECT_EQ((*recovered)->TotalPointsAppended(), total);
   ExpectExactParity(*recovered, data, data->MaxTick(), /*query_seed=*/8);
+}
+
+TEST(LiveRecoveryTest, GenerationListingIgnoresLookalikeNames) {
+  const std::string dir = FreshDir("lookalike_dir");
+  std::filesystem::create_directories(dir);
+  test::WriteFileBytes(dir + "/" + WalGenerationFileName(0, 1, 0), {});
+  // Prefix-sharing neighbours that are NOT generations: trailing junk,
+  // backup copies, non-canonical digits. Replaying (or renumbering
+  // around) any of them would corrupt recovery.
+  test::WriteFileBytes(dir + "/wal-0000.gen-1-0.logx", {});
+  test::WriteFileBytes(dir + "/wal-0000.gen-1-0.log.bak", {});
+  test::WriteFileBytes(dir + "/wal-0000.gen-01-0.log", {});
+  test::WriteFileBytes(dir + "/wal-0000.gen-1-0.lo", {});
+
+  auto gens = ListWalGenerations(dir, 0);
+  ASSERT_TRUE(gens.ok()) << gens.status().message();
+  ASSERT_EQ(gens->size(), 1u);
+  EXPECT_EQ((*gens)[0].name, WalGenerationFileName(0, 1, 0));
+  EXPECT_EQ((*gens)[0].epoch, 1u);
+  EXPECT_EQ((*gens)[0].seq, 0u);
+}
+
+TEST(LiveRecoveryTest, FailedWalSyncSkipsTheContainerCommit) {
+  // The log must durably cover the cut BEFORE the container commits; a
+  // failed covering sync must leave the previous container in place, or a
+  // later crash would recover a container claiming ticks whose records
+  // never reached disk.
+  const auto data = std::make_shared<const TrajectoryDataset>(SmallDataset());
+  const std::string dir = FreshDir("failed_sync_dir");
+  LiveRepository::Options options;
+  options.num_shards = 1;
+  options.num_threads = 1;
+  options.watermark_ticks = 0;  // manual rolls only
+  options.watermark_points = 0;
+  options.wal_sync_interval = 1;
+
+  auto opened = LiveRepository::Open(dir, PpqAFactory(), options);
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  auto live = *opened;
+  const Tick mid = (data->MinTick() + data->MaxTick()) / 2;
+  IngestThrough(*live, *data, mid);
+  live->RollAll();
+  live->Quiesce();
+  ASSERT_TRUE(live->DurabilityError().ok());
+  const auto before = test::ReadFileBytes(dir + "/" + ShardSnapshotFileName(0));
+
+  for (Tick t = mid + 1; t < data->MaxTick(); ++t) {
+    const PointBatch batch = data->BatchAt(t);
+    if (!batch.empty()) {
+      ASSERT_TRUE(live->Append(batch).ok());
+    }
+  }
+  SetSyncFaultForTesting(true);
+  live->RollAll();
+  live->Quiesce();
+  SetSyncFaultForTesting(false);
+
+  // The failure is sticky and the container was NOT replaced.
+  EXPECT_FALSE(live->DurabilityError().ok());
+  EXPECT_EQ(test::ReadFileBytes(dir + "/" + ShardSnapshotFileName(0)), before);
+
+  // Every second-half record was synced before the fault hit (interval 1),
+  // so the old container + retained logs still recover the full stream.
+  live.reset();
+  opened->reset();
+  auto recovered = OpenLiveRepository(dir, PpqAFactory(), options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().message();
+  EXPECT_EQ((*recovered)->TotalPointsAppended(),
+            PointsThrough(*data, data->MaxTick()));
+  ExpectExactParity(*recovered, data, data->MaxTick(), /*query_seed=*/11);
 }
 
 TEST(LiveRecoveryTest, CorruptManifestFailsCleanly) {
