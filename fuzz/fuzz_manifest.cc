@@ -1,0 +1,11 @@
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/fuzz_targets.h"
+
+/// libFuzzer harness over repo::OpenRepository (repository manifests).
+/// Build with -DPPQ_FUZZ=ON under clang; run:
+///   ./ppq_fuzz_manifest fuzz/corpus/manifest
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return ppq::fuzz::FuzzManifest(data, size);
+}

@@ -1,0 +1,11 @@
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/fuzz_targets.h"
+
+/// libFuzzer harness over core::OpenSnapshot (snapshot containers).
+/// Build with -DPPQ_FUZZ=ON under clang; run:
+///   ./ppq_fuzz_snapshot fuzz/corpus/snapshot
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return ppq::fuzz::FuzzSnapshot(data, size);
+}

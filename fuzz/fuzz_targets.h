@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file fuzz_targets.h
+/// The three fuzz entry points over the on-disk parsers — the attack
+/// surface a repository directory exposes to whatever wrote it last
+/// (an older build, a half-dead disk, a hostile copy):
+///
+///   - FuzzSnapshot:  core::OpenSnapshot over a snapshot container.
+///   - FuzzManifest:  repo::OpenRepository over a repository directory
+///                    whose MANIFEST is the fuzz input.
+///   - FuzzWal:       repo::ReadWalFile over a write-ahead log image,
+///                    then full crash-recovery replay of the same bytes
+///                    through LiveRepository::Open.
+///
+/// Each function has LLVMFuzzerTestOneInput semantics: never crash,
+/// never leak, never hang on ANY byte string — errors must surface as
+/// Status, not as UB. The libFuzzer harnesses (fuzz_snapshot.cc,
+/// fuzz_manifest.cc, fuzz_wal.cc) wrap one function each; the same
+/// functions are linked into tests/fuzz_regression_test.cc so every
+/// checked-in crash reproducer replays in the normal test suite, on
+/// every compiler, forever.
+///
+/// The parsers are file-based, so each call stages the input in a
+/// per-process scratch directory (fuzzing processes are single-threaded;
+/// parallel fuzzing uses separate processes).
+
+namespace ppq::fuzz {
+
+int FuzzSnapshot(const uint8_t* data, size_t size);
+int FuzzManifest(const uint8_t* data, size_t size);
+int FuzzWal(const uint8_t* data, size_t size);
+
+}  // namespace ppq::fuzz

@@ -1,0 +1,11 @@
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/fuzz_targets.h"
+
+/// libFuzzer harness over repo::ReadWalFile + full crash-recovery replay.
+/// Build with -DPPQ_FUZZ=ON under clang; run:
+///   ./ppq_fuzz_wal fuzz/corpus/wal
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return ppq::fuzz::FuzzWal(data, size);
+}

@@ -1,0 +1,52 @@
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+/// \file standalone_main.cc
+/// Driver for compilers without -fsanitize=fuzzer (gcc): runs every file
+/// argument — directories recurse — through LLVMFuzzerTestOneInput once.
+/// No coverage feedback, no mutation; this exists so the harnesses BUILD
+/// and the corpus REPLAYS everywhere, while real fuzzing runs under
+/// clang/libFuzzer in CI.
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+int RunFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  size_t ran = 0;
+  int failed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::error_code ec;
+    if (fs::is_directory(argv[i], ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(argv[i], ec)) {
+        if (!entry.is_regular_file()) continue;
+        failed |= RunFile(entry.path().string());
+        ++ran;
+      }
+    } else {
+      failed |= RunFile(argv[i]);
+      ++ran;
+    }
+  }
+  std::fprintf(stderr, "standalone driver: replayed %zu input(s)\n", ran);
+  return failed;
+}

@@ -4,13 +4,14 @@
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <system_error>
 #include <utility>
 
 #if !defined(_WIN32)
 #include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <unistd.h>
 #define PPQ_FSIO_POSIX 1
@@ -41,7 +42,11 @@ size_t AllowedBytes(size_t size) {
 }
 
 Status ErrnoError(const std::string& what, const std::string& path) {
-  return Status::IOError(what + ": " + path + ": " + std::strerror(errno));
+  // std::strerror returns a pointer into shared static storage — a data
+  // race when two fsio calls fail concurrently (WALs on distinct shards
+  // do). std::error_code::message copies under the hood instead.
+  const std::error_code ec(errno, std::generic_category());
+  return Status::IOError(what + ": " + path + ": " + ec.message());
 }
 
 std::string ParentDir(const std::string& path) {
@@ -155,6 +160,51 @@ Status TruncateFile(const std::string& path, uint64_t size) {
   }
   return Status::OK();  // best effort: no durability barrier (see header)
 #endif
+}
+
+// ---------------------------------------------------------------------------
+// DirectoryLock
+// ---------------------------------------------------------------------------
+
+DirectoryLock::~DirectoryLock() { Release(); }
+
+Status DirectoryLock::Acquire(const std::string& path) {
+#ifdef PPQ_FSIO_POSIX
+  if (fd_ >= 0) {
+    return Status::Internal("DirectoryLock: already holding " + path_);
+  }
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return ErrnoError("cannot open lock file", path);
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    const int err = errno;
+    ::close(fd);
+    if (err == EWOULDBLOCK) {
+      return Status::AlreadyExists(
+          "repository is already open (another opener holds " + path +
+          "; close it first — concurrent writers would interleave WAL and "
+          "container state)");
+    }
+    errno = err;
+    return ErrnoError("flock failed", path);
+  }
+  fd_ = fd;
+  path_ = path;
+  return Status::OK();
+#else
+  path_ = path;
+  return Status::OK();  // best effort: no advisory locks (see header)
+#endif
+}
+
+void DirectoryLock::Release() {
+#ifdef PPQ_FSIO_POSIX
+  if (fd_ >= 0) {
+    // close drops the flock with the open file description.
+    ::close(fd_);
+    fd_ = -1;
+  }
+#endif
+  path_.clear();
 }
 
 // ---------------------------------------------------------------------------

@@ -113,6 +113,45 @@ class LogFile {
   std::string path_;
 };
 
+/// \brief Advisory single-opener lock over a directory: open-or-create a
+/// DEDICATED lock file inside it and flock(2) it LOCK_EX | LOCK_NB. A
+/// second Acquire of the same file — from another process or the same one
+/// — fails with AlreadyExists instead of letting two writers interleave.
+///
+/// The lock must live on its own file, never on a file the repository
+/// rename-replaces (e.g. the manifest): flock identity follows the open
+/// file description, so a rename-replace would silently orphan the lock
+/// with the old inode. Because the kernel drops the lock when the holder's
+/// fd closes — including on crash — a dead opener never leaves a stale
+/// lock behind, which is why this beats a pid file. Advisory only:
+/// cooperating openers (everything going through LiveRepository::Open)
+/// are excluded; a rogue process writing the files directly is not.
+///
+/// On non-POSIX builds Acquire degrades to best-effort always-OK
+/// (documented; every supported CI target is POSIX).
+class DirectoryLock {
+ public:
+  DirectoryLock() = default;
+  /// Releases (close drops the flock).
+  ~DirectoryLock();
+
+  DirectoryLock(const DirectoryLock&) = delete;
+  DirectoryLock& operator=(const DirectoryLock&) = delete;
+
+  /// Take the exclusive lock on \p path (creating the file if needed).
+  /// AlreadyExists when another holder has it; IOError on open failures.
+  Status Acquire(const std::string& path);
+  /// Drop the lock early (idempotent; the destructor calls it).
+  void Release();
+
+  bool held() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
 /// Test hook: after \p bytes more successfully written bytes, every
 /// AtomicFileWriter/LogFile write fails with IOError (simulating a torn
 /// write / full disk). Negative disables (the default). Global; tests

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+/// \file mutex.h
+/// Annotated wrappers over std::mutex / std::condition_variable — the
+/// CAPABILITY types Clang's Thread Safety Analysis tracks. std::mutex
+/// itself carries no annotations (and std::lock_guard / std::unique_lock
+/// acquire it inside an unannotated standard header, invisible to the
+/// analysis), so every mutex in the concurrency substrate is a
+/// common::Mutex and every acquisition a common::MutexLock:
+///
+///   Mutex mu_;
+///   int value_ PPQ_GUARDED_BY(mu_);
+///   void Tick() {
+///     MutexLock lock(mu_);
+///     ++value_;                       // provably locked, at compile time
+///     while (!ready_) cv_.Wait(mu_);  // predicate loops stay in the
+///   }                                 // caller, where the analysis sees
+///                                     // the guarded reads
+///
+/// MutexLock supports the unlock/relock "juggle" (run a long operation
+/// off the lock, retake it to publish) via Unlock()/Lock(), which the
+/// analysis tracks through the scoped capability — so the worker-loop
+/// pattern needs no escape hatches. CondVar::Wait requires the mutex
+/// held; it releases and reacquires internally (via the adopt/release
+/// dance on the native handle), so from the analysis' point of view the
+/// capability is simply held across the call — exactly the semantics a
+/// condition wait has.
+
+namespace ppq {
+
+/// \brief Annotated exclusive mutex (wraps std::mutex; zero overhead).
+class PPQ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() PPQ_ACQUIRE() { mu_.lock(); }
+  void Unlock() PPQ_RELEASE() { mu_.unlock(); }
+  bool TryLock() PPQ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// \brief RAII lock over a Mutex (the annotated std::lock_guard /
+/// std::unique_lock replacement). Supports the manual unlock/relock
+/// juggle; the analysis tracks the capability through both.
+class PPQ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PPQ_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.Lock();
+  }
+  ~MutexLock() PPQ_RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Drop the lock early (long operation off the lock, or unlock before
+  /// a [[noreturn]] rethrow). The destructor then does nothing.
+  void Unlock() PPQ_RELEASE() {
+    held_ = false;
+    mu_.Unlock();
+  }
+  /// Retake after Unlock().
+  void Lock() PPQ_ACQUIRE() {
+    mu_.Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// \brief Condition variable waiting on a common::Mutex. Notify from
+/// anywhere; Wait requires the mutex held (use an explicit `while
+/// (!predicate) cv.Wait(mu);` loop at the call site — a predicate lambda
+/// would read guarded state outside the analysis' view).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release \p mu, wait, reacquire. Spurious wakeups happen;
+  /// always wait in a predicate loop.
+  void Wait(Mutex& mu) PPQ_REQUIRES(mu) {
+    // Adopt the already-held native mutex so std::condition_variable can
+    // do the atomic release-and-wait, then release() the unique_lock so
+    // its destructor does not unlock what the caller still holds.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ppq

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file thread_annotations.h
+/// Clang Thread Safety Analysis attribute macros (Abseil-style, PPQ_
+/// prefixed): the compile-time half of the concurrency contract. Every
+/// mutex-guarded member and lock-taking function in the serving/ingest
+/// substrate carries one of these, so `clang -Wthread-safety` proves the
+/// lock discipline on every build instead of TSan rediscovering a
+/// violation per incident. On compilers without the analysis (gcc, MSVC)
+/// every macro compiles to nothing.
+///
+/// Conventions (see README "Static analysis & fuzzing"):
+///  - Data members guarded by a mutex get PPQ_GUARDED_BY(mu) (or
+///    PPQ_PT_GUARDED_BY for the pointee behind an unguarded pointer).
+///  - Private "FooLocked" helpers that expect the caller to hold a lock
+///    declare PPQ_REQUIRES(mu) — the attribute may name a sibling member
+///    or a function parameter's member (e.g. `shard.mu`).
+///  - Functions that acquire/release a capability as a side effect (the
+///    common::Mutex primitives) use PPQ_ACQUIRE / PPQ_RELEASE /
+///    PPQ_TRY_ACQUIRE.
+///  - PPQ_EXCLUDES documents "must NOT hold" (deadlock prevention for
+///    public entry points callers might otherwise call under a lock).
+///  - PPQ_NO_THREAD_SAFETY_ANALYSIS is a last-resort escape; each use
+///    must carry a comment explaining why the analysis cannot express
+///    the invariant. The serve/ingest hot paths carry none.
+
+#if defined(__clang__)
+#define PPQ_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define PPQ_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off clang
+#endif
+
+/// Type attribute: this class is a lockable capability ("mutex").
+#define PPQ_CAPABILITY(x) PPQ_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Type attribute: RAII object that acquires a capability in its
+/// constructor and releases it in its destructor (common::MutexLock).
+#define PPQ_SCOPED_CAPABILITY PPQ_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define PPQ_GUARDED_BY(x) PPQ_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member whose POINTEE is guarded (the pointer itself is not).
+#define PPQ_PT_GUARDED_BY(x) PPQ_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Documented lock-ordering edges, checked by the analysis.
+#define PPQ_ACQUIRED_BEFORE(...) \
+  PPQ_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define PPQ_ACQUIRED_AFTER(...) \
+  PPQ_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// The caller must hold the capability (exclusively / shared) on entry,
+/// and still holds it on return.
+#define PPQ_REQUIRES(...) \
+  PPQ_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define PPQ_REQUIRES_SHARED(...) \
+  PPQ_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// This function acquires the capability and does not release it.
+#define PPQ_ACQUIRE(...) \
+  PPQ_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define PPQ_ACQUIRE_SHARED(...) \
+  PPQ_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// This function releases a capability the caller holds.
+#define PPQ_RELEASE(...) \
+  PPQ_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define PPQ_RELEASE_SHARED(...) \
+  PPQ_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+/// Attempts the acquisition; the first argument is the return value that
+/// means "acquired".
+#define PPQ_TRY_ACQUIRE(...) \
+  PPQ_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the capability (the function acquires it
+/// itself, or would deadlock/self-deadlock).
+#define PPQ_EXCLUDES(...) \
+  PPQ_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (for code reachable
+/// only under a lock the analysis cannot see).
+#define PPQ_ASSERT_CAPABILITY(x) \
+  PPQ_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// Accessor returning a reference to the named capability.
+#define PPQ_RETURN_CAPABILITY(x) \
+  PPQ_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: the analysis is wrong or cannot express the invariant.
+/// EVERY use must carry a justification comment; zero uses are allowed in
+/// the serve/ingest hot paths (enforced by review, see README).
+#define PPQ_NO_THREAD_SAFETY_ANALYSIS \
+  PPQ_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

@@ -2,18 +2,19 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 /// \file thread_pool.h
 /// A small reusable worker pool built for batched query serving, with two
@@ -47,6 +48,10 @@
 /// Destruction drains: tasks already Posted run to completion before the
 /// workers join, so futures obtained from Submit never dangle — but no new
 /// Post/Submit/ParallelFor may race with the destructor.
+///
+/// The lock discipline is machine-checked: every guarded field carries
+/// PPQ_GUARDED_BY(mu_) and `clang -Wthread-safety` proves each access
+/// holds the lock (see common/thread_annotations.h).
 
 namespace ppq {
 
@@ -72,10 +77,10 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stop_ = true;
     }
-    wake_cv_.notify_all();
+    wake_cv_.NotifyAll();
     for (std::thread& worker : workers_) worker.join();
   }
 
@@ -93,19 +98,19 @@ class ThreadPool {
   /// Post returns. Tasks posted before destruction are guaranteed to run.
   /// Posted tasks must not throw (there is nowhere to deliver the
   /// exception); use Submit when the task can fail.
-  void Post(PostedTask task) {
+  void Post(PostedTask task) PPQ_EXCLUDES(mu_, inline_mu_) {
     if (workers_.empty()) {
       // Serialized: concurrent posters must not both run as worker 0
       // (callers keep per-worker scratch keyed by the id).
-      std::lock_guard<std::mutex> lock(inline_mu_);
+      MutexLock lock(inline_mu_);
       task(0);
       return;
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       queue_.push_back(std::move(task));
     }
-    wake_cv_.notify_one();
+    wake_cv_.NotifyOne();
   }
 
   /// \brief Post \p fn (signature `R(size_t worker)`) and return a
@@ -126,29 +131,25 @@ class ThreadPool {
   /// Blocks until every index has been executed. If any callback throws,
   /// the remaining indices still run and the first exception is rethrown
   /// here.
-  void ParallelFor(size_t count, const Task& fn) {
+  void ParallelFor(size_t count, const Task& fn) PPQ_EXCLUDES(mu_, inline_mu_) {
     if (count == 0) return;
-    if (workers_.empty() || count == 1) {
-      // Inline path: same drain-then-rethrow semantics as the pooled path
-      // so side effects don't depend on the thread count. On a size-1
-      // pool, serialize with inline Post/Submit tasks so worker 0 is
-      // never two threads at once (with background workers present,
-      // queued tasks run as worker >= 1 and cannot collide).
-      std::unique_lock<std::mutex> inline_lock(inline_mu_, std::defer_lock);
-      if (workers_.empty()) inline_lock.lock();
-      std::exception_ptr first_error;
-      for (size_t i = 0; i < count; ++i) {
-        try {
-          fn(0, i);
-        } catch (...) {
-          if (first_error == nullptr) first_error = std::current_exception();
-        }
-      }
-      if (first_error != nullptr) std::rethrow_exception(first_error);
+    if (workers_.empty()) {
+      // Inline path on a size-1 pool: serialize with inline Post/Submit
+      // tasks so worker 0 is never two threads at once.
+      MutexLock inline_lock(inline_mu_);
+      RunInline(count, fn);
+      return;
+    }
+    if (count == 1) {
+      // Same drain-then-rethrow semantics as the pooled path so side
+      // effects don't depend on the thread count. (With background
+      // workers present, queued tasks run as worker >= 1 and cannot
+      // collide with this inline worker 0.)
+      RunInline(count, fn);
       return;
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       job_ = &fn;
       job_count_ = count;
       items_done_ = 0;
@@ -156,46 +157,60 @@ class ThreadPool {
       next_.store(0, std::memory_order_relaxed);
       ++generation_;
     }
-    wake_cv_.notify_all();
+    wake_cv_.NotifyAll();
     RunJob(&fn, count, /*worker=*/0);
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [this] {
-      return items_done_ == job_count_ && runners_ == 0;
-    });
+    MutexLock lock(mu_);
+    while (!(items_done_ == job_count_ && runners_ == 0)) {
+      done_cv_.Wait(mu_);
+    }
     if (first_error_ != nullptr) {
       std::exception_ptr error = first_error_;
       first_error_ = nullptr;
-      lock.unlock();
+      lock.Unlock();
       std::rethrow_exception(error);
     }
   }
 
  private:
-  void WorkerLoop(size_t worker) {
+  /// The no-background-workers / single-index loop: drain every index,
+  /// rethrow the first error. Touches no guarded state.
+  static void RunInline(size_t count, const Task& fn) {
+    std::exception_ptr first_error;
+    for (size_t i = 0; i < count; ++i) {
+      try {
+        fn(0, i);
+      } catch (...) {
+        if (first_error == nullptr) first_error = std::current_exception();
+      }
+    }
+    if (first_error != nullptr) std::rethrow_exception(first_error);
+  }
+
+  void WorkerLoop(size_t worker) PPQ_EXCLUDES(mu_) {
     uint64_t seen_generation = 0;
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (;;) {
-      wake_cv_.wait(lock, [&] {
-        return stop_ || generation_ != seen_generation || !queue_.empty();
-      });
+      while (!(stop_ || generation_ != seen_generation || !queue_.empty())) {
+        wake_cv_.Wait(mu_);
+      }
       if (generation_ != seen_generation) {
         seen_generation = generation_;
         const Task* job = job_;
         const size_t count = job_count_;
         if (job == nullptr) continue;  // job already drained before we woke
         ++runners_;
-        lock.unlock();
+        lock.Unlock();
         RunJob(job, count, worker);
-        lock.lock();
-        if (--runners_ == 0) done_cv_.notify_all();
+        lock.Lock();
+        if (--runners_ == 0) done_cv_.NotifyAll();
         continue;
       }
       if (!queue_.empty()) {
         PostedTask task = std::move(queue_.front());
         queue_.pop_front();
-        lock.unlock();
+        lock.Unlock();
         task(worker);
-        lock.lock();
+        lock.Lock();
         continue;
       }
       // stop_ is checked only after the queue is empty, so destruction
@@ -204,20 +219,21 @@ class ThreadPool {
     }
   }
 
-  void RunJob(const Task* job, size_t count, size_t worker) {
+  void RunJob(const Task* job, size_t count, size_t worker)
+      PPQ_EXCLUDES(mu_) {
     for (;;) {
       const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
       try {
         (*job)(worker, i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (first_error_ == nullptr) first_error_ = std::current_exception();
       }
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (++items_done_ == count) {
         job_ = nullptr;  // late wakers skip straight back to waiting
-        done_cv_.notify_all();
+        done_cv_.NotifyAll();
       }
     }
   }
@@ -227,20 +243,19 @@ class ThreadPool {
 
   /// Serializes worker-0 execution on a pool with no background workers
   /// (inline Post/Submit vs. each other and vs. inline ParallelFor).
-  std::mutex inline_mu_;
-  std::mutex mu_;
-  std::condition_variable wake_cv_;  ///< workers wait here for a job
-  std::condition_variable done_cv_;  ///< ParallelFor waits here for drain
-  // All fields below are guarded by mu_ except next_, which is atomic so
-  // index claiming stays lock-free on the hot path.
-  const Task* job_ = nullptr;
-  size_t job_count_ = 0;
-  size_t items_done_ = 0;
-  size_t runners_ = 0;
-  uint64_t generation_ = 0;
-  std::exception_ptr first_error_ = nullptr;
-  std::deque<PostedTask> queue_;  ///< single tasks from Post/Submit
-  bool stop_ = false;
+  Mutex inline_mu_;
+  Mutex mu_;
+  CondVar wake_cv_;  ///< workers wait here for a job
+  CondVar done_cv_;  ///< ParallelFor waits here for drain
+  const Task* job_ PPQ_GUARDED_BY(mu_) = nullptr;
+  size_t job_count_ PPQ_GUARDED_BY(mu_) = 0;
+  size_t items_done_ PPQ_GUARDED_BY(mu_) = 0;
+  size_t runners_ PPQ_GUARDED_BY(mu_) = 0;
+  uint64_t generation_ PPQ_GUARDED_BY(mu_) = 0;
+  std::exception_ptr first_error_ PPQ_GUARDED_BY(mu_) = nullptr;
+  std::deque<PostedTask> queue_ PPQ_GUARDED_BY(mu_);  ///< Post/Submit tasks
+  bool stop_ PPQ_GUARDED_BY(mu_) = false;
+  /// Atomic so index claiming stays lock-free on the hot path.
   std::atomic<size_t> next_{0};
 };
 

@@ -5,26 +5,27 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/query_types.h"
 
 /// \file query_dispatch.h
 /// The shared asynchronous dispatch substrate of every serving front-end
 /// (core::QueryService over one snapshot, repo::ShardedQueryService over a
-/// sharded repository): an internally synchronized pending-request queue
-/// drained by a dedicated worker pool, per-worker state handed to a
-/// seal-specific evaluator, cancellation of queued-but-unstarted
-/// requests, and drain-on-destruction. Factoring this out keeps the
-/// subtle parts — the queue-token race with CancelPending, the
-/// destruction ordering that lets the pool drain against still-alive
-/// state, promise exception delivery — in exactly one place; the
-/// front-ends contribute only their evaluator, validation, and hot-swap
-/// bookkeeping.
+/// sharded repository, repo::LiveQueryService over a live stream): an
+/// internally synchronized pending-request queue drained by a dedicated
+/// worker pool, per-worker state handed to a seal-specific evaluator,
+/// cancellation of queued-but-unstarted requests, and
+/// drain-on-destruction. Factoring this out keeps the subtle parts — the
+/// queue-token race with CancelPending, the destruction ordering that
+/// lets the pool drain against still-alive state, promise exception
+/// delivery — in exactly one place; the front-ends contribute only their
+/// evaluator, validation, and hot-swap bookkeeping.
 ///
 /// Thread-safety contract (inherited verbatim by the front-ends):
 /// Submit / SubmitBatch / CancelPending are safe from any number of
@@ -33,9 +34,12 @@
 /// evaluation never runs on a submitter thread). Destruction drains:
 /// every submitted future resolves before the destructor returns.
 ///
-/// WorkerState must expose a `std::mutex mu`; the evaluator is expected
-/// to hold it for the duration of each evaluation, and
-/// ForEachWorkerState takes it for hot-swap reclamation sweeps.
+/// WorkerState must expose a `common::Mutex mu` (ppq::Mutex) guarding its
+/// scratch members; the evaluator holds it for the duration of each
+/// evaluation, and the front-ends' hot-swap reclamation sweeps walk
+/// worker_states() taking each `mu` in turn — all of it visible to
+/// `clang -Wthread-safety` because the guarded members carry
+/// PPQ_GUARDED_BY(mu) and every acquisition is a common::MutexLock.
 
 namespace ppq::core {
 
@@ -61,11 +65,12 @@ class QueryDispatcher {
 
   /// \brief Queue one request; the future resolves when a worker has
   /// evaluated it (or it was cancelled).
-  std::future<QueryResponse> Submit(QueryRequest request) {
+  std::future<QueryResponse> Submit(QueryRequest request)
+      PPQ_EXCLUDES(queue_mu_) {
     std::promise<QueryResponse> promise;
     std::future<QueryResponse> future = promise.get_future();
     {
-      std::lock_guard<std::mutex> lock(queue_mu_);
+      MutexLock lock(queue_mu_);
       pending_.push_back({std::move(request), std::move(promise)});
     }
     pool_.Post([this](size_t worker) { ProcessOne(worker); });
@@ -74,11 +79,11 @@ class QueryDispatcher {
 
   /// \brief Queue a batch under one lock; futures[i] answers requests[i].
   std::vector<std::future<QueryResponse>> SubmitBatch(
-      std::vector<QueryRequest> requests) {
+      std::vector<QueryRequest> requests) PPQ_EXCLUDES(queue_mu_) {
     std::vector<std::future<QueryResponse>> futures;
     futures.reserve(requests.size());
     {
-      std::lock_guard<std::mutex> lock(queue_mu_);
+      MutexLock lock(queue_mu_);
       for (QueryRequest& request : requests) {
         Pending pending;
         pending.request = std::move(request);
@@ -96,10 +101,10 @@ class QueryDispatcher {
 
   /// \brief Fail every queued-but-unstarted request with
   /// StatusCode::kCancelled; returns the number cancelled.
-  size_t CancelPending() {
+  size_t CancelPending() PPQ_EXCLUDES(queue_mu_) {
     std::deque<Pending> cancelled;
     {
-      std::lock_guard<std::mutex> lock(queue_mu_);
+      MutexLock lock(queue_mu_);
       cancelled.swap(pending_);
     }
     for (Pending& pending : cancelled) {
@@ -112,16 +117,19 @@ class QueryDispatcher {
     return cancelled.size();
   }
 
-  /// \brief Run \p fn on every worker's state under that worker's mutex —
-  /// the hot-swap reclamation sweep. Each lock waits at most for the
-  /// worker's current evaluation.
-  template <typename Fn>
-  void ForEachWorkerState(Fn fn) {
-    for (WorkerState& state : worker_state_) {
-      std::lock_guard<std::mutex> lock(state.mu);
-      fn(state);
-    }
-  }
+  /// \brief The per-worker states, for the front-ends' hot-swap
+  /// reclamation sweeps. Callers take each state's `mu` themselves:
+  ///
+  ///   for (auto& state : dispatcher_.worker_states()) {
+  ///     MutexLock lock(state.mu);
+  ///     state.memo.Clear();   // guarded member, lock provably held
+  ///   }
+  ///
+  /// (An opaque for-each taking a callback would hide the acquisition
+  /// from the thread-safety analysis — the explicit loop keeps the
+  /// guarded accesses and the lock in the same scope.) Each lock waits
+  /// at most for that worker's current evaluation.
+  std::vector<WorkerState>& worker_states() { return worker_state_; }
 
  private:
   struct Pending {
@@ -131,10 +139,10 @@ class QueryDispatcher {
 
   /// Pop one pending request (if any survives cancellation) and resolve
   /// its promise.
-  void ProcessOne(size_t worker) {
+  void ProcessOne(size_t worker) PPQ_EXCLUDES(queue_mu_) {
     Pending pending;
     {
-      std::lock_guard<std::mutex> lock(queue_mu_);
+      MutexLock lock(queue_mu_);
       if (pending_.empty()) return;  // lost the race to CancelPending
       pending = std::move(pending_.front());
       pending_.pop_front();
@@ -149,8 +157,8 @@ class QueryDispatcher {
 
   Evaluator evaluate_;
 
-  std::mutex queue_mu_;  ///< guards pending_
-  std::deque<Pending> pending_;
+  Mutex queue_mu_;
+  std::deque<Pending> pending_ PPQ_GUARDED_BY(queue_mu_);
 
   std::vector<WorkerState> worker_state_;
   /// Declared last so it is destroyed FIRST: the pool's drain-on-destroy

@@ -63,10 +63,11 @@ void QueryService::UpdateView(ServingView view) {
   // worker. Each lock waits at most for the worker's current evaluation;
   // a worker that re-tags concurrently just pins the NEW seal, which the
   // sweep then harmlessly clears again.
-  dispatcher_.ForEachWorkerState([](WorkerState& state) {
+  for (WorkerState& state : dispatcher_.worker_states()) {
+    MutexLock lock(state.mu);
     state.memo.Clear();
     state.memo_snapshot = nullptr;
-  });
+  }
 }
 
 QueryResponse QueryService::Evaluate(const QueryRequest& request,
@@ -76,7 +77,7 @@ QueryResponse QueryService::Evaluate(const QueryRequest& request,
 
   // Owning-worker lock: uncontended except against UpdateView's
   // reclamation sweep.
-  std::lock_guard<std::mutex> state_lock(state.mu);
+  MutexLock state_lock(state.mu);
 
   // Pin the serve seal (and its epoch) for the whole evaluation:
   // UpdateView swaps under us, but this reference keeps our snapshot (and

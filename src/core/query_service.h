@@ -3,9 +3,10 @@
 #include <atomic>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "core/query_backend.h"
 #include "core/query_dispatch.h"
@@ -136,9 +137,9 @@ class QueryService : public QueryBackend {
   /// duration of each evaluation (uncontended in steady state) and by
   /// UpdateView's reclamation sweep.
   struct WorkerState {
-    std::mutex mu;
-    DecodeMemo memo;
-    SnapshotPtr memo_snapshot;
+    Mutex mu;
+    DecodeMemo memo PPQ_GUARDED_BY(mu);
+    SnapshotPtr memo_snapshot PPQ_GUARDED_BY(mu);
   };
 
   /// Throws std::invalid_argument on null / raw-inconsistent snapshots.

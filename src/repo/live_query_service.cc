@@ -130,10 +130,11 @@ void LiveQueryService::UpdateView(core::ServingView view) {
                              std::memory_order_release);
   // Sweep idle workers' per-shard scratch: it indexed the old
   // repository's seals.
-  dispatcher_.ForEachWorkerState([](WorkerState& state) {
+  for (WorkerState& state : dispatcher_.worker_states()) {
+    MutexLock lock(state.mu);
     state.memos.clear();
     state.memo_seals.clear();
-  });
+  }
 }
 
 QueryResponse LiveQueryService::Evaluate(const QueryRequest& request,
@@ -141,7 +142,7 @@ QueryResponse LiveQueryService::Evaluate(const QueryRequest& request,
   QueryResponse response;
   response.kind = KindOf(request);
 
-  std::lock_guard<std::mutex> state_lock(state.mu);
+  MutexLock state_lock(state.mu);
 
   const std::shared_ptr<const LiveRepository> repo =
       std::atomic_load_explicit(&repository_, std::memory_order_acquire);

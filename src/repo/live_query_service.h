@@ -3,9 +3,10 @@
 #include <atomic>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "core/query_backend.h"
 #include "core/query_dispatch.h"
@@ -108,9 +109,9 @@ class LiveQueryService : public core::QueryBackend {
   /// sealed snapshot it indexes (the SnapshotPtr is held, so tags are
   /// ABA-safe; a shard's memo survives appends and resets on its seal).
   struct WorkerState {
-    std::mutex mu;
-    std::vector<core::DecodeMemo> memos;
-    std::vector<core::SnapshotPtr> memo_seals;
+    Mutex mu;
+    std::vector<core::DecodeMemo> memos PPQ_GUARDED_BY(mu);
+    std::vector<core::SnapshotPtr> memo_seals PPQ_GUARDED_BY(mu);
   };
 
   core::QueryResponse Evaluate(const core::QueryRequest& request,

@@ -65,6 +65,10 @@ LiveRepository::LiveRepository(CompressorFactory factory, Options options)
   shards_.reserve(map_.num_shards);
   for (uint32_t i = 0; i < map_.num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
+    // No other thread can reach this shard yet, but its members are
+    // guarded by its own mutex (a different object than `this`, so the
+    // constructor exemption does not apply) — take the uncontended lock.
+    MutexLock lock(shard->mu);
     shard->compressor = factory(i);
     if (shard->compressor == nullptr) {
       throw std::invalid_argument(
@@ -77,6 +81,7 @@ LiveRepository::LiveRepository(CompressorFactory factory, Options options)
     view->sealed = shard->compressor->Seal();
     std::atomic_store_explicit(&shard->view, LiveShardViewPtr(std::move(view)),
                                std::memory_order_release);
+    lock.Unlock();
     shards_.push_back(std::move(shard));
   }
 }
@@ -108,7 +113,7 @@ Status LiveRepository::Append(const PointBatch& batch) {
     TimeSlice& sub = split[s];
     if (sub.empty()) continue;
     Shard& shard = *shards_[s];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     const Status status =
         AppendShardLocked(s, shard, std::move(sub), /*replay=*/false);
     if (!status.ok() && first_error.ok()) first_error = status;
@@ -232,10 +237,17 @@ void LiveRepository::TriggerSealLocked(size_t index, Shard& shard) {
 
 void LiveRepository::SealShard(size_t index) {
   Shard& shard = *shards_[index];
-  // Unlocked on purpose: `sealing` diverts every append to the pending
-  // queue, so the compressor is exclusively the seal task's until the
-  // publish below — Append never stalls behind the cut.
-  core::SnapshotPtr sealed = shard.compressor->Seal();
+  // Take structural ownership of the encoder for the cut: `sealing`
+  // diverts every append to the pending queue, so nothing else needs it
+  // until the publish below. Moving the pointer out under the lock makes
+  // that exclusivity a fact the thread-safety analysis verifies, and the
+  // expensive Seal() runs off the lock — Append never stalls behind it.
+  std::unique_ptr<core::Compressor> compressor;
+  {
+    MutexLock lock(shard.mu);
+    compressor = std::move(shard.compressor);
+  }
+  core::SnapshotPtr sealed = compressor->Seal();
 
   if (!dir_.empty()) {
     // Durability ordering: the WAL must be synced BEFORE the container
@@ -249,7 +261,7 @@ void LiveRepository::SealShard(size_t index) {
     // container that silently claims ticks whose records never hit disk.
     bool log_covers_cut = false;
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       if (shard.wal != nullptr) {
         const Status synced = shard.wal->Sync();
         shard.wal_unsynced = 0;
@@ -271,7 +283,8 @@ void LiveRepository::SealShard(size_t index) {
     }
   }
 
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
+  shard.compressor = std::move(compressor);
   const Tick cut = shard.seal_cut;
   const LiveShardViewPtr old =
       std::atomic_load_explicit(&shard.view, std::memory_order_acquire);
@@ -326,17 +339,17 @@ void LiveRepository::SealShard(size_t index) {
   }
   shard.pending.clear();
   shard.sealing = false;
-  shard.seal_done.notify_all();
+  shard.seal_done.NotifyAll();
 }
 
 void LiveRepository::RollAll() {
   for (uint32_t s = 0; s < map_.num_shards; ++s) {
     Shard& shard = *shards_[s];
-    std::unique_lock<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     FlushStagingLocked(shard);
     // Let an in-flight seal land first (its drain re-fills the segment
     // from pending), then cut whatever the segment holds.
-    shard.seal_done.wait(lock, [&] { return !shard.sealing; });
+    while (shard.sealing) shard.seal_done.Wait(shard.mu);
     if (shard.segment_first != kNoTickYet) TriggerSealLocked(s, shard);
   }
 }
@@ -344,8 +357,8 @@ void LiveRepository::RollAll() {
 void LiveRepository::Quiesce() {
   for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::unique_lock<std::mutex> lock(shard.mu);
-    shard.seal_done.wait(lock, [&] { return !shard.sealing; });
+    MutexLock lock(shard.mu);
+    while (shard.sealing) shard.seal_done.Wait(shard.mu);
   }
 }
 
@@ -397,12 +410,12 @@ Status RetireActiveLog(const std::string& dir, uint32_t index,
 }  // namespace
 
 void LiveRepository::RecordDurabilityError(const Status& status) {
-  std::lock_guard<std::mutex> lock(durability_mu_);
+  MutexLock lock(durability_mu_);
   if (durability_error_.ok()) durability_error_ = status;
 }
 
 Status LiveRepository::DurabilityError() const {
-  std::lock_guard<std::mutex> lock(durability_mu_);
+  MutexLock lock(durability_mu_);
   return durability_error_;
 }
 
@@ -410,7 +423,7 @@ Status LiveRepository::SyncWal() {
   Status first_error = Status::OK();
   for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     if (shard.wal == nullptr) continue;
     const Status status = shard.wal->Sync();
     shard.wal_unsynced = 0;
@@ -448,7 +461,7 @@ Status LiveRepository::RecoverShard(uint32_t index, core::SnapshotPtr base) {
   Shard& shard = *shards_[index];
   // No concurrent users yet (Open publishes the repository only after
   // every shard recovered), but the locked helpers require mu.
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
 
   // The reopened seal's frontier is authoritative: every tick it covers
   // is served from it, and the proof that its WAL records are on disk is
@@ -593,6 +606,12 @@ Result<std::shared_ptr<LiveRepository>> LiveRepository::Open(
   } catch (const std::invalid_argument& e) {
     return Status::Invalid(e.what());
   }
+  // Single-opener discipline: hold the advisory lock before reading or
+  // writing ANYTHING in the directory (recovery rewrites WALs; a second
+  // concurrent opener replaying the same logs would double-retire them).
+  // Released when `live` is destroyed, or by the kernel if we crash.
+  PPQ_RETURN_NOT_OK(
+      live->dir_lock_.Acquire(dir + "/" + kRepositoryLockFileName));
   live->dir_ = dir;
 
   // Sweep temp files of atomic saves whose commit never happened (a

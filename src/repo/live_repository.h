@@ -1,16 +1,17 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/fsio.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "common/types.h"
 #include "core/compressor.h"
@@ -77,6 +78,11 @@ namespace ppq::repo {
 /// Sentinel for "no tick yet" (also the initial sealed_through: every
 /// real tick is newer, so the whole stream starts in the tail).
 inline constexpr Tick kNoTickYet = std::numeric_limits<Tick>::min();
+
+/// The advisory single-opener lock file inside a durable repository
+/// directory (a DEDICATED file: the manifest is rename-replaced on save,
+/// which would orphan a flock held on it — see common::DirectoryLock).
+inline constexpr char kRepositoryLockFileName[] = "LOCK";
 
 /// \brief One immutable link of a shard's queryable tail: the points of
 /// one Append (one tick, one shard), chained newest-first. Chains are
@@ -225,65 +231,68 @@ class LiveRepository {
 
  private:
   struct Shard {
-    std::mutex mu;
+    Mutex mu;
     /// Signalled when a background seal lands (sealing -> false).
-    std::condition_variable seal_done;
+    CondVar seal_done;
 
-    /// The active segment's encoder. Touched only under mu while
-    /// ACTIVE; touched only by the seal task (without mu) while SEALING
-    /// — appends divert to `pending`, so the two never overlap.
-    std::unique_ptr<core::Compressor> compressor;
-    bool sealing = false;
+    /// The active segment's encoder. Null exactly while a seal is in
+    /// flight: SealShard MOVES the encoder out under mu, cuts it
+    /// unlocked (appends divert to `pending`), and moves it back under
+    /// mu at publish time — the exclusivity is structural ownership the
+    /// thread-safety analysis checks, not a protocol comment.
+    std::unique_ptr<core::Compressor> compressor PPQ_GUARDED_BY(mu);
+    bool sealing PPQ_GUARDED_BY(mu) = false;
 
     /// Staging slice for the tick currently being accumulated.
-    TimeSlice staging;
-    bool staging_active = false;
+    TimeSlice staging PPQ_GUARDED_BY(mu);
+    bool staging_active PPQ_GUARDED_BY(mu) = false;
     /// Newest tick flushed out of staging (into compressor or pending).
-    Tick flushed = kNoTickYet;
+    Tick flushed PPQ_GUARDED_BY(mu) = kNoTickYet;
     /// Ticks diverted while a seal is in flight, in flush order.
-    std::deque<TimeSlice> pending;
+    std::deque<TimeSlice> pending PPQ_GUARDED_BY(mu);
 
     /// Active-segment watermark accounting (reset when a roll triggers).
-    Tick segment_first = kNoTickYet;
-    size_t segment_points = 0;
+    Tick segment_first PPQ_GUARDED_BY(mu) = kNoTickYet;
+    size_t segment_points PPQ_GUARDED_BY(mu) = 0;
     /// The cut recorded when the in-flight seal was triggered.
-    Tick seal_cut = kNoTickYet;
+    Tick seal_cut PPQ_GUARDED_BY(mu) = kNoTickYet;
 
     /// Durable mode: the shard's active write-ahead log (null when
-    /// memory-only) and its group-commit counter. Guarded by mu.
-    std::unique_ptr<WriteAheadLog> wal;
-    size_t wal_unsynced = 0;
+    /// memory-only) and its group-commit counter.
+    std::unique_ptr<WriteAheadLog> wal PPQ_GUARDED_BY(mu);
+    size_t wal_unsynced PPQ_GUARDED_BY(mu) = 0;
     /// Mirrors view->seal_epoch (plain field so Append can stamp WAL
-    /// records without an atomic view load). Guarded by mu.
-    uint64_t epoch = 0;
+    /// records without an atomic view load).
+    uint64_t epoch PPQ_GUARDED_BY(mu) = 0;
     /// Recovery: ticks <= base_covered were answered by the reopened
     /// seal, so replay feeds them to the compressor but neither republishes
     /// them as tail nor counts them toward the watermark segment.
     /// kNoTickYet for fresh shards.
-    Tick base_covered = kNoTickYet;
+    Tick base_covered PPQ_GUARDED_BY(mu) = kNoTickYet;
 
-    /// The published view; accessed only via atomic_load/atomic_store.
+    /// The published view; accessed only via atomic_load/atomic_store
+    /// (lock-free reader side — deliberately NOT guarded by mu).
     LiveShardViewPtr view;
   };
 
   /// The per-shard Append body: monotonicity check, WAL record (live
-  /// appends only), staging merge, tail publish. Requires mu. Replay
-  /// (\p replay = true) suppresses the WAL write (the record came FROM
-  /// the log) and watermark rolls (a replay-time seal could regress the
-  /// frontier below the reopened seal's).
+  /// appends only), staging merge, tail publish. Replay (\p replay =
+  /// true) suppresses the WAL write (the record came FROM the log) and
+  /// watermark rolls (a replay-time seal could regress the frontier
+  /// below the reopened seal's).
   Status AppendShardLocked(size_t index, Shard& shard, TimeSlice&& sub,
-                           bool replay);
+                           bool replay) PPQ_REQUIRES(shard.mu);
   /// Sort staging by id and hand it to the compressor (ACTIVE) or the
-  /// pending queue (SEALING). Requires mu.
-  void FlushStagingLocked(Shard& shard);
-  /// Trigger a background seal of the active segment. Requires mu,
-  /// !sealing, and a non-empty segment.
-  void TriggerSealLocked(size_t index, Shard& shard);
-  /// Roll when the active segment crossed a watermark. Requires mu.
-  void MaybeRollLocked(size_t index, Shard& shard);
-  /// The background seal task: cut the compressor (unlocked — appends
-  /// are diverted), persist + sync in durable mode, publish the new
-  /// view, rotate the WAL, drain pending, resume ACTIVE.
+  /// pending queue (SEALING).
+  void FlushStagingLocked(Shard& shard) PPQ_REQUIRES(shard.mu);
+  /// Trigger a background seal of the active segment. Requires
+  /// !sealing and a non-empty segment.
+  void TriggerSealLocked(size_t index, Shard& shard) PPQ_REQUIRES(shard.mu);
+  /// Roll when the active segment crossed a watermark.
+  void MaybeRollLocked(size_t index, Shard& shard) PPQ_REQUIRES(shard.mu);
+  /// The background seal task: move the encoder out and cut it unlocked
+  /// (appends are diverted), persist + sync in durable mode, publish the
+  /// new view, rotate the WAL, drain pending, resume ACTIVE.
   void SealShard(size_t index);
 
   /// Recovery (durable open only; no concurrency yet): seed the view
@@ -291,18 +300,26 @@ class LiveRepository {
   /// active log out, start a fresh one.
   Status RecoverShard(uint32_t index, core::SnapshotPtr base);
   /// Retire the active log to the next free generation name and start a
-  /// fresh log at the current epoch/frontier. Requires mu.
-  Status RotateWalLocked(uint32_t index, Shard& shard, Tick sealed_through);
-  void RecordDurabilityError(const Status& status);
+  /// fresh log at the current epoch/frontier.
+  Status RotateWalLocked(uint32_t index, Shard& shard, Tick sealed_through)
+      PPQ_REQUIRES(shard.mu);
+  void RecordDurabilityError(const Status& status)
+      PPQ_EXCLUDES(durability_mu_);
 
+  /// Held for the repository's whole lifetime in durable mode: a second
+  /// Open of the same directory fails with AlreadyExists instead of two
+  /// writers interleaving WAL and container state. Declared FIRST so it
+  /// is destroyed LAST — the directory stays exclusively ours until the
+  /// pool has drained and every shard's WAL has closed-and-synced.
+  DirectoryLock dir_lock_;
   Options options_;
   ShardMap map_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<size_t> points_appended_{0};
   /// Durable mode state; dir_ is empty when memory-only.
   std::string dir_;
-  mutable std::mutex durability_mu_;
-  Status durability_error_;
+  mutable Mutex durability_mu_;
+  Status durability_error_ PPQ_GUARDED_BY(durability_mu_);
 
   /// Background seal pool; declared LAST so its destructor runs FIRST
   /// and drains queued seal tasks against still-alive shard state (and

@@ -78,10 +78,11 @@ void ShardedQueryService::UpdateView(core::ServingView view) {
   // Eager reclamation, as in QueryService: sweep every worker's per-shard
   // scratch (and its pinned repository reference) instead of waiting for
   // traffic to reach that worker.
-  dispatcher_.ForEachWorkerState([](WorkerState& state) {
+  for (WorkerState& state : dispatcher_.worker_states()) {
+    MutexLock lock(state.mu);
     state.memos.clear();
     state.memo_repository = nullptr;
-  });
+  }
 }
 
 QueryResponse ShardedQueryService::Evaluate(const QueryRequest& request,
@@ -89,7 +90,7 @@ QueryResponse ShardedQueryService::Evaluate(const QueryRequest& request,
   QueryResponse response;
   response.kind = KindOf(request);
 
-  std::lock_guard<std::mutex> state_lock(state.mu);
+  MutexLock state_lock(state.mu);
 
   // Pin the WHOLE repository seal (and its epoch) with one atomic load:
   // every shard this request touches comes from the same seal, so a

@@ -3,9 +3,10 @@
 #include <atomic>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "core/query_backend.h"
 #include "core/query_dispatch.h"
@@ -137,9 +138,9 @@ class ShardedQueryService : public core::QueryBackend {
   /// Per-worker decode scratch: one memo per shard, all tagged by the one
   /// repository seal they index (held, so the tag is ABA-safe).
   struct WorkerState {
-    std::mutex mu;
-    std::vector<core::DecodeMemo> memos;
-    RepositorySnapshotPtr memo_repository;
+    Mutex mu;
+    std::vector<core::DecodeMemo> memos PPQ_GUARDED_BY(mu);
+    RepositorySnapshotPtr memo_repository PPQ_GUARDED_BY(mu);
   };
 
   void Validate(const RepositorySnapshotPtr& repository) const;

@@ -123,6 +123,11 @@ Result<std::vector<WalGenerationFile>> ListWalGenerations(
 /// \brief Append-only writer for one shard's active log. Append() is a
 /// buffered write; Sync() is the group-commit barrier callers schedule
 /// per Options::wal_sync_interval.
+///
+/// EXTERNALLY synchronized: the log keeps no lock of its own. Its single
+/// owner (LiveRepository::Shard) holds it behind a PPQ_GUARDED_BY(mu)
+/// member, so clang -Wthread-safety proves every Append/Sync/Close runs
+/// under that shard's mutex.
 class WriteAheadLog {
  public:
   /// Create a fresh log at \p path (truncating any leftover), write its

@@ -160,6 +160,34 @@ TEST(LiveRecoveryTest, FreshDirectoryInitialisesAndReopensEmpty) {
   EXPECT_TRUE((*reopened)->DurabilityError().ok());
 }
 
+TEST(LiveRecoveryTest, SecondOpenerIsRejectedWhileFirstIsLive) {
+  const std::string dir = FreshDir("single_opener_dir");
+  LiveRepository::Options options;
+  options.num_shards = 2;
+  options.num_threads = 1;
+
+  auto first = LiveRepository::Open(dir, PpqAFactory(), options);
+  ASSERT_TRUE(first.ok()) << first.status().message();
+  EXPECT_TRUE(std::filesystem::exists(dir + "/" + kRepositoryLockFileName));
+
+  // A second opener of the SAME live directory must fail cleanly (two
+  // writers would interleave WAL records and double-retire generations),
+  // and must not have disturbed the first opener's state.
+  auto second = LiveRepository::Open(dir, PpqAFactory(), options);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kAlreadyExists)
+      << second.status().message();
+  const TrajectoryDataset data = SmallDataset();
+  ASSERT_TRUE((*first)->Append(data.BatchAt(data.MinTick())).ok());
+  EXPECT_TRUE((*first)->DurabilityError().ok());
+
+  // Closing the first opener releases the flock: the directory reopens.
+  first->reset();
+  auto third = OpenLiveRepository(dir, PpqAFactory(), options);
+  ASSERT_TRUE(third.ok()) << third.status().message();
+  EXPECT_TRUE((*third)->DurabilityError().ok());
+}
+
 TEST(LiveRecoveryTest, ShardCountMismatchIsRejected) {
   const std::string dir = FreshDir("mismatch_dir");
   LiveRepository::Options options;

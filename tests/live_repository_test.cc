@@ -607,5 +607,74 @@ TEST(LiveRepositoryConcurrencyTest, AppendersRaceQueriesAndStayExact) {
   }
 }
 
+// The seal-diversion protocol under racing readers. This is the path the
+// thread-safety annotations restructured: SealShard MOVES the shard's
+// compressor out under `shard.mu`, seals it with no lock held while
+// appends divert to the pending queue, then moves it back and publishes
+// the view. A slow seal keeps that window open for ~every flush while an
+// appender hammers Append and a poller hammers ShardView/MinSealEpoch —
+// under TSan (this suite is in the tsan CI job's -R 'Live' selection),
+// any access that escaped the lock discipline is a hard failure. The
+// final exactness sweep proves the diverted appends also drained
+// losslessly.
+TEST(LiveRepositoryConcurrencyTest, SealDiversionRacesViewReaders) {
+  const auto data = std::make_shared<const TrajectoryDataset>(SmallDataset());
+  LiveRepository::Options options;
+  options.num_shards = 2;
+  options.num_threads = 2;
+  options.watermark_ticks = 3;
+  options.watermark_points = 0;
+  const auto live = std::make_shared<LiveRepository>(
+      [](uint32_t) {
+        return std::make_unique<SlowSealCompressor>(
+            std::make_unique<core::PpqTrajectory>(core::MakePpqA()));
+      },
+      options);
+
+  std::atomic<bool> done{false};
+  std::thread poller([&] {
+    uint64_t floor = 0;
+    std::vector<uint64_t> shard_floor(options.num_shards, 0);
+    while (!done.load(std::memory_order_acquire)) {
+      // Published views and the seal epoch must always read as a
+      // consistent, monotone snapshot while seals are in flight.
+      const uint64_t epoch = live->MinSealEpoch();
+      EXPECT_GE(epoch, floor);
+      floor = epoch;
+      for (uint32_t s = 0; s < options.num_shards; ++s) {
+        const auto view = live->ShardView(s);
+        ASSERT_NE(view, nullptr);
+        EXPECT_GE(view->seal_epoch, shard_floor[s]);
+        shard_floor[s] = view->seal_epoch;
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  // Back-to-back ingest: each 100ms seal is still running when the next
+  // watermark's flush lands, so those flushes take the diversion path.
+  IngestAll(*live, *data);
+  live->RollAll();
+  live->Quiesce();
+  done.store(true, std::memory_order_release);
+  poller.join();
+
+  EXPECT_GE(live->MinSealEpoch(), 1u);
+  LiveQueryService::Options serve;
+  serve.num_threads = 2;
+  serve.raw = data;
+  serve.cell_size = CellSize();
+  LiveQueryService service(live, serve);
+  Rng rng(29);
+  for (const QuerySpec& q : SampleQueries(*data, 25, &rng)) {
+    const QueryResponse response =
+        service.Submit(StrqRequest{q, StrqMode::kExact}).get();
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(SortedIds(response.strq().ids),
+              SortedIds(QueryEngine::GroundTruth(*data, q, CellSize())))
+        << "tick " << q.tick;
+  }
+}
+
 }  // namespace
 }  // namespace ppq::repo
