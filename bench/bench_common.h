@@ -55,6 +55,10 @@ class PerfJson {
   void Field(const std::string& key, double value);
   /// Convenience for string-valued fields (kernel level, workload name).
   void Text(const std::string& key, const std::string& value);
+  /// Attach an already-serialized JSON value verbatim (no escaping) —
+  /// how obs::Registry::RenderJson() embeds the run's metrics snapshot
+  /// into the perf record. The caller owns the value's validity.
+  void Raw(const std::string& key, const std::string& json);
 
   bool empty() const { return records_.empty(); }
   /// Write the document to \p path (overwrites); false on I/O failure.
@@ -64,6 +68,7 @@ class PerfJson {
   struct Entry {
     std::string key;
     bool is_text = false;
+    bool is_raw = false;
     double number = 0.0;
     std::string text;
   };

@@ -43,6 +43,7 @@
 /// deterministic stream and workload.
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -63,6 +64,7 @@
 #include "common/timer.h"
 #include "core/metrics.h"
 #include "core/query_engine.h"
+#include "obs/metrics.h"
 #include "repo/live_query_service.h"
 #include "repo/live_repository.h"
 
@@ -355,7 +357,8 @@ int RunRecover(const BenchOptions& options, const LiveFlags& flags) {
   return ok ? 0 : 1;
 }
 
-int Run(const BenchOptions& options, const LiveFlags& flags) {
+int Run(const BenchOptions& options, const LiveFlags& flags,
+        const std::string& json_path) {
   std::printf("=== bench_live: concurrent ingest + mixed serving over a "
               "LiveRepository ===\n");
   DatasetBundle bundle = MakePortoBundle(options);
@@ -437,6 +440,9 @@ int Run(const BenchOptions& options, const LiveFlags& flags) {
   TickBarrier barrier(flags.ingestors);
   std::vector<std::vector<std::pair<core::QueryKind, uint64_t>>> latencies(
       flags.submitters);
+  // Per-response serve-stage breakdowns for the [stage]/[stages] report
+  // (per-submitter buffers, merged after the join).
+  std::vector<std::vector<core::QueryStats>> stage_stats(flags.submitters);
 
   WallTimer concurrent_timer;
   std::vector<std::thread> ingest_threads;
@@ -475,6 +481,7 @@ int Run(const BenchOptions& options, const LiveFlags& flags) {
                   std::chrono::duration_cast<std::chrono::microseconds>(
                       std::chrono::steady_clock::now() - start)
                       .count()));
+          stage_stats[s].push_back(response.stats);
           served.fetch_add(1, std::memory_order_relaxed);
           if (item.truth != kNoTruth) {
             checked.fetch_add(1, std::memory_order_relaxed);
@@ -517,6 +524,17 @@ int Run(const BenchOptions& options, const LiveFlags& flags) {
     }
   }
   std::sort(all.begin(), all.end());
+  PerfJson json;
+  const auto latency_record = [&](const std::string& name,
+                                  const std::vector<uint64_t>& sorted) {
+    json.Begin(name);
+    json.Field("requests", static_cast<double>(sorted.size()));
+    json.Field("p50_us", static_cast<double>(percentile(sorted, 0.50)));
+    json.Field("p95_us", static_cast<double>(percentile(sorted, 0.95)));
+    json.Field("p99_us", static_cast<double>(percentile(sorted, 0.99)));
+    json.Field("max_us",
+               static_cast<double>(sorted.empty() ? 0 : sorted.back()));
+  };
   constexpr const char* kKindNames[4] = {"strq", "window", "knn", "tpq"};
   for (size_t kind = 0; kind < 4; ++kind) {
     std::vector<uint64_t>& sample = by_kind[kind];
@@ -529,12 +547,57 @@ int Run(const BenchOptions& options, const LiveFlags& flags) {
                 static_cast<unsigned long long>(percentile(sample, 0.95)),
                 static_cast<unsigned long long>(percentile(sample, 0.99)),
                 static_cast<unsigned long long>(sample.back()));
+    latency_record(std::string("latency_") + kKindNames[kind], sample);
   }
   std::printf("[latency] p50_us=%llu p95_us=%llu p99_us=%llu max_us=%llu\n",
               static_cast<unsigned long long>(percentile(all, 0.50)),
               static_cast<unsigned long long>(percentile(all, 0.95)),
               static_cast<unsigned long long>(percentile(all, 0.99)),
               static_cast<unsigned long long>(all.empty() ? 0 : all.back()));
+  latency_record("latency", all);
+
+  // --- Serve-side stage breakdown of the concurrent phase ---------------
+  {
+    std::array<std::vector<uint64_t>, core::kNumServeStages> samples;
+    std::array<uint64_t, core::kNumServeStages> sums{};
+    uint64_t queue_sum = 0;
+    uint64_t eval_sum = 0;
+    size_t requests = 0;
+    for (const auto& per_thread : stage_stats) {
+      for (const core::QueryStats& s : per_thread) {
+        ++requests;
+        queue_sum += s.queue_micros;
+        eval_sum += s.eval_micros;
+        for (size_t st = 0; st < core::kNumServeStages; ++st) {
+          samples[st].push_back(s.stage_micros[st]);
+          sums[st] += s.stage_micros[st];
+        }
+      }
+    }
+    for (size_t st = 0; st < core::kNumServeStages; ++st) {
+      std::vector<uint64_t>& sample = samples[st];
+      std::sort(sample.begin(), sample.end());
+      std::printf("[stage] name=%s requests=%zu p50_us=%llu p95_us=%llu "
+                  "p99_us=%llu max_us=%llu sum_us=%llu\n",
+                  core::kServeStageNames[st], sample.size(),
+                  static_cast<unsigned long long>(percentile(sample, 0.50)),
+                  static_cast<unsigned long long>(percentile(sample, 0.95)),
+                  static_cast<unsigned long long>(percentile(sample, 0.99)),
+                  static_cast<unsigned long long>(
+                      sample.empty() ? 0 : sample.back()),
+                  static_cast<unsigned long long>(sums[st]));
+      latency_record(std::string("stage_") + core::kServeStageNames[st],
+                     sample);
+      json.Field("sum_us", static_cast<double>(sums[st]));
+    }
+    std::printf("[stages] requests=%zu queue_sum_us=%llu eval_sum_us=%llu\n",
+                requests, static_cast<unsigned long long>(queue_sum),
+                static_cast<unsigned long long>(eval_sum));
+    json.Begin("stages");
+    json.Field("requests", static_cast<double>(requests));
+    json.Field("queue_sum_us", static_cast<double>(queue_sum));
+    json.Field("eval_sum_us", static_cast<double>(eval_sum));
+  }
 
   // --- Post-roll sweep: cut every shard, re-gate the whole workload -----
   live->RollAll();
@@ -557,6 +620,44 @@ int Run(const BenchOptions& options, const LiveFlags& flags) {
     }
     PrintThroughput("LiveService/sealed", "serve", futures.size(),
                     sweep_timer.ElapsedSeconds());
+  }
+
+  // --- Ingest/durability stage latencies, from the metrics registry -----
+  // One [ingest-stage] line per populated per-shard series: append (lock
+  // wait + WAL + staging + tail publish), flush, seal cut, WAL
+  // append/fdatasync, rotation. Durable runs (--dir) show the WAL lines;
+  // memory-only runs show the in-memory stages alone.
+  {
+    const obs::MetricsSnapshot snap = obs::Registry::Default().Snapshot();
+    for (const auto& h : snap.histograms) {
+      const bool ingest_side = h.name.rfind("ppq_ingest_", 0) == 0 ||
+                               h.name.rfind("ppq_wal_", 0) == 0 ||
+                               h.name.rfind("ppq_recovery_", 0) == 0;
+      if (!ingest_side || h.snapshot.count == 0) continue;
+      // ppq_wal_append_micros -> wal_append
+      std::string stage = h.name.substr(4);
+      const size_t suffix = stage.rfind("_micros");
+      if (suffix != std::string::npos) stage.resize(suffix);
+      unsigned long shard_no = 0;
+      std::sscanf(h.labels.c_str(), "shard=\"%lu\"", &shard_no);
+      std::printf("[ingest-stage] stage=%s shard=%lu count=%llu "
+                  "p50_us=%llu p95_us=%llu p99_us=%llu max_us=%llu "
+                  "mean_us=%.1f\n",
+                  stage.c_str(), shard_no,
+                  static_cast<unsigned long long>(h.snapshot.count),
+                  static_cast<unsigned long long>(h.snapshot.Quantile(0.50)),
+                  static_cast<unsigned long long>(h.snapshot.Quantile(0.95)),
+                  static_cast<unsigned long long>(h.snapshot.Quantile(0.99)),
+                  static_cast<unsigned long long>(h.snapshot.max),
+                  h.snapshot.Mean());
+      json.Begin("ingest_" + stage + "_shard" + std::to_string(shard_no));
+      json.Field("count", static_cast<double>(h.snapshot.count));
+      json.Field("p50_us", static_cast<double>(h.snapshot.Quantile(0.50)));
+      json.Field("p95_us", static_cast<double>(h.snapshot.Quantile(0.95)));
+      json.Field("p99_us", static_cast<double>(h.snapshot.Quantile(0.99)));
+      json.Field("max_us", static_cast<double>(h.snapshot.max));
+      json.Field("mean_us", h.snapshot.Mean());
+    }
   }
 
   const bool durable_ok = flags.dir.empty() || live->DurabilityError().ok();
@@ -583,6 +684,27 @@ int Run(const BenchOptions& options, const LiveFlags& flags) {
               static_cast<unsigned long long>(live->MinSealEpoch()),
               checked.load(), ok ? "yes" : "NO");
 
+  json.Begin("live");
+  json.Field("shards", static_cast<double>(flags.shards));
+  json.Field("ingestors", static_cast<double>(flags.ingestors));
+  json.Field("submitters", static_cast<double>(flags.submitters));
+  json.Field("watermark_ticks", static_cast<double>(flags.watermark_ticks));
+  json.Field("points", static_cast<double>(total_points));
+  json.Field("points_per_sec", points_per_sec);
+  json.Field("served", static_cast<double>(live_served));
+  json.Field("qps", qps);
+  json.Field("seals", static_cast<double>(live->MinSealEpoch()));
+  json.Field("checked", static_cast<double>(checked.load()));
+  json.Text("identical", ok ? "yes" : "no");
+  json.Text("durable", flags.dir.empty() ? "no" : "yes");
+  json.Begin("metrics");
+  json.Raw("registry", obs::Registry::Default().RenderJson());
+  if (!json_path.empty() && !json.Write(json_path, "live")) {
+    std::fprintf(stderr, "bench_live: could not write %s\n",
+                 json_path.c_str());
+    return 2;
+  }
+
   if (!append_ok.load()) {
     std::fprintf(stderr, "ERROR: Append rejected a batch during lockstep "
                          "ingest\n");
@@ -602,6 +724,7 @@ int Run(const BenchOptions& options, const LiveFlags& flags) {
 
 int main(int argc, char** argv) {
   ppq::bench::BenchOptions options = ppq::bench::ParseArgs(argc, argv);
+  const std::string json_path = ppq::bench::ParseJsonPath(argc, argv);
   ppq::bench::LiveFlags flags;
   bool threads_given = false;
   for (int i = 1; i < argc; ++i) {
@@ -651,5 +774,5 @@ int main(int argc, char** argv) {
   }
   if (flags.recover) return ppq::bench::RunRecover(options, flags);
   if (flags.crash_after >= 0) return ppq::bench::RunCrash(options, flags);
-  return ppq::bench::Run(options, flags);
+  return ppq::bench::Run(options, flags, json_path);
 }

@@ -30,6 +30,7 @@
 /// a BENCH_serve.json via bench::PerfJson.
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -47,6 +48,8 @@
 #include "core/query_backend.h"
 #include "core/query_engine.h"
 #include "core/query_service.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ppq::bench {
 namespace {
@@ -206,7 +209,7 @@ Payload EvalSerial(const core::QueryEngine& engine,
 }
 
 int RunMixed(const BenchOptions& options, size_t submitters,
-             const std::string& json_path) {
+             const std::string& json_path, const std::string& trace_path) {
   std::printf("=== bench_serve --mixed: async QueryService, %zu submitter "
               "thread(s) ===\n", submitters);
   DatasetBundle bundle = MakePortoBundle(options);
@@ -256,6 +259,11 @@ int RunMixed(const BenchOptions& options, size_t submitters,
   // per-kind distributions (a slow tail can hide entirely inside one
   // request kind of a mixed stream).
   std::vector<Payload> served(stream.size());
+  // Per-request stage breakdown (submitters own disjoint indices, so the
+  // writes need no lock) — the same numbers the dispatcher feeds the
+  // metrics registry, kept per-request here so [stages] percentiles come
+  // from exact samples rather than histogram buckets.
+  std::vector<core::QueryStats> stats(stream.size());
   std::vector<std::vector<std::pair<core::QueryKind, uint64_t>>> latencies(
       submitters);
   WallTimer stream_timer;
@@ -272,6 +280,7 @@ int RunMixed(const BenchOptions& options, size_t submitters,
                 std::chrono::duration_cast<std::chrono::microseconds>(
                     std::chrono::steady_clock::now() - start)
                     .count()));
+        stats[i] = response.stats;
         served[i] = std::move(response.result);
       }
     });
@@ -356,6 +365,89 @@ int RunMixed(const BenchOptions& options, size_t submitters,
               static_cast<unsigned long long>(all.empty() ? 0 : all.back()));
   latency_record("latency", all);
 
+  // Per-stage breakdown from the exact per-response QueryStats — the same
+  // numbers ObserveServeStages feeds the registry, but per-request samples
+  // so percentiles are exact. The stage accounting is cross-checked
+  // against the wall-clock [latency] sample: queue + evaluation can never
+  // exceed the observed submission->resolution time, and the evaluator's
+  // substages (scan/decode/kernel/tail/merge) can never exceed the
+  // whole-evaluation time. Every recorded duration truncates down by
+  // < 1us, so the check allows a few microseconds per request plus 2%.
+  uint64_t wall_sum = 0;
+  for (uint64_t us : all) wall_sum += us;
+  uint64_t queue_sum = 0;
+  uint64_t eval_sum = 0;
+  uint64_t substage_sum = 0;
+  std::array<std::vector<uint64_t>, core::kNumServeStages> stage_samples;
+  std::array<uint64_t, core::kNumServeStages> stage_sums{};
+  for (const core::QueryStats& s : stats) {
+    queue_sum += s.queue_micros;
+    eval_sum += s.eval_micros;
+    for (size_t st = 0; st < core::kNumServeStages; ++st) {
+      stage_samples[st].push_back(s.stage_micros[st]);
+      stage_sums[st] += s.stage_micros[st];
+      if (st != static_cast<size_t>(core::ServeStage::kQueue)) {
+        substage_sum += s.stage_micros[st];
+      }
+    }
+  }
+  const uint64_t slack = 3 * stream.size() + wall_sum / 50;
+  const bool consistent = queue_sum + eval_sum <= wall_sum + slack &&
+                          substage_sum <= eval_sum + slack;
+  for (size_t st = 0; st < core::kNumServeStages; ++st) {
+    std::vector<uint64_t>& sample = stage_samples[st];
+    std::sort(sample.begin(), sample.end());
+    const double share =
+        wall_sum > 0 ? static_cast<double>(stage_sums[st]) / wall_sum : 0.0;
+    std::printf("[stage] name=%s requests=%zu p50_us=%llu p95_us=%llu "
+                "p99_us=%llu max_us=%llu sum_us=%llu share=%.3f\n",
+                core::kServeStageNames[st], sample.size(),
+                static_cast<unsigned long long>(percentile(sample, 0.50)),
+                static_cast<unsigned long long>(percentile(sample, 0.95)),
+                static_cast<unsigned long long>(percentile(sample, 0.99)),
+                static_cast<unsigned long long>(sample.empty() ? 0
+                                                               : sample.back()),
+                static_cast<unsigned long long>(stage_sums[st]), share);
+    json.Begin(std::string("stage_") + core::kServeStageNames[st]);
+    json.Field("requests", static_cast<double>(sample.size()));
+    json.Field("p50_us", static_cast<double>(percentile(sample, 0.50)));
+    json.Field("p95_us", static_cast<double>(percentile(sample, 0.95)));
+    json.Field("p99_us", static_cast<double>(percentile(sample, 0.99)));
+    json.Field("max_us",
+               static_cast<double>(sample.empty() ? 0 : sample.back()));
+    json.Field("sum_us", static_cast<double>(stage_sums[st]));
+    json.Field("share", share);
+  }
+  std::printf("[stages] requests=%zu queue_sum_us=%llu eval_sum_us=%llu "
+              "substage_sum_us=%llu wall_sum_us=%llu consistent=%s\n",
+              stream.size(), static_cast<unsigned long long>(queue_sum),
+              static_cast<unsigned long long>(eval_sum),
+              static_cast<unsigned long long>(substage_sum),
+              static_cast<unsigned long long>(wall_sum),
+              consistent ? "yes" : "NO");
+  json.Begin("stages");
+  json.Field("requests", static_cast<double>(stream.size()));
+  json.Field("queue_sum_us", static_cast<double>(queue_sum));
+  json.Field("eval_sum_us", static_cast<double>(eval_sum));
+  json.Field("substage_sum_us", static_cast<double>(substage_sum));
+  json.Field("wall_sum_us", static_cast<double>(wall_sum));
+  json.Text("consistent", consistent ? "yes" : "no");
+
+  // The whole run's registry snapshot, embedded verbatim: histograms here
+  // aggregate what the per-request samples above show exactly.
+  json.Begin("metrics");
+  json.Raw("registry", obs::Registry::Default().RenderJson());
+
+  if (!trace_path.empty()) {
+    if (!obs::trace::WriteChromeTrace(trace_path)) {
+      std::fprintf(stderr, "bench_serve: could not write trace %s\n",
+                   trace_path.c_str());
+      return 2;
+    }
+    std::printf("[trace] events=%zu path=%s\n",
+                obs::trace::BufferedEventCount(), trace_path.c_str());
+  }
+
   if (!json_path.empty() && !json.Write(json_path, "serve")) {
     std::fprintf(stderr, "bench_serve: could not write %s\n",
                  json_path.c_str());
@@ -364,6 +456,11 @@ int RunMixed(const BenchOptions& options, size_t submitters,
   if (!identical) {
     std::printf("ERROR: service responses diverged from the serial "
                 "engine\n");
+    return 1;
+  }
+  if (!consistent) {
+    std::printf("ERROR: stage accounting is inconsistent with the "
+                "wall-clock latency sample\n");
     return 1;
   }
   return 0;
@@ -480,6 +577,7 @@ int main(int argc, char** argv) {
   bool threads_given = false;
   bool mixed = false;
   size_t submitters = 4;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--threads=", 0) == 0) threads_given = true;
@@ -489,12 +587,16 @@ int main(int argc, char** argv) {
           std::strtoull(arg.substr(13).c_str(), nullptr, 10));
       if (submitters == 0) submitters = 1;
     }
+    // Drain the zone-trace rings to a chrome://tracing JSON after the
+    // run. Zones only record in a -DPPQ_TRACE=ON build; the default
+    // build writes a valid empty trace.
+    if (arg.rfind("--trace-out=", 0) == 0) trace_path = arg.substr(12);
   }
   if (mixed) {
     // --mixed serves with --threads workers (default 4), driven by
     // --submitters caller threads.
     if (!threads_given) options.threads = 0;
-    return ppq::bench::RunMixed(options, submitters, json_path);
+    return ppq::bench::RunMixed(options, submitters, json_path, trace_path);
   }
   // The batch ladder sweeps 1/2/4/8 threads by default.
   if (!threads_given) options.threads = 0;

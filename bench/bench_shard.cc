@@ -38,6 +38,7 @@
 #include "core/metrics.h"
 #include "core/query_backend.h"
 #include "core/query_engine.h"
+#include "obs/metrics.h"
 #include "repo/sharded_query_service.h"
 #include "repo/sharded_repository.h"
 
@@ -134,7 +135,8 @@ bool IsSubset(const std::vector<TrajId>& subset,
                        subset.end());
 }
 
-int Run(const BenchOptions& options, uint32_t num_shards) {
+int Run(const BenchOptions& options, uint32_t num_shards,
+        const std::string& json_path) {
   std::printf("=== bench_shard: hash-partitioned repository, scatter-gather "
               "serving ===\n");
   DatasetBundle bundle = MakePortoBundle(options);
@@ -261,6 +263,25 @@ int Run(const BenchOptions& options, uint32_t num_shards) {
               num_shards, threads, workload.requests.size(), seconds, qps,
               speedup, identical ? "yes" : "NO");
 
+  PerfJson json;
+  json.Begin("shard");
+  json.Field("shards", static_cast<double>(num_shards));
+  json.Field("threads", static_cast<double>(threads));
+  json.Field("requests", static_cast<double>(workload.requests.size()));
+  json.Field("seconds", seconds);
+  json.Field("qps", qps);
+  json.Field("speedup_vs_1shard", speedup);
+  json.Text("identical_exact", identical ? "yes" : "no");
+  // The run's whole metrics snapshot (serve-stage histograms incl. the
+  // scatter-gather merge stage), embedded verbatim.
+  json.Begin("metrics");
+  json.Raw("registry", obs::Registry::Default().RenderJson());
+  if (!json_path.empty() && !json.Write(json_path, "shard")) {
+    std::fprintf(stderr, "bench_shard: could not write %s\n",
+                 json_path.c_str());
+    return 2;
+  }
+
   if (!gate1) {
     std::fprintf(stderr, "ERROR: 1-shard repository diverged from the "
                          "serial unsharded engine\n");
@@ -281,6 +302,7 @@ int Run(const BenchOptions& options, uint32_t num_shards) {
 
 int main(int argc, char** argv) {
   ppq::bench::BenchOptions options = ppq::bench::ParseArgs(argc, argv);
+  const std::string json_path = ppq::bench::ParseJsonPath(argc, argv);
   uint32_t shards = 4;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -290,5 +312,5 @@ int main(int argc, char** argv) {
       if (shards == 0) shards = 1;
     }
   }
-  return ppq::bench::Run(options, shards);
+  return ppq::bench::Run(options, shards, json_path);
 }

@@ -92,6 +92,14 @@ class ThreadPool {
   /// whose queued tasks run inline in the posting thread).
   size_t num_background() const { return workers_.size(); }
 
+  /// \brief Tasks currently queued via Post/Submit and not yet picked up,
+  /// read lock-free (racing posts/pops may be off by a few) — the
+  /// observability layer exports this as a queue-depth gauge without
+  /// touching mu_.
+  size_t ApproxQueuedTasks() const {
+    return approx_queued_.load(std::memory_order_relaxed);
+  }
+
   /// \brief Enqueue \p task for asynchronous execution on a background
   /// worker. Safe to call from any thread, any number of threads at once.
   /// With no background workers (pool size 1) the task runs inline before
@@ -109,6 +117,7 @@ class ThreadPool {
     {
       MutexLock lock(mu_);
       queue_.push_back(std::move(task));
+      approx_queued_.fetch_add(1, std::memory_order_relaxed);
     }
     wake_cv_.NotifyOne();
   }
@@ -208,6 +217,7 @@ class ThreadPool {
       if (!queue_.empty()) {
         PostedTask task = std::move(queue_.front());
         queue_.pop_front();
+        approx_queued_.fetch_sub(1, std::memory_order_relaxed);
         lock.Unlock();
         task(worker);
         lock.Lock();
@@ -257,6 +267,9 @@ class ThreadPool {
   bool stop_ PPQ_GUARDED_BY(mu_) = false;
   /// Atomic so index claiming stays lock-free on the hot path.
   std::atomic<size_t> next_{0};
+  /// Mirrors queue_.size() for the lock-free ApproxQueuedTasks() reader
+  /// (mutations happen under mu_, reads don't).
+  std::atomic<size_t> approx_queued_{0};
 };
 
 }  // namespace ppq

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <functional>
 #include <future>
@@ -13,6 +14,8 @@
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/query_types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 /// \file query_dispatch.h
 /// The shared asynchronous dispatch substrate of every serving front-end
@@ -43,6 +46,39 @@
 
 namespace ppq::core {
 
+/// The per-stage serve histograms (`ppq_serve_<stage>_micros`) plus the
+/// whole-evaluation histogram, resolved from the default registry once.
+/// Shared by every QueryDispatcher instantiation.
+struct ServeStageHistograms {
+  std::array<obs::Histogram*, kNumServeStages> stages{};
+  obs::Histogram* eval = nullptr;
+
+  static const ServeStageHistograms& Get() {
+    static const ServeStageHistograms instance = [] {
+      ServeStageHistograms h;
+      obs::Registry& registry = obs::Registry::Default();
+      for (size_t i = 0; i < kNumServeStages; ++i) {
+        h.stages[i] = registry.GetHistogram(std::string("ppq_serve_") +
+                                            kServeStageNames[i] + "_micros");
+      }
+      h.eval = registry.GetHistogram("ppq_serve_eval_micros");
+      return h;
+    }();
+    return instance;
+  }
+};
+
+/// Record one response's stage breakdown into the serve histograms.
+/// Called once per request by the dispatcher (the only site, so the
+/// registry view and the per-response QueryStats cannot double-count).
+inline void ObserveServeStages(const QueryStats& stats) {
+  const ServeStageHistograms& h = ServeStageHistograms::Get();
+  for (size_t i = 0; i < kNumServeStages; ++i) {
+    h.stages[i]->Observe(stats.stage_micros[i]);
+  }
+  h.eval->Observe(stats.eval_micros);
+}
+
 /// \brief Internally synchronized request queue + worker pool, generic
 /// over the per-worker scratch a front-end keeps.
 template <typename WorkerState>
@@ -71,9 +107,11 @@ class QueryDispatcher {
     std::future<QueryResponse> future = promise.get_future();
     {
       MutexLock lock(queue_mu_);
-      pending_.push_back({std::move(request), std::move(promise)});
+      pending_.push_back({std::move(request), std::move(promise),
+                          std::chrono::steady_clock::now()});
     }
     pool_.Post([this](size_t worker) { ProcessOne(worker); });
+    queue_depth_->Set(static_cast<int64_t>(pool_.ApproxQueuedTasks()));
     return future;
   }
 
@@ -84,9 +122,11 @@ class QueryDispatcher {
     futures.reserve(requests.size());
     {
       MutexLock lock(queue_mu_);
+      const auto enqueued = std::chrono::steady_clock::now();
       for (QueryRequest& request : requests) {
         Pending pending;
         pending.request = std::move(request);
+        pending.enqueued = enqueued;
         futures.push_back(pending.promise.get_future());
         pending_.push_back(std::move(pending));
       }
@@ -96,6 +136,7 @@ class QueryDispatcher {
     for (size_t i = 0; i < futures.size(); ++i) {
       pool_.Post([this](size_t worker) { ProcessOne(worker); });
     }
+    queue_depth_->Set(static_cast<int64_t>(pool_.ApproxQueuedTasks()));
     return futures;
   }
 
@@ -135,6 +176,8 @@ class QueryDispatcher {
   struct Pending {
     QueryRequest request;
     std::promise<QueryResponse> promise;
+    /// Submission time, for the queue-wait stage of the response.
+    std::chrono::steady_clock::time_point enqueued{};
   };
 
   /// Pop one pending request (if any survives cancellation) and resolve
@@ -147,15 +190,30 @@ class QueryDispatcher {
       pending = std::move(pending_.front());
       pending_.pop_front();
     }
+    const uint64_t queue_micros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - pending.enqueued)
+            .count());
     try {
-      pending.promise.set_value(
-          evaluate_(pending.request, worker_state_[worker]));
+      PPQ_ZONE("serve.evaluate");
+      QueryResponse response =
+          evaluate_(pending.request, worker_state_[worker]);
+      // Queue wait is the dispatcher's stage: the evaluator never sees it.
+      response.stats.queue_micros = queue_micros;
+      response.stats.stage_micros[static_cast<size_t>(ServeStage::kQueue)] =
+          queue_micros;
+      ObserveServeStages(response.stats);
+      pending.promise.set_value(std::move(response));
     } catch (...) {
       pending.promise.set_exception(std::current_exception());
     }
   }
 
   Evaluator evaluate_;
+  /// Sampled at every submit: tasks waiting for a worker (one per pending
+  /// request), the back-pressure signal for queue-wait regressions.
+  obs::Gauge* queue_depth_ =
+      obs::Registry::Default().GetGauge("ppq_serve_queue_depth");
 
   Mutex queue_mu_;
   std::deque<Pending> pending_ PPQ_GUARDED_BY(queue_mu_);

@@ -11,6 +11,7 @@
 #include "core/query_types.h"
 #include "core/snapshot.h"
 #include "index/temporal_index.h"
+#include "obs/trace.h"
 
 /// \file query_eval.h
 /// The spatio-temporal query algorithms of Section 5.2 (STRQ local search,
@@ -76,26 +77,91 @@ struct SnapshotReader {
   double LocalSearchRadius() const { return snapshot->LocalSearchRadius(); }
 };
 
+/// Per-evaluation stage accumulator: nanoseconds per ServeStage (nanos
+/// because individual samples — one span decode, one kernel pass — are
+/// often sub-microsecond; the services convert to micros once at the end).
+/// Carried by CountingReader so the evaluation templates can attribute
+/// wall time to stages without taking new parameters: readers that carry
+/// no sink (the serial engine's CompressorReader) get a null sink and the
+/// timers compile down to a pointer test — results stay bit-identical and
+/// the untimed path stays clock-free.
+struct StageNanos {
+  std::array<uint64_t, kNumServeStages> v{};
+};
+
+/// StagesOf(reader): the reader's stage sink, or nullptr for readers that
+/// don't carry one. Detection is on a member named `stages` of type
+/// StageNanos*, so only readers that opt in are ever timed.
+template <typename Reader>
+inline auto StagesOfImpl(const Reader& reader, int) -> decltype(reader.stages) {
+  return reader.stages;
+}
+template <typename Reader>
+inline StageNanos* StagesOfImpl(const Reader&, long) {
+  return nullptr;
+}
+template <typename Reader>
+inline StageNanos* StagesOf(const Reader& reader) {
+  return StagesOfImpl(reader, 0);
+}
+
+/// \brief RAII stage interval: adds [construction, destruction) to one
+/// stage of a StageNanos sink. A null sink skips the clock entirely.
+class StageTimer {
+ public:
+  StageTimer(StageNanos* sink, ServeStage stage) : sink_(sink), stage_(stage) {
+    if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~StageTimer() {
+    if (sink_ == nullptr) return;
+    sink_->v[static_cast<size_t>(stage_)] += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  StageNanos* sink_;
+  ServeStage stage_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Convert an evaluation's accumulated stage nanos into the response's
+/// stage_micros (truncating division, matching the historical
+/// decode_micros semantics) and fill decode_micros from the decode stage.
+/// The queue stage is stamped later, by the dispatcher.
+inline void FillStageMicros(const StageNanos& stages, QueryStats* stats) {
+  for (size_t i = 0; i < kNumServeStages; ++i) {
+    stats->stage_micros[i] = stages.v[i] / 1000;
+  }
+  stats->decode_micros =
+      stages.v[static_cast<size_t>(ServeStage::kDecode)] / 1000;
+}
+
 /// Wraps any Reader and accounts every Reconstruct call into a QueryStats
-/// (points decoded + wall time spent decoding). This is how QueryService
-/// fills per-query cost stats without the algorithms knowing: the counting
-/// is a reader concern, so the evaluation templates — and therefore the
+/// (points decoded + wall time spent decoding, attributed to the decode
+/// stage of the carried StageNanos sink). This is how QueryService fills
+/// per-query cost stats without the algorithms knowing: the counting is a
+/// reader concern, so the evaluation templates — and therefore the
 /// results — are bit-for-bit the same with or without it.
 template <typename Inner>
 struct CountingReader {
   Inner inner;
   QueryStats* stats;
-  /// Decode time is accumulated in nanos (individual reconstructions are
-  /// sub-microsecond) and converted once by the caller.
-  uint64_t* decode_nanos;
+  /// Per-stage wall-time sink; decode samples accumulate into
+  /// stages->v[kDecode]. Must be non-null.
+  StageNanos* stages;
 
   Result<Point> Reconstruct(TrajId id, Tick t) const {
     const auto start = std::chrono::steady_clock::now();
     Result<Point> r = inner.Reconstruct(id, t);
-    *decode_nanos += static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - start)
-            .count());
+    stages->v[static_cast<size_t>(ServeStage::kDecode)] +=
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count());
     ++stats->points_decoded;
     return r;
   }
@@ -107,10 +173,11 @@ struct CountingReader {
                          Point* out) const {
     const auto start = std::chrono::steady_clock::now();
     const size_t m = inner.ReconstructSpan(id, tick_begin, n, out);
-    *decode_nanos += static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - start)
-            .count());
+    stages->v[static_cast<size_t>(ServeStage::kDecode)] +=
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count());
     stats->points_decoded += (m == n) ? n : m + 1;
     return m;
   }
@@ -163,6 +230,7 @@ struct DecodedCandidates {
 template <typename Reader>
 DecodedCandidates DecodeAt(const Reader& reader,
                            const std::vector<TrajId>& candidates, Tick t) {
+  PPQ_ZONE("eval.decode");
   DecodedCandidates out;
   out.ids.reserve(candidates.size());
   out.positions.reserve(candidates.size());
@@ -191,14 +259,22 @@ StrqResult Strq(const Reader& reader, const TrajectoryDataset* raw,
   // Candidate sweep: every indexed point within `radius` of the query cell
   // lies inside the disc around the cell centre with radius
   // (cell half-diagonal + radius).
+  StageNanos* const stages = StagesOf(reader);
   const double sweep = std::sqrt(2.0) / 2.0 * cell_size + radius + 1e-12;
-  std::vector<TrajId> coarse = tpi->QueryCircle(cell.Center(), sweep, q.tick);
-  std::sort(coarse.begin(), coarse.end());
-  coarse.erase(std::unique(coarse.begin(), coarse.end()), coarse.end());
+  std::vector<TrajId> coarse;
+  {
+    PPQ_ZONE("eval.scan");
+    StageTimer timer(stages, ServeStage::kScan);
+    coarse = tpi->QueryCircle(cell.Center(), sweep, q.tick);
+    std::sort(coarse.begin(), coarse.end());
+    coarse.erase(std::unique(coarse.begin(), coarse.end()), coarse.end());
+  }
 
   const DecodedCandidates decoded = DecodeAt(reader, coarse, q.tick);
   const size_t n = decoded.positions.size();
 
+  PPQ_ZONE("eval.kernel");
+  StageTimer kernel_timer(stages, ServeStage::kKernel);
   if (mode == StrqMode::kApproximate) {
     std::vector<uint8_t> mask(n);
     simd::ContainsMask(decoded.positions.data(), n, cell.min_x, cell.min_y,
@@ -243,6 +319,7 @@ StrqResult WindowQuery(const Reader& reader, const TrajectoryDataset* raw,
     return result;
   }
 
+  StageNanos* const stages = StagesOf(reader);
   const double radius =
       (mode == StrqMode::kApproximate) ? 0.0 : reader.LocalSearchRadius();
   const Point center{(window.min_x + window.max_x) / 2.0,
@@ -251,14 +328,20 @@ StrqResult WindowQuery(const Reader& reader, const TrajectoryDataset* raw,
       std::sqrt((window.max_x - window.min_x) * (window.max_x - window.min_x) +
                 (window.max_y - window.min_y) * (window.max_y - window.min_y)) /
       2.0;
-  std::vector<TrajId> coarse =
-      tpi->QueryCircle(center, half_diag + radius + 1e-12, t);
-  std::sort(coarse.begin(), coarse.end());
-  coarse.erase(std::unique(coarse.begin(), coarse.end()), coarse.end());
+  std::vector<TrajId> coarse;
+  {
+    PPQ_ZONE("eval.scan");
+    StageTimer timer(stages, ServeStage::kScan);
+    coarse = tpi->QueryCircle(center, half_diag + radius + 1e-12, t);
+    std::sort(coarse.begin(), coarse.end());
+    coarse.erase(std::unique(coarse.begin(), coarse.end()), coarse.end());
+  }
 
   const DecodedCandidates decoded = DecodeAt(reader, coarse, t);
   const size_t n = decoded.positions.size();
 
+  PPQ_ZONE("eval.kernel");
+  StageTimer kernel_timer(stages, ServeStage::kKernel);
   if (mode == StrqMode::kApproximate) {
     std::vector<uint8_t> mask(n);
     simd::ContainsMask(decoded.positions.data(), n, window.min_x,
@@ -305,19 +388,27 @@ std::vector<Neighbor> NearestTrajectories(const Reader& reader,
   // reconstruction distance. The extra `bound` margin guarantees no true
   // k-NN member outside the scanned disc can beat the returned set by
   // more than the deviation bound.
+  StageNanos* const stages = StagesOf(reader);
   const double bound = reader.LocalSearchRadius();
   double radius = std::max(cell_size, 4.0 * bound);
   std::vector<TrajId> coarse;
-  for (int attempt = 0; attempt < 24; ++attempt) {
-    coarse = tpi->QueryCircle(q.position, radius + bound, q.tick);
-    std::sort(coarse.begin(), coarse.end());
-    coarse.erase(std::unique(coarse.begin(), coarse.end()), coarse.end());
-    if (coarse.size() >= k) break;
-    radius *= 2.0;
+  {
+    PPQ_ZONE("eval.scan");
+    StageTimer timer(stages, ServeStage::kScan);
+    for (int attempt = 0; attempt < 24; ++attempt) {
+      coarse = tpi->QueryCircle(q.position, radius + bound, q.tick);
+      std::sort(coarse.begin(), coarse.end());
+      coarse.erase(std::unique(coarse.begin(), coarse.end()), coarse.end());
+      if (coarse.size() >= k) break;
+      radius *= 2.0;
+    }
   }
 
   const DecodedCandidates decoded = DecodeAt(reader, coarse, q.tick);
   const size_t n = decoded.positions.size();
+
+  PPQ_ZONE("eval.kernel");
+  StageTimer kernel_timer(stages, ServeStage::kKernel);
   std::vector<double> dist(n);
   simd::Distances(decoded.positions.data(), n, q.position, dist.data());
 

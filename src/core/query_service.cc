@@ -93,10 +93,10 @@ QueryResponse QueryService::Evaluate(const QueryRequest& request,
     state.memo_snapshot = pinned;
   }
 
-  uint64_t decode_nanos = 0;
+  eval::StageNanos stages;
   const eval::CountingReader<eval::SnapshotReader> reader{
       eval::SnapshotReader{pinned.get(), &state.memo}, &response.stats,
-      &decode_nanos};
+      &stages};
   const TrajectoryDataset* raw = options_.raw.get();
   const double cell_size = options_.cell_size;
 
@@ -134,7 +134,7 @@ QueryResponse QueryService::Evaluate(const QueryRequest& request,
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
-  response.stats.decode_micros = decode_nanos / 1000;
+  eval::FillStageMicros(stages, &response.stats);
 
   if (state.memo.TotalPoints() > options_.scratch_budget_points) {
     state.memo.Clear();

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <variant>
 #include <vector>
@@ -157,6 +158,26 @@ struct Overloaded : Ts... {
 template <class... Ts>
 Overloaded(Ts...) -> Overloaded<Ts...>;
 
+/// \brief The stages of one served request, in lifecycle order. Every
+/// QueryResponse carries a per-stage wall-time breakdown
+/// (QueryStats::stage_micros) so a p99 regression is attributable to a
+/// stage, not just a number in bench_serve. The same vocabulary names the
+/// registry histograms (`ppq_serve_<stage>_micros`, src/obs/metrics.h).
+enum class ServeStage : size_t {
+  kQueue = 0,   ///< dispatcher queue wait (submit -> worker pickup)
+  kScan = 1,    ///< candidate scan: grid/index probes + sort/unique
+  kDecode = 2,  ///< summary reconstruction (Reconstruct/ReconstructSpan)
+  kKernel = 3,  ///< SIMD kernel eval + verification loops
+  kTail = 4,    ///< live-tail scan (LiveQueryService only)
+  kMerge = 5,   ///< scatter-gather merge (sharded/live backends)
+};
+
+inline constexpr size_t kNumServeStages = 6;
+
+/// Stage display/metric names, indexed by ServeStage.
+inline constexpr std::array<const char*, kNumServeStages> kServeStageNames = {
+    "queue", "scan", "decode", "kernel", "tail", "merge"};
+
 /// \brief Per-query serving cost, filled by QueryService for every
 /// response. The counters come from the evaluation itself (the
 /// CountingReader in query_eval.h), not from sampling.
@@ -171,6 +192,15 @@ struct QueryStats {
   uint64_t decode_micros = 0;
   /// Wall micros for the whole evaluation, decode included.
   uint64_t eval_micros = 0;
+  /// Wall micros the request waited in the dispatcher queue before a
+  /// worker picked it up (stamped by QueryDispatcher, not the evaluator).
+  uint64_t queue_micros = 0;
+  /// Compact per-stage wall-time breakdown, indexed by ServeStage. The
+  /// sub-stages of the evaluation (scan/decode/kernel/tail/merge) sum to
+  /// at most eval_micros (each stage truncates to whole micros);
+  /// stage_micros[kQueue] == queue_micros. Stages a backend does not run
+  /// (e.g. tail outside LiveQueryService) stay 0.
+  std::array<uint64_t, kNumServeStages> stage_micros{};
   /// Freshness: the seal epoch this response was served from.
   /// QueryService / ShardedQueryService report the number of UpdateView
   /// swaps applied to the view they pinned (0 = the construction view);

@@ -1,0 +1,285 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ppq::obs {
+
+size_t ThreadStripeSlot() {
+  static std::atomic<size_t> next_slot{0};
+  thread_local const size_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  if (other.max > max) max = other.max;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
+uint64_t HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-quantile in a 1-based sorted sample of `count` values
+  // (nearest-rank definition: ceil(q * count), at least 1).
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (static_cast<double>(rank) < q * static_cast<double>(count)) ++rank;
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      const uint64_t bound = Histogram::BucketUpperBound(i);
+      // Clamp to the observed max: the true quantile can never exceed it,
+      // and a log2 bucket bound well above the max (or the overflow
+      // bucket's infinite one) would just be noise in reports.
+      return bound < max ? bound : max;
+    }
+  }
+  return max;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot out;
+  for (const Stripe& s : stripes_) {
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    const uint64_t stripe_max = s.max.load(std::memory_order_relaxed);
+    if (stripe_max > out.max) out.max = stripe_max;
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      out.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+Registry& Registry::Default() {
+  static Registry* registry = new Registry();  // never destroyed: metrics
+  return *registry;                            // outlive static teardown
+}
+
+namespace {
+
+std::string MetricKey(const std::string& name, const std::string& labels) {
+  std::string key = name;
+  key.push_back('{');
+  key.append(labels);
+  key.push_back('}');
+  return key;
+}
+
+template <typename T, typename Families, typename Index>
+T* GetOrCreate(const std::string& name, const std::string& labels,
+               Families& families, Index& index) {
+  const std::string key = MetricKey(name, labels);
+  auto it = index.find(key);
+  if (it != index.end()) return families[it->second].metric.get();
+  families.push_back({name, labels, std::make_unique<T>()});
+  index.emplace(key, families.size() - 1);
+  return families.back().metric.get();
+}
+
+void AppendSeries(std::string& out, const std::string& name,
+                  const std::string& labels, const std::string& suffix,
+                  const std::string& extra_label) {
+  out.append(name);
+  out.append(suffix);
+  if (!labels.empty() || !extra_label.empty()) {
+    out.push_back('{');
+    out.append(labels);
+    if (!labels.empty() && !extra_label.empty()) out.push_back(',');
+    out.append(extra_label);
+    out.push_back('}');
+  }
+}
+
+void AppendTypeLine(std::string& out, const std::string& name,
+                    const char* type, std::string& last_typed) {
+  if (last_typed == name) return;  // one # TYPE line per family
+  out.append("# TYPE ");
+  out.append(name);
+  out.push_back(' ');
+  out.append(type);
+  out.push_back('\n');
+  last_typed = name;
+}
+
+void AppendJsonString(std::string& out, const std::string& value) {
+  out.push_back('"');
+  for (const char c : value) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+void AppendUint(std::string& out, uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out.append(buf);
+}
+
+void AppendInt(std::string& out, int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  out.append(buf);
+}
+
+}  // namespace
+
+Counter* Registry::GetCounter(const std::string& name,
+                              const std::string& labels) {
+  MutexLock lock(mu_);
+  return GetOrCreate<Counter>(name, labels, counters_, counter_index_);
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const std::string& labels) {
+  MutexLock lock(mu_);
+  return GetOrCreate<Gauge>(name, labels, gauges_, gauge_index_);
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const std::string& labels) {
+  MutexLock lock(mu_);
+  return GetOrCreate<Histogram>(name, labels, histograms_, histogram_index_);
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  MetricsSnapshot out;
+  MutexLock lock(mu_);
+  out.counters.reserve(counters_.size());
+  for (const Family<Counter>& f : counters_) {
+    out.counters.push_back({f.name, f.labels, f.metric->Value()});
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const Family<Gauge>& f : gauges_) {
+    out.gauges.push_back({f.name, f.labels, f.metric->Value()});
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const Family<Histogram>& f : histograms_) {
+    out.histograms.push_back({f.name, f.labels, f.metric->Snapshot()});
+  }
+  return out;
+}
+
+std::string Registry::RenderPrometheus() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::string out;
+  std::string last_typed;
+  for (const auto& c : snap.counters) {
+    AppendTypeLine(out, c.name, "counter", last_typed);
+    AppendSeries(out, c.name, c.labels, "", "");
+    out.push_back(' ');
+    AppendUint(out, c.value);
+    out.push_back('\n');
+  }
+  for (const auto& g : snap.gauges) {
+    AppendTypeLine(out, g.name, "gauge", last_typed);
+    AppendSeries(out, g.name, g.labels, "", "");
+    out.push_back(' ');
+    AppendInt(out, g.value);
+    out.push_back('\n');
+  }
+  for (const auto& h : snap.histograms) {
+    AppendTypeLine(out, h.name, "histogram", last_typed);
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      cumulative += h.snapshot.buckets[i];
+      // Collapse empty trailing detail: emit a bucket line only when the
+      // bucket is populated or it is the +Inf terminator.
+      if (h.snapshot.buckets[i] == 0 && i + 1 < kHistogramBuckets) continue;
+      const uint64_t bound = Histogram::BucketUpperBound(i);
+      std::string le = "le=\"";
+      if (bound == UINT64_MAX || i + 1 == kHistogramBuckets) {
+        le.append("+Inf");
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, bound);
+        le.append(buf);
+      }
+      le.push_back('"');
+      AppendSeries(out, h.name, h.labels, "_bucket", le);
+      out.push_back(' ');
+      AppendUint(out, cumulative);
+      out.push_back('\n');
+    }
+    // The loop above always emits the last bucket; make sure the +Inf
+    // cumulative equals the total count even if the final bucket was
+    // skipped (it never is, but keep the invariant obvious).
+    AppendSeries(out, h.name, h.labels, "_sum", "");
+    out.push_back(' ');
+    AppendUint(out, h.snapshot.sum);
+    out.push_back('\n');
+    AppendSeries(out, h.name, h.labels, "_count", "");
+    out.push_back(' ');
+    AppendUint(out, h.snapshot.count);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string Registry::RenderJson() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::string out = "{\"counters\":[";
+  bool first = true;
+  for (const auto& c : snap.counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":");
+    AppendJsonString(out, c.name);
+    out.append(",\"labels\":");
+    AppendJsonString(out, c.labels);
+    out.append(",\"value\":");
+    AppendUint(out, c.value);
+    out.push_back('}');
+  }
+  out.append("],\"gauges\":[");
+  first = true;
+  for (const auto& g : snap.gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":");
+    AppendJsonString(out, g.name);
+    out.append(",\"labels\":");
+    AppendJsonString(out, g.labels);
+    out.append(",\"value\":");
+    AppendInt(out, g.value);
+    out.push_back('}');
+  }
+  out.append("],\"histograms\":[");
+  first = true;
+  for (const auto& h : snap.histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":");
+    AppendJsonString(out, h.name);
+    out.append(",\"labels\":");
+    AppendJsonString(out, h.labels);
+    out.append(",\"count\":");
+    AppendUint(out, h.snapshot.count);
+    out.append(",\"sum\":");
+    AppendUint(out, h.snapshot.sum);
+    out.append(",\"max\":");
+    AppendUint(out, h.snapshot.max);
+    out.append(",\"p50\":");
+    AppendUint(out, h.snapshot.Quantile(0.50));
+    out.append(",\"p95\":");
+    AppendUint(out, h.snapshot.Quantile(0.95));
+    out.append(",\"p99\":");
+    AppendUint(out, h.snapshot.Quantile(0.99));
+    out.push_back('}');
+  }
+  out.append("]}");
+  return out;
+}
+
+std::string ShardLabel(size_t shard) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard=\"%zu\"", shard);
+  return std::string(buf);
+}
+
+}  // namespace ppq::obs

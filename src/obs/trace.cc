@@ -1,0 +1,144 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace ppq::obs::trace {
+namespace {
+
+/// Per-thread ring of completed zones. The owning thread appends; a
+/// drain (any thread) copies the contents. A ring outlives its thread —
+/// the registry keeps a shared_ptr, so zones recorded by short-lived
+/// workers still appear in the dump. The mutex is per-ring and held only
+/// for the copy/append, so recording threads never contend with each
+/// other (tracing builds only; the default build has no call sites).
+struct Ring {
+  static constexpr size_t kCapacity = size_t{1} << 14;
+
+  Mutex mu;
+  uint64_t next PPQ_GUARDED_BY(mu) = 0;  ///< total events ever recorded
+  std::array<ZoneEvent, kCapacity> events PPQ_GUARDED_BY(mu);
+  uint32_t tid = 0;
+};
+
+struct RingRegistry {
+  Mutex mu;
+  std::vector<std::shared_ptr<Ring>> rings PPQ_GUARDED_BY(mu);
+  uint32_t next_tid PPQ_GUARDED_BY(mu) = 1;
+};
+
+RingRegistry& GlobalRings() {
+  static RingRegistry* registry = new RingRegistry();  // never destroyed
+  return *registry;
+}
+
+std::shared_ptr<Ring>& ThreadRing() {
+  thread_local std::shared_ptr<Ring> ring;
+  if (ring == nullptr) {
+    ring = std::make_shared<Ring>();
+    RingRegistry& registry = GlobalRings();
+    MutexLock lock(registry.mu);
+    ring->tid = registry.next_tid++;
+    registry.rings.push_back(ring);
+  }
+  return ring;
+}
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::vector<std::shared_ptr<Ring>> SnapshotRings() {
+  RingRegistry& registry = GlobalRings();
+  MutexLock lock(registry.mu);
+  return registry.rings;
+}
+
+}  // namespace
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - TraceEpoch())
+                                   .count());
+}
+
+void Record(const char* name, int32_t shard, uint64_t start_ns,
+            uint64_t end_ns) {
+  Ring& ring = *ThreadRing();
+  MutexLock lock(ring.mu);
+  ring.events[ring.next % Ring::kCapacity] = {name, shard, start_ns, end_ns};
+  ++ring.next;
+}
+
+void Reset() {
+  for (const std::shared_ptr<Ring>& ring : SnapshotRings()) {
+    MutexLock lock(ring->mu);
+    ring->next = 0;
+  }
+}
+
+size_t BufferedEventCount() {
+  size_t total = 0;
+  for (const std::shared_ptr<Ring>& ring : SnapshotRings()) {
+    MutexLock lock(ring->mu);
+    total += static_cast<size_t>(
+        std::min<uint64_t>(ring->next, Ring::kCapacity));
+  }
+  return total;
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  struct TimedEvent {
+    ZoneEvent event;
+    uint32_t tid;
+  };
+  std::vector<TimedEvent> all;
+  for (const std::shared_ptr<Ring>& ring : SnapshotRings()) {
+    MutexLock lock(ring->mu);
+    const uint64_t buffered = std::min<uint64_t>(ring->next, Ring::kCapacity);
+    const uint64_t begin = ring->next - buffered;
+    for (uint64_t i = begin; i < ring->next; ++i) {
+      all.push_back({ring->events[i % Ring::kCapacity], ring->tid});
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TimedEvent& a, const TimedEvent& b) {
+              return a.event.start_ns < b.event.start_ns;
+            });
+
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  std::fputs("{\"traceEvents\":[", file);
+  bool first = true;
+  for (const TimedEvent& te : all) {
+    if (!first) std::fputc(',', file);
+    first = false;
+    // chrome://tracing "complete" events: ts/dur in fractional microseconds.
+    const double ts = static_cast<double>(te.event.start_ns) / 1000.0;
+    const double dur =
+        static_cast<double>(te.event.end_ns - te.event.start_ns) / 1000.0;
+    std::fprintf(file,
+                 "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                 "\"pid\":0,\"tid\":%u",
+                 te.event.name == nullptr ? "" : te.event.name, ts, dur,
+                 te.tid);
+    if (te.event.shard >= 0) {
+      std::fprintf(file, ",\"args\":{\"shard\":%d}", te.event.shard);
+    }
+    std::fputc('}', file);
+  }
+  std::fputs("]}\n", file);
+  const bool ok = std::fclose(file) == 0;
+  return ok;
+}
+
+}  // namespace ppq::obs::trace

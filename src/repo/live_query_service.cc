@@ -8,6 +8,7 @@
 
 #include "common/simd.h"
 #include "core/query_eval.h"
+#include "obs/trace.h"
 #include "repo/result_merge.h"
 
 namespace ppq::repo {
@@ -174,7 +175,7 @@ QueryResponse LiveQueryService::Evaluate(const QueryRequest& request,
     }
   }
 
-  uint64_t decode_nanos = 0;
+  core::eval::StageNanos stages;
   const TrajectoryDataset* raw = options_.raw.get();
   const double cell_size = options_.cell_size;
 
@@ -182,7 +183,28 @@ QueryResponse LiveQueryService::Evaluate(const QueryRequest& request,
     return core::eval::CountingReader<core::eval::SnapshotReader>{
         core::eval::SnapshotReader{views[shard]->sealed.get(),
                                    &state.memos[shard]},
-        &response.stats, &decode_nanos};
+        &response.stats, &stages};
+  };
+
+  // Tail scans attribute to the tail stage (the timer destructor fires
+  // after the return value is materialized, so only the scan is timed).
+  const auto tail_matches = [&](const LiveShardView& view, Tick tick,
+                                double min_x, double min_y, double max_x,
+                                double max_y, StrqMode mode) -> StrqResult {
+    PPQ_ZONE("eval.tail");
+    core::eval::StageTimer timer(&stages, core::ServeStage::kTail);
+    return TailMatches(view, tick, min_x, min_y, max_x, max_y, mode);
+  };
+  const auto tail_neighbors = [&](const LiveShardView& view, Tick tick,
+                                  const Point& q) -> std::vector<Neighbor> {
+    PPQ_ZONE("eval.tail");
+    core::eval::StageTimer timer(&stages, core::ServeStage::kTail);
+    return TailNeighbors(view, tick, q);
+  };
+  const auto tail_point_of = [&](const LiveShardView& view, TrajId id,
+                                 Tick tick) -> const Point* {
+    core::eval::StageTimer timer(&stages, core::ServeStage::kTail);
+    return TailPointOf(view, id, tick);
   };
 
   // Sealed \cup tail STRQ over every shard — the shared core of the
@@ -196,9 +218,10 @@ QueryResponse LiveQueryService::Evaluate(const QueryRequest& request,
     for (size_t s = 0; s < num_shards; ++s) {
       parts.push_back(
           core::eval::Strq(reader(s), raw, cell_size, q, mode));
-      parts.push_back(TailMatches(*views[s], q.tick, cell.min_x, cell.min_y,
-                                  cell.max_x, cell.max_y, mode));
+      parts.push_back(tail_matches(*views[s], q.tick, cell.min_x, cell.min_y,
+                                   cell.max_x, cell.max_y, mode));
     }
+    core::eval::StageTimer timer(&stages, core::ServeStage::kMerge);
     return MergeStrq(std::move(parts));
   };
 
@@ -216,11 +239,12 @@ QueryResponse LiveQueryService::Evaluate(const QueryRequest& request,
             for (size_t s = 0; s < num_shards; ++s) {
               parts.push_back(core::eval::WindowQuery(
                   reader(s), raw, r.window.window, r.window.tick, r.mode));
-              parts.push_back(TailMatches(
+              parts.push_back(tail_matches(
                   *views[s], r.window.tick, r.window.window.min_x,
                   r.window.window.min_y, r.window.window.max_x,
                   r.window.window.max_y, r.mode));
             }
+            core::eval::StageTimer timer(&stages, core::ServeStage::kMerge);
             StrqResult merged = MergeStrq(std::move(parts));
             response.stats.candidates_visited = merged.candidates_visited;
             response.result = std::move(merged);
@@ -235,8 +259,9 @@ QueryResponse LiveQueryService::Evaluate(const QueryRequest& request,
               // its exact distance (a full scan of one watermark's worth
               // of points — the tail is small by construction).
               parts.push_back(
-                  TailNeighbors(*views[s], r.query.tick, r.query.position));
+                  tail_neighbors(*views[s], r.query.tick, r.query.position));
             }
+            core::eval::StageTimer timer(&stages, core::ServeStage::kMerge);
             response.result = MergeKnn(std::move(parts), r.k);
             response.stats.candidates_visited = response.stats.points_decoded;
           },
@@ -263,7 +288,7 @@ QueryResponse LiveQueryService::Evaluate(const QueryRequest& request,
               // The tail only extends a path that reached the cut intact.
               if (got == sealed_want) {
                 for (size_t i = got; i < want; ++i) {
-                  const Point* p = TailPointOf(
+                  const Point* p = tail_point_of(
                       *views[s], id, r.query.tick + static_cast<Tick>(i));
                   if (p == nullptr) break;  // not (yet) appended
                   path[i] = *p;
@@ -283,7 +308,7 @@ QueryResponse LiveQueryService::Evaluate(const QueryRequest& request,
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
-  response.stats.decode_micros = decode_nanos / 1000;
+  core::eval::FillStageMicros(stages, &response.stats);
 
   size_t scratch_points = 0;
   for (const core::DecodeMemo& memo : state.memos) {

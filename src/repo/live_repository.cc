@@ -1,6 +1,7 @@
 #include "repo/live_repository.h"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <numeric>
 #include <stdexcept>
@@ -9,9 +10,32 @@
 #include <utility>
 
 #include "common/fsio.h"
+#include "obs/trace.h"
 
 namespace ppq::repo {
 namespace {
+
+uint64_t MicrosSince(const std::chrono::steady_clock::time_point& start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+/// Observe wall micros into a histogram at scope exit — covers every
+/// early return of the instrumented function.
+class ScopedHistogramTimer {
+ public:
+  explicit ScopedHistogramTimer(obs::Histogram* hist)
+      : hist_(hist), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedHistogramTimer() { hist_->Observe(MicrosSince(start_)); }
+  ScopedHistogramTimer(const ScopedHistogramTimer&) = delete;
+  ScopedHistogramTimer& operator=(const ScopedHistogramTimer&) = delete;
+
+ private:
+  obs::Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Background seal workers: the seal task MUST run off the appender
 /// thread (it is posted while a shard lock is held, and re-takes that
@@ -63,8 +87,18 @@ LiveRepository::LiveRepository(CompressorFactory factory, Options options)
       map_{ValidateShardCount(options.num_shards)},
       pool_(ResolveSealPool(options.num_threads)) {
   shards_.reserve(map_.num_shards);
+  obs::Registry& registry = obs::Registry::Default();
   for (uint32_t i = 0; i < map_.num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
+    shard->index = i;
+    const std::string label = obs::ShardLabel(i);
+    shard->append_hist =
+        registry.GetHistogram("ppq_ingest_append_micros", label);
+    shard->flush_hist = registry.GetHistogram("ppq_ingest_flush_micros", label);
+    shard->seal_hist = registry.GetHistogram("ppq_ingest_seal_micros", label);
+    shard->rotate_hist = registry.GetHistogram("ppq_wal_rotate_micros", label);
+    shard->replay_hist =
+        registry.GetHistogram("ppq_recovery_replay_micros", label);
     // No other thread can reach this shard yet, but its members are
     // guarded by its own mutex (a different object than `this`, so the
     // constructor exemption does not apply) — take the uncontended lock.
@@ -113,6 +147,10 @@ Status LiveRepository::Append(const PointBatch& batch) {
     TimeSlice& sub = split[s];
     if (sub.empty()) continue;
     Shard& shard = *shards_[s];
+    // The append stage deliberately includes the shard-lock wait: a
+    // contended shard shows up as ingest-append latency, not a blind spot.
+    PPQ_ZONE_SHARD("ingest.append", s);
+    ScopedHistogramTimer timer(shard.append_hist);
     MutexLock lock(shard.mu);
     const Status status =
         AppendShardLocked(s, shard, std::move(sub), /*replay=*/false);
@@ -192,6 +230,8 @@ Status LiveRepository::AppendShardLocked(size_t index, Shard& shard,
 
 void LiveRepository::FlushStagingLocked(Shard& shard) {
   if (!shard.staging_active) return;
+  PPQ_ZONE_SHARD("ingest.flush", shard.index);
+  ScopedHistogramTimer timer(shard.flush_hist);
   SortSliceById(shard.staging);
   shard.flushed = shard.staging.tick;
   // Replayed ticks at or below the reopened seal's frontier are already
@@ -247,7 +287,12 @@ void LiveRepository::SealShard(size_t index) {
     MutexLock lock(shard.mu);
     compressor = std::move(shard.compressor);
   }
-  core::SnapshotPtr sealed = compressor->Seal();
+  core::SnapshotPtr sealed;
+  {
+    PPQ_ZONE_SHARD("ingest.seal", index);
+    ScopedHistogramTimer timer(shard.seal_hist);
+    sealed = compressor->Seal();
+  }
 
   if (!dir_.empty()) {
     // Durability ordering: the WAL must be synced BEFORE the container
@@ -411,7 +456,15 @@ Status RetireActiveLog(const std::string& dir, uint32_t index,
 
 void LiveRepository::RecordDurabilityError(const Status& status) {
   MutexLock lock(durability_mu_);
-  if (durability_error_.ok()) durability_error_ = status;
+  if (durability_error_.ok()) {
+    durability_error_ = status;
+    // Exactly the OK -> error transition: the counter counts repositories
+    // going degraded (sticky, so at most once per instance), the gauge is
+    // the current "a live repository has lost durability" alarm line.
+    obs::Registry& registry = obs::Registry::Default();
+    registry.GetCounter("ppq_durability_degraded_total")->Increment();
+    registry.GetGauge("ppq_durability_degraded")->Set(1);
+  }
 }
 
 Status LiveRepository::DurabilityError() const {
@@ -441,6 +494,8 @@ Status LiveRepository::RotateWalLocked(uint32_t index, Shard& shard,
   // epoch. On failure the shard stops logging (wal stays null) — the
   // sticky durability error is the operator's signal; in-memory serving
   // is unaffected.
+  PPQ_ZONE_SHARD("wal.rotate", index);
+  ScopedHistogramTimer timer(shard.rotate_hist);
   PPQ_RETURN_NOT_OK(shard.wal->Close());
   shard.wal.reset();
   shard.wal_unsynced = 0;
@@ -459,6 +514,8 @@ Status LiveRepository::RotateWalLocked(uint32_t index, Shard& shard,
 Status LiveRepository::RecoverShard(uint32_t index, core::SnapshotPtr base) {
   namespace fs = std::filesystem;
   Shard& shard = *shards_[index];
+  PPQ_ZONE_SHARD("recovery.replay", index);
+  ScopedHistogramTimer timer(shard.replay_hist);
   // No concurrent users yet (Open publishes the repository only after
   // every shard recovered), but the locked helpers require mu.
   MutexLock lock(shard.mu);
@@ -571,6 +628,9 @@ Status LiveRepository::RecoverShard(uint32_t index, core::SnapshotPtr base) {
       }
     } else {
       if (active_torn) {
+        obs::Registry::Default()
+            .GetCounter("ppq_recovery_torn_truncations_total")
+            ->Increment();
         PPQ_RETURN_NOT_OK(TruncateFile(active, active_valid_bytes));
       }
       PPQ_RETURN_NOT_OK(RetireActiveLog(dir_, index, active_epoch));

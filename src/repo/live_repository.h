@@ -15,6 +15,7 @@
 #include "common/thread_pool.h"
 #include "common/types.h"
 #include "core/compressor.h"
+#include "obs/metrics.h"
 #include "repo/repository_snapshot.h"
 #include "repo/shard_map.h"
 #include "repo/wal.h"
@@ -273,6 +274,20 @@ class LiveRepository {
     /// The published view; accessed only via atomic_load/atomic_store
     /// (lock-free reader side — deliberately NOT guarded by mu).
     LiveShardViewPtr view;
+
+    /// This shard's index and its per-shard ingest/durability latency
+    /// series (`ppq_ingest_{append,flush,seal}_micros{shard="N"}`,
+    /// `ppq_wal_rotate_micros{shard="N"}`,
+    /// `ppq_recovery_replay_micros{shard="N"}`), resolved once in the
+    /// constructor before the shard escapes. The metrics are internally
+    /// thread-safe and the pointers are written exactly once, so they
+    /// are deliberately NOT guarded by mu.
+    uint32_t index = 0;
+    obs::Histogram* append_hist = nullptr;
+    obs::Histogram* flush_hist = nullptr;
+    obs::Histogram* seal_hist = nullptr;
+    obs::Histogram* rotate_hist = nullptr;
+    obs::Histogram* replay_hist = nullptr;
   };
 
   /// The per-shard Append body: monotonicity check, WAL record (live

@@ -105,18 +105,19 @@ QueryResponse ShardedQueryService::Evaluate(const QueryRequest& request,
     state.memo_repository = pinned;
   }
 
-  uint64_t decode_nanos = 0;
+  core::eval::StageNanos stages;
   const TrajectoryDataset* raw = options_.raw.get();
   const double cell_size = options_.cell_size;
   const size_t num_shards = pinned->num_shards();
 
   // One counting reader per shard, all accounting into the one response:
-  // the aggregated stats are the sums across the scatter.
+  // the aggregated stats (and stage times) are the sums across the
+  // scatter.
   const auto reader = [&](size_t shard) {
     return core::eval::CountingReader<core::eval::SnapshotReader>{
         core::eval::SnapshotReader{pinned->shard(shard).get(),
                                    &state.memos[shard]},
-        &response.stats, &decode_nanos};
+        &response.stats, &stages};
   };
 
   const auto start = std::chrono::steady_clock::now();
@@ -129,6 +130,7 @@ QueryResponse ShardedQueryService::Evaluate(const QueryRequest& request,
               parts.push_back(core::eval::Strq(reader(shard), raw, cell_size,
                                                r.query, r.mode));
             }
+            core::eval::StageTimer timer(&stages, core::ServeStage::kMerge);
             StrqResult merged = MergeStrq(std::move(parts));
             response.stats.candidates_visited = merged.candidates_visited;
             response.result = std::move(merged);
@@ -141,6 +143,7 @@ QueryResponse ShardedQueryService::Evaluate(const QueryRequest& request,
                   reader(shard), raw, r.window.window, r.window.tick,
                   r.mode));
             }
+            core::eval::StageTimer timer(&stages, core::ServeStage::kMerge);
             StrqResult merged = MergeStrq(std::move(parts));
             response.stats.candidates_visited = merged.candidates_visited;
             response.result = std::move(merged);
@@ -152,6 +155,7 @@ QueryResponse ShardedQueryService::Evaluate(const QueryRequest& request,
               parts.push_back(core::eval::NearestTrajectories(
                   reader(shard), cell_size, r.query, r.k));
             }
+            core::eval::StageTimer timer(&stages, core::ServeStage::kMerge);
             response.result = MergeKnn(std::move(parts), r.k);
             // Every k-NN candidate is visited exactly once (per shard),
             // to rank its reconstruction.
@@ -164,6 +168,7 @@ QueryResponse ShardedQueryService::Evaluate(const QueryRequest& request,
               parts.push_back(core::eval::Tpq(reader(shard), raw, cell_size,
                                               r.query, r.length, r.mode));
             }
+            core::eval::StageTimer timer(&stages, core::ServeStage::kMerge);
             TpqResult merged = MergeTpq(std::move(parts));
             response.stats.candidates_visited = merged.candidates_visited;
             response.result = std::move(merged);
@@ -174,7 +179,7 @@ QueryResponse ShardedQueryService::Evaluate(const QueryRequest& request,
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
-  response.stats.decode_micros = decode_nanos / 1000;
+  core::eval::FillStageMicros(stages, &response.stats);
 
   size_t scratch_points = 0;
   for (const core::DecodeMemo& memo : state.memos) {

@@ -1,6 +1,7 @@
 #include "repo/wal.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -8,6 +9,7 @@
 #include <utility>
 
 #include "common/serial.h"
+#include "obs/trace.h"
 
 namespace ppq::repo {
 namespace {
@@ -15,6 +17,13 @@ namespace {
 /// payload = u64 epoch + i32 tick + u32 count (+ 20 bytes per point).
 constexpr size_t kRecordFixedPayload = 8 + 4 + 4;
 constexpr size_t kBytesPerPoint = 4 + 8 + 8;
+
+uint64_t MicrosSince(const std::chrono::steady_clock::time_point& start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
 
 std::vector<uint8_t> EncodeHeader(const WalHeader& header) {
   ByteWriter out;
@@ -199,6 +208,14 @@ Result<std::vector<WalGenerationFile>> ListWalGenerations(
 Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Create(
     const std::string& path, const WalHeader& header) {
   std::unique_ptr<WriteAheadLog> wal(new WriteAheadLog());
+  // The shard is known here and only here — resolve the per-shard
+  // durability-latency series once, before the log escapes.
+  obs::Registry& registry = obs::Registry::Default();
+  const std::string label = obs::ShardLabel(header.shard);
+  wal->shard_ = header.shard;
+  wal->append_hist_ = registry.GetHistogram("ppq_wal_append_micros", label);
+  wal->sync_hist_ = registry.GetHistogram("ppq_wal_sync_micros", label);
+  wal->sync_failures_ = registry.GetCounter("ppq_wal_sync_failures_total");
   PPQ_RETURN_NOT_OK(wal->file_.Open(path, /*truncate=*/true));
   const std::vector<uint8_t> bytes = EncodeHeader(header);
   PPQ_RETURN_NOT_OK(wal->file_.Append(bytes.data(), bytes.size()));
@@ -213,6 +230,8 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Create(
 }
 
 Status WriteAheadLog::Append(uint64_t seal_epoch, const TimeSlice& slice) {
+  PPQ_ZONE_SHARD("wal.append", shard_);
+  const auto start = std::chrono::steady_clock::now();
   ByteWriter payload;
   payload.WriteU64(seal_epoch);
   payload.WriteI32(slice.tick);
@@ -226,10 +245,19 @@ Status WriteAheadLog::Append(uint64_t seal_epoch, const TimeSlice& slice) {
   frame.WriteU32(static_cast<uint32_t>(payload.size()));
   frame.WriteU32(Crc32(payload.buffer().data(), payload.size()));
   frame.WriteBytes(payload.buffer().data(), payload.size());
-  return file_.Append(frame.buffer().data(), frame.size());
+  Status status = file_.Append(frame.buffer().data(), frame.size());
+  append_hist_->Observe(MicrosSince(start));
+  return status;
 }
 
-Status WriteAheadLog::Sync() { return file_.Datasync(); }
+Status WriteAheadLog::Sync() {
+  PPQ_ZONE_SHARD("wal.sync", shard_);
+  const auto start = std::chrono::steady_clock::now();
+  Status status = file_.Datasync();
+  sync_hist_->Observe(MicrosSince(start));
+  if (!status.ok()) sync_failures_->Increment();
+  return status;
+}
 
 Status WriteAheadLog::Close() { return file_.Close(); }
 

@@ -8,6 +8,7 @@
 #include "common/fsio.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 
 /// \file wal.h
 /// Per-shard write-ahead log for LiveRepository's queryable tail: the
@@ -153,6 +154,15 @@ class WriteAheadLog {
   WriteAheadLog() = default;
 
   LogFile file_;
+  uint32_t shard_ = 0;
+  /// Per-shard latency series (`ppq_wal_append_micros{shard="N"}` /
+  /// `ppq_wal_sync_micros{shard="N"}`) and the process-wide sync-failure
+  /// counter, resolved once at Create. The metrics are internally
+  /// thread-safe; the pointers are written once before the log escapes
+  /// Create, so the external-synchronization contract is unchanged.
+  obs::Histogram* append_hist_ = nullptr;
+  obs::Histogram* sync_hist_ = nullptr;
+  obs::Counter* sync_failures_ = nullptr;
 };
 
 }  // namespace ppq::repo

@@ -13,6 +13,7 @@
 
 #include "common/serial.h"
 #include "core/ppq_trajectory.h"
+#include "obs/metrics.h"
 #include "core/query_engine.h"
 #include "repo/live_query_service.h"
 #include "repo/live_repository.h"
@@ -403,11 +404,17 @@ TEST(LiveRecoveryTest, TornFinalRecordKeepsTheValidPrefix) {
   bytes.resize(last + 11);  // frame + a sliver of payload
   test::WriteFileBytes(fx.wal_path(), bytes);
 
+  obs::Counter* torn = obs::Registry::Default().GetCounter(
+      "ppq_recovery_torn_truncations_total");
+  const uint64_t torn_before = torn->Value();
+
   auto recovered = OpenLiveRepository(fx.dir, PpqAFactory(), fx.options);
   ASSERT_TRUE(recovered.ok()) << recovered.status().message();
   EXPECT_EQ((*recovered)->TotalPointsAppended(),
             fx.total_points - fx.record_counts.back());
   EXPECT_TRUE((*recovered)->DurabilityError().ok());
+  // The torn tail was cut back exactly once, and the health counter saw it.
+  EXPECT_EQ(torn->Value(), torn_before + 1);
 
   // The recovery retired the torn log as a generation: it must have been
   // cut back to its valid prefix, or every later open of this directory
@@ -418,6 +425,8 @@ TEST(LiveRecoveryTest, TornFinalRecordKeepsTheValidPrefix) {
   EXPECT_EQ((*reopened)->TotalPointsAppended(),
             fx.total_points - fx.record_counts.back());
   EXPECT_TRUE((*reopened)->DurabilityError().ok());
+  // The retired generation is already clean: reopening truncates nothing.
+  EXPECT_EQ(torn->Value(), torn_before + 1);
 }
 
 TEST(LiveRecoveryTest, BitFlippedRecordStopsReplayAtTheValidPrefix) {
@@ -566,6 +575,14 @@ TEST(LiveRecoveryTest, FailedWalSyncSkipsTheContainerCommit) {
       ASSERT_TRUE(live->Append(batch).ok());
     }
   }
+  obs::Registry& registry = obs::Registry::Default();
+  obs::Counter* sync_failures =
+      registry.GetCounter("ppq_wal_sync_failures_total");
+  obs::Counter* degraded_total =
+      registry.GetCounter("ppq_durability_degraded_total");
+  const uint64_t sync_failures_before = sync_failures->Value();
+  const uint64_t degraded_before = degraded_total->Value();
+
   SetSyncFaultForTesting(true);
   live->RollAll();
   live->Quiesce();
@@ -574,6 +591,12 @@ TEST(LiveRecoveryTest, FailedWalSyncSkipsTheContainerCommit) {
   // The failure is sticky and the container was NOT replaced.
   EXPECT_FALSE(live->DurabilityError().ok());
   EXPECT_EQ(test::ReadFileBytes(dir + "/" + ShardSnapshotFileName(0)), before);
+
+  // Health counters: every failed fdatasync was counted, but the sticky
+  // OK -> degraded transition fired exactly once.
+  EXPECT_GE(sync_failures->Value(), sync_failures_before + 1);
+  EXPECT_EQ(degraded_total->Value(), degraded_before + 1);
+  EXPECT_EQ(registry.GetGauge("ppq_durability_degraded")->Value(), 1);
 
   // Every second-half record was synced before the fault hit (interval 1),
   // so the old container + retained logs still recover the full stream.

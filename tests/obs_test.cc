@@ -1,0 +1,319 @@
+// Tests for the observability layer (src/obs/): histogram bucket math
+// against a sorted-sample oracle, concurrent recording racing snapshots
+// (run under TSan in CI), exporter golden output, and the compile-out
+// guarantee of the zone macros in a default (PPQ_TRACE off) build.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ppq::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram bucket math
+// ---------------------------------------------------------------------------
+
+TEST(ObsHistogramTest, BucketBoundariesAreLog2) {
+  EXPECT_EQ(Histogram::BucketOf(0), 0u);
+  EXPECT_EQ(Histogram::BucketOf(1), 1u);
+  EXPECT_EQ(Histogram::BucketOf(2), 2u);
+  EXPECT_EQ(Histogram::BucketOf(3), 2u);
+  EXPECT_EQ(Histogram::BucketOf(4), 3u);
+  EXPECT_EQ(Histogram::BucketOf(7), 3u);
+  EXPECT_EQ(Histogram::BucketOf(8), 4u);
+  EXPECT_EQ(Histogram::BucketOf(UINT64_MAX), kHistogramBuckets - 1);
+
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 7u);
+  EXPECT_EQ(Histogram::BucketUpperBound(kHistogramBuckets - 1), UINT64_MAX);
+
+  // Every value lands in the bucket whose bound is the smallest >= it.
+  for (uint64_t v : {0ull, 1ull, 2ull, 3ull, 4ull, 100ull, 1023ull, 1024ull,
+                     (1ull << 37) - 1, 1ull << 38}) {
+    const size_t b = Histogram::BucketOf(v);
+    EXPECT_LE(v, Histogram::BucketUpperBound(b)) << v;
+    if (b > 0) {
+      EXPECT_GT(v, Histogram::BucketUpperBound(b - 1)) << v;
+    }
+  }
+}
+
+/// Oracle: nearest-rank quantile of the exact sorted sample, then mapped
+/// to what the histogram can know — the log2 bucket bound of that value,
+/// clamped to the sample max (HistogramSnapshot::Quantile's contract).
+uint64_t OracleQuantile(std::vector<uint64_t> sample, double q) {
+  std::sort(sample.begin(), sample.end());
+  const auto count = static_cast<double>(sample.size());
+  size_t rank = static_cast<size_t>(std::ceil(q * count));
+  if (rank == 0) rank = 1;
+  const uint64_t exact = sample[rank - 1];
+  const uint64_t bound =
+      Histogram::BucketUpperBound(Histogram::BucketOf(exact));
+  return std::min(bound, sample.back());
+}
+
+TEST(ObsHistogramTest, QuantilesMatchSortedSampleOracle) {
+  // A deterministic skewed sample (decimated quadratic growth) exercising
+  // many buckets, including repeats and zero.
+  std::vector<uint64_t> sample;
+  for (uint64_t i = 0; i < 500; ++i) sample.push_back((i * i) / 7);
+
+  Histogram hist;
+  for (uint64_t v : sample) hist.Observe(v);
+  const HistogramSnapshot snap = hist.Snapshot();
+
+  ASSERT_EQ(snap.count, sample.size());
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  for (uint64_t v : sample) {
+    sum += v;
+    max = std::max(max, v);
+  }
+  EXPECT_EQ(snap.sum, sum);
+  EXPECT_EQ(snap.max, max);
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(snap.Quantile(q), OracleQuantile(sample, q)) << "q=" << q;
+  }
+  // The bucketed quantile never undershoots the exact one by more than
+  // the bucket's width (2x), and never exceeds the observed max.
+  std::vector<uint64_t> sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.5, 0.95, 0.99}) {
+    const size_t rank =
+        std::max<size_t>(1, static_cast<size_t>(std::ceil(
+                                q * static_cast<double>(sorted.size()))));
+    const uint64_t exact = sorted[rank - 1];
+    EXPECT_GE(snap.Quantile(q), exact / 2);
+    EXPECT_LE(snap.Quantile(q), snap.max);
+  }
+}
+
+TEST(ObsHistogramTest, SnapshotsMergeByBucketAddition) {
+  Histogram a;
+  Histogram b;
+  std::vector<uint64_t> all;
+  for (uint64_t i = 0; i < 200; ++i) {
+    a.Observe(i * 3);
+    all.push_back(i * 3);
+  }
+  for (uint64_t i = 0; i < 100; ++i) {
+    b.Observe(i * 17 + 5);
+    all.push_back(i * 17 + 5);
+  }
+  Histogram whole;
+  for (uint64_t v : all) whole.Observe(v);
+
+  HistogramSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  const HistogramSnapshot oracle = whole.Snapshot();
+  EXPECT_EQ(merged.count, oracle.count);
+  EXPECT_EQ(merged.sum, oracle.sum);
+  EXPECT_EQ(merged.max, oracle.max);
+  EXPECT_EQ(merged.buckets, oracle.buckets);
+  for (double q : {0.5, 0.95, 0.99}) {
+    EXPECT_EQ(merged.Quantile(q), oracle.Quantile(q));
+  }
+}
+
+TEST(ObsHistogramTest, EmptySnapshotIsAllZero) {
+  Histogram hist;
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_EQ(snap.Quantile(0.5), 0u);
+  EXPECT_EQ(snap.Mean(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: N recording threads racing a snapshotting thread. The
+// snapshot contract is relaxed-atomic (monotone, possibly slightly
+// stale); TSan in CI checks there is no data race, the final totals
+// check no increment is ever lost.
+// ---------------------------------------------------------------------------
+
+TEST(ObsConcurrencyTest, ConcurrentIncrementsRacingSnapshots) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("test_ops_total");
+  Histogram* hist = registry.GetHistogram("test_latency_micros");
+  Gauge* gauge = registry.GetGauge("test_depth");
+
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::atomic<bool> stop{false};
+
+  // A racing reader: keeps snapshotting (and rendering) while writers
+  // record. Counts must never regress between consecutive snapshots.
+  std::thread reader([&] {
+    uint64_t last_count = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const MetricsSnapshot snap = registry.Snapshot();
+      ASSERT_EQ(snap.histograms.size(), 1u);
+      const uint64_t count = snap.histograms[0].snapshot.count;
+      EXPECT_GE(count, last_count);
+      last_count = count;
+      (void)registry.RenderPrometheus();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        hist->Observe(t * kPerThread + i);
+        gauge->Set(static_cast<int64_t>(i));
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(counter->Value(), kThreads * kPerThread);
+  const HistogramSnapshot snap = hist->Snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  EXPECT_EQ(snap.max, kThreads * kPerThread - 1);
+}
+
+TEST(ObsRegistryTest, SameNameAndLabelsReturnsSamePointer) {
+  Registry registry;
+  Counter* a = registry.GetCounter("x_total");
+  Counter* b = registry.GetCounter("x_total");
+  EXPECT_EQ(a, b);
+  Counter* shard0 = registry.GetCounter("x_total", ShardLabel(0));
+  Counter* shard1 = registry.GetCounter("x_total", ShardLabel(1));
+  EXPECT_NE(shard0, shard1);
+  EXPECT_NE(a, shard0);
+  EXPECT_EQ(registry.GetCounter("x_total", ShardLabel(0)), shard0);
+  // Histograms and gauges of the same name are distinct namespaces.
+  EXPECT_NE(static_cast<void*>(registry.GetHistogram("x_total")),
+            static_cast<void*>(a));
+}
+
+// ---------------------------------------------------------------------------
+// Exporter goldens
+// ---------------------------------------------------------------------------
+
+TEST(ObsExporterTest, PrometheusGolden) {
+  Registry registry;
+  registry.GetCounter("ppq_wal_sync_failures_total")->Increment(3);
+  registry.GetGauge("ppq_serve_queue_depth")->Set(7);
+  Histogram* hist =
+      registry.GetHistogram("ppq_wal_sync_micros", ShardLabel(2));
+  hist->Observe(0);
+  hist->Observe(1);
+  hist->Observe(5);
+
+  const std::string expected =
+      "# TYPE ppq_wal_sync_failures_total counter\n"
+      "ppq_wal_sync_failures_total 3\n"
+      "# TYPE ppq_serve_queue_depth gauge\n"
+      "ppq_serve_queue_depth 7\n"
+      "# TYPE ppq_wal_sync_micros histogram\n"
+      "ppq_wal_sync_micros_bucket{shard=\"2\",le=\"0\"} 1\n"
+      "ppq_wal_sync_micros_bucket{shard=\"2\",le=\"1\"} 2\n"
+      "ppq_wal_sync_micros_bucket{shard=\"2\",le=\"7\"} 3\n"
+      "ppq_wal_sync_micros_bucket{shard=\"2\",le=\"+Inf\"} 3\n"
+      "ppq_wal_sync_micros_sum{shard=\"2\"} 6\n"
+      "ppq_wal_sync_micros_count{shard=\"2\"} 3\n";
+  EXPECT_EQ(registry.RenderPrometheus(), expected);
+}
+
+TEST(ObsExporterTest, JsonGolden) {
+  Registry registry;
+  registry.GetCounter("ops_total")->Increment(2);
+  registry.GetGauge("depth", ShardLabel(1))->Set(-4);
+  Histogram* hist = registry.GetHistogram("lat_micros");
+  hist->Observe(10);
+  hist->Observe(20);
+
+  const std::string expected =
+      "{\"counters\":[{\"name\":\"ops_total\",\"labels\":\"\",\"value\":2}],"
+      "\"gauges\":[{\"name\":\"depth\",\"labels\":\"shard=\\\"1\\\"\","
+      "\"value\":-4}],"
+      "\"histograms\":[{\"name\":\"lat_micros\",\"labels\":\"\",\"count\":2,"
+      "\"sum\":30,\"max\":20,\"p50\":15,\"p95\":20,\"p99\":20}]}";
+  EXPECT_EQ(registry.RenderJson(), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Zone tracing: compile-out proof + drain API in an untraced build.
+// ---------------------------------------------------------------------------
+
+#define PPQ_OBS_TEST_STR2(x) #x
+#define PPQ_OBS_TEST_STR(x) PPQ_OBS_TEST_STR2(x)
+
+#if !defined(PPQ_TRACE)
+// The zero-overhead guarantee, checked at compile time: in a default
+// build the zone macros expand to NOTHING — the stringified expansion is
+// the empty string (sizeof 1 = just the NUL), so there is no object, no
+// clock read, no branch on the hot path.
+static_assert(sizeof(PPQ_OBS_TEST_STR(PPQ_ZONE("x"))) == 1,
+              "PPQ_ZONE must compile out entirely when PPQ_TRACE is off");
+static_assert(sizeof(PPQ_OBS_TEST_STR(PPQ_ZONE_SHARD("x", 3))) == 1,
+              "PPQ_ZONE_SHARD must compile out entirely when PPQ_TRACE "
+              "is off");
+
+TEST(ObsTraceTest, UntracedBuildBuffersNothing) {
+  trace::Reset();
+  {
+    PPQ_ZONE("test.zone");
+    PPQ_ZONE_SHARD("test.sharded", 1);
+  }
+  EXPECT_EQ(trace::BufferedEventCount(), 0u);
+}
+#else
+TEST(ObsTraceTest, TracedBuildRecordsZones) {
+  trace::Reset();
+  {
+    PPQ_ZONE("test.zone");
+    PPQ_ZONE_SHARD("test.sharded", 1);
+  }
+  EXPECT_EQ(trace::BufferedEventCount(), 2u);
+}
+#endif
+
+TEST(ObsTraceTest, WriteChromeTraceProducesValidJson) {
+  trace::Reset();
+  // Record one explicit event through the always-compiled API so the
+  // written document has content in every build flavour.
+  const uint64_t now = trace::NowNanos();
+  trace::Record("test.explicit", 4, now, now + 1500);
+  const std::string path =
+      testing::TempDir() + "/ppq_obs_trace_test.json";
+  ASSERT_TRUE(trace::WriteChromeTrace(path));
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(f);
+
+  EXPECT_NE(contents.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(contents.find("\"test.explicit\""), std::string::npos);
+  EXPECT_NE(contents.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(contents.find("\"shard\":4"), std::string::npos);
+  trace::Reset();
+}
+
+}  // namespace
+}  // namespace ppq::obs

@@ -398,9 +398,9 @@ TEST(SpanDecodeTest, CountingReaderSpanAccountingMatchesPerPointLoop) {
   DecodeMemo memo;
   core::eval::SnapshotReader base{fx.snapshot.get(), &memo};
   QueryStats stats;
-  uint64_t nanos = 0;
+  core::eval::StageNanos stages;
   core::eval::CountingReader<core::eval::SnapshotReader> reader{base, &stats,
-                                                                &nanos};
+                                                                &stages};
   std::vector<Point> buf(len + 8);
 
   // Full span: n points decoded, n attributed.
@@ -431,7 +431,7 @@ TEST(SpanDecodeTest, CountingReaderSpanAccountingMatchesPerPointLoop) {
   EXPECT_EQ(1u, stats.points_decoded);
 
   // And decode time was actually sampled (one pair per span, not zero).
-  EXPECT_GT(nanos, 0u);
+  EXPECT_GT(stages.v[static_cast<size_t>(core::ServeStage::kDecode)], 0u);
 }
 
 }  // namespace
